@@ -1,0 +1,81 @@
+// Command datagen emits a generated cartographic relation as
+// tab-separated WKT-like polygons on stdout, for inspection or use by
+// external tools.
+//
+// Usage:
+//
+//	datagen [-n 810] [-verts 84] [-holes 0.06] [-seed 9401] [-stats]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"spatialjoin/internal/data"
+	"spatialjoin/internal/geom"
+)
+
+func main() {
+	n := flag.Int("n", 810, "number of polygons")
+	verts := flag.Int("verts", 84, "average vertices per polygon")
+	holes := flag.Float64("holes", 0.06, "fraction of polygons with a hole")
+	seed := flag.Int64("seed", 9401, "generation seed")
+	statsOnly := flag.Bool("stats", false, "print relation statistics instead of geometry")
+	binOut := flag.String("bin", "", "write the relation in binary form to this file instead of WKT on stdout")
+	flag.Parse()
+
+	rel := data.GenerateMap(data.MapConfig{
+		Cells: *n, TargetVerts: *verts, HoleFraction: *holes, Seed: *seed,
+	})
+	if *statsOnly {
+		st := data.Stats(rel)
+		fmt.Printf("objects=%d m_avg=%.1f m_min=%d m_max=%d with_holes=%d\n",
+			st.Objects, st.Avg, st.Min, st.Max, st.WithHoles)
+		return
+	}
+	if *binOut != "" {
+		f, err := os.Create(*binOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := data.WriteRelation(f, rel); err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for i, p := range rel {
+		fmt.Fprintf(w, "%d\t%s\n", i, wkt(p))
+	}
+}
+
+// wkt renders a polygon in WKT syntax: POLYGON ((outer), (hole), ...).
+func wkt(p *geom.Polygon) string {
+	var b strings.Builder
+	b.WriteString("POLYGON (")
+	writeRing := func(r geom.Ring) {
+		b.WriteByte('(')
+		for i, pt := range r {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%.6f %.6f", pt.X, pt.Y)
+		}
+		// Close the ring as WKT requires.
+		fmt.Fprintf(&b, ", %.6f %.6f)", r[0].X, r[0].Y)
+	}
+	writeRing(p.Outer)
+	for _, h := range p.Holes {
+		b.WriteString(", ")
+		writeRing(h)
+	}
+	b.WriteByte(')')
+	return b.String()
+}

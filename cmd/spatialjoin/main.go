@@ -1,0 +1,152 @@
+// Command spatialjoin runs the complete multi-step spatial join end to end
+// on generated cartographic data and prints per-step statistics and the
+// modelled cost breakdown — a one-command demonstration of the paper's
+// processor.
+//
+// Usage:
+//
+//	spatialjoin [-n 810] [-verts 84] [-strategy A|B] [-engine trstar|planesweep|quadratic]
+//	            [-conservative 5C|RMBR|CH|4C|MBC|MBE] [-progressive MER|MEC]
+//	            [-no-filter] [-page 4096] [-seed 9401]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"spatialjoin/internal/approx"
+	"spatialjoin/internal/costmodel"
+	"spatialjoin/internal/data"
+	"spatialjoin/internal/multistep"
+)
+
+func main() {
+	n := flag.Int("n", 810, "objects per relation")
+	verts := flag.Int("verts", 84, "average vertices per object")
+	strategy := flag.String("strategy", "A", "test-series strategy: A (shifted copy) or B (random placement)")
+	engine := flag.String("engine", "trstar", "exact engine: trstar, planesweep, quadratic")
+	conservative := flag.String("conservative", "5C", "conservative approximation: 5C, 4C, RMBR, CH, MBC, MBE")
+	progressive := flag.String("progressive", "MER", "progressive approximation: MER, MEC")
+	noFilter := flag.Bool("no-filter", false, "disable the geometric filter (step 2)")
+	pageSize := flag.Int("page", 4096, "R*-tree page size in bytes")
+	seed := flag.Int64("seed", 9401, "data seed")
+	predicate := flag.String("predicate", "intersects", "join predicate: intersects or contains")
+	step1 := flag.String("step1", "rstar", "step 1 candidate generator: rstar, zorder, nested")
+	parallel := flag.Int("parallel", 0, "filter/exact worker count (0 = sequential)")
+	flag.Parse()
+
+	cfg := multistep.DefaultConfig()
+	cfg.PageSize = *pageSize
+	cfg.UseFilter = !*noFilter
+	var err error
+	if cfg.Engine, err = parseEngine(*engine); err != nil {
+		fatal(err)
+	}
+	if cfg.Filter.Conservative, err = parseKind(*conservative); err != nil {
+		fatal(err)
+	}
+	if cfg.Filter.Progressive, err = parseKind(*progressive); err != nil {
+		fatal(err)
+	}
+	switch strings.ToLower(*step1) {
+	case "rstar":
+		cfg.Step1 = multistep.Step1RStar
+	case "zorder", "z":
+		cfg.Step1 = multistep.Step1ZOrder
+	case "nested", "nl":
+		cfg.Step1 = multistep.Step1NestedLoops
+	default:
+		fatal(fmt.Errorf("unknown step1 generator %q", *step1))
+	}
+
+	fmt.Printf("generating %d objects with ~%d vertices (strategy %s)...\n", *n, *verts, *strategy)
+	base := data.GenerateMap(data.MapConfig{Cells: *n, TargetVerts: *verts, HoleFraction: 0.06, Seed: *seed})
+	var rPolys, sPolys = base, base
+	switch strings.ToUpper(*strategy) {
+	case "A":
+		sPolys = data.StrategyA(base, 0.45)
+	case "B":
+		rPolys = data.StrategyB(base, *seed+1)
+		sPolys = data.StrategyB(base, *seed+2)
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+
+	t0 := time.Now()
+	r := multistep.NewRelation("R", rPolys, cfg)
+	s := multistep.NewRelation("S", sPolys, cfg)
+	prep := time.Since(t0)
+
+	t1 := time.Now()
+	var pairs []multistep.Pair
+	var st multistep.Stats
+	switch {
+	case strings.EqualFold(*predicate, "contains"):
+		pairs, st = multistep.JoinContains(r, s, cfg)
+	case *parallel > 0:
+		pairs, st = multistep.JoinParallel(r, s, cfg, *parallel)
+	default:
+		pairs, st = multistep.Join(r, s, cfg)
+	}
+	joinTime := time.Since(t1)
+
+	fmt.Printf("\npreprocessing: %.2fs (approximations + R*-trees, entry %d bytes)\n",
+		prep.Seconds(), multistep.EntryBytes(cfg))
+	fmt.Printf("join wall time: %.3fs\n\n", joinTime.Seconds())
+	fmt.Printf("step 1 (MBR-join):      %8d candidate pairs, %d page accesses\n",
+		st.CandidatePairs, st.PageAccessesR+st.PageAccessesS)
+	if cfg.UseFilter {
+		fmt.Printf("step 2 (filter %s+%s): %8d hits, %d false hits identified (%.0f%% of candidates)\n",
+			cfg.Filter.Conservative, cfg.Filter.Progressive,
+			st.FilterHits, st.FilterFalseHits, 100*st.Identified())
+	}
+	fmt.Printf("step 3 (%s):   %8d pairs tested, %d hits; ops: %s\n",
+		cfg.Engine, st.ExactTested, st.ExactHits, st.Ops.String())
+	fmt.Printf("\nresponse set: %d intersecting pairs\n", len(pairs))
+
+	b := costmodel.FromStats(st, cfg.Engine, costmodel.PaperParams())
+	fmt.Printf("modelled cost (section 5): MBR-join %.1fs + object access %.1fs + exact %.1fs = %.1fs\n",
+		b.MBRJoin, b.ObjectAccess, b.ExactTest, b.Total())
+}
+
+func parseEngine(s string) (multistep.Engine, error) {
+	switch strings.ToLower(s) {
+	case "trstar", "tr*", "tr":
+		return multistep.EngineTRStar, nil
+	case "planesweep", "sweep":
+		return multistep.EnginePlaneSweep, nil
+	case "quadratic", "naive":
+		return multistep.EngineQuadratic, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q", s)
+}
+
+func parseKind(s string) (approx.Kind, error) {
+	switch strings.ToUpper(strings.ReplaceAll(s, "-", "")) {
+	case "5C":
+		return approx.C5, nil
+	case "4C":
+		return approx.C4, nil
+	case "RMBR":
+		return approx.RMBR, nil
+	case "CH":
+		return approx.CH, nil
+	case "MBC":
+		return approx.MBC, nil
+	case "MBE":
+		return approx.MBE, nil
+	case "MER":
+		return approx.MER, nil
+	case "MEC":
+		return approx.MEC, nil
+	}
+	return 0, fmt.Errorf("unknown approximation %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spatialjoin:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Command svgmap renders generated cartographic data and the paper's
+// approximations as SVG — the visual counterpart of the paper's Figures 3
+// (approximations of Great Britain), 7 (MEC/MER) and 14 (decompositions).
+//
+// Usage:
+//
+//	svgmap -mode map   [-n 120] [-verts 84] [-seed 9401] > map.svg
+//	svgmap -mode approx [-verts 200] [-seed 9401]        > approx.svg
+//	svgmap -mode decomp [-verts 200] [-seed 9401]        > decomp.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spatialjoin/internal/approx"
+	"spatialjoin/internal/data"
+	"spatialjoin/internal/decomp"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/svg"
+)
+
+func main() {
+	mode := flag.String("mode", "map", "map | approx | decomp")
+	n := flag.Int("n", 120, "polygons (map mode)")
+	verts := flag.Int("verts", 84, "average vertices")
+	seed := flag.Int64("seed", 9401, "data seed")
+	size := flag.Int("size", 900, "image size in pixels")
+	flag.Parse()
+
+	switch *mode {
+	case "map":
+		rel := data.GenerateMap(data.MapConfig{Cells: *n, TargetVerts: *verts, HoleFraction: 0.12, Seed: *seed})
+		view := geom.EmptyRect()
+		for _, p := range rel {
+			view = view.Union(p.Bounds())
+		}
+		c := svg.NewCanvas(view.Expand(view.Width()*0.02), *size)
+		for i, p := range rel {
+			st := svg.DefaultStyle()
+			if i%7 == 0 {
+				st.Fill = "#b8c9a9"
+			}
+			c.Polygon(p, st)
+		}
+		fmt.Print(c.String())
+
+	case "approx":
+		p := onePolygon(*verts, *seed)
+		s := approx.Compute(p, approx.AllOptions())
+		c := svg.NewCanvas(p.Bounds().Expand(p.Bounds().Width()*0.25), *size)
+		c.Polygon(p, svg.DefaultStyle())
+		c.Approximations(s, []approx.Kind{
+			approx.MBR, approx.RMBR, approx.CH, approx.C5, approx.MBC, approx.MBE,
+			approx.MEC, approx.MER,
+		})
+		fmt.Print(c.String())
+
+	case "decomp":
+		p := onePolygon(*verts, *seed)
+		c := svg.NewCanvas(p.Bounds().Expand(p.Bounds().Width()*0.05), *size)
+		c.Polygon(p, svg.Style{Stroke: "#333333", StrokeWidth: 2})
+		c.Trapezoids(decomp.Trapezoidize(p), svg.Style{Stroke: "#d62728", StrokeWidth: 0.6})
+		fmt.Print(c.String())
+
+	default:
+		fmt.Fprintf(os.Stderr, "svgmap: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+// onePolygon picks the most complex polygon of a small generated map.
+func onePolygon(verts int, seed int64) *geom.Polygon {
+	rel := data.GenerateMap(data.MapConfig{Cells: 16, TargetVerts: verts, HoleFraction: 0.5, Seed: seed})
+	best := rel[0]
+	for _, p := range rel {
+		if p.NumVertices() > best.NumVertices() {
+			best = p
+		}
+	}
+	return best
+}

@@ -1,0 +1,71 @@
+// Exact engines: decide the same candidate pairs with the three exact
+// geometry algorithms of section 4 (quadratic, plane sweep, TR*-tree) and
+// compare their weighted operation costs — a miniature Table 7.
+//
+//	go run ./examples/exact_engines
+package main
+
+import (
+	"fmt"
+
+	"spatialjoin/internal/data"
+	"spatialjoin/internal/exact"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/ops"
+	"spatialjoin/internal/trstar"
+)
+
+func main() {
+	// Complex objects make the differences dramatic: 400-vertex polygons.
+	base := data.GenerateMap(data.MapConfig{Cells: 60, TargetVerts: 400, Seed: 1994})
+	shifted := data.StrategyA(base, 0.45)
+
+	// Collect the MBR-candidate pairs.
+	type pair struct{ i, j int }
+	var pairs []pair
+	for i, a := range base {
+		for j, b := range shifted {
+			if a.Bounds().Intersects(b.Bounds()) {
+				pairs = append(pairs, pair{i, j})
+			}
+		}
+	}
+	fmt.Printf("%d objects with ~%d vertices, %d candidate pairs\n\n",
+		len(base), base[0].NumVertices(), len(pairs))
+
+	// Preprocess once per object, outside the measured cost — exactly as
+	// the paper treats preprocessing.
+	prepared := map[*geom.Polygon]*exact.PreparedPolygon{}
+	trees := map[*geom.Polygon]*trstar.Tree{}
+	for _, polys := range [][]*geom.Polygon{base, shifted} {
+		for _, p := range polys {
+			prepared[p] = exact.Prepare(p)
+			trees[p] = trstar.NewFromPolygon(p, trstar.DefaultCapacity)
+		}
+	}
+
+	w := ops.PaperWeights()
+	run := func(name string, test func(a, b *geom.Polygon, c *ops.Counters) bool) {
+		var c ops.Counters
+		hits := 0
+		for _, pr := range pairs {
+			if test(base[pr.i], shifted[pr.j], &c) {
+				hits++
+			}
+		}
+		fmt.Printf("%-12s %6d hits   cost %8.2f s (paper weights)   %s\n",
+			name, hits, c.Cost(w), c.String())
+	}
+
+	run("quadratic", func(a, b *geom.Polygon, c *ops.Counters) bool {
+		return exact.QuadraticIntersects(prepared[a], prepared[b], c)
+	})
+	run("plane-sweep", func(a, b *geom.Polygon, c *ops.Counters) bool {
+		return exact.PlaneSweepIntersects(prepared[a], prepared[b], true, c)
+	})
+	run("TR*-tree", func(a, b *geom.Polygon, c *ops.Counters) bool {
+		return trstar.Intersects(trees[a], trees[b], c)
+	})
+	fmt.Println("\nTable 7's shape: quadratic is out of question; the TR*-tree beats the")
+	fmt.Println("plane sweep by an order of magnitude on complex objects.")
+}

@@ -1,0 +1,45 @@
+// Filter tuning: compare every conservative × progressive approximation
+// pair as the geometric filter of step 2, reproducing the design space of
+// section 3 on one workload. The paper's recommendation (5-C + MER) should
+// come out near the top: most candidates identified for a small storage
+// overhead.
+//
+//	go run ./examples/filter_tuning
+package main
+
+import (
+	"fmt"
+
+	"spatialjoin/internal/approx"
+	"spatialjoin/internal/data"
+	"spatialjoin/internal/multistep"
+)
+
+func main() {
+	base := data.GenerateMap(data.MapConfig{Cells: 300, TargetVerts: 64, Seed: 7})
+	shifted := data.StrategyA(base, 0.45)
+
+	conservatives := []approx.Kind{approx.MBC, approx.MBE, approx.RMBR, approx.C4, approx.C5, approx.CH}
+	progressives := []approx.Kind{approx.MEC, approx.MER}
+
+	fmt.Printf("%-14s %-6s %10s %10s %10s %8s %10s\n",
+		"conservative", "prog", "falseHits", "hits", "exact", "ident%", "entry B")
+	for _, cons := range conservatives {
+		for _, prog := range progressives {
+			cfg := multistep.DefaultConfig()
+			cfg.Filter.Conservative = cons
+			cfg.Filter.Progressive = prog
+			cfg.MECPrecision = 2e-3
+
+			r := multistep.NewRelation("R", base, cfg)
+			s := multistep.NewRelation("S", shifted, cfg)
+			_, st := multistep.Join(r, s, cfg)
+
+			fmt.Printf("%-14s %-6s %10d %10d %10d %7.0f%% %10d\n",
+				cons, prog, st.FilterFalseHits, st.FilterHits, st.ExactTested,
+				100*st.Identified(), multistep.EntryBytes(cfg))
+		}
+	}
+	fmt.Println("\nThe paper recommends 5-C + MER: high identification at 104-byte entries,")
+	fmt.Println("while the convex hull costs unbounded storage and circles identify the least.")
+}

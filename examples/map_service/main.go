@@ -1,0 +1,80 @@
+// Map service: a batch query workload over a persisted map — the spatial
+// selections of section 2 (point queries, window queries, nearest
+// neighbours) served by the same multi-step machinery as the join. The
+// map is generated once, persisted to disk, reloaded and indexed, and
+// then a mixed workload runs against it.
+//
+//	go run ./examples/map_service
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"spatialjoin"
+)
+
+func main() {
+	// Build and persist the base map (in memory here; cmd/datagen writes
+	// the same format to files).
+	parcels := spatialjoin.GenerateMap(spatialjoin.MapConfig{
+		Cells:        900,
+		TargetVerts:  48,
+		HoleFraction: 0.08,
+		Seed:         2024,
+	})
+	var store bytes.Buffer
+	if err := spatialjoin.WritePolygons(&store, parcels); err != nil {
+		panic(err)
+	}
+	fmt.Printf("persisted %d parcels in %d KiB\n", len(parcels), store.Len()/1024)
+
+	// Reload and index.
+	loaded, err := spatialjoin.ReadPolygons(&store)
+	if err != nil {
+		panic(err)
+	}
+	cfg := spatialjoin.DefaultConfig()
+	start := time.Now()
+	rel := spatialjoin.NewRelation("parcels", loaded, cfg)
+	fmt.Printf("indexed in %.2fs (approximations + R*-tree)\n\n", time.Since(start).Seconds())
+
+	rng := rand.New(rand.NewSource(7))
+	// Point queries: which parcel is here?
+	hits := 0
+	start = time.Now()
+	for i := 0; i < 500; i++ {
+		p := spatialjoin.Point{X: rng.Float64(), Y: rng.Float64()}
+		ids, _ := spatialjoin.PointQuery(rel, p, cfg)
+		hits += len(ids)
+	}
+	fmt.Printf("500 point queries: %d parcels found, %.1f µs/query\n",
+		hits, time.Since(start).Seconds()/500*1e6)
+
+	// Window queries: what is visible in this viewport?
+	found := 0
+	decided := int64(0)
+	var cands int64
+	start = time.Now()
+	for i := 0; i < 200; i++ {
+		x, y := rng.Float64()*0.9, rng.Float64()*0.9
+		w := spatialjoin.Rect{MinX: x, MinY: y, MaxX: x + 0.08, MaxY: y + 0.08}
+		ids, st := spatialjoin.WindowQuery(rel, w, cfg)
+		found += len(ids)
+		decided += st.FilterHits + st.FilterFalseHits
+		cands += st.Candidates
+	}
+	fmt.Printf("200 window queries: %d results, filter decided %.0f%% of candidates, %.1f µs/query\n",
+		found, 100*float64(decided)/float64(cands), time.Since(start).Seconds()/200*1e6)
+
+	// Nearest neighbours: the five parcels closest to a landmark.
+	landmark := spatialjoin.Point{X: 0.42, Y: 0.58}
+	nn := spatialjoin.NearestObjects(rel, landmark, 5)
+	fmt.Println("\nfive parcels nearest to the landmark:")
+	for _, nb := range nn {
+		fmt.Printf("  parcel %3d at distance %.4f (%d vertices)\n",
+			nb.ID, nb.Dist, loaded[nb.ID].NumVertices())
+	}
+}

@@ -1,0 +1,164 @@
+package approx
+
+import (
+	"spatialjoin/internal/convex"
+	"spatialjoin/internal/geom"
+)
+
+// The geometric filter of step 2 (section 2.4, Figure 1) classifies each
+// candidate pair delivered by the MBR-join into one of three classes:
+//
+//	Hit      — the objects provably intersect (progressive approximations
+//	           intersect, or the false-area test fires),
+//	FalseHit — the objects provably do not intersect (conservative
+//	           approximations are disjoint),
+//	Candidate — undecided; the pair goes to the exact geometry processor.
+type Class int
+
+// Filter outcomes.
+const (
+	Candidate Class = iota
+	Hit
+	FalseHit
+)
+
+// String returns a human-readable class name.
+func (c Class) String() string {
+	switch c {
+	case Hit:
+		return "hit"
+	case FalseHit:
+		return "false hit"
+	default:
+		return "candidate"
+	}
+}
+
+// ConservativeIntersects reports whether the conservative approximations
+// of kind k of the two objects intersect. A negative answer proves the
+// pair is a false hit; a positive answer proves nothing. Polygonal kinds
+// use the separating-axis test, circles the analytic test, ellipses GJK.
+func ConservativeIntersects(k Kind, a, b *Set) bool {
+	switch k {
+	case MBR:
+		return a.MBR.Intersects(b.MBR)
+	case RMBR:
+		return convex.SATIntersects(a.RMBRA.Ring(), b.RMBRA.Ring())
+	case CH:
+		return convex.SATIntersects(a.CHA, b.CHA)
+	case C4:
+		return satOrDegenerate(a.C4A, b.C4A)
+	case C5:
+		return satOrDegenerate(a.C5A, b.C5A)
+	case MBC:
+		return a.MBCA.Intersects(*b.MBCA)
+	case MBE:
+		return convex.GJKIntersects(*a.MBEA, *b.MBEA)
+	}
+	panic("approx: not a conservative kind: " + k.String())
+}
+
+// satOrDegenerate handles k-gon rings that may have fewer than 3 vertices
+// for degenerate hulls.
+func satOrDegenerate(a, b geom.Ring) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	return convex.SATIntersects(a, b)
+}
+
+// ProgressiveIntersects reports whether the progressive approximations of
+// kind k of the two objects intersect. A positive answer proves the pair
+// is a hit (section 3.3): the approximations are subsets of the objects.
+func ProgressiveIntersects(k Kind, a, b *Set) bool {
+	switch k {
+	case MEC:
+		return a.MECA.R > 0 && b.MECA.R > 0 && a.MECA.Intersects(*b.MECA)
+	case MER:
+		return !a.MERA.IsEmpty() && !b.MERA.IsEmpty() && a.MERA.Intersects(*b.MERA)
+	}
+	panic("approx: not a progressive kind: " + k.String())
+}
+
+// FalseAreaHit applies the false-area test of section 3.3 with the
+// conservative approximation of kind k:
+//
+//	area(Appr(a) ∩ Appr(b)) > falseArea(a) + falseArea(b)  ⇒  a ∩ b ≠ ∅.
+//
+// A positive answer proves a hit; a negative answer proves nothing.
+func FalseAreaHit(k Kind, a, b *Set) bool {
+	var inter float64
+	switch k {
+	case MBR:
+		inter = a.MBR.OverlapArea(b.MBR)
+	case RMBR, CH, C4, C5:
+		ra, rb := a.Outline(k), b.Outline(k)
+		if len(ra) < 3 || len(rb) < 3 {
+			return false
+		}
+		inter = convex.IntersectionArea(ra, rb)
+	case MBC, MBE:
+		// Curved shapes: clip the polygonized outlines. The outline is
+		// inscribed, so the intersection area is slightly underestimated —
+		// the test stays sound (it can only miss hits, never invent them).
+		inter = convex.IntersectionArea(a.Outline(k), b.Outline(k))
+	default:
+		panic("approx: not a conservative kind: " + k.String())
+	}
+	return inter > a.FalseArea(k)+b.FalseArea(k)
+}
+
+// FilterConfig selects the approximations the geometric filter uses, as in
+// section 3.6: a conservative kind to identify false hits, a progressive
+// kind to identify hits, and optionally the false-area test.
+type FilterConfig struct {
+	Conservative   Kind // e.g. C5 (the paper's recommendation); MBR disables
+	Progressive    Kind // e.g. MER (the paper's recommendation)
+	UseFalseArea   bool // additionally apply the false-area test
+	NoConservative bool // skip the conservative step entirely
+	NoProgressive  bool // skip the progressive step entirely
+}
+
+// RecommendedFilter is the paper's section 3.6 recommendation: identify
+// false hits with the 5-corner and hits with the maximum enclosed
+// rectangle.
+func RecommendedFilter() FilterConfig {
+	return FilterConfig{Conservative: C5, Progressive: MER}
+}
+
+// Classify runs the geometric filter on one candidate pair. The step order
+// follows the paper: conservative test first (cheapest useful outcome:
+// false hit), then progressive test, then optionally the false-area test.
+func (f FilterConfig) Classify(a, b *Set) Class {
+	if !f.NoConservative && f.Conservative != MBR {
+		if !ConservativeIntersects(f.Conservative, a, b) {
+			return FalseHit
+		}
+	}
+	if !f.NoProgressive {
+		if ProgressiveIntersects(f.Progressive, a, b) {
+			return Hit
+		}
+	}
+	if f.UseFalseArea {
+		if FalseAreaHit(f.Conservative, a, b) {
+			return Hit
+		}
+	}
+	return Candidate
+}
+
+// Kinds returns the approximation kinds Classify consumes, for use as
+// Compute options.
+func (f FilterConfig) Kinds() Options {
+	var opt Options
+	if !f.NoConservative && f.Conservative != MBR {
+		opt.Conservative = append(opt.Conservative, f.Conservative)
+	} else if f.UseFalseArea && f.Conservative != MBR {
+		opt.Conservative = append(opt.Conservative, f.Conservative)
+	}
+	if !f.NoProgressive {
+		opt.Progressive = append(opt.Progressive, f.Progressive)
+	}
+	return opt
+}

@@ -1,0 +1,257 @@
+package approx
+
+import (
+	"math"
+	"sort"
+
+	"spatialjoin/internal/geom"
+)
+
+// MERMaxCandidates caps the number of distinct x coordinates enumerated by
+// MaxEnclosedRect. The paper's definition restricts rectangle coordinates
+// to vertex coordinates; with complex objects (the BW relation averages
+// 527 vertices) the exact enumeration is cubic, so the implementation
+// subsamples the candidate set uniformly beyond this cap. The cap keeps
+// preprocessing cost bounded while changing the found rectangle only
+// marginally (quality is reported by the Figure 8 experiment).
+const MERMaxCandidates = 48
+
+// MaxEnclosedRect returns the paper's maximum enclosed rectangle (MER) of
+// p (section 3.3): a rectilinear rectangle contained in the closed region
+// that (1) intersects the longest enclosed horizontal connection starting
+// in a vertex of the polygon and (2) has x and y coordinates drawn from
+// the vertex coordinates. The empty rectangle is returned for degenerate
+// polygons where no such rectangle exists.
+func MaxEnclosedRect(p *geom.Polygon) geom.Rect {
+	var edges []geom.Segment
+	edges = p.Edges(edges)
+	var verts []geom.Point
+	verts = p.Vertices(verts)
+
+	chord, ok := longestHorizontalChord(p, edges, verts)
+	if !ok {
+		return geom.EmptyRect()
+	}
+	yc := chord.A.Y
+	xl := math.Min(chord.A.X, chord.B.X)
+	xr := math.Max(chord.A.X, chord.B.X)
+
+	// Candidate x coordinates: vertex x's, clipped to be usable by a
+	// rectangle intersecting the chord span, plus the chord endpoints.
+	xsSet := map[float64]struct{}{xl: {}, xr: {}}
+	for _, v := range verts {
+		xsSet[v.X] = struct{}{}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	xs = subsample(xs, MERMaxCandidates)
+
+	// Candidate y coordinates, split around the chord level.
+	ysBelow := []float64{yc} // y1 candidates (≤ yc)
+	ysAbove := []float64{yc} // y2 candidates (≥ yc)
+	for _, v := range verts {
+		if v.Y <= yc {
+			ysBelow = append(ysBelow, v.Y)
+		}
+		if v.Y >= yc {
+			ysAbove = append(ysAbove, v.Y)
+		}
+	}
+	sort.Float64s(ysBelow)
+	sort.Float64s(ysAbove)
+
+	best := geom.EmptyRect()
+	bestArea := 0.0
+	for i := 0; i < len(xs); i++ {
+		x1 := xs[i]
+		if x1 > xr {
+			break // the strip can no longer intersect the chord span
+		}
+		for j := i + 1; j < len(xs); j++ {
+			x2 := xs[j]
+			if x2 < xl {
+				continue // strip entirely left of the chord span
+			}
+			if (x2-x1)*maxPossibleHeight(p.Bounds()) <= bestArea {
+				// Even the full bounding-box height cannot beat the
+				// incumbent; wider strips only shrink the free height.
+				continue
+			}
+			floor, ceil, valid := stripFreeInterval(edges, x1, x2, yc)
+			if !valid || ceil-floor <= 0 {
+				continue
+			}
+			y1, ok1 := smallestAtLeast(ysBelow, floor)
+			y2, ok2 := largestAtMost(ysAbove, ceil)
+			if !ok1 || !ok2 || y1 > yc || y2 < yc || y2 <= y1 {
+				continue
+			}
+			if area := (x2 - x1) * (y2 - y1); area > bestArea {
+				bestArea = area
+				best = geom.Rect{MinX: x1, MinY: y1, MaxX: x2, MaxY: y2}
+			}
+		}
+	}
+	return best
+}
+
+func maxPossibleHeight(b geom.Rect) float64 { return b.Height() }
+
+// longestHorizontalChord finds the longest horizontal segment that starts
+// in a vertex of p and stays inside the closed region.
+func longestHorizontalChord(p *geom.Polygon, edges []geom.Segment, verts []geom.Point) (geom.Segment, bool) {
+	var best geom.Segment
+	bestLen := -1.0
+	for _, v := range verts {
+		for _, dir := range [2]float64{1, -1} {
+			end, ok := horizontalRayExit(p, edges, v, dir)
+			if !ok {
+				continue
+			}
+			if l := math.Abs(end - v.X); l > bestLen {
+				// Confirm the midpoint is inside: the ray may leave the
+				// region immediately at reflex vertices.
+				mid := geom.Point{X: (v.X + end) / 2, Y: v.Y}
+				if l > 0 && p.ContainsPoint(mid) {
+					bestLen = l
+					best = geom.Segment{A: v, B: geom.Point{X: end, Y: v.Y}}
+				}
+			}
+		}
+	}
+	if bestLen <= 0 {
+		return geom.Segment{}, false
+	}
+	return best, true
+}
+
+// horizontalRayExit walks from v in direction dir (±x) and returns the x
+// coordinate where the ray first meets the boundary again.
+func horizontalRayExit(p *geom.Polygon, edges []geom.Segment, v geom.Point, dir float64) (float64, bool) {
+	bestX := math.Inf(1) * dir
+	found := false
+	for _, e := range edges {
+		lo := math.Min(e.A.Y, e.B.Y)
+		hi := math.Max(e.A.Y, e.B.Y)
+		if v.Y < lo-geom.Eps || v.Y > hi+geom.Eps {
+			continue
+		}
+		dy := e.B.Y - e.A.Y
+		if math.Abs(dy) < geom.Eps {
+			// Horizontal edge on the ray's line: its endpoints bound the ray.
+			for _, ex := range [2]float64{e.A.X, e.B.X} {
+				if (ex-v.X)*dir > geom.Eps && (!found || (ex-bestX)*dir < 0) {
+					bestX = ex
+					found = true
+				}
+			}
+			continue
+		}
+		t := (v.Y - e.A.Y) / dy
+		if t < -geom.Eps || t > 1+geom.Eps {
+			continue
+		}
+		x := e.A.X + t*(e.B.X-e.A.X)
+		if (x-v.X)*dir > geom.Eps {
+			if !found || (x-bestX)*dir < 0 {
+				bestX = x
+				found = true
+			}
+		}
+	}
+	return bestX, found
+}
+
+// stripFreeInterval computes the free vertical interval around the chord
+// level yc inside the strip (x1, x2): floor is the highest boundary point
+// below yc, ceil the lowest boundary point above yc. valid is false when
+// some edge crosses the chord level strictly inside the strip, which rules
+// out any rectangle of this width.
+func stripFreeInterval(edges []geom.Segment, x1, x2, yc float64) (floor, ceil float64, valid bool) {
+	floor = math.Inf(-1)
+	ceil = math.Inf(1)
+	for _, e := range edges {
+		exLo := math.Min(e.A.X, e.B.X)
+		exHi := math.Max(e.A.X, e.B.X)
+		if exHi <= x1+geom.Eps || exLo >= x2-geom.Eps {
+			continue // edge outside the open strip
+		}
+		// Clip the edge to the strip and take its y range there.
+		lo, hi := edgeYRangeInStrip(e, math.Max(exLo, x1), math.Min(exHi, x2))
+		switch {
+		case lo >= yc-geom.Eps && hi <= yc+geom.Eps:
+			// Edge lies on the chord level: the chord itself borders such
+			// edges; they constrain nothing beyond the level line.
+			continue
+		case lo > yc:
+			if lo < ceil {
+				ceil = lo
+			}
+		case hi < yc:
+			if hi > floor {
+				floor = hi
+			}
+		default:
+			return 0, 0, false // edge crosses the chord level inside the strip
+		}
+	}
+	return floor, ceil, true
+}
+
+// edgeYRangeInStrip returns the y range of segment e over x ∈ [a, b],
+// assuming e's x range covers [a, b] at least partially (callers clip).
+func edgeYRangeInStrip(e geom.Segment, a, b float64) (lo, hi float64) {
+	ya := e.YAt(a)
+	yb := e.YAt(b)
+	if math.Abs(e.B.X-e.A.X) < geom.Eps {
+		// Vertical edge: its whole y range lies in the strip.
+		ya = math.Min(e.A.Y, e.B.Y)
+		yb = math.Max(e.A.Y, e.B.Y)
+	}
+	return math.Min(ya, yb), math.Max(ya, yb)
+}
+
+// smallestAtLeast returns the smallest element of the sorted slice ys that
+// is ≥ v.
+func smallestAtLeast(ys []float64, v float64) (float64, bool) {
+	i := sort.SearchFloat64s(ys, v)
+	if i == len(ys) {
+		return 0, false
+	}
+	return ys[i], true
+}
+
+// largestAtMost returns the largest element of the sorted slice ys that is
+// ≤ v.
+func largestAtMost(ys []float64, v float64) (float64, bool) {
+	i := sort.SearchFloat64s(ys, v)
+	if i < len(ys) && ys[i] == v {
+		return v, true
+	}
+	if i == 0 {
+		return 0, false
+	}
+	return ys[i-1], true
+}
+
+// subsample uniformly reduces xs to at most n entries, always keeping the
+// first and last.
+func subsample(xs []float64, n int) []float64 {
+	if len(xs) <= n {
+		return xs
+	}
+	out := make([]float64, 0, n)
+	step := float64(len(xs)-1) / float64(n-1)
+	last := -1
+	for i := 0; i < n; i++ {
+		idx := int(math.Round(float64(i) * step))
+		if idx != last {
+			out = append(out, xs[idx])
+			last = idx
+		}
+	}
+	return out
+}

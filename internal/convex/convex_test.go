@@ -1,0 +1,358 @@
+package convex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spatialjoin/internal/geom"
+)
+
+func randPts(rng *rand.Rand, n int, scale float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64() * scale, Y: rng.Float64() * scale}
+	}
+	return pts
+}
+
+func TestHullSquare(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}, {X: 0, Y: 1}, {X: 0.5, Y: 0.5}, {X: 0.25, Y: 0.75}}
+	h := Hull(pts)
+	if len(h) != 4 {
+		t.Fatalf("hull of square + interior points: len = %d, want 4", len(h))
+	}
+	if !h.IsCCW() {
+		t.Error("hull must be counterclockwise")
+	}
+	if !h.IsConvex() {
+		t.Error("hull must be convex")
+	}
+}
+
+func TestHullDegenerate(t *testing.T) {
+	if h := Hull(nil); h != nil {
+		t.Error("empty input must give nil hull")
+	}
+	h := Hull([]geom.Point{{X: 1, Y: 1}})
+	if len(h) != 1 {
+		t.Errorf("single point hull: len = %d", len(h))
+	}
+	h = Hull([]geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 2}, {X: 1, Y: 1}})
+	if len(h) > 2 {
+		t.Errorf("collinear points hull: len = %d, want <= 2", len(h))
+	}
+	// Duplicates collapse.
+	h = Hull([]geom.Point{{X: 0, Y: 0}, {X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}})
+	if len(h) != 3 {
+		t.Errorf("hull with duplicates: len = %d, want 3", len(h))
+	}
+}
+
+func TestHullPropertyContainsAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		pts := randPts(rng, 5+rng.Intn(100), 10)
+		h := Hull(pts)
+		if len(h) < 3 {
+			continue
+		}
+		if !h.IsConvex() || !h.IsCCW() {
+			t.Fatal("hull must be convex and CCW")
+		}
+		for _, p := range pts {
+			if !h.ContainsPoint(p) {
+				t.Fatalf("hull must contain every input point; missing %v", p)
+			}
+		}
+		// Every hull vertex is an input point.
+		for _, v := range h {
+			found := false
+			for _, p := range pts {
+				if p == v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("hull vertex %v is not an input point", v)
+			}
+		}
+	}
+}
+
+func TestMinAreaRectAxisAligned(t *testing.T) {
+	h := Hull([]geom.Point{{X: 0, Y: 0}, {X: 4, Y: 0}, {X: 4, Y: 2}, {X: 0, Y: 2}})
+	o := MinAreaRect(h)
+	if !almostEq(o.Area(), 8, 1e-9) {
+		t.Errorf("Area = %v, want 8", o.Area())
+	}
+	for _, p := range h {
+		if !o.ContainsPoint(p) {
+			t.Errorf("RMBR must contain hull vertex %v", p)
+		}
+	}
+}
+
+func TestMinAreaRectRotated(t *testing.T) {
+	// A 45°-rotated 2×1 rectangle: the RMBR should recover area 2, while
+	// the axis-parallel MBR has area (3/√2)·(3/√2) = 4.5.
+	base := []geom.Point{{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 2, Y: 1}, {X: 0, Y: 1}}
+	rot := make([]geom.Point, len(base))
+	for i, p := range base {
+		rot[i] = p.Rotate(math.Pi / 4)
+	}
+	o := MinAreaRect(Hull(rot))
+	if !almostEq(o.Area(), 2, 1e-9) {
+		t.Errorf("rotated RMBR area = %v, want 2", o.Area())
+	}
+	mbr := geom.RectFromPoints(rot...)
+	if o.Area() >= mbr.Area() {
+		t.Errorf("RMBR area %v must beat MBR area %v", o.Area(), mbr.Area())
+	}
+}
+
+func TestMinAreaRectPropertyConservative(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		pts := randPts(rng, 4+rng.Intn(60), 5)
+		h := Hull(pts)
+		if len(h) < 3 {
+			continue
+		}
+		o := MinAreaRect(h)
+		for _, p := range pts {
+			if !o.ContainsPoint(p) {
+				t.Fatalf("RMBR must contain %v", p)
+			}
+		}
+		mbr := geom.RectFromPoints(pts...)
+		if o.Area() > mbr.Area()+1e-9 {
+			t.Fatalf("RMBR area %v exceeds MBR area %v", o.Area(), mbr.Area())
+		}
+		if o.Area()+1e-9 < h.Area() {
+			t.Fatalf("RMBR area %v below hull area %v", o.Area(), h.Area())
+		}
+	}
+}
+
+func TestMinBoundingKGon(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		pts := randPts(rng, 10+rng.Intn(80), 3)
+		h := Hull(pts)
+		if len(h) < 6 {
+			continue
+		}
+		for _, k := range []int{4, 5} {
+			g := MinBoundingKGon(h, k)
+			if len(g) > k {
+				t.Fatalf("k-gon has %d > %d vertices", len(g), k)
+			}
+			if !g.IsConvex() {
+				t.Fatalf("k-gon must be convex")
+			}
+			for _, p := range h {
+				if !g.ContainsPoint(p) {
+					t.Fatalf("k=%d gon must contain hull vertex %v (trial %d)", k, p, trial)
+				}
+			}
+			if g.Area()+1e-9 < h.Area() {
+				t.Fatalf("k-gon area below hull area")
+			}
+		}
+		// More corners allowed => no worse area.
+		g4 := MinBoundingKGon(h, 4)
+		g5 := MinBoundingKGon(h, 5)
+		if g5.Area() > g4.Area()+1e-9 {
+			t.Fatalf("5-gon area %v must not exceed 4-gon area %v", g5.Area(), g4.Area())
+		}
+	}
+}
+
+func TestMinBoundingKGonSmallHull(t *testing.T) {
+	h := Hull([]geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}})
+	g := MinBoundingKGon(h, 5)
+	if len(g) != 3 {
+		t.Errorf("hull with 3 vertices should be returned as-is, got %d", len(g))
+	}
+}
+
+func TestClip(t *testing.T) {
+	a := geom.NewRing([]geom.Point{{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 2, Y: 2}, {X: 0, Y: 2}})
+	b := geom.NewRing([]geom.Point{{X: 1, Y: 1}, {X: 3, Y: 1}, {X: 3, Y: 3}, {X: 1, Y: 3}})
+	got := IntersectionArea(a, b)
+	if !almostEq(got, 1, 1e-9) {
+		t.Errorf("IntersectionArea = %v, want 1", got)
+	}
+	// Disjoint.
+	c := geom.NewRing([]geom.Point{{X: 5, Y: 5}, {X: 6, Y: 5}, {X: 6, Y: 6}, {X: 5, Y: 6}})
+	if area := IntersectionArea(a, c); area != 0 {
+		t.Errorf("disjoint IntersectionArea = %v, want 0", area)
+	}
+	// Containment.
+	d := geom.NewRing([]geom.Point{{X: 0.5, Y: 0.5}, {X: 1.5, Y: 0.5}, {X: 1.5, Y: 1.5}, {X: 0.5, Y: 1.5}})
+	if area := IntersectionArea(a, d); !almostEq(area, 1, 1e-9) {
+		t.Errorf("contained IntersectionArea = %v, want 1", area)
+	}
+}
+
+func TestClipPropertyAgainstRects(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		r1 := geom.Rect{MinX: rng.Float64(), MinY: rng.Float64()}
+		r1.MaxX = r1.MinX + rng.Float64()*2
+		r1.MaxY = r1.MinY + rng.Float64()*2
+		r2 := geom.Rect{MinX: rng.Float64(), MinY: rng.Float64()}
+		r2.MaxX = r2.MinX + rng.Float64()*2
+		r2.MaxY = r2.MinY + rng.Float64()*2
+		c1 := r1.Corners()
+		c2 := r2.Corners()
+		ring1 := geom.Ring(c1[:])
+		ring2 := geom.Ring(c2[:])
+		want := r1.OverlapArea(r2)
+		got := IntersectionArea(ring1, ring2)
+		if !almostEq(got, want, 1e-9) {
+			t.Fatalf("IntersectionArea = %v, want %v (rects %v %v)", got, want, r1, r2)
+		}
+	}
+}
+
+func TestSATIntersects(t *testing.T) {
+	a := geom.NewRing([]geom.Point{{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 2, Y: 2}, {X: 0, Y: 2}})
+	b := geom.NewRing([]geom.Point{{X: 1, Y: 1}, {X: 3, Y: 1}, {X: 3, Y: 3}, {X: 1, Y: 3}})
+	c := geom.NewRing([]geom.Point{{X: 5, Y: 5}, {X: 6, Y: 5}, {X: 6, Y: 6}, {X: 5, Y: 6}})
+	touch := geom.NewRing([]geom.Point{{X: 2, Y: 0}, {X: 4, Y: 0}, {X: 4, Y: 2}, {X: 2, Y: 2}})
+	if !SATIntersects(a, b) {
+		t.Error("overlapping rings must intersect")
+	}
+	if SATIntersects(a, c) {
+		t.Error("disjoint rings must not intersect")
+	}
+	if !SATIntersects(a, touch) {
+		t.Error("touching rings must intersect (closed semantics)")
+	}
+	inner := geom.NewRing([]geom.Point{{X: 0.5, Y: 0.5}, {X: 1, Y: 0.5}, {X: 1, Y: 1}})
+	if !SATIntersects(a, inner) || !SATIntersects(inner, a) {
+		t.Error("containment must intersect")
+	}
+}
+
+func TestSATAgainstClip(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 300; trial++ {
+		h1 := Hull(randPts(rng, 3+rng.Intn(10), 2))
+		h2t := Hull(randPts(rng, 3+rng.Intn(10), 2))
+		if len(h1) < 3 || len(h2t) < 3 {
+			continue
+		}
+		dx := rng.Float64()*4 - 2
+		h2 := h2t.Translate(dx, rng.Float64()*4-2)
+		sat := SATIntersects(h1, h2)
+		area := IntersectionArea(h1, h2)
+		// SAT true with zero area is possible for touching; SAT false
+		// requires zero area.
+		if !sat && area > 1e-9 {
+			t.Fatalf("SAT says disjoint but intersection area = %v", area)
+		}
+		if sat && area == 0 {
+			// Verify it's at most a touching configuration: grow one ring
+			// slightly and the area must become positive, or they are at
+			// distance ~0.
+			continue
+		}
+	}
+}
+
+func TestGJKPolygons(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	agree := 0
+	for trial := 0; trial < 500; trial++ {
+		h1 := Hull(randPts(rng, 3+rng.Intn(12), 2))
+		h2t := Hull(randPts(rng, 3+rng.Intn(12), 2))
+		if len(h1) < 3 || len(h2t) < 3 {
+			continue
+		}
+		h2 := h2t.Translate(rng.Float64()*5-2.5, rng.Float64()*5-2.5)
+		sat := SATIntersects(h1, h2)
+		gjk := GJKIntersects(PolygonSupport(h1), PolygonSupport(h2))
+		if sat != gjk {
+			// Tolerate disagreement only in near-touching configurations.
+			area := IntersectionArea(h1, h2)
+			if area > 1e-9 {
+				t.Fatalf("trial %d: SAT=%v GJK=%v with area %v", trial, sat, gjk, area)
+			}
+			continue
+		}
+		agree++
+	}
+	if agree < 400 {
+		t.Fatalf("GJK agreed with SAT only %d times", agree)
+	}
+}
+
+func TestGJKCircles(t *testing.T) {
+	a := CircleSupport{C: geom.Point{X: 0, Y: 0}, R: 1}
+	b := CircleSupport{C: geom.Point{X: 3, Y: 0}, R: 1}
+	if GJKIntersects(a, b) {
+		t.Error("disjoint circles must not intersect")
+	}
+	c := CircleSupport{C: geom.Point{X: 1.5, Y: 0}, R: 1}
+	if !GJKIntersects(a, c) {
+		t.Error("overlapping circles must intersect")
+	}
+	// Circle vs polygon.
+	ring := geom.NewRing([]geom.Point{{X: 2, Y: -1}, {X: 4, Y: -1}, {X: 4, Y: 1}, {X: 2, Y: 1}})
+	if GJKIntersects(a, PolygonSupport(ring)) {
+		t.Error("circle at distance 1 from polygon edge must not intersect")
+	}
+	big := CircleSupport{C: geom.Point{X: 0, Y: 0}, R: 2.5}
+	if !GJKIntersects(big, PolygonSupport(ring)) {
+		t.Error("large circle must reach the polygon")
+	}
+}
+
+func TestGJKCirclesPropertyMatchesAnalytic(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 1000; trial++ {
+		a := CircleSupport{C: geom.Point{X: rng.Float64() * 4, Y: rng.Float64() * 4}, R: 0.1 + rng.Float64()}
+		b := CircleSupport{C: geom.Point{X: rng.Float64() * 4, Y: rng.Float64() * 4}, R: 0.1 + rng.Float64()}
+		want := a.C.Dist(b.C) <= a.R+b.R
+		got := GJKIntersects(a, b)
+		if got != want {
+			gap := math.Abs(a.C.Dist(b.C) - (a.R + b.R))
+			if gap > 1e-6 {
+				t.Fatalf("trial %d: GJK=%v analytic=%v gap=%v", trial, got, want, gap)
+			}
+		}
+	}
+}
+
+func TestEllipseSupport(t *testing.T) {
+	// Axis-aligned ellipse with semi-axes 2 and 1.
+	e := EllipseSupport{C: geom.Point{X: 0, Y: 0}, B00: 2, B11: 1}
+	if !almostEq(e.Area(), 2*math.Pi, 1e-9) {
+		t.Errorf("Area = %v, want 2π", e.Area())
+	}
+	if !e.ContainsPoint(geom.Point{X: 2, Y: 0}) || !e.ContainsPoint(geom.Point{X: 0, Y: 1}) {
+		t.Error("ellipse must contain its axis endpoints")
+	}
+	if e.ContainsPoint(geom.Point{X: 2.01, Y: 0}) {
+		t.Error("point beyond the major axis must be outside")
+	}
+	sp := e.SupportPoint(geom.Point{X: 1, Y: 0})
+	if !almostEq(sp.X, 2, 1e-9) || !almostEq(sp.Y, 0, 1e-9) {
+		t.Errorf("support in +x = %v, want (2,0)", sp)
+	}
+	// Ellipse-ellipse via GJK.
+	f := EllipseSupport{C: geom.Point{X: 5, Y: 0}, B00: 2, B11: 1}
+	if GJKIntersects(e, f) {
+		t.Error("ellipses 5 apart with semi-major 2 must not intersect")
+	}
+	g := EllipseSupport{C: geom.Point{X: 3, Y: 0}, B00: 2, B11: 1}
+	if !GJKIntersects(e, g) {
+		t.Error("ellipses 3 apart with semi-major 2 must intersect")
+	}
+}
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

@@ -1,0 +1,201 @@
+package convex
+
+import (
+	"math"
+
+	"spatialjoin/internal/geom"
+)
+
+// Support is a convex shape described by its support function: Support(d)
+// returns an extreme point of the shape in direction d. GJK needs nothing
+// else, which lets one intersection test cover every conservative
+// approximation of section 3 — convex polygons (hull, 4-/5-corner, RMBR),
+// minimum bounding circles and minimum bounding ellipses — uniformly.
+type Support interface {
+	// SupportPoint returns a point of the shape with maximal dot product
+	// with d. d is never the zero vector.
+	SupportPoint(d geom.Point) geom.Point
+	// Centroid returns any interior point, used to seed the search
+	// direction.
+	Centroid() geom.Point
+}
+
+// PolygonSupport adapts a convex ring to the Support interface.
+type PolygonSupport geom.Ring
+
+// SupportPoint returns the ring vertex extreme in direction d.
+func (p PolygonSupport) SupportPoint(d geom.Point) geom.Point {
+	best := p[0]
+	bestDot := best.Dot(d)
+	for _, v := range p[1:] {
+		if dot := v.Dot(d); dot > bestDot {
+			bestDot = dot
+			best = v
+		}
+	}
+	return best
+}
+
+// Centroid returns the vertex average (interior for convex rings).
+func (p PolygonSupport) Centroid() geom.Point {
+	var c geom.Point
+	for _, v := range p {
+		c.X += v.X
+		c.Y += v.Y
+	}
+	n := float64(len(p))
+	return geom.Point{X: c.X / n, Y: c.Y / n}
+}
+
+// CircleSupport is a disk with center C and radius R.
+type CircleSupport struct {
+	C geom.Point
+	R float64
+}
+
+// SupportPoint returns the disk boundary point extreme in direction d.
+func (c CircleSupport) SupportPoint(d geom.Point) geom.Point {
+	n := d.Norm()
+	if n < geom.Eps {
+		return c.C
+	}
+	return c.C.Add(d.Scale(c.R / n))
+}
+
+// Centroid returns the disk center.
+func (c CircleSupport) Centroid() geom.Point { return c.C }
+
+// EllipseSupport is the ellipse {C + B·u : |u| ≤ 1}, i.e. the image of the
+// unit disk under the linear map B (stored row-major: [B00 B01; B10 B11]).
+type EllipseSupport struct {
+	C                  geom.Point
+	B00, B01, B10, B11 float64
+}
+
+// SupportPoint returns the ellipse boundary point extreme in direction d:
+// C + B·(Bᵀd)/|Bᵀd|.
+func (e EllipseSupport) SupportPoint(d geom.Point) geom.Point {
+	// Bᵀ d
+	tx := e.B00*d.X + e.B10*d.Y
+	ty := e.B01*d.X + e.B11*d.Y
+	n := math.Hypot(tx, ty)
+	if n < geom.Eps {
+		return e.C
+	}
+	tx /= n
+	ty /= n
+	return geom.Point{
+		X: e.C.X + e.B00*tx + e.B01*ty,
+		Y: e.C.Y + e.B10*tx + e.B11*ty,
+	}
+}
+
+// Centroid returns the ellipse center.
+func (e EllipseSupport) Centroid() geom.Point { return e.C }
+
+// Area returns the area of the ellipse, π·|det B|.
+func (e EllipseSupport) Area() float64 {
+	return math.Pi * math.Abs(e.B00*e.B11-e.B01*e.B10)
+}
+
+// ContainsPoint reports whether p lies in the closed ellipse, by mapping p
+// back through B⁻¹ and checking the unit disk.
+func (e EllipseSupport) ContainsPoint(p geom.Point) bool {
+	det := e.B00*e.B11 - e.B01*e.B10
+	if math.Abs(det) < geom.Eps {
+		return false
+	}
+	dx := p.X - e.C.X
+	dy := p.Y - e.C.Y
+	ux := (e.B11*dx - e.B01*dy) / det
+	uy := (-e.B10*dx + e.B00*dy) / det
+	return ux*ux+uy*uy <= 1+1e-9
+}
+
+// gjkTolerance bounds the progress GJK requires per iteration; shapes
+// closer than this are reported as intersecting, matching the
+// closed-region join semantics where touching counts.
+const gjkTolerance = 1e-12
+
+// GJKIntersects reports whether two convex shapes share at least one point
+// using the Gilbert–Johnson–Keerthi algorithm on the Minkowski difference.
+// It terminates in a bounded number of iterations and treats distances
+// below gjkTolerance as intersections.
+func GJKIntersects(a, b Support) bool {
+	support := func(d geom.Point) geom.Point {
+		return a.SupportPoint(d).Sub(b.SupportPoint(geom.Point{X: -d.X, Y: -d.Y}))
+	}
+	d := b.Centroid().Sub(a.Centroid())
+	if d.Norm() < geom.Eps {
+		return true // identical centroids: shapes certainly overlap
+	}
+	simplex := make([]geom.Point, 0, 3)
+	p := support(d)
+	simplex = append(simplex, p)
+	d = p.Scale(-1) // toward the origin
+	for iter := 0; iter < 100; iter++ {
+		if d.Norm() < gjkTolerance {
+			return true // origin on the current simplex boundary
+		}
+		p = support(d)
+		if p.Dot(d) < -gjkTolerance {
+			return false // support point did not pass the origin: separated
+		}
+		simplex = append(simplex, p)
+		var contains bool
+		simplex, d, contains = nextSimplex(simplex)
+		if contains {
+			return true
+		}
+	}
+	// No convergence within the iteration budget: the origin is at the
+	// boundary within floating-point noise; report intersection, which is
+	// the conservative answer for a conservative-approximation filter.
+	return true
+}
+
+// nextSimplex reduces the simplex to the lowest-dimensional feature
+// closest to the origin and returns the next search direction. contains is
+// true when the simplex encloses the origin.
+func nextSimplex(s []geom.Point) ([]geom.Point, geom.Point, bool) {
+	switch len(s) {
+	case 2:
+		b, a := s[0], s[1] // a is the most recently added point
+		ab := b.Sub(a)
+		ao := a.Scale(-1)
+		if ab.Dot(ao) > 0 {
+			// Origin is beside the segment: search perpendicular to ab
+			// toward the origin.
+			d := tripleProduct(ab, ao, ab)
+			if d.Norm() < gjkTolerance {
+				// Origin on the segment line.
+				return s, d, true
+			}
+			return s, d, false
+		}
+		return []geom.Point{a}, ao, false
+	case 3:
+		c, b, a := s[0], s[1], s[2]
+		ab := b.Sub(a)
+		ac := c.Sub(a)
+		ao := a.Scale(-1)
+		abPerp := tripleProduct(ac, ab, ab) // perpendicular to ab, away from c
+		acPerp := tripleProduct(ab, ac, ac) // perpendicular to ac, away from b
+		if abPerp.Dot(ao) > gjkTolerance {
+			return []geom.Point{b, a}, abPerp, false
+		}
+		if acPerp.Dot(ao) > gjkTolerance {
+			return []geom.Point{c, a}, acPerp, false
+		}
+		return s, geom.Point{}, true // origin inside the triangle
+	default:
+		return s, s[0].Scale(-1), false
+	}
+}
+
+// tripleProduct returns (a × b) × c in 2D: a vector perpendicular to c in
+// the plane, oriented by a and b.
+func tripleProduct(a, b, c geom.Point) geom.Point {
+	z := a.CrossVec(b)
+	return geom.Point{X: -z * c.Y, Y: z * c.X}
+}

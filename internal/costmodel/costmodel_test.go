@@ -1,0 +1,119 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"spatialjoin/internal/multistep"
+)
+
+func TestFromStatsVersions(t *testing.T) {
+	p := PaperParams()
+	// A synthetic run shaped like the paper's section 5 workload: 86,000
+	// candidate pairs, of which the filter identifies 46 %.
+	// The paper's MBR-join is cheap relative to object access (section 5:
+	// "the MBR-join does not much affect the total execution time").
+	unfiltered := multistep.Stats{
+		CandidatePairs: 86000,
+		ExactTested:    86000,
+		PageAccessesR:  5000,
+		PageAccessesS:  5000,
+	}
+	filtered := multistep.Stats{
+		CandidatePairs:  86000,
+		FilterHits:      20000,
+		FilterFalseHits: 19000,
+		ExactTested:     47000,
+		PageAccessesR:   6500,
+		PageAccessesS:   6500,
+	}
+
+	v1 := FromStats(unfiltered, multistep.EnginePlaneSweep, p)
+	v2 := FromStats(filtered, multistep.EnginePlaneSweep, p)
+	v3 := FromStats(filtered, multistep.EngineTRStar, p)
+
+	// Figure 18 shape: v1 > v2 > v3, with v1/v3 > 3.
+	if !(v1.Total() > v2.Total() && v2.Total() > v3.Total()) {
+		t.Fatalf("ordering violated: v1=%.0f v2=%.0f v3=%.0f", v1.Total(), v2.Total(), v3.Total())
+	}
+	if v1.Total()/v3.Total() < 3 {
+		t.Errorf("v1/v3 = %.2f, want > 3 (Figure 18)", v1.Total()/v3.Total())
+	}
+	// v3: the exact test is "practically negligible" but object access
+	// grows by the storage factor.
+	if v3.ExactTest > 0.1*v3.Total() {
+		t.Errorf("v3 exact test %.1f should be negligible vs total %.1f", v3.ExactTest, v3.Total())
+	}
+	if v3.ObjectAccess <= v2.ObjectAccess {
+		t.Errorf("TR*-tree storage factor must raise object access: %.1f vs %.1f",
+			v3.ObjectAccess, v2.ObjectAccess)
+	}
+	// Spot check v1 arithmetic: 10,000 pages * 10 ms + 86,000 * 10 ms +
+	// 86,000 * 25 ms.
+	want := 10000*10e-3 + 86000*10e-3 + 86000*25e-3
+	if math.Abs(v1.Total()-want) > 1e-6 {
+		t.Errorf("v1 total = %v, want %v", v1.Total(), want)
+	}
+}
+
+func TestBreakdownTotal(t *testing.T) {
+	b := Breakdown{MBRJoin: 1, ObjectAccess: 2, ExactTest: 3}
+	if b.Total() != 6 {
+		t.Errorf("Total = %v", b.Total())
+	}
+}
+
+func TestFigure11GainLoss(t *testing.T) {
+	p := PaperParams()
+	base := multistep.Stats{PageAccessesR: 1000, PageAccessesS: 1000}
+	filt := multistep.Stats{
+		PageAccessesR: 1200, PageAccessesS: 1200,
+		FilterHits: 5000, FilterFalseHits: 4000,
+	}
+	gl := Figure11(base, filt, p)
+	if gl.Loss != 400 {
+		t.Errorf("Loss = %v, want 400", gl.Loss)
+	}
+	if gl.Gain != 9000 {
+		t.Errorf("Gain = %v, want 9000", gl.Gain)
+	}
+	if gl.Total != 8600 {
+		t.Errorf("Total = %v, want 8600", gl.Total)
+	}
+}
+
+func TestParallelIO(t *testing.T) {
+	p := PaperParams()
+	if got := ParallelIO(100, 1, p); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("1 disk: %v, want 1s", got)
+	}
+	if got := ParallelIO(100, 4, p); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("4 disks: %v, want 0.25s", got)
+	}
+	if got := ParallelIO(101, 4, p); math.Abs(got-0.26) > 1e-12 {
+		t.Errorf("uneven striping: %v, want 0.26s (ceil)", got)
+	}
+	if ParallelIO(100, 0, p) != ParallelIO(100, 1, p) {
+		t.Error("disks < 1 must clamp to 1")
+	}
+}
+
+func TestParallelBreakdown(t *testing.T) {
+	b := Breakdown{MBRJoin: 8, ObjectAccess: 16, ExactTest: 4}
+	got := ParallelBreakdown(b, 4, 2)
+	if got.MBRJoin != 2 || got.ObjectAccess != 4 || got.ExactTest != 2 {
+		t.Errorf("ParallelBreakdown = %+v", got)
+	}
+	if ParallelBreakdown(b, 0, 0) != b {
+		t.Error("degenerate parallelism must be identity")
+	}
+}
+
+func TestQuadraticModeled(t *testing.T) {
+	p := PaperParams()
+	st := multistep.Stats{ExactTested: 10}
+	b := FromStats(st, multistep.EngineQuadratic, p)
+	if b.ExactTest <= FromStats(st, multistep.EnginePlaneSweep, p).ExactTest {
+		t.Error("quadratic per-pair cost must exceed plane sweep")
+	}
+}

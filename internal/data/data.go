@@ -1,0 +1,499 @@
+// Package data generates the synthetic cartographic relations that stand
+// in for the paper's proprietary map data (see DESIGN.md, substitutions).
+//
+// A relation is a tiling of "counties": a jittered grid whose cell
+// boundaries are fractal polylines produced by midpoint displacement.
+// Adjacent cells share each displaced boundary exactly, like real
+// administrative subdivisions; a global rotation of the map puts cell
+// edges in general position relative to the axes, reproducing the high
+// normalized MBR false areas the paper measures on real data (Table 1:
+// ∅ ≈ 0.9–1.0). A configurable fraction of cells carries a lake-like hole
+// (section 2.1: polygons with holes). All generation is deterministic in
+// the seed.
+//
+// The paper's test series are reproduced by the two strategies of
+// section 3.1: strategy A joins a relation with a shifted copy of itself;
+// strategy B randomly shifts and rotates each object and rescales so the
+// object areas sum to the data-space area.
+package data
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"spatialjoin/internal/geom"
+)
+
+// MapConfig parameterizes GenerateMap.
+type MapConfig struct {
+	// Cells is the approximate number of polygons (rounded to a grid).
+	Cells int
+	// TargetVerts is the average vertex count per polygon (the paper's
+	// m∅: 84 for Europe, 527 for BW).
+	TargetVerts int
+	// HoleFraction of the cells receive one lake-like hole.
+	HoleFraction float64
+	// Rotation of the whole map in radians; non-axis-parallel boundaries
+	// make MBRs as loose as on real maps. Defaults to ≈ 0.5 rad when 0.
+	Rotation float64
+	// Roughness of the fractal boundary displacement in (0, 0.5); defaults
+	// to 0.17 when 0.
+	Roughness float64
+	// FjordProb is the probability that a cell boundary carries a deep
+	// bay. Real municipalities are strongly non-convex (the paper's
+	// Britain example); fjords raise the false area of the hull-family
+	// approximations toward the paper's regime. Defaults to 0.7 when 0;
+	// negative disables fjords.
+	FjordProb float64
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// EuropeConfig mirrors the Europe relation of Figure 2: 810 polygons with
+// on average 84 vertices.
+func EuropeConfig() MapConfig {
+	return MapConfig{Cells: 810, TargetVerts: 84, HoleFraction: 0.06, Seed: 9401}
+}
+
+// BWConfig mirrors the BW relation of Figure 2: 374 polygons with on
+// average 527 vertices.
+func BWConfig() MapConfig {
+	return MapConfig{Cells: 374, TargetVerts: 527, HoleFraction: 0.08, Seed: 9402}
+}
+
+// BigConfig mirrors the 130,000-object relations of sections 3.4 and 5,
+// scaled by n (pass 130000 for the paper's size). Vertex counts are kept
+// moderate so the workload is index- and filter-bound, as in the paper's
+// I/O experiments.
+func BigConfig(n int, seed int64) MapConfig {
+	return MapConfig{Cells: n, TargetVerts: 28, HoleFraction: 0.02, Seed: seed}
+}
+
+// GenerateMap builds one relation: a rotated, jittered grid tiling of
+// fractal-boundary polygons over the unit data space.
+func GenerateMap(cfg MapConfig) []*geom.Polygon {
+	if cfg.Cells < 1 {
+		return nil
+	}
+	if cfg.Rotation == 0 {
+		cfg.Rotation = 0.5
+	}
+	if cfg.Roughness == 0 {
+		cfg.Roughness = 0.24
+	}
+	if cfg.FjordProb == 0 {
+		cfg.FjordProb = 0.7
+	}
+	if cfg.FjordProb < 0 {
+		cfg.FjordProb = 0
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	kx := int(math.Round(math.Sqrt(float64(cfg.Cells))))
+	if kx < 1 {
+		kx = 1
+	}
+	ky := (cfg.Cells + kx - 1) / kx
+
+	// Jittered grid corners. The jitter is bounded well below half a cell
+	// so cells remain simple quads.
+	corners := make([][]geom.Point, kx+1)
+	for i := 0; i <= kx; i++ {
+		corners[i] = make([]geom.Point, ky+1)
+		for j := 0; j <= ky; j++ {
+			jx := (rng.Float64() - 0.5) * 0.42
+			jy := (rng.Float64() - 0.5) * 0.42
+			corners[i][j] = geom.Point{
+				X: (float64(i) + jx) / float64(kx),
+				Y: (float64(j) + jy) / float64(ky),
+			}
+		}
+	}
+
+	// The subdivision depth d yields 2^d segments per cell side; four
+	// sides must average TargetVerts vertices.
+	perSide := float64(cfg.TargetVerts) / 4
+	baseDepth := int(math.Round(math.Log2(math.Max(1, perSide))))
+
+	// Shared displaced boundaries: horizontal edges H[i][j] connect
+	// corners (i,j)-(i+1,j); vertical edges V[i][j] connect (i,j)-(i,j+1).
+	// Each edge carries an aggressiveness level: level 0 is the full
+	// fractal + fjord carving; the repair loop below tames individual
+	// edges (level 1: half roughness, no fjords; level 2: gentle) when a
+	// cell turns out non-simple, so validity never caps the global
+	// concavity parameters.
+	genEdge := func(a, b geom.Point, seed int64, level int) []geom.Point {
+		erng := rand.New(rand.NewSource(seed))
+		rough := cfg.Roughness
+		fjord := cfg.FjordProb
+		switch level {
+		case 1:
+			rough /= 2
+			fjord = 0
+		case 2:
+			rough /= 6
+			fjord = 0
+		}
+		e := displace(erng, a, b, edgeDepth(erng, baseDepth), rough)
+		return addFjords(erng, e, fjord)
+	}
+	hSeed := func(i, j int) int64 { return cfg.Seed*1_000_003 + int64(i)*7919 + int64(j)*104729 + 1 }
+	vSeed := func(i, j int) int64 { return cfg.Seed*1_000_003 + int64(i)*7919 + int64(j)*104729 + 2 }
+
+	hEdges := make([][][]geom.Point, kx)
+	hLevel := make([][]int, kx)
+	for i := 0; i < kx; i++ {
+		hEdges[i] = make([][]geom.Point, ky+1)
+		hLevel[i] = make([]int, ky+1)
+		for j := 0; j <= ky; j++ {
+			hEdges[i][j] = genEdge(corners[i][j], corners[i+1][j], hSeed(i, j), 0)
+		}
+	}
+	vEdges := make([][][]geom.Point, kx+1)
+	vLevel := make([][]int, kx+1)
+	for i := 0; i <= kx; i++ {
+		vEdges[i] = make([][]geom.Point, ky)
+		vLevel[i] = make([]int, ky)
+		for j := 0; j < ky; j++ {
+			vEdges[i][j] = genEdge(corners[i][j], corners[i][j+1], vSeed(i, j), 0)
+		}
+	}
+
+	buildCell := func(i, j int) geom.Ring {
+		return geom.NewRing(assembleCell(hEdges[i][j], vEdges[i+1][j], hEdges[i][j+1], vEdges[i][j]))
+	}
+
+	// Repair loop: tame the edges of non-simple cells and re-validate the
+	// affected neighbourhood until every cell is simple. Cells are
+	// processed in row-major order — map iteration order would make the
+	// bump pattern, and with it the generated polygons, nondeterministic.
+	type cellID struct{ i, j int }
+	pending := make(map[cellID]bool, kx*ky)
+	for j := 0; j < ky; j++ {
+		for i := 0; i < kx; i++ {
+			pending[cellID{i, j}] = true
+		}
+	}
+	for round := 0; round < 4 && len(pending) > 0; round++ {
+		order := make([]cellID, 0, len(pending))
+		for c := range pending {
+			order = append(order, c)
+		}
+		sort.Slice(order, func(a, b int) bool {
+			if order[a].j != order[b].j {
+				return order[a].j < order[b].j
+			}
+			return order[a].i < order[b].i
+		})
+		next := make(map[cellID]bool)
+		for _, c := range order {
+			ring := buildCell(c.i, c.j)
+			if !ring.SelfIntersects() {
+				continue
+			}
+			// Tame all four edges one level and re-check the neighbours
+			// that share them.
+			bump := func(kind byte, i, j int) {
+				if kind == 'h' {
+					if hLevel[i][j] < 2 {
+						hLevel[i][j]++
+						hEdges[i][j] = genEdge(corners[i][j], corners[i+1][j], hSeed(i, j), hLevel[i][j])
+					}
+					if j > 0 {
+						next[cellID{i, j - 1}] = true
+					}
+					if j < ky {
+						next[cellID{i, j}] = true
+					}
+				} else {
+					if vLevel[i][j] < 2 {
+						vLevel[i][j]++
+						vEdges[i][j] = genEdge(corners[i][j], corners[i][j+1], vSeed(i, j), vLevel[i][j])
+					}
+					if i > 0 {
+						next[cellID{i - 1, j}] = true
+					}
+					if i < kx {
+						next[cellID{i, j}] = true
+					}
+				}
+			}
+			bump('h', c.i, c.j)
+			bump('h', c.i, c.j+1)
+			bump('v', c.i, c.j)
+			bump('v', c.i+1, c.j)
+		}
+		// Re-validate only cells adjacent to re-generated edges, but make
+		// sure the bumped cells themselves are rechecked.
+		pending = next
+	}
+
+	center := geom.Point{X: 0.5, Y: 0.5}
+	rot := func(p geom.Point) geom.Point { return p.RotateAround(cfg.Rotation, center) }
+
+	polys := make([]*geom.Polygon, 0, cfg.Cells)
+	for j := 0; j < ky && len(polys) < cfg.Cells; j++ {
+		for i := 0; i < kx && len(polys) < cfg.Cells; i++ {
+			p := &geom.Polygon{Outer: buildCell(i, j)}
+			if rng.Float64() < cfg.HoleFraction {
+				if hole, ok := makeHole(rng, p); ok {
+					p.Holes = append(p.Holes, hole)
+				}
+			}
+			polys = append(polys, p.Transform(rot))
+		}
+	}
+	return polys
+}
+
+// edgeDepth varies the subdivision depth around the base so vertex counts
+// spread like real data (Figure 2 reports mmin ≪ m∅ ≪ mmax).
+func edgeDepth(rng *rand.Rand, base int) int {
+	d := base
+	switch r := rng.Float64(); {
+	case r < 0.15:
+		d--
+	case r > 0.85:
+		d++
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// displace builds a fractal polyline from a to b (inclusive) with 2^depth
+// segments by recursive midpoint displacement. The perpendicular offset is
+// bounded by roughness·length and halves per level, which keeps the
+// polyline inside a lens around the base segment and thus free of
+// self-intersections and of crossings with neighbouring cell boundaries.
+func displace(rng *rand.Rand, a, b geom.Point, depth int, roughness float64) []geom.Point {
+	out := make([]geom.Point, 0, (1<<depth)+1)
+	out = append(out, a)
+	var rec func(a, b geom.Point, depth int, amp float64)
+	rec = func(a, b geom.Point, depth int, amp float64) {
+		if depth == 0 {
+			out = append(out, b)
+			return
+		}
+		mid := geom.Point{X: (a.X + b.X) / 2, Y: (a.Y + b.Y) / 2}
+		d := b.Sub(a)
+		// Perpendicular offset, uniformly in ±amp·|d|.
+		off := (rng.Float64()*2 - 1) * amp
+		mid = mid.Add(geom.Point{X: -d.Y * off, Y: d.X * off})
+		rec(a, mid, depth-1, amp*0.55)
+		rec(mid, b, depth-1, amp*0.55)
+	}
+	rec(a, b, depth, roughness)
+	return out
+}
+
+// addFjords carves up to two deep bays into a boundary polyline. The bay
+// is a perpendicular displacement of a contiguous middle run of points
+// with a smooth (raised-cosine) profile, bounded by 0.21 of the edge
+// length, so it cannot reach the opposite boundary of either adjacent cell
+// (minimum cell thickness after corner jitter is ≈ 0.58 of the nominal
+// size) and never touches the corner regions. One neighbour sees the bay,
+// the other the complementary peninsula — the tiling stays exact.
+func addFjords(rng *rand.Rand, line []geom.Point, prob float64) []geom.Point {
+	n := len(line)
+	if n < 9 || rng.Float64() >= prob {
+		return line
+	}
+	a, b := line[0], line[n-1]
+	d := b.Sub(a)
+	fjords := 1 + rng.Intn(2)
+	for f := 0; f < fjords; f++ {
+		center := 0.3 + 0.4*rng.Float64()  // position along the edge
+		width := 0.10 + 0.15*rng.Float64() // half-width along the edge
+		depth := (0.14 + 0.12*rng.Float64())
+		if rng.Intn(2) == 0 {
+			depth = -depth
+		}
+		for i := 1; i < n-1; i++ {
+			t := float64(i) / float64(n-1)
+			u := (t - center) / width
+			if u < -1 || u > 1 {
+				continue
+			}
+			w := 0.5 * (1 + math.Cos(math.Pi*u)) // 1 at the bay axis, 0 at the rim
+			line[i] = line[i].Add(geom.Point{X: -d.Y * depth * w, Y: d.X * depth * w})
+		}
+	}
+	return line
+}
+
+// assembleCell stitches the four boundary polylines of a cell into one
+// counterclockwise ring: bottom, right, top reversed, left reversed. The
+// shared junction points are dropped once.
+func assembleCell(bottom, right, top, left []geom.Point) []geom.Point {
+	ring := make([]geom.Point, 0, len(bottom)+len(right)+len(top)+len(left)-4)
+	ring = append(ring, bottom[:len(bottom)-1]...)
+	ring = append(ring, right[:len(right)-1]...)
+	for k := len(top) - 1; k > 0; k-- {
+		ring = append(ring, top[k])
+	}
+	for k := len(left) - 1; k > 0; k-- {
+		ring = append(ring, left[k])
+	}
+	return ring
+}
+
+// makeHole cuts a lake-like star hole around the cell centroid. ok is
+// false when the hole would touch the boundary.
+func makeHole(rng *rand.Rand, p *geom.Polygon) (geom.Ring, bool) {
+	c := p.Outer.Centroid()
+	if !p.Outer.ContainsPoint(c) {
+		return nil, false
+	}
+	b := p.Bounds()
+	r := 0.16 * math.Min(b.Width(), b.Height())
+	n := 6 + rng.Intn(8)
+	pts := make([]geom.Point, n)
+	for i := 0; i < n; i++ {
+		ang := 2 * math.Pi * float64(i) / float64(n)
+		rr := r * (0.6 + 0.4*rng.Float64())
+		pts[i] = geom.Point{X: c.X + rr*math.Cos(ang), Y: c.Y + rr*math.Sin(ang)}
+	}
+	for _, pt := range pts {
+		if !p.Outer.ContainsPoint(pt) {
+			return nil, false
+		}
+	}
+	return geom.NewRing(pts).Reversed(), true
+}
+
+// StrategyA returns the paper's strategy A counterpart of rel: a copy
+// shifted diagonally by the given fraction of the average object extent
+// (section 3.1). The paper leaves the shift unspecified; 0.45 of the
+// average extent yields candidate-set sizes in the regime of Table 2.
+func StrategyA(rel []*geom.Polygon, fraction float64) []*geom.Polygon {
+	if len(rel) == 0 {
+		return nil
+	}
+	var extent float64
+	for _, p := range rel {
+		b := p.Bounds()
+		extent += (b.Width() + b.Height()) / 2
+	}
+	extent /= float64(len(rel))
+	d := extent * fraction
+	out := make([]*geom.Polygon, len(rel))
+	for i, p := range rel {
+		out[i] = p.Translate(d, d)
+	}
+	return out
+}
+
+// StrategyB returns one strategy-B relation derived from rel: every object
+// is randomly shifted and rotated within the unit data space, and all
+// objects are scaled by a common factor so that the sum of the object
+// areas equals the data-space area (section 3.1). Objects of the result
+// may overlap each other.
+func StrategyB(rel []*geom.Polygon, seed int64) []*geom.Polygon {
+	if len(rel) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var sum float64
+	for _, p := range rel {
+		sum += p.Area()
+	}
+	scale := 1.0
+	if sum > 0 {
+		scale = math.Sqrt(1.0 / sum)
+	}
+	out := make([]*geom.Polygon, len(rel))
+	for i, p := range rel {
+		b := p.Bounds()
+		c := b.Center()
+		ang := rng.Float64() * 2 * math.Pi
+		// Scale about the object center, rotate, then place the object at
+		// a uniform position such that its scaled extent stays inside the
+		// unit square.
+		half := math.Max(b.Width(), b.Height()) * scale * 0.75
+		tx := half + rng.Float64()*math.Max(0, 1-2*half)
+		ty := half + rng.Float64()*math.Max(0, 1-2*half)
+		target := geom.Point{X: tx, Y: ty}
+		out[i] = p.Transform(func(pt geom.Point) geom.Point {
+			v := pt.Sub(c).Scale(scale).Rotate(ang)
+			return target.Add(v)
+		})
+	}
+	return out
+}
+
+// Relation bundles a generated relation with its name for reporting.
+type Relation struct {
+	Name  string
+	Polys []*geom.Polygon
+}
+
+// Series is one of the paper's four test series (section 3.1).
+type Series struct {
+	Name string
+	R, S []*geom.Polygon
+}
+
+// EuropeA returns the Europe A test series.
+func EuropeA() Series {
+	r := GenerateMap(EuropeConfig())
+	return Series{Name: "Europe A", R: r, S: StrategyA(r, 0.45)}
+}
+
+// EuropeB returns the Europe B test series.
+func EuropeB() Series {
+	r := GenerateMap(EuropeConfig())
+	return Series{Name: "Europe B", R: StrategyB(r, 31), S: StrategyB(r, 32)}
+}
+
+// BWA returns the BW A test series.
+func BWA() Series {
+	r := GenerateMap(BWConfig())
+	return Series{Name: "BW A", R: r, S: StrategyA(r, 0.45)}
+}
+
+// BWB returns the BW B test series.
+func BWB() Series {
+	r := GenerateMap(BWConfig())
+	return Series{Name: "BW B", R: StrategyB(r, 41), S: StrategyB(r, 42)}
+}
+
+// AllSeries returns the four test series of Table 2.
+func AllSeries() []Series {
+	return []Series{EuropeA(), EuropeB(), BWA(), BWB()}
+}
+
+// VertexStats reports the Figure 2 complexity measures of a relation.
+type VertexStats struct {
+	Objects          int
+	Avg              float64
+	Min, Max         int
+	WithHoles        int
+	TotalVertexCount int
+}
+
+// Stats computes the Figure 2 measures for a relation.
+func Stats(rel []*geom.Polygon) VertexStats {
+	st := VertexStats{Objects: len(rel), Min: math.MaxInt}
+	for _, p := range rel {
+		n := p.NumVertices()
+		st.TotalVertexCount += n
+		if n < st.Min {
+			st.Min = n
+		}
+		if n > st.Max {
+			st.Max = n
+		}
+		if len(p.Holes) > 0 {
+			st.WithHoles++
+		}
+	}
+	if st.Objects > 0 {
+		st.Avg = float64(st.TotalVertexCount) / float64(st.Objects)
+	} else {
+		st.Min = 0
+	}
+	return st
+}

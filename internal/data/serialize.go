@@ -1,0 +1,133 @@
+package data
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"spatialjoin/internal/geom"
+)
+
+// Relations persist in a compact binary format so generated datasets can
+// be produced once (cmd/datagen) and reused across runs and external
+// tools.
+//
+// Layout (little endian):
+//
+//	magic   uint32 'SJR1'
+//	count   uint32 number of polygons
+//	per polygon:
+//	  rings uint32 (1 outer + holes)
+//	  per ring: n uint32, then n × (x float64, y float64)
+const relationMagic = 0x534A5231 // "SJR1"
+
+// ErrBadRelation reports malformed serialized relation data.
+var ErrBadRelation = errors.New("data: corrupt relation stream")
+
+// WriteRelation serializes a relation to w.
+func WriteRelation(w io.Writer, rel []*geom.Polygon) error {
+	bw := bufio.NewWriter(w)
+	if err := binary.Write(bw, binary.LittleEndian, uint32(relationMagic)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(rel))); err != nil {
+		return err
+	}
+	writeRing := func(r geom.Ring) error {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(r))); err != nil {
+			return err
+		}
+		for _, p := range r {
+			if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(p.X)); err != nil {
+				return err
+			}
+			if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(p.Y)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, p := range rel {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(1+len(p.Holes))); err != nil {
+			return err
+		}
+		if err := writeRing(p.Outer); err != nil {
+			return err
+		}
+		for _, h := range p.Holes {
+			if err := writeRing(h); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// maxRelationPolys bounds ReadRelation against absurd headers.
+const maxRelationPolys = 50_000_000
+
+// ReadRelation deserializes a relation written by WriteRelation.
+func ReadRelation(r io.Reader) ([]*geom.Polygon, error) {
+	br := bufio.NewReader(r)
+	var magic, count uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRelation, err)
+	}
+	if magic != relationMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrBadRelation, magic)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRelation, err)
+	}
+	if count > maxRelationPolys {
+		return nil, fmt.Errorf("%w: implausible polygon count %d", ErrBadRelation, count)
+	}
+	readRing := func() (geom.Ring, error) {
+		var n uint32
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return nil, err
+		}
+		if n < 3 || n > maxRelationPolys {
+			return nil, fmt.Errorf("ring of %d vertices", n)
+		}
+		ring := make(geom.Ring, n)
+		for i := range ring {
+			var xb, yb uint64
+			if err := binary.Read(br, binary.LittleEndian, &xb); err != nil {
+				return nil, err
+			}
+			if err := binary.Read(br, binary.LittleEndian, &yb); err != nil {
+				return nil, err
+			}
+			ring[i] = geom.Point{X: math.Float64frombits(xb), Y: math.Float64frombits(yb)}
+		}
+		return ring, nil
+	}
+	out := make([]*geom.Polygon, 0, count)
+	for k := uint32(0); k < count; k++ {
+		var rings uint32
+		if err := binary.Read(br, binary.LittleEndian, &rings); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRelation, err)
+		}
+		if rings < 1 || rings > 1<<20 {
+			return nil, fmt.Errorf("%w: polygon with %d rings", ErrBadRelation, rings)
+		}
+		outer, err := readRing()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRelation, err)
+		}
+		p := &geom.Polygon{Outer: outer}
+		for h := uint32(1); h < rings; h++ {
+			hole, err := readRing()
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadRelation, err)
+			}
+			p.Holes = append(p.Holes, hole)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,75 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRelationRoundtrip(t *testing.T) {
+	rel := GenerateMap(MapConfig{Cells: 40, TargetVerts: 48, HoleFraction: 0.4, Seed: 77})
+	var buf bytes.Buffer
+	if err := WriteRelation(&buf, rel); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadRelation(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(got) != len(rel) {
+		t.Fatalf("roundtrip count %d, want %d", len(got), len(rel))
+	}
+	for i := range rel {
+		if got[i].NumVertices() != rel[i].NumVertices() || len(got[i].Holes) != len(rel[i].Holes) {
+			t.Fatalf("polygon %d shape changed", i)
+		}
+		for j, p := range rel[i].Outer {
+			if got[i].Outer[j] != p {
+				t.Fatalf("polygon %d vertex %d changed: %v vs %v", i, j, got[i].Outer[j], p)
+			}
+		}
+		if got[i].Area() != rel[i].Area() {
+			t.Fatalf("polygon %d area changed", i)
+		}
+	}
+}
+
+func TestRelationRoundtripEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRelation(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRelation(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatal("empty roundtrip must stay empty")
+	}
+}
+
+func TestReadRelationRejectsCorruption(t *testing.T) {
+	rel := GenerateMap(MapConfig{Cells: 5, TargetVerts: 24, Seed: 79})
+	var buf bytes.Buffer
+	if err := WriteRelation(&buf, rel); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte{9, 9, 9, 9}, data[4:]...),
+		"truncated": data[:len(data)/2],
+		"huge count": func() []byte {
+			d := append([]byte{}, data...)
+			d[4], d[5], d[6], d[7] = 0xFF, 0xFF, 0xFF, 0xFF
+			return d
+		}(),
+	}
+	for name, bad := range cases {
+		if _, err := ReadRelation(bytes.NewReader(bad)); err == nil {
+			t.Errorf("%s: corruption not detected", name)
+		} else if !strings.Contains(err.Error(), "corrupt") {
+			t.Errorf("%s: unexpected error %v", name, err)
+		}
+	}
+}

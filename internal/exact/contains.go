@@ -1,0 +1,78 @@
+package exact
+
+import (
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/ops"
+)
+
+// ContainsPolygon decides the inclusion predicate a ⊇ b on exact geometry
+// with Table 6 operation counting, following the same structure as the
+// intersection tests: an MBR pretest, a proper-crossing scan over the edge
+// pairs (edge intersection tests) and point-in-polygon probes (edge–line
+// tests). It is the step 3 engine of the inclusion join (section 2.2).
+func ContainsPolygon(a, b *PreparedPolygon, c *ops.Counters) bool {
+	if !a.MBR.Contains(b.MBR) {
+		return false
+	}
+	for _, eb := range b.Edges {
+		bb := eb.Bounds()
+		for _, ea := range a.Edges {
+			if !bb.Intersects(ea.Bounds()) {
+				continue
+			}
+			c.EdgeIntersection++
+			if properCrossCounted(eb, ea) {
+				return false
+			}
+		}
+	}
+	// No proper crossing: b lies entirely inside or outside a. The probe
+	// must be a strict interior point of b: with closed-region semantics
+	// b's vertices may lie ON a's boundary (e.g. b == a), where the
+	// even–odd test is undefined.
+	if !pointInPolygonCounted(a, b.interiorPoint(), c) {
+		return false
+	}
+	// Holes of a strictly inside b break containment.
+	for _, h := range a.Poly.Holes {
+		cen := h.Centroid()
+		if pointInPolygonCounted(b, cen, c) && !pointInPolygonCounted(a, cen, c) {
+			return false
+		}
+	}
+	return true
+}
+
+func properCrossCounted(s, t geom.Segment) bool {
+	o1 := geom.Orientation(s.A, s.B, t.A)
+	o2 := geom.Orientation(s.A, s.B, t.B)
+	o3 := geom.Orientation(t.A, t.B, s.A)
+	o4 := geom.Orientation(t.A, t.B, s.B)
+	return o1*o2 < 0 && o3*o4 < 0
+}
+
+// IntersectsRectExact decides whether polygon a intersects the rectilinear
+// window w on exact geometry — the step 3 predicate of the multi-step
+// window query (section 2.4 builds the join processor on the same
+// point-/window-query framework of [KBS 93, BHKS 93]). Each edge is tested
+// against the window (edge–rectangle tests); if no edge meets it, the
+// window either lies inside the polygon or outside (point probes).
+func IntersectsRectExact(a *PreparedPolygon, w geom.Rect, c *ops.Counters) bool {
+	if !a.MBR.Intersects(w) {
+		return false
+	}
+	for _, e := range a.Edges {
+		c.EdgeRect++
+		if e.IntersectsRect(w) {
+			return true
+		}
+	}
+	// No boundary contact: containment one way or the other.
+	if a.MBR.Contains(w) && pointInPolygonCounted(a, w.Center(), c) {
+		return true
+	}
+	if w.Contains(a.MBR) {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,216 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/ops"
+)
+
+func sq(cx, cy, half float64) []geom.Point {
+	return []geom.Point{
+		{X: cx - half, Y: cy - half}, {X: cx + half, Y: cy - half},
+		{X: cx + half, Y: cy + half}, {X: cx - half, Y: cy + half},
+	}
+}
+
+func starPoly(rng *rand.Rand, cx, cy, radius float64, n int) *geom.Polygon {
+	pts := make([]geom.Point, n)
+	for i := 0; i < n; i++ {
+		ang := 2 * math.Pi * float64(i) / float64(n)
+		r := radius * (0.35 + 0.65*rng.Float64())
+		pts[i] = geom.Point{X: cx + r*math.Cos(ang), Y: cy + r*math.Sin(ang)}
+	}
+	return geom.NewPolygon(pts)
+}
+
+func TestQuadraticBasics(t *testing.T) {
+	a := Prepare(geom.NewPolygon(sq(0, 0, 1)))
+	cases := []struct {
+		name string
+		b    *geom.Polygon
+		want bool
+	}{
+		{"overlap", geom.NewPolygon(sq(1, 1, 1)), true},
+		{"disjoint", geom.NewPolygon(sq(5, 5, 1)), false},
+		{"contained", geom.NewPolygon(sq(0, 0, 0.25)), true},
+		{"containing", geom.NewPolygon(sq(0, 0, 4)), true},
+		{"touching", geom.NewPolygon(sq(2, 0, 1)), true},
+	}
+	for _, tc := range cases {
+		var c ops.Counters
+		if got := QuadraticIntersects(a, Prepare(tc.b), &c); got != tc.want {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+		}
+		if c.Total() == 0 {
+			t.Errorf("%s: no operations counted", tc.name)
+		}
+	}
+}
+
+func TestPlaneSweepBasics(t *testing.T) {
+	a := Prepare(geom.NewPolygon(sq(0, 0, 1)))
+	cases := []struct {
+		name string
+		b    *geom.Polygon
+		want bool
+	}{
+		{"overlap", geom.NewPolygon(sq(1, 1, 1)), true},
+		{"disjoint", geom.NewPolygon(sq(5, 5, 1)), false},
+		{"contained", geom.NewPolygon(sq(0, 0, 0.25)), true},
+		{"containing", geom.NewPolygon(sq(0, 0, 4)), true},
+		{"touching vertical edges", geom.NewPolygon(sq(2, 0, 1)), true},
+		{"touching corner", geom.NewPolygon(sq(2, 2, 1)), true},
+	}
+	for _, tc := range cases {
+		for _, restrict := range []bool{false, true} {
+			var c ops.Counters
+			if got := PlaneSweepIntersects(a, Prepare(tc.b), restrict, &c); got != tc.want {
+				t.Errorf("%s (restrict=%v): got %v, want %v", tc.name, restrict, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestPlaneSweepHole(t *testing.T) {
+	annulus := Prepare(geom.NewPolygon(sq(0, 0, 3), sq(0, 0, 2)))
+	island := Prepare(geom.NewPolygon(sq(0, 0, 1)))
+	for _, restrict := range []bool{false, true} {
+		var c ops.Counters
+		if PlaneSweepIntersects(annulus, island, restrict, &c) {
+			t.Errorf("restrict=%v: island inside the hole must not intersect the annulus", restrict)
+		}
+		if QuadraticIntersects(annulus, island, &c) {
+			t.Error("quadratic: island inside the hole must not intersect the annulus")
+		}
+	}
+}
+
+// TestEnginesAgreeWithGroundTruth is the core cross-validation of the
+// exact geometry processor: on thousands of random polygon pairs, the
+// quadratic algorithm, the plane sweep (both variants) and the geometric
+// ground truth must return identical answers.
+func TestEnginesAgreeWithGroundTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	intersecting, disjoint := 0, 0
+	for trial := 0; trial < 1500; trial++ {
+		p1 := starPoly(rng, 0, 0, 1, 4+rng.Intn(20))
+		p2 := starPoly(rng, rng.Float64()*3-1.5, rng.Float64()*3-1.5, 0.2+rng.Float64(), 4+rng.Intn(20))
+		a, b := Prepare(p1), Prepare(p2)
+		truth := p1.Intersects(p2)
+		if truth {
+			intersecting++
+		} else {
+			disjoint++
+		}
+		var c ops.Counters
+		if got := QuadraticIntersects(a, b, &c); got != truth {
+			t.Fatalf("trial %d: quadratic=%v truth=%v", trial, got, truth)
+		}
+		if got := PlaneSweepIntersects(a, b, false, &c); got != truth {
+			t.Fatalf("trial %d: sweep(unrestricted)=%v truth=%v", trial, got, truth)
+		}
+		if got := PlaneSweepIntersects(a, b, true, &c); got != truth {
+			t.Fatalf("trial %d: sweep(restricted)=%v truth=%v", trial, got, truth)
+		}
+	}
+	if intersecting < 100 || disjoint < 100 {
+		t.Fatalf("workload not balanced: %d intersecting, %d disjoint", intersecting, disjoint)
+	}
+}
+
+func TestEnginesAgreeOnGridTouching(t *testing.T) {
+	// Axis-parallel shapes exercise the vertical-edge special cases.
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 400; trial++ {
+		x := float64(rng.Intn(5))
+		y := float64(rng.Intn(5))
+		p1 := geom.NewPolygon(sq(x, y, 1))
+		p2 := geom.NewPolygon(sq(float64(rng.Intn(5)), float64(rng.Intn(5)), 1))
+		a, b := Prepare(p1), Prepare(p2)
+		truth := p1.Intersects(p2)
+		var c ops.Counters
+		if got := QuadraticIntersects(a, b, &c); got != truth {
+			t.Fatalf("trial %d: quadratic=%v truth=%v", trial, got, truth)
+		}
+		for _, restrict := range []bool{false, true} {
+			if got := PlaneSweepIntersects(a, b, restrict, &c); got != truth {
+				t.Fatalf("trial %d: sweep(restrict=%v)=%v truth=%v", trial, restrict, got, truth)
+			}
+		}
+	}
+}
+
+func TestPlaneSweepCheaperThanQuadratic(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	w := ops.PaperWeights()
+	var quadCost, sweepCost float64
+	for trial := 0; trial < 30; trial++ {
+		p1 := starPoly(rng, 0, 0, 1, 150)
+		p2 := starPoly(rng, rng.Float64()-0.5, rng.Float64()-0.5, 1, 150)
+		a, b := Prepare(p1), Prepare(p2)
+		var cq, cs ops.Counters
+		QuadraticIntersects(a, b, &cq)
+		PlaneSweepIntersects(a, b, true, &cs)
+		quadCost += cq.Cost(w)
+		sweepCost += cs.Cost(w)
+	}
+	if sweepCost >= quadCost {
+		t.Errorf("plane sweep cost %v must beat quadratic cost %v on complex polygons", sweepCost, quadCost)
+	}
+}
+
+func TestRestrictionSavesCost(t *testing.T) {
+	// Partially overlapping complex polygons: the restriction must reduce
+	// the number of processed edges and the weighted cost for false hits.
+	rng := rand.New(rand.NewSource(107))
+	w := ops.PaperWeights()
+	var restricted, unrestricted float64
+	n := 0
+	for trial := 0; trial < 200; trial++ {
+		p1 := starPoly(rng, 0, 0, 1, 100)
+		p2 := starPoly(rng, 1.6, 0.3, 1, 100) // MBRs overlap slightly, objects usually disjoint
+		if p1.Intersects(p2) {
+			continue
+		}
+		a, b := Prepare(p1), Prepare(p2)
+		var cr, cu ops.Counters
+		PlaneSweepIntersects(a, b, true, &cr)
+		PlaneSweepIntersects(a, b, false, &cu)
+		restricted += cr.Cost(w)
+		unrestricted += cu.Cost(w)
+		n++
+	}
+	if n == 0 {
+		t.Skip("no disjoint pairs generated")
+	}
+	if restricted >= unrestricted {
+		t.Errorf("restricted cost %v must beat unrestricted %v on false hits", restricted, unrestricted)
+	}
+}
+
+func TestCountersArithmetic(t *testing.T) {
+	a := ops.Counters{EdgeIntersection: 3, Position: 2}
+	b := ops.Counters{EdgeIntersection: 1, TrapIntersection: 5}
+	a.Add(b)
+	if a.EdgeIntersection != 4 || a.TrapIntersection != 5 || a.Position != 2 {
+		t.Errorf("Add result wrong: %+v", a)
+	}
+	d := a.Sub(b)
+	if d.EdgeIntersection != 3 || d.TrapIntersection != 0 {
+		t.Errorf("Sub result wrong: %+v", d)
+	}
+	if a.Total() != 11 {
+		t.Errorf("Total = %d, want 11", a.Total())
+	}
+	w := ops.PaperWeights()
+	got := ops.Counters{EdgeIntersection: 2}.Cost(w)
+	if math.Abs(got-30e-6) > 1e-12 {
+		t.Errorf("Cost = %v, want 30µs", got)
+	}
+	if s := a.String(); s == "" {
+		t.Error("String must not be empty")
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestAblationStep1AllGeneratorsAgree(t *testing.T) {
+	tab := AblationStep1(sharedEnv())
+	if len(tab.Rows) != 3 {
+		t.Fatal("need three generators")
+	}
+	c0 := cell(t, tab, 0, 1)
+	for row := 1; row < 3; row++ {
+		if cell(t, tab, row, 1) != c0 {
+			t.Errorf("generator %s delivered %v candidates, want %v",
+				tab.Rows[row][0], cell(t, tab, row, 1), c0)
+		}
+	}
+}
+
+func TestAblationDecompositionShape(t *testing.T) {
+	tab := AblationDecomposition(sharedEnv())
+	traps := cell(t, tab, 0, 1)
+	tris := cell(t, tab, 1, 1)
+	convex := cell(t, tab, 2, 1)
+	if tris < traps {
+		t.Errorf("triangles (%v) must be at least as many as trapezoids (%v)", tris, traps)
+	}
+	if convex > tris {
+		t.Errorf("convex parts (%v) must not exceed triangles (%v)", convex, tris)
+	}
+	// Exact decompositions: area error is numerically negligible.
+	for row := 0; row < 3; row++ {
+		if cell(t, tab, row, 3) > 1e-6 {
+			t.Errorf("row %d: area error %v too large", row, cell(t, tab, row, 3))
+		}
+	}
+}
+
+func TestAblationSAMsShape(t *testing.T) {
+	tab := AblationSAMs(smallBig())
+	if len(tab.Rows) != 4 {
+		t.Fatal("need four SAMs")
+	}
+	// Rows: R* dynamic, R* STR, Guttman, R+.
+	strPages := cell(t, tab, 1, 1)
+	dynPages := cell(t, tab, 0, 1)
+	if strPages > dynPages {
+		t.Errorf("STR pages %v must not exceed dynamic pages %v", strPages, dynPages)
+	}
+	rplusPoint := cell(t, tab, 3, 3)
+	dynPoint := cell(t, tab, 0, 3)
+	if rplusPoint > dynPoint {
+		t.Errorf("R+ point touches %v must not exceed R* %v (single-path property)", rplusPoint, dynPoint)
+	}
+}
+
+func TestAblationBufferPolicyShape(t *testing.T) {
+	tab := AblationBufferPolicy(smallBig())
+	if len(tab.Rows) != 3 {
+		t.Fatal("need three policies")
+	}
+	lru := cell(t, tab, 0, 1)
+	for row := 1; row < 3; row++ {
+		if cell(t, tab, row, 1) < lru*0.85 {
+			t.Errorf("policy %s beat LRU markedly (%v vs %v); unexpected for this workload",
+				tab.Rows[row][0], cell(t, tab, row, 1), lru)
+		}
+	}
+}
+
+func TestAblationTRCapacityTrend(t *testing.T) {
+	tab := AblationTRCapacityWide(sharedEnv())
+	if len(tab.Rows) != 6 {
+		t.Fatal("need six capacities")
+	}
+	costM3 := cell(t, tab, 0, 3)
+	costM32 := cell(t, tab, 5, 3)
+	if costM32 < costM3 {
+		t.Errorf("M=32 weighted cost %v must exceed M=3 cost %v", costM32, costM3)
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple aligned text table used by all experiment reports.
+type Table struct {
+	Title   string
+	Header  []string
+	Rows    [][]string
+	Comment string
+}
+
+// AddRow appends one formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[minInt(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", maxInt(4, total-2)))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Comment != "" {
+		fmt.Fprintf(&b, "%s\n", t.Comment)
+	}
+	return b.String()
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func pct(num, den int) string {
+	if den == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f", 100*float64(num)/float64(den))
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

@@ -1,0 +1,225 @@
+package geom
+
+import "math"
+
+// Polygon is a polygonal area in vector representation: one outer ring and
+// zero or more hole rings cut out of it (section 2.1 of the paper — e.g. a
+// forest with lakes). The outer ring is counterclockwise and holes are
+// clockwise; NewPolygon normalizes orientations.
+type Polygon struct {
+	Outer Ring
+	Holes []Ring
+}
+
+// NewPolygon builds a polygon from an outer boundary and optional holes,
+// normalizing ring orientations. The caller is responsible for supplying
+// simple, properly nested rings; ValidateSimple can check that for test
+// and generator data.
+func NewPolygon(outer []Point, holes ...[]Point) *Polygon {
+	p := &Polygon{Outer: NewRing(outer)}
+	for _, h := range holes {
+		p.Holes = append(p.Holes, NewRing(h).Reversed())
+	}
+	return p
+}
+
+// Clone returns a deep copy of p.
+func (p *Polygon) Clone() *Polygon {
+	out := &Polygon{Outer: p.Outer.Clone()}
+	for _, h := range p.Holes {
+		out.Holes = append(out.Holes, h.Clone())
+	}
+	return out
+}
+
+// NumVertices returns the total number of vertices over all rings — the
+// object complexity measure m used throughout the paper.
+func (p *Polygon) NumVertices() int {
+	n := len(p.Outer)
+	for _, h := range p.Holes {
+		n += len(h)
+	}
+	return n
+}
+
+// NumEdges returns the total number of edges over all rings, which equals
+// NumVertices for closed rings.
+func (p *Polygon) NumEdges() int { return p.NumVertices() }
+
+// Bounds returns the minimum bounding rectangle (MBR) of p, the geometric
+// key of step 1.
+func (p *Polygon) Bounds() Rect { return p.Outer.Bounds() }
+
+// Area returns the area of the polygonal region: outer area minus hole
+// areas.
+func (p *Polygon) Area() float64 {
+	a := p.Outer.Area()
+	for _, h := range p.Holes {
+		a -= h.Area()
+	}
+	return a
+}
+
+// Edges appends all edges of p (outer ring and holes) to dst and returns
+// the extended slice. Passing a reused buffer avoids per-pair allocations
+// in the exact geometry processor.
+func (p *Polygon) Edges(dst []Segment) []Segment {
+	for i := range p.Outer {
+		dst = append(dst, p.Outer.Edge(i))
+	}
+	for _, h := range p.Holes {
+		for i := range h {
+			dst = append(dst, h.Edge(i))
+		}
+	}
+	return dst
+}
+
+// Vertices appends all vertices of p to dst and returns the extended slice.
+func (p *Polygon) Vertices(dst []Point) []Point {
+	dst = append(dst, p.Outer...)
+	for _, h := range p.Holes {
+		dst = append(dst, h...)
+	}
+	return dst
+}
+
+// ContainsPoint reports whether q lies in the closed polygonal region:
+// inside (or on) the outer ring and not strictly inside any hole.
+func (p *Polygon) ContainsPoint(q Point) bool {
+	if !p.Outer.ContainsPoint(q) {
+		return false
+	}
+	for _, h := range p.Holes {
+		if h.OnBoundary(q) {
+			return true // on a hole rim is still in the closed region
+		}
+		if h.containsInterior(q) {
+			return false
+		}
+	}
+	return true
+}
+
+// OnBoundary reports whether q lies on any ring of p.
+func (p *Polygon) OnBoundary(q Point) bool {
+	if p.Outer.OnBoundary(q) {
+		return true
+	}
+	for _, h := range p.Holes {
+		if h.OnBoundary(q) {
+			return true
+		}
+	}
+	return false
+}
+
+// anyVertex returns a vertex of p; every polygon has at least three.
+func (p *Polygon) anyVertex() Point { return p.Outer[0] }
+
+// Intersects reports whether the closed regions of p and q share at least
+// one point. It is the brute-force ground truth of the repository
+// (quadratic edge test plus the containment fallback of section 4) against
+// which the plane-sweep and TR*-tree engines, all approximation filters
+// and the complete pipeline are validated.
+func (p *Polygon) Intersects(q *Polygon) bool {
+	if !p.Bounds().Intersects(q.Bounds()) {
+		return false
+	}
+	var pe, qe []Segment
+	pe = p.Edges(pe)
+	qe = q.Edges(qe)
+	for _, a := range pe {
+		ab := a.Bounds()
+		for _, b := range qe {
+			if ab.Intersects(b.Bounds()) && a.Intersects(b) {
+				return true
+			}
+		}
+	}
+	// No boundary crossing: the regions intersect only via containment.
+	// MBR pretest as in section 4: containment of the region implies
+	// containment of the MBR.
+	if p.Bounds().Contains(q.Bounds()) && p.ContainsPoint(q.anyVertex()) {
+		return true
+	}
+	if q.Bounds().Contains(p.Bounds()) && q.ContainsPoint(p.anyVertex()) {
+		return true
+	}
+	return false
+}
+
+// Translate returns a copy of p shifted by (dx, dy).
+func (p *Polygon) Translate(dx, dy float64) *Polygon {
+	out := &Polygon{Outer: p.Outer.Translate(dx, dy)}
+	for _, h := range p.Holes {
+		out.Holes = append(out.Holes, h.Translate(dx, dy))
+	}
+	return out
+}
+
+// Transform returns a copy of p with f applied to every vertex. The caller
+// must supply an orientation-preserving map (rotation, translation,
+// positive scaling) so ring orientations stay valid.
+func (p *Polygon) Transform(f func(Point) Point) *Polygon {
+	out := &Polygon{Outer: p.Outer.Transform(f)}
+	for _, h := range p.Holes {
+		out.Holes = append(out.Holes, h.Transform(f))
+	}
+	return out
+}
+
+// DistToPoint returns the Euclidean distance from q to the closed
+// polygonal region: 0 when q lies in the region, otherwise the distance to
+// the nearest boundary point.
+func (p *Polygon) DistToPoint(q Point) float64 {
+	if p.Bounds().ContainsPoint(q) && p.ContainsPoint(q) {
+		return 0
+	}
+	var edges []Segment
+	edges = p.Edges(edges)
+	d := math.Inf(1)
+	for _, e := range edges {
+		if dd := e.DistToPoint(q); dd < d {
+			d = dd
+		}
+	}
+	return d
+}
+
+// ValidateSimple checks structural invariants: every ring is simple
+// (non-self-intersecting), the outer ring is counterclockwise, holes are
+// clockwise and lie inside the outer ring. It is quadratic and meant for
+// tests and the data generator.
+func (p *Polygon) ValidateSimple() error {
+	if len(p.Outer) < 3 {
+		return errValidation("outer ring has fewer than 3 vertices")
+	}
+	if !p.Outer.IsCCW() {
+		return errValidation("outer ring is not counterclockwise")
+	}
+	if p.Outer.SelfIntersects() {
+		return errValidation("outer ring self-intersects")
+	}
+	for _, h := range p.Holes {
+		if len(h) < 3 {
+			return errValidation("hole has fewer than 3 vertices")
+		}
+		if h.IsCCW() {
+			return errValidation("hole ring is not clockwise")
+		}
+		if h.SelfIntersects() {
+			return errValidation("hole ring self-intersects")
+		}
+		for _, v := range h {
+			if !p.Outer.ContainsPoint(v) {
+				return errValidation("hole vertex outside outer ring")
+			}
+		}
+	}
+	return nil
+}
+
+type errValidation string
+
+func (e errValidation) Error() string { return "geom: invalid polygon: " + string(e) }

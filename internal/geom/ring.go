@@ -1,0 +1,194 @@
+package geom
+
+import "math"
+
+// Ring is a simple closed polygonal chain stored as an open vertex list:
+// the closing edge from the last vertex back to the first is implicit.
+// Outer boundaries are counterclockwise, holes clockwise; NewRing
+// normalizes an arbitrary input orientation to counterclockwise and
+// Reversed flips it.
+type Ring []Point
+
+// NewRing copies pts into a counterclockwise ring. It panics if fewer than
+// three vertices are supplied, because no simple polygon exists below that.
+func NewRing(pts []Point) Ring {
+	if len(pts) < 3 {
+		panic("geom: a ring needs at least 3 vertices")
+	}
+	r := make(Ring, len(pts))
+	copy(r, pts)
+	if r.SignedArea() < 0 {
+		r.reverseInPlace()
+	}
+	return r
+}
+
+func (r Ring) reverseInPlace() {
+	for i, j := 0, len(r)-1; i < j; i, j = i+1, j-1 {
+		r[i], r[j] = r[j], r[i]
+	}
+}
+
+// Reversed returns a copy of r with opposite orientation.
+func (r Ring) Reversed() Ring {
+	out := make(Ring, len(r))
+	for i, p := range r {
+		out[len(r)-1-i] = p
+	}
+	return out
+}
+
+// Clone returns a deep copy of r.
+func (r Ring) Clone() Ring {
+	out := make(Ring, len(r))
+	copy(out, r)
+	return out
+}
+
+// Edge returns the i-th edge of r; the last edge closes the ring.
+func (r Ring) Edge(i int) Segment {
+	return Segment{r[i], r[(i+1)%len(r)]}
+}
+
+// SignedArea returns the shoelace area of r: positive for counterclockwise
+// rings, negative for clockwise rings.
+func (r Ring) SignedArea() float64 {
+	var s float64
+	n := len(r)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		s += r[i].X*r[j].Y - r[j].X*r[i].Y
+	}
+	return s / 2
+}
+
+// Area returns the absolute enclosed area of r.
+func (r Ring) Area() float64 { return math.Abs(r.SignedArea()) }
+
+// IsCCW reports whether r is counterclockwise.
+func (r Ring) IsCCW() bool { return r.SignedArea() > 0 }
+
+// Bounds returns the minimum bounding rectangle of r.
+func (r Ring) Bounds() Rect {
+	return RectFromPoints(r...)
+}
+
+// Centroid returns the area centroid of r. For a degenerate (zero-area)
+// ring it falls back to the vertex average.
+func (r Ring) Centroid() Point {
+	var cx, cy, a float64
+	n := len(r)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		w := r[i].X*r[j].Y - r[j].X*r[i].Y
+		cx += (r[i].X + r[j].X) * w
+		cy += (r[i].Y + r[j].Y) * w
+		a += w
+	}
+	if math.Abs(a) < Eps {
+		for _, p := range r {
+			cx += p.X
+			cy += p.Y
+		}
+		return Point{cx / float64(n), cy / float64(n)}
+	}
+	return Point{cx / (3 * a), cy / (3 * a)}
+}
+
+// OnBoundary reports whether p lies on one of r's edges.
+func (r Ring) OnBoundary(p Point) bool {
+	for i := range r {
+		if r.Edge(i).ContainsPoint(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsPoint reports whether p lies in the closed region bounded by r
+// (boundary points are contained). It uses the even–odd crossing rule,
+// which is correct for any simple ring regardless of orientation. This is
+// the "point-in-polygon test" whose auxiliary horizontal-line intersection
+// tests are counted and weighted in Table 6.
+func (r Ring) ContainsPoint(p Point) bool {
+	if r.OnBoundary(p) {
+		return true
+	}
+	return r.containsInterior(p)
+}
+
+// containsInterior runs the crossing-number test without the boundary
+// pre-check. Callers must ensure p is not on the boundary.
+func (r Ring) containsInterior(p Point) bool {
+	inside := false
+	n := len(r)
+	j := n - 1
+	for i := 0; i < n; i++ {
+		pi, pj := r[i], r[j]
+		if (pi.Y > p.Y) != (pj.Y > p.Y) {
+			xint := pi.X + (p.Y-pi.Y)*(pj.X-pi.X)/(pj.Y-pi.Y)
+			if p.X < xint {
+				inside = !inside
+			}
+		}
+		j = i
+	}
+	return inside
+}
+
+// IsConvex reports whether the ring is convex (no reflex vertex). Collinear
+// triples are tolerated.
+func (r Ring) IsConvex() bool {
+	n := len(r)
+	sign := 0
+	for i := 0; i < n; i++ {
+		o := Orientation(r[i], r[(i+1)%n], r[(i+2)%n])
+		if o == 0 {
+			continue
+		}
+		if sign == 0 {
+			sign = o
+		} else if o != sign {
+			return false
+		}
+	}
+	return true
+}
+
+// SelfIntersects reports whether any two non-adjacent edges of r intersect.
+// It is quadratic and intended for validation (tests and the data
+// generator), not for query processing.
+func (r Ring) SelfIntersects() bool {
+	n := len(r)
+	for i := 0; i < n; i++ {
+		ei := r.Edge(i)
+		for j := i + 1; j < n; j++ {
+			// Skip adjacent edges (they share a vertex by construction).
+			if j == i || (j+1)%n == i || (i+1)%n == j {
+				continue
+			}
+			if ei.Intersects(r.Edge(j)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Translate returns a copy of r shifted by (dx, dy).
+func (r Ring) Translate(dx, dy float64) Ring {
+	out := make(Ring, len(r))
+	for i, p := range r {
+		out[i] = Point{p.X + dx, p.Y + dy}
+	}
+	return out
+}
+
+// Transform returns a copy of r with f applied to every vertex.
+func (r Ring) Transform(f func(Point) Point) Ring {
+	out := make(Ring, len(r))
+	for i, p := range r {
+		out[i] = f(p)
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package geom
+
+import "math"
+
+// Segment is a closed line segment between two endpoints. Segments are the
+// unit of work of the exact geometry processor: both the quadratic edge
+// test and the plane-sweep algorithm of section 4 reduce polygon
+// intersection to segment intersection tests.
+type Segment struct {
+	A, B Point
+}
+
+// Bounds returns the minimum bounding rectangle of s.
+func (s Segment) Bounds() Rect {
+	return Rect{
+		MinX: math.Min(s.A.X, s.B.X),
+		MinY: math.Min(s.A.Y, s.B.Y),
+		MaxX: math.Max(s.A.X, s.B.X),
+		MaxY: math.Max(s.A.Y, s.B.Y),
+	}
+}
+
+// Length returns the Euclidean length of s.
+func (s Segment) Length() float64 { return s.A.Dist(s.B) }
+
+// Midpoint returns the midpoint of s.
+func (s Segment) Midpoint() Point {
+	return Point{(s.A.X + s.B.X) / 2, (s.A.Y + s.B.Y) / 2}
+}
+
+// onSegment reports whether p, already known to be collinear with s, lies
+// within the bounding box of s.
+func (s Segment) onSegment(p Point) bool {
+	return p.X >= math.Min(s.A.X, s.B.X)-Eps && p.X <= math.Max(s.A.X, s.B.X)+Eps &&
+		p.Y >= math.Min(s.A.Y, s.B.Y)-Eps && p.Y <= math.Max(s.A.Y, s.B.Y)+Eps
+}
+
+// ContainsPoint reports whether p lies on the closed segment s.
+func (s Segment) ContainsPoint(p Point) bool {
+	if Orientation(s.A, s.B, p) != 0 {
+		return false
+	}
+	return s.onSegment(p)
+}
+
+// Intersects reports whether the closed segments s and t share at least one
+// point. It is the classic four-orientation test extended with collinear
+// overlap handling, so touching endpoints and collinear overlaps count as
+// intersections (closed-set semantics).
+func (s Segment) Intersects(t Segment) bool {
+	o1 := Orientation(s.A, s.B, t.A)
+	o2 := Orientation(s.A, s.B, t.B)
+	o3 := Orientation(t.A, t.B, s.A)
+	o4 := Orientation(t.A, t.B, s.B)
+
+	if o1 != o2 && o3 != o4 {
+		return true
+	}
+	// Collinear configurations: check whether an endpoint of one segment
+	// lies on the other.
+	if o1 == 0 && s.onSegment(t.A) {
+		return true
+	}
+	if o2 == 0 && s.onSegment(t.B) {
+		return true
+	}
+	if o3 == 0 && t.onSegment(s.A) {
+		return true
+	}
+	if o4 == 0 && t.onSegment(s.B) {
+		return true
+	}
+	return false
+}
+
+// IntersectsRect reports whether the closed segment s shares at least one
+// point with the closed rectangle r. This is the "edge-rectangle
+// intersection test" of Table 6, used by the plane-sweep algorithm to
+// restrict the search space to the intersection rectangle of the two MBRs.
+func (s Segment) IntersectsRect(r Rect) bool {
+	if r.IsEmpty() {
+		return false
+	}
+	if !s.Bounds().Intersects(r) {
+		return false
+	}
+	if r.ContainsPoint(s.A) || r.ContainsPoint(s.B) {
+		return true
+	}
+	c := r.Corners()
+	for i := 0; i < 4; i++ {
+		if s.Intersects(Segment{c[i], c[(i+1)%4]}) {
+			return true
+		}
+	}
+	return false
+}
+
+// YAt returns the y coordinate of the (extended) line through s at the
+// given x. For vertical segments it returns the smaller endpoint y; the
+// plane-sweep status uses YAt only for segments that span the sweep line,
+// which excludes truly vertical edges at their own x except at events.
+func (s Segment) YAt(x float64) float64 {
+	dx := s.B.X - s.A.X
+	if math.Abs(dx) < Eps {
+		return math.Min(s.A.Y, s.B.Y)
+	}
+	t := (x - s.A.X) / dx
+	return s.A.Y + t*(s.B.Y-s.A.Y)
+}
+
+// IntersectionPoint returns a common point of two intersecting segments.
+// The second result is false when the segments do not intersect. For
+// collinear overlaps an arbitrary shared endpoint is returned.
+func (s Segment) IntersectionPoint(t Segment) (Point, bool) {
+	d1 := s.B.Sub(s.A)
+	d2 := t.B.Sub(t.A)
+	den := d1.CrossVec(d2)
+	if math.Abs(den) > Eps {
+		u := t.A.Sub(s.A).CrossVec(d2) / den
+		v := t.A.Sub(s.A).CrossVec(d1) / den
+		if u >= -Eps && u <= 1+Eps && v >= -Eps && v <= 1+Eps {
+			return s.A.Add(d1.Scale(u)), true
+		}
+		return Point{}, false
+	}
+	// Parallel: only collinear overlap can intersect.
+	for _, p := range []Point{t.A, t.B} {
+		if s.ContainsPoint(p) {
+			return p, true
+		}
+	}
+	for _, p := range []Point{s.A, s.B} {
+		if t.ContainsPoint(p) {
+			return p, true
+		}
+	}
+	return Point{}, false
+}
+
+// DistToPoint returns the Euclidean distance from p to the closed segment s.
+func (s Segment) DistToPoint(p Point) float64 {
+	d := s.B.Sub(s.A)
+	l2 := d.Dot(d)
+	if l2 < Eps {
+		return p.Dist(s.A)
+	}
+	t := p.Sub(s.A).Dot(d) / l2
+	t = math.Max(0, math.Min(1, t))
+	proj := s.A.Add(d.Scale(t))
+	return p.Dist(proj)
+}

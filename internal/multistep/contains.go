@@ -1,0 +1,91 @@
+package multistep
+
+import (
+	"spatialjoin/internal/approx"
+	"spatialjoin/internal/exact"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/rstar"
+)
+
+// JoinContains runs the multi-step inclusion join "a ∈ r contains b ∈ s"
+// (section 2.2: "for other predicates, e.g. inclusion, a similar approach
+// can be used"). The three steps mirror the intersection join:
+//
+//	step 1 — the R*-tree MBR-join restricted to pairs with
+//	         MBR(a) ⊇ MBR(b) (containment of regions implies containment
+//	         of the MBRs);
+//	step 2 — the inclusion filter on approximations
+//	         (approx.FilterConfig.ClassifyContains);
+//	step 3 — the exact inclusion predicate with operation counting.
+//
+// Both relations must have been built with the same Config.
+func JoinContains(r, s *Relation, cfg Config) ([]Pair, Stats) {
+	var st Stats
+	var out []Pair
+
+	r.Tree.Buffer().ResetCounters()
+	s.Tree.Buffer().ResetCounters()
+
+	st.MBRJoin = rstar.Join(r.Tree, s.Tree, func(a, b rstar.Item) {
+		oa := r.Objects[a.ID]
+		ob := s.Objects[b.ID]
+		// Step 1 pretest: containment of the regions implies containment
+		// of the MBRs; intersecting-but-not-containing pairs are not
+		// inclusion candidates.
+		if !oa.Approx.MBR.Contains(ob.Approx.MBR) {
+			return
+		}
+		st.CandidatePairs++
+
+		if cfg.UseFilter {
+			switch cfg.Filter.ClassifyContains(oa.Approx, ob.Approx) {
+			case approx.Hit:
+				st.FilterHits++
+				out = append(out, Pair{A: oa.ID, B: ob.ID})
+				return
+			case approx.FalseHit:
+				st.FilterFalseHits++
+				return
+			}
+		}
+
+		st.ExactTested++
+		if !oa.fetched {
+			oa.fetched = true
+			st.ObjectFetches++
+		}
+		if !ob.fetched {
+			ob.fetched = true
+			st.ObjectFetches++
+		}
+		if exact.ContainsPolygon(oa.Prepared(), ob.Prepared(), &st.Ops) {
+			st.ExactHits++
+			out = append(out, Pair{A: oa.ID, B: ob.ID})
+		}
+	})
+
+	for _, o := range r.Objects {
+		o.fetched = false
+	}
+	for _, o := range s.Objects {
+		o.fetched = false
+	}
+	st.PageAccessesR = r.Tree.Buffer().Misses()
+	st.PageAccessesS = s.Tree.Buffer().Misses()
+	st.ResultPairs = int64(len(out))
+	return out, st
+}
+
+// NestedLoopsContains is the brute-force inclusion join used to validate
+// JoinContains.
+func NestedLoopsContains(r, s []*geom.Polygon) []Pair {
+	var out []Pair
+	for i, a := range r {
+		for j, b := range s {
+			if a.ContainsPolygon(b) {
+				out = append(out, Pair{A: int32(i), B: int32(j)})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package multistep
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spatialjoin/internal/approx"
+	"spatialjoin/internal/exact"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/ops"
+)
+
+func sqr(cx, cy, half float64) []geom.Point {
+	return []geom.Point{
+		{X: cx - half, Y: cy - half}, {X: cx + half, Y: cy - half},
+		{X: cx + half, Y: cy + half}, {X: cx - half, Y: cy + half},
+	}
+}
+
+func star(rng *rand.Rand, cx, cy, radius float64, n int) *geom.Polygon {
+	pts := make([]geom.Point, n)
+	for i := 0; i < n; i++ {
+		ang := 2 * math.Pi * float64(i) / float64(n)
+		r := radius * (0.4 + 0.6*rng.Float64())
+		pts[i] = geom.Point{X: cx + r*math.Cos(ang), Y: cy + r*math.Sin(ang)}
+	}
+	return geom.NewPolygon(pts)
+}
+
+func TestContainsPolygonBasics(t *testing.T) {
+	outer := geom.NewPolygon(sqr(0, 0, 2))
+	inner := geom.NewPolygon(sqr(0, 0, 1))
+	off := geom.NewPolygon(sqr(3, 0, 1))
+	overlap := geom.NewPolygon(sqr(1.5, 0, 1))
+	if !outer.ContainsPolygon(inner) {
+		t.Error("outer must contain inner")
+	}
+	if inner.ContainsPolygon(outer) {
+		t.Error("inner must not contain outer")
+	}
+	if outer.ContainsPolygon(off) || outer.ContainsPolygon(overlap) {
+		t.Error("disjoint/overlapping must not be contained")
+	}
+	if !outer.ContainsPolygon(outer) {
+		t.Error("a polygon contains itself (closed semantics)")
+	}
+	// A hole carves out containment.
+	annulus := geom.NewPolygon(sqr(0, 0, 3), sqr(0, 0, 2))
+	if annulus.ContainsPolygon(inner) {
+		t.Error("region inside the hole is not contained")
+	}
+	small := geom.NewPolygon(sqr(0, 2.5, 0.3))
+	if !annulus.ContainsPolygon(small) {
+		t.Error("polygon inside the ring band must be contained")
+	}
+	// A polygon covering the hole entirely is not contained.
+	cover := geom.NewPolygon(sqr(0, 0, 2.5))
+	if annulus.ContainsPolygon(cover) {
+		t.Error("polygon covering the hole must not be contained")
+	}
+}
+
+func TestExactContainsMatchesGeom(t *testing.T) {
+	rng := rand.New(rand.NewSource(311))
+	for trial := 0; trial < 800; trial++ {
+		a := star(rng, 0, 0, 1, 5+rng.Intn(15))
+		var b *geom.Polygon
+		if trial%2 == 0 {
+			// Likely-contained: a small polygon near the center.
+			b = star(rng, rng.Float64()*0.4-0.2, rng.Float64()*0.4-0.2, 0.05+0.3*rng.Float64(), 4+rng.Intn(10))
+		} else {
+			b = star(rng, rng.Float64()*2-1, rng.Float64()*2-1, 0.2+rng.Float64(), 4+rng.Intn(10))
+		}
+		want := a.ContainsPolygon(b)
+		var c ops.Counters
+		got := exact.ContainsPolygon(exact.Prepare(a), exact.Prepare(b), &c)
+		if got != want {
+			t.Fatalf("trial %d: exact.ContainsPolygon=%v, geom=%v", trial, got, want)
+		}
+	}
+}
+
+func TestContainsApproxSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(313))
+	decided := 0
+	for trial := 0; trial < 400; trial++ {
+		a := star(rng, 0, 0, 1, 8+rng.Intn(12))
+		b := star(rng, rng.Float64()*0.8-0.4, rng.Float64()*0.8-0.4, 0.05+0.5*rng.Float64(), 6+rng.Intn(10))
+		sa := approx.Compute(a, approx.AllOptions())
+		sb := approx.Compute(b, approx.AllOptions())
+		truth := a.ContainsPolygon(b)
+		for _, ck := range []approx.Kind{approx.C5, approx.C4, approx.CH, approx.RMBR, approx.MBR, approx.MBC} {
+			// False-hit direction: prog(b) ⊄ cons(a) ⇒ not contained.
+			for _, pk := range []approx.Kind{approx.MER, approx.MEC} {
+				if approx.ContainsApprox(ck, sa, pk, sb) == approx.No {
+					decided++
+					if truth && !sb.MERA.IsEmpty() {
+						// Only sound when the containee shape exists.
+						t.Fatalf("UNSOUND: %v(a) does not contain %v(b) but a ⊇ b (trial %d)", ck, pk, trial)
+					}
+				}
+			}
+		}
+		// Hit direction: cons(b) ⊆ prog(a) ⇒ contained.
+		for _, pk := range []approx.Kind{approx.MER, approx.MEC} {
+			for _, ck := range []approx.Kind{approx.C5, approx.CH, approx.MBC, approx.MBE, approx.MBR} {
+				if approx.ContainsApprox(pk, sa, ck, sb) == approx.Yes {
+					decided++
+					if !truth {
+						t.Fatalf("UNSOUND: %v(b) ⊆ %v(a) but a does not contain b (trial %d)", ck, pk, trial)
+					}
+				}
+			}
+		}
+	}
+	if decided == 0 {
+		t.Fatal("containment filter never decided anything")
+	}
+}
+
+func TestJoinContainsMatchesNestedLoops(t *testing.T) {
+	rng := rand.New(rand.NewSource(317))
+	// Relation r: larger regions; relation s: small parcels, many inside.
+	var rPolys, sPolys []*geom.Polygon
+	for i := 0; i < 40; i++ {
+		rPolys = append(rPolys, star(rng, rng.Float64()*4, rng.Float64()*4, 0.7+0.5*rng.Float64(), 8+rng.Intn(16)))
+	}
+	for i := 0; i < 120; i++ {
+		sPolys = append(sPolys, star(rng, rng.Float64()*4, rng.Float64()*4, 0.05+0.25*rng.Float64(), 4+rng.Intn(10)))
+	}
+	want := NestedLoopsContains(rPolys, sPolys)
+	if len(want) == 0 {
+		t.Fatal("workload has no containments; test is vacuous")
+	}
+	for _, useFilter := range []bool{false, true} {
+		cfg := DefaultConfig()
+		cfg.UseFilter = useFilter
+		r := NewRelation("R", rPolys, cfg)
+		s := NewRelation("S", sPolys, cfg)
+		got, st := JoinContains(r, s, cfg)
+		assertSameResponse(t, "contains", got, want)
+		if useFilter && st.FilterHits+st.FilterFalseHits == 0 {
+			t.Error("inclusion filter identified nothing")
+		}
+		if st.CandidatePairs < int64(len(want)) {
+			t.Error("candidate set smaller than the response set")
+		}
+	}
+}
+
+func TestJoinContainsSelf(t *testing.T) {
+	rng := rand.New(rand.NewSource(331))
+	var polys []*geom.Polygon
+	for i := 0; i < 30; i++ {
+		polys = append(polys, star(rng, rng.Float64()*3, rng.Float64()*3, 0.4, 6+rng.Intn(8)))
+	}
+	cfg := DefaultConfig()
+	r := NewRelation("R", polys, cfg)
+	s := NewRelation("S", polys, cfg)
+	got, _ := JoinContains(r, s, cfg)
+	// Every polygon contains itself; the self pairs must all be present.
+	self := map[int32]bool{}
+	for _, p := range got {
+		if p.A == p.B {
+			self[p.A] = true
+		}
+	}
+	if len(self) != len(polys) {
+		t.Errorf("self-containment pairs: %d of %d", len(self), len(polys))
+	}
+}

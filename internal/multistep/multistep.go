@@ -1,0 +1,354 @@
+// Package multistep implements the paper's primary contribution: the
+// three-step spatial join processor of Figure 1.
+//
+//	Step 1 — MBR-join: an R*-tree synchronized traversal [BKS 93a]
+//	         delivers candidate pairs whose MBRs intersect.
+//	Step 2 — geometric filter: conservative approximations prove false
+//	         hits, progressive approximations (and optionally the
+//	         false-area test) prove hits, without touching exact geometry.
+//	Step 3 — exact geometry processor: the remaining candidates are
+//	         decided on the exact representation (quadratic, plane sweep,
+//	         or TR*-tree over decomposed objects).
+//
+// Candidate pairs stream through the steps one at a time; no intermediate
+// candidate set is materialized (section 2.4).
+package multistep
+
+import (
+	"fmt"
+
+	"spatialjoin/internal/approx"
+	"spatialjoin/internal/exact"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/ops"
+	"spatialjoin/internal/rstar"
+	"spatialjoin/internal/trstar"
+	"spatialjoin/internal/zorder"
+)
+
+// Engine selects the exact geometry algorithm of step 3.
+type Engine int
+
+// The three exact engines of section 4.
+const (
+	EngineQuadratic Engine = iota
+	EnginePlaneSweep
+	EngineTRStar
+)
+
+// String returns the paper's name for the engine.
+func (e Engine) String() string {
+	switch e {
+	case EngineQuadratic:
+		return "quadratic"
+	case EnginePlaneSweep:
+		return "plane-sweep"
+	case EngineTRStar:
+		return "TR*-tree"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// Step1 selects the candidate generator of step 1. The paper recommends
+// the R*-tree join of [BKS 93a] and names space-filling-curve sort-merge
+// [Ore 86, Fal 88, Jag 90b] as the alternative; nested loops is the
+// section 2.3 baseline.
+type Step1 int
+
+// Step 1 candidate generators.
+const (
+	Step1RStar Step1 = iota
+	Step1ZOrder
+	Step1NestedLoops
+)
+
+// String returns a human-readable generator name.
+func (s Step1) String() string {
+	switch s {
+	case Step1RStar:
+		return "R*-tree join"
+	case Step1ZOrder:
+		return "Z-order sort-merge"
+	case Step1NestedLoops:
+		return "nested loops"
+	default:
+		return fmt.Sprintf("Step1(%d)", int(s))
+	}
+}
+
+// Config assembles a join processor variant. The zero value is not valid;
+// use DefaultConfig (the paper's final recommendation, "version 3" of
+// Figure 18) and modify from there.
+type Config struct {
+	// Step1 selects the candidate generator (default: the R*-tree join).
+	Step1 Step1
+	// UseFilter enables step 2. Without it every candidate pair goes to
+	// the exact processor ("version 1" of Figure 18).
+	UseFilter bool
+	// Filter selects the approximations of step 2.
+	Filter approx.FilterConfig
+	// Engine selects the step 3 algorithm.
+	Engine Engine
+	// PlaneSweepRestrict applies the search-space restriction of
+	// section 4.1 (on by default in the paper's numbers).
+	PlaneSweepRestrict bool
+	// TRCapacity is the TR*-tree node capacity (Figure 17: 3 is best).
+	TRCapacity int
+	// PageSize and BufferBytes configure the R*-trees of step 1.
+	PageSize    int
+	BufferBytes int
+	// MECPrecision tunes the maximum-enclosed-circle computation.
+	MECPrecision float64
+}
+
+// DefaultConfig returns the paper's recommended configuration: 5-corner +
+// MER filtering and the TR*-tree exact engine with M = 3, on 4 KB pages
+// with a 128 KB buffer.
+func DefaultConfig() Config {
+	return Config{
+		UseFilter:          true,
+		Filter:             approx.RecommendedFilter(),
+		Engine:             EngineTRStar,
+		PlaneSweepRestrict: true,
+		TRCapacity:         trstar.DefaultCapacity,
+		PageSize:           4096,
+		BufferBytes:        128 << 10,
+	}
+}
+
+// Object is one spatial object with its precomputed approximations and
+// lazily built exact-geometry representations.
+type Object struct {
+	ID     int32
+	Poly   *geom.Polygon
+	Approx *approx.Set
+
+	prepared *exact.PreparedPolygon // built on first exact test
+	tree     *trstar.Tree           // built on first TR*-tree test
+	fetched  bool                   // has the exact geometry been "transferred to main memory"
+}
+
+// Prepared returns the plane-sweep/quadratic representation, building it
+// on first use (the paper's per-object preprocessing).
+func (o *Object) Prepared() *exact.PreparedPolygon {
+	if o.prepared == nil {
+		o.prepared = exact.Prepare(o.Poly)
+	}
+	return o.prepared
+}
+
+// Tree returns the TR*-tree representation, building it on first use.
+func (o *Object) Tree(capacity int) *trstar.Tree {
+	if o.tree == nil || o.tree.Capacity() != capacity {
+		o.tree = trstar.NewFromPolygon(o.Poly, capacity)
+	}
+	return o.tree
+}
+
+// Relation is a set of objects indexed by an R*-tree on their MBRs. The
+// R*-tree entry size reflects the approximations stored with each entry
+// (section 3.4, approach 2), so enabling the filter costs index capacity —
+// the loss/gain trade-off of Figure 11.
+type Relation struct {
+	Name    string
+	Objects []*Object
+	Tree    *rstar.Tree
+}
+
+// EntryBytes returns the modelled R*-tree data-entry size for a filter
+// configuration (section 5: MBR 16 B + info 32 B + approximations).
+func EntryBytes(cfg Config) int {
+	if !cfg.UseFilter {
+		return approx.ApproxByteSize()
+	}
+	var extras []approx.Kind
+	if !cfg.Filter.NoConservative {
+		extras = append(extras, cfg.Filter.Conservative)
+	}
+	if !cfg.Filter.NoProgressive {
+		extras = append(extras, cfg.Filter.Progressive)
+	}
+	return approx.ApproxByteSize(extras...)
+}
+
+// NewRelation preprocesses a relation: approximations for every object
+// (only those the configuration needs) and the R*-tree over the MBRs.
+func NewRelation(name string, polys []*geom.Polygon, cfg Config) *Relation {
+	rel := &Relation{Name: name}
+	var opt approx.Options
+	if cfg.UseFilter {
+		opt = cfg.Filter.Kinds()
+	}
+	opt.MECPrecision = cfg.MECPrecision
+	tree := rstar.New(rstar.Config{
+		PageSize:       cfg.PageSize,
+		LeafEntryBytes: EntryBytes(cfg),
+		BufferBytes:    cfg.BufferBytes,
+	})
+	for i, p := range polys {
+		o := &Object{ID: int32(i), Poly: p, Approx: approx.Compute(p, opt)}
+		rel.Objects = append(rel.Objects, o)
+		tree.Insert(rstar.Item{Rect: o.Approx.MBR, ID: o.ID})
+	}
+	rel.Tree = tree
+	return rel
+}
+
+// Pair is one element of the response set.
+type Pair struct {
+	A, B int32 // object IDs in the two relations
+}
+
+// Stats reports the work of one multi-step join, step by step.
+type Stats struct {
+	// Step 1.
+	CandidatePairs   int64           // pairs of intersecting MBRs
+	MBRJoin          rstar.JoinStats // traversal work (R*-tree generator)
+	ZOrderCandidates int64           // raw Z-order candidates before the MBR check
+	PageAccessesR    int64           // buffer misses of relation R's tree
+	PageAccessesS    int64           // buffer misses of relation S's tree
+
+	// Step 2.
+	FilterHits      int64 // pairs proven hits by approximations
+	FilterFalseHits int64 // pairs proven false hits by approximations
+
+	// Step 3.
+	ExactTested   int64 // pairs decided on exact geometry
+	ExactHits     int64
+	ObjectFetches int64 // distinct objects whose exact geometry was loaded
+	Ops           ops.Counters
+
+	// Result.
+	ResultPairs int64
+}
+
+// Identified returns the fraction of candidate pairs the geometric filter
+// decided — the Figure 12 measure.
+func (s Stats) Identified() float64 {
+	if s.CandidatePairs == 0 {
+		return 0
+	}
+	return float64(s.FilterHits+s.FilterFalseHits) / float64(s.CandidatePairs)
+}
+
+// Join runs the multi-step spatial join of r and s and returns the
+// response set (pairs of object IDs whose polygons intersect) along with
+// per-step statistics. Both relations must have been built with the same
+// Config.
+func Join(r, s *Relation, cfg Config) ([]Pair, Stats) {
+	var st Stats
+	var out []Pair
+
+	r.Tree.Buffer().ResetCounters()
+	s.Tree.Buffer().ResetCounters()
+
+	process := func(oa, ob *Object) {
+		st.CandidatePairs++
+
+		// Step 2: geometric filter.
+		if cfg.UseFilter {
+			switch cfg.Filter.Classify(oa.Approx, ob.Approx) {
+			case approx.Hit:
+				st.FilterHits++
+				out = append(out, Pair{A: oa.ID, B: ob.ID})
+				return
+			case approx.FalseHit:
+				st.FilterFalseHits++
+				return
+			}
+		}
+
+		// Step 3: exact geometry processor.
+		st.ExactTested++
+		if !oa.fetched {
+			oa.fetched = true
+			st.ObjectFetches++
+		}
+		if !ob.fetched {
+			ob.fetched = true
+			st.ObjectFetches++
+		}
+		var hit bool
+		switch cfg.Engine {
+		case EngineQuadratic:
+			hit = exact.QuadraticIntersects(oa.Prepared(), ob.Prepared(), &st.Ops)
+		case EnginePlaneSweep:
+			hit = exact.PlaneSweepIntersects(oa.Prepared(), ob.Prepared(), cfg.PlaneSweepRestrict, &st.Ops)
+		case EngineTRStar:
+			hit = trstar.Intersects(oa.Tree(cfg.TRCapacity), ob.Tree(cfg.TRCapacity), &st.Ops)
+		default:
+			panic("multistep: unknown engine")
+		}
+		if hit {
+			st.ExactHits++
+			out = append(out, Pair{A: oa.ID, B: ob.ID})
+		}
+	}
+
+	switch cfg.Step1 {
+	case Step1RStar:
+		st.MBRJoin = rstar.Join(r.Tree, s.Tree, func(a, b rstar.Item) {
+			process(r.Objects[a.ID], s.Objects[b.ID])
+		})
+	case Step1ZOrder:
+		// Space-filling-curve sort-merge: the Z covers yield a candidate
+		// superset; the MBR test removes the quantization false positives
+		// before the geometric filter sees the pair.
+		mbrsR := make([]geom.Rect, len(r.Objects))
+		space := geom.EmptyRect()
+		for i, o := range r.Objects {
+			mbrsR[i] = o.Approx.MBR
+			space = space.Union(mbrsR[i])
+		}
+		mbrsS := make([]geom.Rect, len(s.Objects))
+		for i, o := range s.Objects {
+			mbrsS[i] = o.Approx.MBR
+			space = space.Union(mbrsS[i])
+		}
+		zcfg := zorder.DefaultCoverConfig()
+		zcfg.DataSpace = space // both relations must be fully covered
+		zorder.Join(mbrsR, mbrsS, zcfg, func(i, j int) {
+			st.ZOrderCandidates++
+			if mbrsR[i].Intersects(mbrsS[j]) {
+				process(r.Objects[i], s.Objects[j])
+			}
+		})
+	case Step1NestedLoops:
+		for _, oa := range r.Objects {
+			for _, ob := range s.Objects {
+				if oa.Approx.MBR.Intersects(ob.Approx.MBR) {
+					process(oa, ob)
+				}
+			}
+		}
+	default:
+		panic("multistep: unknown step 1 generator")
+	}
+
+	for _, o := range r.Objects {
+		o.fetched = false
+	}
+	for _, o := range s.Objects {
+		o.fetched = false
+	}
+	st.PageAccessesR = r.Tree.Buffer().Misses()
+	st.PageAccessesS = s.Tree.Buffer().Misses()
+	st.ResultPairs = int64(len(out))
+	return out, st
+}
+
+// NestedLoopsJoin is the section 2.3 baseline: the full Cartesian product
+// decided on exact geometry with the quadratic test. It exists to validate
+// the multi-step processor and to quantify its speedup.
+func NestedLoopsJoin(r, s []*geom.Polygon) []Pair {
+	var out []Pair
+	for i, a := range r {
+		for j, b := range s {
+			if a.Intersects(b) {
+				out = append(out, Pair{A: int32(i), B: int32(j)})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+// Package ops provides the weighted operation counting the paper uses as
+// its reproducible cost measure for the exact geometry processor
+// (section 4.3, Table 6): instead of wall-clock time, the algorithms count
+// their geometric primitives, and a cost is derived from per-operation
+// weights measured once on the host hardware (an HP 720 workstation in the
+// paper).
+package ops
+
+import "fmt"
+
+// Counters tallies the geometric primitives of section 4.3. All exact
+// engines and the TR*-tree increment these as they run; experiments read
+// them to reproduce Table 7 and Figures 16 and 17.
+type Counters struct {
+	EdgeIntersection int64 // edge–edge intersection tests (quadratic, sweep)
+	EdgeLine         int64 // edge–auxiliary-line tests (point-in-polygon)
+	Position         int64 // sweep-line status position comparisons
+	EdgeRect         int64 // edge–rectangle tests (search-space restriction)
+	RectIntersection int64 // rectangle–rectangle tests (TR*-tree directory)
+	TrapIntersection int64 // trapezoid–trapezoid tests (TR*-tree leaves)
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	c.EdgeIntersection += o.EdgeIntersection
+	c.EdgeLine += o.EdgeLine
+	c.Position += o.Position
+	c.EdgeRect += o.EdgeRect
+	c.RectIntersection += o.RectIntersection
+	c.TrapIntersection += o.TrapIntersection
+}
+
+// Sub returns c − o, useful for per-pair deltas.
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		EdgeIntersection: c.EdgeIntersection - o.EdgeIntersection,
+		EdgeLine:         c.EdgeLine - o.EdgeLine,
+		Position:         c.Position - o.Position,
+		EdgeRect:         c.EdgeRect - o.EdgeRect,
+		RectIntersection: c.RectIntersection - o.RectIntersection,
+		TrapIntersection: c.TrapIntersection - o.TrapIntersection,
+	}
+}
+
+// Total returns the unweighted operation count.
+func (c Counters) Total() int64 {
+	return c.EdgeIntersection + c.EdgeLine + c.Position + c.EdgeRect +
+		c.RectIntersection + c.TrapIntersection
+}
+
+// Weights assigns a duration in seconds to each operation — Table 6 uses
+// microsecond-scale weights measured on the paper's workstation.
+type Weights struct {
+	EdgeIntersection float64
+	EdgeLine         float64
+	Position         float64
+	EdgeRect         float64
+	RectIntersection float64
+	TrapIntersection float64
+}
+
+// PaperWeights returns the published Table 6 weights (seconds).
+func PaperWeights() Weights {
+	return Weights{
+		EdgeIntersection: 15e-6,
+		EdgeLine:         18e-6,
+		Position:         36e-6,
+		EdgeRect:         28e-6,
+		RectIntersection: 28e-6,
+		TrapIntersection: 38e-6,
+	}
+}
+
+// Cost returns the weighted cost of the counted operations in seconds —
+// the measure of Table 7 and Figure 16.
+func (c Counters) Cost(w Weights) float64 {
+	return float64(c.EdgeIntersection)*w.EdgeIntersection +
+		float64(c.EdgeLine)*w.EdgeLine +
+		float64(c.Position)*w.Position +
+		float64(c.EdgeRect)*w.EdgeRect +
+		float64(c.RectIntersection)*w.RectIntersection +
+		float64(c.TrapIntersection)*w.TrapIntersection
+}
+
+// String formats the counters compactly.
+func (c Counters) String() string {
+	return fmt.Sprintf("edge=%d edgeLine=%d pos=%d edgeRect=%d rect=%d trap=%d",
+		c.EdgeIntersection, c.EdgeLine, c.Position, c.EdgeRect,
+		c.RectIntersection, c.TrapIntersection)
+}

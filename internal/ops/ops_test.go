@@ -1,0 +1,67 @@
+package ops
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperWeightsMatchTable6(t *testing.T) {
+	w := PaperWeights()
+	want := map[string]float64{
+		"edge":     15e-6,
+		"edgeLine": 18e-6,
+		"position": 36e-6,
+		"edgeRect": 28e-6,
+		"rect":     28e-6,
+		"trap":     38e-6,
+	}
+	got := map[string]float64{
+		"edge":     w.EdgeIntersection,
+		"edgeLine": w.EdgeLine,
+		"position": w.Position,
+		"edgeRect": w.EdgeRect,
+		"rect":     w.RectIntersection,
+		"trap":     w.TrapIntersection,
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+func TestCostLinear(t *testing.T) {
+	w := PaperWeights()
+	c := Counters{EdgeIntersection: 2, EdgeLine: 3, Position: 5, EdgeRect: 7, RectIntersection: 11, TrapIntersection: 13}
+	want := 2*15e-6 + 3*18e-6 + 5*36e-6 + 7*28e-6 + 11*28e-6 + 13*38e-6
+	if got := c.Cost(w); math.Abs(got-want) > 1e-15 {
+		t.Errorf("Cost = %v, want %v", got, want)
+	}
+}
+
+func TestAddSubTotalProperty(t *testing.T) {
+	f := func(a1, a2, a3, b1, b2, b3 int32) bool {
+		a := Counters{EdgeIntersection: int64(a1), Position: int64(a2), TrapIntersection: int64(a3)}
+		b := Counters{EdgeIntersection: int64(b1), Position: int64(b2), TrapIntersection: int64(b3)}
+		sum := a
+		sum.Add(b)
+		if sum.Sub(b) != a {
+			return false
+		}
+		return sum.Total() == a.Total()+b.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringMentionsAllCounters(t *testing.T) {
+	s := Counters{EdgeIntersection: 1, EdgeLine: 2, Position: 3, EdgeRect: 4, RectIntersection: 5, TrapIntersection: 6}.String()
+	for _, frag := range []string{"edge=1", "edgeLine=2", "pos=3", "edgeRect=4", "rect=5", "trap=6"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String %q lacks %q", s, frag)
+		}
+	}
+}

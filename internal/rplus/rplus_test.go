@@ -1,0 +1,149 @@
+package rplus
+
+import (
+	"math/rand"
+	"testing"
+
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/rstar"
+)
+
+func randItems(rng *rand.Rand, n int, space, maxExt float64) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		x := rng.Float64() * space
+		y := rng.Float64() * space
+		items[i] = Item{
+			Rect: geom.Rect{MinX: x, MinY: y, MaxX: x + rng.Float64()*maxExt, MaxY: y + rng.Float64()*maxExt},
+			ID:   int32(i),
+		}
+	}
+	return items
+}
+
+func TestBuildAndValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(971))
+	for _, n := range []int{0, 1, 50, 2000} {
+		items := randItems(rng, n, 100, 2)
+		tree := Build(items, DefaultConfig())
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if tree.Size() != n {
+			t.Fatalf("Size = %d, want %d", tree.Size(), n)
+		}
+		if tree.Entries() < n {
+			t.Fatalf("Entries %d below item count %d", tree.Entries(), n)
+		}
+	}
+}
+
+func TestPointQueryAgainstScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(977))
+	items := randItems(rng, 3000, 100, 3)
+	tree := Build(items, DefaultConfig())
+	for trial := 0; trial < 200; trial++ {
+		p := geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		got := map[int32]int{}
+		tree.PointQuery(p, func(it Item) { got[it.ID]++ })
+		want := 0
+		for _, it := range items {
+			if it.Rect.ContainsPoint(p) {
+				want++
+				if got[it.ID] == 0 {
+					t.Fatalf("trial %d: item %d missed", trial, it.ID)
+				}
+			}
+		}
+		total := 0
+		for id, c := range got {
+			if c > 1 {
+				t.Fatalf("trial %d: item %d reported %d times", trial, id, c)
+			}
+			if !items[id].Rect.ContainsPoint(p) {
+				t.Fatalf("trial %d: item %d wrongly reported", trial, id)
+			}
+			total += c
+		}
+		if total != want {
+			t.Fatalf("trial %d: got %d, want %d", trial, total, want)
+		}
+	}
+}
+
+func TestWindowQueryAgainstScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(983))
+	items := randItems(rng, 3000, 100, 3)
+	tree := Build(items, DefaultConfig())
+	for trial := 0; trial < 60; trial++ {
+		x, y := rng.Float64()*90, rng.Float64()*90
+		w := geom.Rect{MinX: x, MinY: y, MaxX: x + rng.Float64()*10, MaxY: y + rng.Float64()*10}
+		got := map[int32]bool{}
+		tree.WindowQuery(w, func(it Item) {
+			if got[it.ID] {
+				t.Fatalf("trial %d: duplicate report of %d", trial, it.ID)
+			}
+			got[it.ID] = true
+		})
+		want := 0
+		for _, it := range items {
+			if it.Rect.Intersects(w) {
+				want++
+				if !got[it.ID] {
+					t.Fatalf("trial %d: item %d missed", trial, it.ID)
+				}
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("trial %d: got %d, want %d", trial, len(got), want)
+		}
+	}
+}
+
+// TestPointQuerySinglePath verifies the R+-tree's key property: a point
+// query away from partition boundaries touches at most one node per
+// level, while an R*-tree may follow several overlapping paths.
+func TestPointQuerySinglePath(t *testing.T) {
+	rng := rand.New(rand.NewSource(991))
+	items := randItems(rng, 4000, 100, 2.5)
+	tree := Build(items, DefaultConfig())
+	over := 0
+	for trial := 0; trial < 300; trial++ {
+		p := geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		tree.Buffer().Clear()
+		tree.PointQuery(p, func(Item) {})
+		touched := tree.Buffer().Accesses()
+		if touched > int64(tree.Height()) {
+			over++ // only boundary ties may exceed one path
+		}
+	}
+	if over > 6 {
+		t.Errorf("%d of 300 point queries followed multiple paths; R+ regions must be disjoint", over)
+	}
+}
+
+func TestPointQueryCheaperThanRStar(t *testing.T) {
+	rng := rand.New(rand.NewSource(997))
+	items := randItems(rng, 6000, 100, 2)
+	plus := Build(items, DefaultConfig())
+	star := rstar.New(rstar.DefaultConfig())
+	for _, it := range items {
+		star.Insert(rstar.Item{Rect: it.Rect, ID: it.ID})
+	}
+	plus.Buffer().Clear()
+	star.Buffer().Clear()
+	qrng := rand.New(rand.NewSource(1009))
+	for q := 0; q < 500; q++ {
+		p := geom.Point{X: qrng.Float64() * 100, Y: qrng.Float64() * 100}
+		plus.PointQuery(p, func(Item) {})
+		star.PointQuery(p, func(rstar.Item) {})
+	}
+	if plus.Buffer().Accesses() > star.Buffer().Accesses() {
+		t.Errorf("R+ point queries touched %d pages, R* %d — the single-path property should win",
+			plus.Buffer().Accesses(), star.Buffer().Accesses())
+	}
+	// And the price: duplicated entries.
+	if plus.Entries() <= plus.Size() {
+		t.Log("no duplicates arose; partition cuts avoided every rectangle (unusual but legal)")
+	}
+}

@@ -1,0 +1,123 @@
+package rstar
+
+import (
+	"math"
+	"sort"
+
+	"spatialjoin/internal/geom"
+)
+
+// SplitAlgorithm selects the node split used on overflow.
+type SplitAlgorithm int
+
+// Split algorithms: the R*-tree topological split [BKSS 90] (default) and
+// Guttman's quadratic split [Gut 84] as the classic-R-tree baseline.
+const (
+	SplitRStar SplitAlgorithm = iota
+	SplitQuadraticGuttman
+)
+
+// BulkLoad builds a tree over the items with Sort-Tile-Recursive packing:
+// items are sorted by x, partitioned into √-proportioned vertical slabs,
+// sorted by y within each slab and packed into full leaves; directory
+// levels are packed the same way. STR produces near-100 % page utilization
+// — the static counterpart of the paper's dynamically built R*-trees,
+// exposed for the build-strategy ablation.
+func BulkLoad(items []Item, cfg Config) *Tree {
+	t := New(cfg)
+	if len(items) == 0 {
+		return t
+	}
+	leaves := t.packLeaves(items)
+	level := 1
+	for len(leaves) > 1 {
+		leaves = t.packNodes(leaves)
+		level++
+	}
+	t.root = leaves[0]
+	t.height = level
+	t.size = len(items)
+	return t
+}
+
+// packLeaves tiles the items into full leaves.
+func (t *Tree) packLeaves(items []Item) []*node {
+	sorted := make([]Item, len(items))
+	copy(sorted, items)
+	capacity := t.leafCap
+	nLeaves := (len(sorted) + capacity - 1) / capacity
+	nSlabs := int(math.Ceil(math.Sqrt(float64(nLeaves))))
+	slabSize := nSlabs * capacity
+
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].Rect.Center().X < sorted[j].Rect.Center().X
+	})
+	var leaves []*node
+	for lo := 0; lo < len(sorted); lo += slabSize {
+		hi := lo + slabSize
+		if hi > len(sorted) {
+			hi = len(sorted)
+		}
+		slab := sorted[lo:hi]
+		sort.Slice(slab, func(i, j int) bool {
+			return slab[i].Rect.Center().Y < slab[j].Rect.Center().Y
+		})
+		for l := 0; l < len(slab); l += capacity {
+			h := l + capacity
+			if h > len(slab) {
+				h = len(slab)
+			}
+			leaf := t.newNode(true)
+			for _, it := range slab[l:h] {
+				leaf.entries = append(leaf.entries, entry{rect: it.Rect, item: it})
+			}
+			t.touch(leaf)
+			leaves = append(leaves, leaf)
+		}
+	}
+	return leaves
+}
+
+// packNodes tiles child nodes into directory nodes.
+func (t *Tree) packNodes(children []*node) []*node {
+	type childBox struct {
+		n *node
+		b geom.Rect
+	}
+	boxes := make([]childBox, len(children))
+	for i, c := range children {
+		boxes[i] = childBox{n: c, b: c.bounds()}
+	}
+	capacity := t.innerCap
+	nNodes := (len(boxes) + capacity - 1) / capacity
+	nSlabs := int(math.Ceil(math.Sqrt(float64(nNodes))))
+	slabSize := nSlabs * capacity
+
+	sort.Slice(boxes, func(i, j int) bool {
+		return boxes[i].b.Center().X < boxes[j].b.Center().X
+	})
+	var out []*node
+	for lo := 0; lo < len(boxes); lo += slabSize {
+		hi := lo + slabSize
+		if hi > len(boxes) {
+			hi = len(boxes)
+		}
+		slab := boxes[lo:hi]
+		sort.Slice(slab, func(i, j int) bool {
+			return slab[i].b.Center().Y < slab[j].b.Center().Y
+		})
+		for l := 0; l < len(slab); l += capacity {
+			h := l + capacity
+			if h > len(slab) {
+				h = len(slab)
+			}
+			dir := t.newNode(false)
+			for _, cb := range slab[l:h] {
+				dir.entries = append(dir.entries, entry{rect: cb.b, child: cb.n})
+			}
+			t.touch(dir)
+			out = append(out, dir)
+		}
+	}
+	return out
+}

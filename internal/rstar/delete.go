@@ -1,0 +1,203 @@
+package rstar
+
+import "spatialjoin/internal/geom"
+
+// Delete removes the item with the given key rectangle and ID, following
+// the R-tree deletion algorithm [Gut 84] adopted by the R*-tree: the entry
+// is removed from its leaf; underfull nodes along the path are dissolved
+// and their remaining entries reinserted at their original level
+// (CondenseTree); the root is collapsed when it keeps a single child.
+// It reports whether the item was found.
+func (t *Tree) Delete(it Item) bool {
+	var orphans []pendingEntry
+	found, _ := t.deleteRec(t.root, t.height, it, &orphans)
+	if !found {
+		return false
+	}
+	t.size--
+	// Collapse a root with one child.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+		t.height--
+	}
+	// Reinsert orphaned entries at their recorded level. Levels are
+	// counted from the leaves, so they survive height changes.
+	for _, o := range orphans {
+		t.reinsertEntry(o)
+	}
+	return true
+}
+
+// deleteRec removes it from the subtree; the bool results are (found,
+// childDissolved).
+func (t *Tree) deleteRec(n *node, level int, it Item, orphans *[]pendingEntry) (bool, bool) {
+	t.touch(n)
+	if n.leaf {
+		for i, e := range n.entries {
+			if e.item.ID == it.ID && e.item.Rect == it.Rect {
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+				return true, len(n.entries) < t.minFillOf(true)
+			}
+		}
+		return false, false
+	}
+	for i := range n.entries {
+		if !n.entries[i].rect.Contains(it.Rect) {
+			continue
+		}
+		found, dissolved := t.deleteRec(n.entries[i].child, level-1, it, orphans)
+		if !found {
+			continue
+		}
+		if dissolved {
+			// CondenseTree: orphan the remaining entries of the underfull
+			// child and drop it from this node.
+			child := n.entries[i].child
+			for _, ce := range child.entries {
+				*orphans = append(*orphans, pendingEntry{e: ce, level: level - 1})
+			}
+			n.entries = append(n.entries[:i], n.entries[i+1:]...)
+		} else {
+			n.entries[i].rect = n.entries[i].child.bounds()
+		}
+		return true, len(n.entries) < t.minFillOf(false)
+	}
+	return false, false
+}
+
+// reinsertEntry inserts an entry at a given level using the standard
+// insertion machinery.
+func (t *Tree) reinsertEntry(p pendingEntry) {
+	if p.level > t.height {
+		// The tree shrank below the orphan's level: graft by raising the
+		// root (extremely rare; happens when mass deletion collapses the
+		// tree while high-level orphans remain).
+		for p.level > t.height {
+			old := t.root
+			t.root = t.newNode(false)
+			t.root.entries = []entry{{rect: old.bounds(), child: old}}
+			t.height++
+		}
+	}
+	queue := []pendingEntry{p}
+	reinserted := make(map[int]bool)
+	for len(queue) > 0 {
+		q := queue[0]
+		queue = queue[1:]
+		split := t.chooseAndInsert(t.root, t.height, q.e, q.level, reinserted, &queue)
+		if split != nil {
+			old := t.root
+			t.root = t.newNode(false)
+			t.root.entries = []entry{
+				{rect: old.bounds(), child: old},
+				{rect: split.bounds(), child: split},
+			}
+			t.height++
+		}
+	}
+}
+
+// nnCandidate is one priority-queue element of the nearest-neighbour
+// search.
+type nnCandidate struct {
+	dist float64
+	n    *node
+	item Item
+	leaf bool
+}
+
+// NearestNeighbors returns the k items whose key rectangles are closest to
+// p (by minimum distance; 0 for covering rectangles), using best-first
+// traversal with a distance-ordered priority queue. Spatial selections
+// like this are among the basic operations the paper lists in section 2.
+func (t *Tree) NearestNeighbors(p geom.Point, k int) []Item {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	var heap nnHeap
+	heap.push(nnCandidate{dist: rectDist(t.root.bounds(), p), n: t.root})
+	var out []Item
+	for heap.len() > 0 && len(out) < k {
+		c := heap.pop()
+		if c.leaf {
+			out = append(out, c.item)
+			continue
+		}
+		t.touch(c.n)
+		for _, e := range c.n.entries {
+			if c.n.leaf {
+				heap.push(nnCandidate{dist: rectDist(e.rect, p), item: e.item, leaf: true})
+			} else {
+				heap.push(nnCandidate{dist: rectDist(e.rect, p), n: e.child})
+			}
+		}
+	}
+	return out
+}
+
+// rectDist returns the minimum distance between p and the closed rectangle.
+func rectDist(r geom.Rect, p geom.Point) float64 {
+	dx := 0.0
+	if p.X < r.MinX {
+		dx = r.MinX - p.X
+	} else if p.X > r.MaxX {
+		dx = p.X - r.MaxX
+	}
+	dy := 0.0
+	if p.Y < r.MinY {
+		dy = r.MinY - p.Y
+	} else if p.Y > r.MaxY {
+		dy = p.Y - r.MaxY
+	}
+	if dx == 0 {
+		return dy
+	}
+	if dy == 0 {
+		return dx
+	}
+	return geom.Point{X: dx, Y: dy}.Norm()
+}
+
+// nnHeap is a minimal binary min-heap on candidate distance.
+type nnHeap struct {
+	items []nnCandidate
+}
+
+func (h *nnHeap) len() int { return len(h.items) }
+
+func (h *nnHeap) push(c nnCandidate) {
+	h.items = append(h.items, c)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].dist <= h.items[i].dist {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *nnHeap) pop() nnCandidate {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h.items[l].dist < h.items[small].dist {
+			small = l
+		}
+		if r < last && h.items[r].dist < h.items[small].dist {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.items[i], h.items[small] = h.items[small], h.items[i]
+		i = small
+	}
+	return top
+}

@@ -1,0 +1,173 @@
+package rstar
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spatialjoin/internal/geom"
+)
+
+func TestDeleteBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	tree, items := buildTree(t, rng, 1000, DefaultConfig())
+	// Delete half the items, validating as we go.
+	for i := 0; i < 500; i++ {
+		if !tree.Delete(items[i]) {
+			t.Fatalf("item %d not found for deletion", i)
+		}
+		if i%100 == 0 {
+			if err := tree.Validate(); err != nil {
+				t.Fatalf("after %d deletions: %v", i+1, err)
+			}
+		}
+	}
+	if tree.Size() != 500 {
+		t.Fatalf("Size = %d, want 500", tree.Size())
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Deleted items are gone, surviving items remain findable.
+	for i, it := range items {
+		found := false
+		tree.WindowQuery(it.Rect, func(got Item) {
+			if got.ID == it.ID {
+				found = true
+			}
+		})
+		if i < 500 && found {
+			t.Fatalf("deleted item %d still present", i)
+		}
+		if i >= 500 && !found {
+			t.Fatalf("surviving item %d lost", i)
+		}
+	}
+	// Double delete fails cleanly.
+	if tree.Delete(items[0]) {
+		t.Error("deleting a deleted item must fail")
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(409))
+	tree, items := buildTree(t, rng, 400, DefaultConfig())
+	rng.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
+	for i, it := range items {
+		if !tree.Delete(it) {
+			t.Fatalf("item %d not deletable", i)
+		}
+	}
+	if tree.Size() != 0 {
+		t.Fatalf("Size = %d after deleting everything", tree.Size())
+	}
+	if tree.Height() != 1 {
+		t.Fatalf("Height = %d, want 1 (collapsed root)", tree.Height())
+	}
+	count := 0
+	tree.All(func(Item) { count++ })
+	if count != 0 {
+		t.Fatalf("%d items still reachable", count)
+	}
+	// The tree remains usable.
+	tree.Insert(Item{Rect: geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, ID: 1})
+	if tree.Size() != 1 {
+		t.Fatal("insert after mass deletion failed")
+	}
+}
+
+func TestDeleteInterleavedWithQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(419))
+	cfg := DefaultConfig()
+	tree := New(cfg)
+	live := map[int32]Item{}
+	nextID := int32(0)
+	for round := 0; round < 2000; round++ {
+		if rng.Float64() < 0.6 || len(live) == 0 {
+			it := Item{Rect: randRect(rng, 50, 2), ID: nextID}
+			nextID++
+			live[it.ID] = it
+			tree.Insert(it)
+		} else {
+			// Delete a random live item.
+			var victim Item
+			for _, it := range live {
+				victim = it
+				break
+			}
+			if !tree.Delete(victim) {
+				t.Fatalf("round %d: live item %d not deletable", round, victim.ID)
+			}
+			delete(live, victim.ID)
+		}
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Size() != len(live) {
+		t.Fatalf("Size = %d, live = %d", tree.Size(), len(live))
+	}
+	got := map[int32]bool{}
+	tree.All(func(it Item) { got[it.ID] = true })
+	if len(got) != len(live) {
+		t.Fatalf("reachable %d != live %d", len(got), len(live))
+	}
+	for id := range live {
+		if !got[id] {
+			t.Fatalf("live item %d unreachable", id)
+		}
+	}
+}
+
+func TestNearestNeighbors(t *testing.T) {
+	rng := rand.New(rand.NewSource(421))
+	tree, items := buildTree(t, rng, 2000, DefaultConfig())
+	for trial := 0; trial < 50; trial++ {
+		p := geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		k := 1 + rng.Intn(10)
+		got := tree.NearestNeighbors(p, k)
+		if len(got) != k {
+			t.Fatalf("trial %d: got %d neighbours, want %d", trial, len(got), k)
+		}
+		// Brute-force ground truth on rect distance.
+		dists := make([]float64, len(items))
+		for i, it := range items {
+			dists[i] = rectDist(it.Rect, p)
+		}
+		sort.Float64s(dists)
+		for i, it := range got {
+			d := rectDist(it.Rect, p)
+			if d > dists[k-1]+1e-9 {
+				t.Fatalf("trial %d: neighbour %d at distance %v, k-th true distance %v", trial, i, d, dists[k-1])
+			}
+			if i > 0 && d+1e-9 < rectDist(got[i-1].Rect, p) {
+				t.Fatalf("trial %d: neighbours not in increasing distance order", trial)
+			}
+		}
+	}
+	if got := tree.NearestNeighbors(geom.Point{}, 0); got != nil {
+		t.Error("k=0 must return nil")
+	}
+	empty := New(DefaultConfig())
+	if got := empty.NearestNeighbors(geom.Point{}, 3); got != nil {
+		t.Error("empty tree must return nil")
+	}
+}
+
+func TestRectDist(t *testing.T) {
+	r := geom.Rect{MinX: 0, MinY: 0, MaxX: 2, MaxY: 2}
+	cases := []struct {
+		p geom.Point
+		d float64
+	}{
+		{geom.Point{X: 1, Y: 1}, 0},
+		{geom.Point{X: 3, Y: 1}, 1},
+		{geom.Point{X: 1, Y: -2}, 2},
+		{geom.Point{X: 5, Y: 6}, 5},
+	}
+	for _, c := range cases {
+		if got := rectDist(r, c.p); got != c.d {
+			t.Errorf("rectDist(%v) = %v, want %v", c.p, got, c.d)
+		}
+	}
+}

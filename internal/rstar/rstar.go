@@ -1,0 +1,451 @@
+// Package rstar implements the R*-tree [BKSS 90] as a secondary-storage
+// spatial access method: nodes correspond to pages of a configurable size,
+// every node visit is routed through an LRU buffer manager, and the entry
+// payload size is configurable so that storing approximations in addition
+// to the MBR (section 3.4, approach 2) measurably reduces the page
+// capacity — exactly the trade-off Figures 10 and 11 quantify.
+//
+// The spatial join of step 1 (the MBR-join) is the synchronized traversal
+// of two R*-trees after [BKS 93a], with restriction of the search space to
+// the intersection rectangle of the node regions and plane-sweep ordering
+// of the entries.
+package rstar
+
+import (
+	"fmt"
+	"sort"
+
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/rtreecore"
+	"spatialjoin/internal/storage"
+)
+
+// Item is one data entry of the tree: a geometric key (normally the MBR of
+// the object; under section 3.4's approach 1, the bounding box of a finer
+// conservative approximation) and the object identifier.
+type Item struct {
+	Rect geom.Rect
+	ID   int32
+}
+
+// Config sizes the tree's pages and buffer.
+type Config struct {
+	// PageSize is the page size in bytes (the paper uses 2048 and 4096).
+	PageSize int
+	// LeafEntryBytes is the size of one data entry: 16 B for the MBR plus
+	// 32 B of additional information plus any approximations stored with
+	// it (section 5; see approx.ApproxByteSize).
+	LeafEntryBytes int
+	// BufferBytes is the LRU buffer capacity (the paper uses 128 KB).
+	BufferBytes int
+	// Split selects the overflow split algorithm (default: the R*-tree
+	// topological split; SplitQuadraticGuttman gives the classic R-tree).
+	Split SplitAlgorithm
+	// BufferPolicy selects the page replacement policy (default LRU, the
+	// paper's choice).
+	BufferPolicy storage.Policy
+}
+
+// DefaultConfig mirrors the section 5 setup: 4 KB pages, MBR-only entries,
+// 128 KB buffer.
+func DefaultConfig() Config {
+	return Config{PageSize: 4096, LeafEntryBytes: 48, BufferBytes: 128 << 10}
+}
+
+const (
+	pageHeaderBytes    = 16 // level, count, ...
+	internalEntryBytes = 20 // MBR (16 B) + child pointer (4 B)
+)
+
+// Tree is a paged R*-tree.
+type Tree struct {
+	cfg      Config
+	buf      *storage.BufferManager
+	root     *node
+	height   int
+	size     int
+	leafCap  int
+	innerCap int
+	minLeaf  int
+	minInner int
+	nextPage storage.PageID
+}
+
+type entry struct {
+	rect  geom.Rect
+	child *node // nil for leaf entries
+	item  Item
+}
+
+type node struct {
+	page    storage.PageID
+	leaf    bool
+	entries []entry
+}
+
+func (n *node) bounds() geom.Rect {
+	b := geom.EmptyRect()
+	for _, e := range n.entries {
+		b = b.Union(e.rect)
+	}
+	return b
+}
+
+// New creates an empty tree. Capacities derive from the page geometry; a
+// page must fit at least three entries of either kind.
+func New(cfg Config) *Tree {
+	leafCap := (cfg.PageSize - pageHeaderBytes) / cfg.LeafEntryBytes
+	innerCap := (cfg.PageSize - pageHeaderBytes) / internalEntryBytes
+	if leafCap < 3 || innerCap < 3 {
+		panic(fmt.Sprintf("rstar: page size %d too small for entries of %d bytes",
+			cfg.PageSize, cfg.LeafEntryBytes))
+	}
+	t := &Tree{
+		cfg:      cfg,
+		buf:      storage.NewBufferManagerPolicy(cfg.BufferBytes, cfg.PageSize, cfg.BufferPolicy),
+		height:   1,
+		leafCap:  leafCap,
+		innerCap: innerCap,
+		minLeaf:  maxInt(2, leafCap*2/5),
+		minInner: maxInt(2, innerCap*2/5),
+	}
+	t.root = t.newNode(true)
+	return t
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (t *Tree) newNode(leaf bool) *node {
+	n := &node{page: t.nextPage, leaf: leaf}
+	t.nextPage++
+	return n
+}
+
+// Buffer exposes the buffer manager for measurements.
+func (t *Tree) Buffer() *storage.BufferManager { return t.buf }
+
+// Size returns the number of stored items.
+func (t *Tree) Size() int { return t.size }
+
+// Height returns the number of levels.
+func (t *Tree) Height() int { return t.height }
+
+// Pages returns the number of allocated pages.
+func (t *Tree) Pages() int { return int(t.nextPage) }
+
+// LeafCapacity returns the data-page capacity implied by the entry size —
+// the quantity the approximation storage of section 3.4 reduces.
+func (t *Tree) LeafCapacity() int { return t.leafCap }
+
+// capacityOf returns the capacity of a node at the given level.
+func (t *Tree) capacityOf(leaf bool) int {
+	if leaf {
+		return t.leafCap
+	}
+	return t.innerCap
+}
+
+func (t *Tree) minFillOf(leaf bool) int {
+	if leaf {
+		return t.minLeaf
+	}
+	return t.minInner
+}
+
+// touch routes one node visit through the buffer.
+func (t *Tree) touch(n *node) { t.buf.Access(n.page) }
+
+// Insert adds an item, following the R*-tree insertion algorithm
+// (ChooseSubtree by overlap/area enlargement, forced reinsertion on the
+// first overflow per level, topological split otherwise).
+func (t *Tree) Insert(it Item) {
+	t.size++
+	queue := []pendingEntry{{e: entry{rect: it.Rect, item: it}, level: 1}}
+	reinserted := make(map[int]bool)
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		split := t.chooseAndInsert(t.root, t.height, p.e, p.level, reinserted, &queue)
+		if split != nil {
+			old := t.root
+			t.root = t.newNode(false)
+			t.root.entries = []entry{
+				{rect: old.bounds(), child: old},
+				{rect: split.bounds(), child: split},
+			}
+			t.height++
+		}
+	}
+}
+
+type pendingEntry struct {
+	e     entry
+	level int
+}
+
+func (t *Tree) chooseAndInsert(n *node, nodeLevel int, e entry, targetLevel int, reinserted map[int]bool, queue *[]pendingEntry) *node {
+	t.touch(n)
+	if nodeLevel == targetLevel {
+		n.entries = append(n.entries, e)
+		return t.overflowTreatment(n, nodeLevel, reinserted, queue)
+	}
+	rects := make([]geom.Rect, len(n.entries))
+	for i, c := range n.entries {
+		rects[i] = c.rect
+	}
+	i := rtreecore.ChooseSubtree(rects, e.rect, nodeLevel-1 == 1)
+	child := n.entries[i].child
+	split := t.chooseAndInsert(child, nodeLevel-1, e, targetLevel, reinserted, queue)
+	n.entries[i].rect = child.bounds()
+	if split != nil {
+		n.entries = append(n.entries, entry{rect: split.bounds(), child: split})
+		return t.overflowTreatment(n, nodeLevel, reinserted, queue)
+	}
+	return nil
+}
+
+func (t *Tree) overflowTreatment(n *node, level int, reinserted map[int]bool, queue *[]pendingEntry) *node {
+	if len(n.entries) <= t.capacityOf(n.leaf) {
+		return nil
+	}
+	// Forced reinsertion is an R*-tree mechanism; the classic Guttman
+	// variant splits immediately.
+	if t.cfg.Split == SplitRStar && level != t.height && !reinserted[level] {
+		reinserted[level] = true
+		p := len(n.entries) * 3 / 10
+		if p < 1 {
+			p = 1
+		}
+		rects := make([]geom.Rect, len(n.entries))
+		for i, e := range n.entries {
+			rects[i] = e.rect
+		}
+		order := rtreecore.ReinsertOrder(rects, p)
+		drop := make(map[int]bool, p)
+		for _, i := range order {
+			drop[i] = true
+			*queue = append(*queue, pendingEntry{e: n.entries[i], level: level})
+		}
+		kept := n.entries[:0]
+		for i, e := range n.entries {
+			if !drop[i] {
+				kept = append(kept, e)
+			}
+		}
+		n.entries = kept
+		return nil
+	}
+	return t.split(n)
+}
+
+func (t *Tree) split(n *node) *node {
+	rects := make([]geom.Rect, len(n.entries))
+	for i, e := range n.entries {
+		rects[i] = e.rect
+	}
+	var g1, g2 []int
+	if t.cfg.Split == SplitQuadraticGuttman {
+		g1, g2 = rtreecore.SplitQuadratic(rects, t.minFillOf(n.leaf))
+	} else {
+		g1, g2 = rtreecore.Split(rects, t.minFillOf(n.leaf))
+	}
+	older := n.entries
+	n.entries = make([]entry, 0, len(g1))
+	for _, i := range g1 {
+		n.entries = append(n.entries, older[i])
+	}
+	sib := t.newNode(n.leaf)
+	sib.entries = make([]entry, 0, len(g2))
+	for _, i := range g2 {
+		sib.entries = append(sib.entries, older[i])
+	}
+	t.touch(sib)
+	return sib
+}
+
+// PointQuery calls fn for every item whose key rectangle contains p.
+func (t *Tree) PointQuery(p geom.Point, fn func(Item)) {
+	t.searchRect(t.root, geom.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}, fn)
+}
+
+// WindowQuery calls fn for every item whose key rectangle intersects the
+// query window w.
+func (t *Tree) WindowQuery(w geom.Rect, fn func(Item)) {
+	t.searchRect(t.root, w, fn)
+}
+
+func (t *Tree) searchRect(n *node, w geom.Rect, fn func(Item)) {
+	t.touch(n)
+	for _, e := range n.entries {
+		if !e.rect.Intersects(w) {
+			continue
+		}
+		if n.leaf {
+			fn(e.item)
+		} else {
+			t.searchRect(e.child, w, fn)
+		}
+	}
+}
+
+// All calls fn for every stored item (a full scan in tree order).
+func (t *Tree) All(fn func(Item)) {
+	t.searchRect(t.root, geom.Rect{MinX: -1e300, MinY: -1e300, MaxX: 1e300, MaxY: 1e300}, fn)
+}
+
+// Validate checks the structural invariants; for tests.
+func (t *Tree) Validate() error {
+	count, err := t.validate(t.root, t.height)
+	if err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("rstar: reachable items %d != size %d", count, t.size)
+	}
+	return nil
+}
+
+func (t *Tree) validate(n *node, level int) (int, error) {
+	if len(n.entries) > t.capacityOf(n.leaf) {
+		return 0, fmt.Errorf("rstar: node with %d entries exceeds capacity %d", len(n.entries), t.capacityOf(n.leaf))
+	}
+	if n.leaf {
+		if level != 1 {
+			return 0, fmt.Errorf("rstar: leaf at level %d", level)
+		}
+		return len(n.entries), nil
+	}
+	total := 0
+	for _, e := range n.entries {
+		cb := e.child.bounds()
+		if !e.rect.Contains(cb) || !cb.Contains(e.rect) {
+			return 0, fmt.Errorf("rstar: directory rect %v != child bounds %v", e.rect, cb)
+		}
+		sub, err := t.validate(e.child, level-1)
+		if err != nil {
+			return 0, err
+		}
+		total += sub
+	}
+	return total, nil
+}
+
+// JoinStats reports the work of one MBR-join.
+type JoinStats struct {
+	Pairs     int64 // candidate pairs emitted
+	RectTests int64 // key intersection tests between entries (all levels)
+	LeafTests int64 // key intersection tests between data entries only
+}
+
+// Join runs the MBR-join of step 1 [BKS 93a]: a synchronized depth-first
+// traversal of both trees. At each node pair the search space is
+// restricted to the intersection rectangle of the node regions, entries
+// are sorted by their lower x bound, and intersecting entry pairs are
+// enumerated with a plane sweep over that order. fn receives every pair of
+// items whose key rectangles intersect — the candidate set of the
+// multi-step join.
+func Join(t1, t2 *Tree, fn func(a, b Item)) JoinStats {
+	var st JoinStats
+	if t1.size == 0 || t2.size == 0 {
+		return st
+	}
+	joinNodes(t1, t2, t1.root, t2.root, &st, fn)
+	return st
+}
+
+func joinNodes(t1, t2 *Tree, n1, n2 *node, st *JoinStats, fn func(a, b Item)) {
+	t1.touch(n1)
+	t2.touch(n2)
+	inter := n1.bounds().Intersection(n2.bounds())
+	if inter.IsEmpty() {
+		return
+	}
+	switch {
+	case n1.leaf && n2.leaf:
+		before := st.RectTests
+		sweepPairs(n1.entries, n2.entries, inter, st, func(e1, e2 entry) {
+			st.Pairs++
+			fn(e1.item, e2.item)
+		})
+		st.LeafTests += st.RectTests - before
+	case !n1.leaf && !n2.leaf:
+		sweepPairs(n1.entries, n2.entries, inter, st, func(e1, e2 entry) {
+			joinNodes(t1, t2, e1.child, e2.child, st, fn)
+		})
+	case n1.leaf:
+		// Different heights: descend the deeper tree only.
+		b1 := n1.bounds()
+		for i := range n2.entries {
+			st.RectTests++
+			if n2.entries[i].rect.Intersects(b1) {
+				joinNodes(t1, t2, n1, n2.entries[i].child, st, fn)
+			}
+		}
+	default:
+		b2 := n2.bounds()
+		for i := range n1.entries {
+			st.RectTests++
+			if n1.entries[i].rect.Intersects(b2) {
+				joinNodes(t1, t2, n1.entries[i].child, n2, st, fn)
+			}
+		}
+	}
+}
+
+// sweepPairs enumerates the pairs of entries with intersecting rectangles.
+// Restricting the search space: only entries intersecting the common
+// intersection rectangle participate. Plane-sweep order: both restricted
+// sequences are sorted by MinX and swept, so an entry is only tested
+// against entries that overlap its x range [BKS 93a].
+func sweepPairs(e1, e2 []entry, inter geom.Rect, st *JoinStats, emit func(a, b entry)) {
+	r1 := restrict(e1, inter, st)
+	r2 := restrict(e2, inter, st)
+	if len(r1) == 0 || len(r2) == 0 {
+		return
+	}
+	sort.Slice(r1, func(a, b int) bool { return r1[a].rect.MinX < r1[b].rect.MinX })
+	sort.Slice(r2, func(a, b int) bool { return r2[a].rect.MinX < r2[b].rect.MinX })
+	i, j := 0, 0
+	for i < len(r1) && j < len(r2) {
+		if r1[i].rect.MinX <= r2[j].rect.MinX {
+			sweepInternal(r1[i], r2, j, st, emit, false)
+			i++
+		} else {
+			sweepInternal(r2[j], r1, i, st, emit, true)
+			j++
+		}
+	}
+}
+
+// sweepInternal tests pivot against others[from:] while their x ranges
+// overlap the pivot's.
+func sweepInternal(pivot entry, others []entry, from int, st *JoinStats, emit func(a, b entry), swapped bool) {
+	for k := from; k < len(others) && others[k].rect.MinX <= pivot.rect.MaxX; k++ {
+		st.RectTests++
+		if pivot.rect.MinY <= others[k].rect.MaxY && others[k].rect.MinY <= pivot.rect.MaxY {
+			if swapped {
+				emit(others[k], pivot)
+			} else {
+				emit(pivot, others[k])
+			}
+		}
+	}
+}
+
+// restrict filters entries to those intersecting the search-space
+// rectangle.
+func restrict(es []entry, inter geom.Rect, st *JoinStats) []entry {
+	out := make([]entry, 0, len(es))
+	for i := range es {
+		st.RectTests++
+		if es[i].rect.Intersects(inter) {
+			out = append(out, es[i])
+		}
+	}
+	return out
+}

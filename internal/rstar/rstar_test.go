@@ -1,0 +1,231 @@
+package rstar
+
+import (
+	"math/rand"
+	"testing"
+
+	"spatialjoin/internal/geom"
+)
+
+func randRect(rng *rand.Rand, space, maxExt float64) geom.Rect {
+	x := rng.Float64() * space
+	y := rng.Float64() * space
+	return geom.Rect{MinX: x, MinY: y, MaxX: x + rng.Float64()*maxExt, MaxY: y + rng.Float64()*maxExt}
+}
+
+func buildTree(t *testing.T, rng *rand.Rand, n int, cfg Config) (*Tree, []Item) {
+	t.Helper()
+	tree := New(cfg)
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{Rect: randRect(rng, 100, 3), ID: int32(i)}
+		tree.Insert(items[i])
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return tree, items
+}
+
+func TestInsertAndValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	for _, pageSize := range []int{2048, 4096} {
+		cfg := DefaultConfig()
+		cfg.PageSize = pageSize
+		tree, _ := buildTree(t, rng, 2000, cfg)
+		if tree.Size() != 2000 {
+			t.Fatalf("Size = %d", tree.Size())
+		}
+		if tree.Height() < 2 {
+			t.Fatalf("2000 items must not fit one page (height %d)", tree.Height())
+		}
+	}
+}
+
+func TestLeafCapacityReflectsEntrySize(t *testing.T) {
+	small := New(Config{PageSize: 4096, LeafEntryBytes: 48, BufferBytes: 1 << 17})
+	big := New(Config{PageSize: 4096, LeafEntryBytes: 104, BufferBytes: 1 << 17})
+	if small.LeafCapacity() <= big.LeafCapacity() {
+		t.Errorf("bigger entries must reduce capacity: %d vs %d",
+			small.LeafCapacity(), big.LeafCapacity())
+	}
+	// 4096-16 = 4080; 4080/48 = 85, 4080/104 = 39.
+	if small.LeafCapacity() != 85 || big.LeafCapacity() != 39 {
+		t.Errorf("capacities = %d, %d; want 85, 39", small.LeafCapacity(), big.LeafCapacity())
+	}
+}
+
+func TestWindowQueryAgainstScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(157))
+	tree, items := buildTree(t, rng, 3000, DefaultConfig())
+	for trial := 0; trial < 50; trial++ {
+		w := randRect(rng, 100, 15)
+		got := map[int32]bool{}
+		tree.WindowQuery(w, func(it Item) { got[it.ID] = true })
+		want := map[int32]bool{}
+		for _, it := range items {
+			if it.Rect.Intersects(w) {
+				want[it.ID] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: window query returned %d items, scan %d", trial, len(got), len(want))
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("trial %d: item %d missing from window query", trial, id)
+			}
+		}
+	}
+}
+
+func TestPointQueryAgainstScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(163))
+	tree, items := buildTree(t, rng, 2000, DefaultConfig())
+	for trial := 0; trial < 100; trial++ {
+		p := geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		got := 0
+		tree.PointQuery(p, func(Item) { got++ })
+		want := 0
+		for _, it := range items {
+			if it.Rect.ContainsPoint(p) {
+				want++
+			}
+		}
+		if got != want {
+			t.Fatalf("trial %d: point query found %d, scan %d", trial, got, want)
+		}
+	}
+}
+
+func TestAllVisitsEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(167))
+	tree, items := buildTree(t, rng, 500, DefaultConfig())
+	seen := map[int32]bool{}
+	tree.All(func(it Item) { seen[it.ID] = true })
+	if len(seen) != len(items) {
+		t.Fatalf("All visited %d of %d items", len(seen), len(items))
+	}
+}
+
+func TestJoinAgainstNestedLoops(t *testing.T) {
+	rng := rand.New(rand.NewSource(173))
+	cfg := DefaultConfig()
+	t1, items1 := buildTree(t, rng, 800, cfg)
+	t2, items2 := buildTree(t, rng, 700, cfg)
+	type pair struct{ a, b int32 }
+	got := map[pair]int{}
+	st := Join(t1, t2, func(a, b Item) { got[pair{a.ID, b.ID}]++ })
+	want := map[pair]bool{}
+	for _, a := range items1 {
+		for _, b := range items2 {
+			if a.Rect.Intersects(b.Rect) {
+				want[pair{a.ID, b.ID}] = true
+			}
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("join found %d pairs, nested loops %d", len(got), len(want))
+	}
+	for p, count := range got {
+		if !want[p] {
+			t.Fatalf("join emitted wrong pair %v", p)
+		}
+		if count != 1 {
+			t.Fatalf("pair %v emitted %d times, want exactly once", p, count)
+		}
+	}
+	if st.Pairs != int64(len(want)) {
+		t.Fatalf("JoinStats.Pairs = %d, want %d", st.Pairs, len(want))
+	}
+	if st.RectTests <= 0 {
+		t.Fatal("join must count rectangle tests")
+	}
+	// The plane-sweep/restriction join must test far fewer pairs than
+	// nested loops over the full Cartesian product of entries.
+	if st.RectTests >= int64(len(items1))*int64(len(items2)) {
+		t.Fatalf("join rect tests %d not better than nested loops %d",
+			st.RectTests, len(items1)*len(items2))
+	}
+}
+
+func TestJoinEmptyTrees(t *testing.T) {
+	cfg := DefaultConfig()
+	empty := New(cfg)
+	rng := rand.New(rand.NewSource(179))
+	full, _ := buildTree(t, rng, 100, cfg)
+	if st := Join(empty, full, func(a, b Item) { t.Fatal("no pairs expected") }); st.Pairs != 0 {
+		t.Fatal("empty join must produce nothing")
+	}
+	if st := Join(full, empty, func(a, b Item) { t.Fatal("no pairs expected") }); st.Pairs != 0 {
+		t.Fatal("empty join must produce nothing (swapped)")
+	}
+}
+
+func TestJoinDifferentHeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(181))
+	cfg := DefaultConfig()
+	big, items1 := buildTree(t, rng, 4000, cfg)
+	small, items2 := buildTree(t, rng, 30, cfg)
+	if big.Height() == small.Height() {
+		t.Skip("heights coincide")
+	}
+	got := 0
+	Join(big, small, func(a, b Item) { got++ })
+	want := 0
+	for _, a := range items1 {
+		for _, b := range items2 {
+			if a.Rect.Intersects(b.Rect) {
+				want++
+			}
+		}
+	}
+	if got != want {
+		t.Fatalf("different-height join found %d pairs, want %d", got, want)
+	}
+}
+
+func TestBufferCountsPageAccesses(t *testing.T) {
+	rng := rand.New(rand.NewSource(191))
+	cfg := DefaultConfig()
+	cfg.BufferBytes = 32 * cfg.PageSize
+	tree, _ := buildTree(t, rng, 5000, cfg)
+	tree.Buffer().ResetCounters()
+	for i := 0; i < 100; i++ {
+		w := randRect(rng, 100, 5)
+		tree.WindowQuery(w, func(Item) {})
+	}
+	if tree.Buffer().Accesses() == 0 {
+		t.Fatal("queries must touch pages")
+	}
+	if tree.Buffer().Misses() == 0 {
+		t.Fatal("a 32-page buffer cannot hold a 5000-item tree: misses expected")
+	}
+	if tree.Buffer().Hits() == 0 {
+		t.Fatal("root pages must hit the buffer")
+	}
+}
+
+func TestSmallerPagesMoreAccesses(t *testing.T) {
+	// Figure 10 precondition: with smaller pages, queries touch more pages.
+	rng := rand.New(rand.NewSource(193))
+	counts := map[int]int64{}
+	for _, ps := range []int{2048, 4096} {
+		cfg := Config{PageSize: ps, LeafEntryBytes: 48, BufferBytes: 128 << 10}
+		rng2 := rand.New(rand.NewSource(199))
+		tree := New(cfg)
+		for i := 0; i < 4000; i++ {
+			tree.Insert(Item{Rect: randRect(rng2, 100, 2), ID: int32(i)})
+		}
+		tree.Buffer().Clear()
+		for trial := 0; trial < 200; trial++ {
+			w := randRect(rng, 100, 8)
+			tree.WindowQuery(w, func(Item) {})
+		}
+		counts[ps] = tree.Buffer().Accesses()
+	}
+	if counts[2048] <= counts[4096] {
+		t.Errorf("2 KB pages should need more page touches than 4 KB: %d vs %d",
+			counts[2048], counts[4096])
+	}
+}

@@ -1,0 +1,87 @@
+package rtreecore
+
+import "spatialjoin/internal/geom"
+
+// SplitQuadratic partitions the rectangles with Guttman's quadratic split
+// [Gut 84] — the classic R-tree algorithm the R*-tree improved upon, kept
+// here as the comparison baseline: PickSeeds chooses the pair wasting the
+// most area in a combined rectangle; the remaining entries are assigned
+// one by one to the group whose rectangle needs the smaller enlargement,
+// with min-fill forcing at the end.
+func SplitQuadratic(rects []geom.Rect, minFill int) (g1, g2 []int) {
+	n := len(rects)
+	if minFill < 1 {
+		minFill = 1
+	}
+	if minFill > n/2 {
+		minFill = n / 2
+	}
+
+	// PickSeeds: maximize the dead area of the pair's bounding rectangle.
+	s1, s2 := 0, 1
+	worst := -1.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := rects[i].Union(rects[j]).Area() - rects[i].Area() - rects[j].Area()
+			if d > worst {
+				worst = d
+				s1, s2 = i, j
+			}
+		}
+	}
+	g1 = append(g1, s1)
+	g2 = append(g2, s2)
+	b1, b2 := rects[s1], rects[s2]
+
+	remaining := make([]int, 0, n-2)
+	for i := 0; i < n; i++ {
+		if i != s1 && i != s2 {
+			remaining = append(remaining, i)
+		}
+	}
+	for len(remaining) > 0 {
+		// Min-fill forcing: if one group must take all the rest, do so.
+		if len(g1)+len(remaining) == minFill {
+			g1 = append(g1, remaining...)
+			break
+		}
+		if len(g2)+len(remaining) == minFill {
+			g2 = append(g2, remaining...)
+			break
+		}
+		// PickNext: the entry with the greatest preference difference.
+		bestIdx := 0
+		bestDiff := -1.0
+		for k, i := range remaining {
+			d1 := b1.Enlargement(rects[i])
+			d2 := b2.Enlargement(rects[i])
+			diff := d1 - d2
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestDiff = diff
+				bestIdx = k
+			}
+		}
+		i := remaining[bestIdx]
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		d1 := b1.Enlargement(rects[i])
+		d2 := b2.Enlargement(rects[i])
+		takeFirst := d1 < d2
+		if d1 == d2 {
+			takeFirst = b1.Area() < b2.Area()
+			if b1.Area() == b2.Area() {
+				takeFirst = len(g1) <= len(g2)
+			}
+		}
+		if takeFirst {
+			g1 = append(g1, i)
+			b1 = b1.Union(rects[i])
+		} else {
+			g2 = append(g2, i)
+			b2 = b2.Union(rects[i])
+		}
+	}
+	return g1, g2
+}

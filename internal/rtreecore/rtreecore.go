@@ -1,0 +1,189 @@
+// Package rtreecore implements the node-level algorithms of the R*-tree
+// [BKSS 90] shared by the secondary-storage R*-tree (package rstar) and
+// its main-memory variant, the TR*-tree (package trstar): subtree choice,
+// the topological split (choose axis by margin, choose distribution by
+// overlap, then area) and the forced-reinsert candidate order.
+package rtreecore
+
+import (
+	"sort"
+
+	"spatialjoin/internal/geom"
+)
+
+// chooseSubtreeCandidates bounds the overlap-enlargement computation: for
+// large node capacities, [BKSS 90] determines the overlap criterion only
+// among the 32 entries with the least area enlargement ("to reduce the
+// CPU cost ... the determination of the minimum overlap is restricted").
+const chooseSubtreeCandidates = 32
+
+// ChooseSubtree returns the index of the child rectangle the new entry
+// should descend into. For children that are leaves the R*-tree minimizes
+// overlap enlargement (resolving ties by area enlargement, then area),
+// restricted to the 32 least-area-enlargement entries as in [BKSS 90];
+// for internal children it minimizes area enlargement (ties by area).
+func ChooseSubtree(children []geom.Rect, r geom.Rect, childrenAreLeaves bool) int {
+	best := 0
+	if childrenAreLeaves {
+		cands := candidateIndices(children, r)
+		best = cands[0]
+		bestOverlap, bestEnl, bestArea := overlapEnlargement(children, best, r), children[best].Enlargement(r), children[best].Area()
+		for _, i := range cands[1:] {
+			ov := overlapEnlargement(children, i, r)
+			enl := children[i].Enlargement(r)
+			area := children[i].Area()
+			if ov < bestOverlap ||
+				(ov == bestOverlap && enl < bestEnl) ||
+				(ov == bestOverlap && enl == bestEnl && area < bestArea) {
+				best, bestOverlap, bestEnl, bestArea = i, ov, enl, area
+			}
+		}
+		return best
+	}
+	bestEnl, bestArea := children[0].Enlargement(r), children[0].Area()
+	for i := 1; i < len(children); i++ {
+		enl := children[i].Enlargement(r)
+		area := children[i].Area()
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	return best
+}
+
+// candidateIndices returns the indices examined by the leaf-level overlap
+// criterion: all of them for small nodes, otherwise the
+// chooseSubtreeCandidates entries with the least area enlargement.
+func candidateIndices(children []geom.Rect, r geom.Rect) []int {
+	idx := all(len(children))
+	if len(children) <= chooseSubtreeCandidates {
+		return idx
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return children[idx[a]].Enlargement(r) < children[idx[b]].Enlargement(r)
+	})
+	return idx[:chooseSubtreeCandidates]
+}
+
+// overlapEnlargement returns the increase of the total overlap between
+// children[i] and its siblings when children[i] is enlarged to include r.
+func overlapEnlargement(children []geom.Rect, i int, r geom.Rect) float64 {
+	enlarged := children[i].Union(r)
+	var before, after float64
+	for j, c := range children {
+		if j == i {
+			continue
+		}
+		before += children[i].OverlapArea(c)
+		after += enlarged.OverlapArea(c)
+	}
+	return after - before
+}
+
+// Split partitions the rectangles into two groups according to the R*-tree
+// topological split and returns the index sets of both groups. minFill is
+// the minimum number of entries per group (the R*-tree uses 40 % of the
+// capacity).
+func Split(rects []geom.Rect, minFill int) (g1, g2 []int) {
+	n := len(rects)
+	if minFill < 1 {
+		minFill = 1
+	}
+	if minFill > n/2 {
+		minFill = n / 2
+	}
+
+	// Choose the split axis: the one with the smallest total margin over
+	// all candidate distributions of both sortings.
+	bestAxis := 0
+	bestMargin := marginSum(rects, 0, minFill)
+	if m := marginSum(rects, 1, minFill); m < bestMargin {
+		bestAxis = 1
+	}
+
+	// Choose the distribution on the winning axis: minimum overlap,
+	// resolving ties by minimum total area.
+	order := sortedOrder(rects, bestAxis)
+	bestK := -1
+	bestOverlap, bestArea := 0.0, 0.0
+	for k := minFill; k <= n-minFill; k++ {
+		b1 := unionOf(rects, order[:k])
+		b2 := unionOf(rects, order[k:])
+		ov := b1.OverlapArea(b2)
+		area := b1.Area() + b2.Area()
+		if bestK < 0 || ov < bestOverlap || (ov == bestOverlap && area < bestArea) {
+			bestK, bestOverlap, bestArea = k, ov, area
+		}
+	}
+	g1 = append(g1, order[:bestK]...)
+	g2 = append(g2, order[bestK:]...)
+	return g1, g2
+}
+
+// marginSum returns the sum of the margins of all candidate distributions
+// along the given axis (0 = x, 1 = y), the R*-tree split-axis goodness.
+func marginSum(rects []geom.Rect, axis, minFill int) float64 {
+	order := sortedOrder(rects, axis)
+	n := len(rects)
+	var s float64
+	for k := minFill; k <= n-minFill; k++ {
+		s += unionOf(rects, order[:k]).Margin() + unionOf(rects, order[k:]).Margin()
+	}
+	return s
+}
+
+// sortedOrder returns entry indices sorted by (min, max) along the axis.
+func sortedOrder(rects []geom.Rect, axis int) []int {
+	order := make([]int, len(rects))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ra, rb := rects[order[a]], rects[order[b]]
+		if axis == 0 {
+			if ra.MinX != rb.MinX {
+				return ra.MinX < rb.MinX
+			}
+			return ra.MaxX < rb.MaxX
+		}
+		if ra.MinY != rb.MinY {
+			return ra.MinY < rb.MinY
+		}
+		return ra.MaxY < rb.MaxY
+	})
+	return order
+}
+
+func unionOf(rects []geom.Rect, idx []int) geom.Rect {
+	u := geom.EmptyRect()
+	for _, i := range idx {
+		u = u.Union(rects[i])
+	}
+	return u
+}
+
+// ReinsertOrder returns the indices of the p entries to remove for forced
+// reinsertion: the entries whose centers are farthest from the center of
+// the node's bounding rectangle, in decreasing distance ("far reinsert").
+func ReinsertOrder(rects []geom.Rect, p int) []int {
+	bounds := unionOf(rects, all(len(rects)))
+	c := bounds.Center()
+	order := all(len(rects))
+	sort.Slice(order, func(a, b int) bool {
+		da := rects[order[a]].Center().Dist(c)
+		db := rects[order[b]].Center().Dist(c)
+		return da > db
+	})
+	if p > len(order) {
+		p = len(order)
+	}
+	return order[:p]
+}
+
+func all(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}

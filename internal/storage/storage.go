@@ -1,0 +1,199 @@
+// Package storage models the secondary-storage layer of the paper's
+// experiments: page-granular access through an LRU buffer with page-access
+// counting. The paper's I/O metric is the number of page accesses that
+// miss the buffer (sections 3.4 and 5: page sizes of 2 and 4 KB, an LRU
+// buffer of 128 KB, 10 ms per access); an in-memory counting buffer
+// reproduces that metric exactly (see DESIGN.md, substitutions).
+package storage
+
+// PageID identifies one page of the simulated store.
+type PageID int32
+
+// InvalidPage is the zero value no allocated page ever gets.
+const InvalidPage PageID = -1
+
+// Policy selects the buffer replacement strategy. The paper uses LRU; the
+// alternatives exist for the buffer-policy ablation.
+type Policy int
+
+// Replacement policies.
+const (
+	LRU   Policy = iota // evict the least recently used page
+	FIFO                // evict the oldest page regardless of reuse
+	Clock               // second-chance approximation of LRU
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	case Clock:
+		return "Clock"
+	default:
+		return "Policy?"
+	}
+}
+
+// BufferManager is a page buffer with hit/miss accounting. A miss models
+// one disk access.
+type BufferManager struct {
+	frames int
+	policy Policy
+	table  map[PageID]*frameNode
+	head   *frameNode // most recently used / newest
+	tail   *frameNode // least recently used / oldest
+	hand   *frameNode // clock hand (Clock policy)
+
+	hits   int64
+	misses int64
+}
+
+type frameNode struct {
+	id         PageID
+	prev, next *frameNode
+	referenced bool // Clock policy second-chance bit
+}
+
+// NewBufferManager sizes an LRU buffer holding bufferBytes worth of pages
+// of pageSize bytes each (at least one frame).
+func NewBufferManager(bufferBytes, pageSize int) *BufferManager {
+	return NewBufferManagerPolicy(bufferBytes, pageSize, LRU)
+}
+
+// NewBufferManagerPolicy sizes a buffer with an explicit replacement
+// policy.
+func NewBufferManagerPolicy(bufferBytes, pageSize int, policy Policy) *BufferManager {
+	frames := bufferBytes / pageSize
+	if frames < 1 {
+		frames = 1
+	}
+	return &BufferManager{
+		frames: frames,
+		policy: policy,
+		table:  make(map[PageID]*frameNode, frames),
+	}
+}
+
+// Policy returns the replacement policy.
+func (b *BufferManager) Policy() Policy { return b.policy }
+
+// Frames returns the buffer capacity in pages.
+func (b *BufferManager) Frames() int { return b.frames }
+
+// Access touches a page: a buffered page is a hit (LRU moves it to the
+// front, Clock sets its reference bit, FIFO does nothing); an unbuffered
+// page is faulted in, evicting the policy's victim when the buffer is
+// full (miss).
+func (b *BufferManager) Access(id PageID) {
+	if n, ok := b.table[id]; ok {
+		b.hits++
+		switch b.policy {
+		case LRU:
+			b.moveToFront(n)
+		case Clock:
+			n.referenced = true
+		}
+		return
+	}
+	b.misses++
+	n := &frameNode{id: id}
+	b.table[id] = n
+	b.pushFront(n)
+	if len(b.table) > b.frames {
+		b.evict()
+	}
+}
+
+// evict removes one page according to the policy.
+func (b *BufferManager) evict() {
+	switch b.policy {
+	case Clock:
+		// Sweep from the tail, granting one second chance per referenced
+		// frame.
+		if b.hand == nil {
+			b.hand = b.tail
+		}
+		for {
+			victim := b.hand
+			if victim == nil {
+				victim = b.tail
+			}
+			next := victim.prev // sweep from oldest toward newest
+			if !victim.referenced {
+				b.hand = next
+				b.unlink(victim)
+				delete(b.table, victim.id)
+				return
+			}
+			victim.referenced = false
+			if next == nil {
+				next = b.tail
+			}
+			b.hand = next
+		}
+	default: // LRU and FIFO both evict the tail (least recent / oldest)
+		evict := b.tail
+		b.unlink(evict)
+		delete(b.table, evict.id)
+	}
+}
+
+// Hits returns the number of buffered accesses.
+func (b *BufferManager) Hits() int64 { return b.hits }
+
+// Misses returns the number of accesses that went to disk — the paper's
+// page-access count.
+func (b *BufferManager) Misses() int64 { return b.misses }
+
+// Accesses returns the total number of page touches.
+func (b *BufferManager) Accesses() int64 { return b.hits + b.misses }
+
+// ResetCounters zeroes the statistics without dropping buffer contents,
+// so a measurement can exclude index construction.
+func (b *BufferManager) ResetCounters() {
+	b.hits, b.misses = 0, 0
+}
+
+// Clear drops all buffered pages and zeroes the statistics.
+func (b *BufferManager) Clear() {
+	b.table = make(map[PageID]*frameNode, b.frames)
+	b.head, b.tail, b.hand = nil, nil, nil
+	b.hits, b.misses = 0, 0
+}
+
+func (b *BufferManager) pushFront(n *frameNode) {
+	n.prev = nil
+	n.next = b.head
+	if b.head != nil {
+		b.head.prev = n
+	}
+	b.head = n
+	if b.tail == nil {
+		b.tail = n
+	}
+}
+
+func (b *BufferManager) unlink(n *frameNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		b.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		b.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (b *BufferManager) moveToFront(n *frameNode) {
+	if b.head == n {
+		return
+	}
+	b.unlink(n)
+	b.pushFront(n)
+}

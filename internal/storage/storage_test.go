@@ -1,0 +1,149 @@
+package storage
+
+import "testing"
+
+func TestBufferBasics(t *testing.T) {
+	b := NewBufferManager(4096, 1024) // 4 frames
+	if b.Frames() != 4 {
+		t.Fatalf("Frames = %d, want 4", b.Frames())
+	}
+	for i := 0; i < 4; i++ {
+		b.Access(PageID(i))
+	}
+	if b.Misses() != 4 || b.Hits() != 0 {
+		t.Fatalf("cold accesses: misses=%d hits=%d", b.Misses(), b.Hits())
+	}
+	// Re-access: all hits.
+	for i := 0; i < 4; i++ {
+		b.Access(PageID(i))
+	}
+	if b.Hits() != 4 {
+		t.Fatalf("warm accesses: hits=%d, want 4", b.Hits())
+	}
+	if b.Accesses() != 8 {
+		t.Fatalf("Accesses = %d, want 8", b.Accesses())
+	}
+}
+
+func TestBufferEvictsLRU(t *testing.T) {
+	b := NewBufferManager(2048, 1024) // 2 frames
+	b.Access(1)
+	b.Access(2)
+	b.Access(1) // 1 is now most recent
+	b.Access(3) // evicts 2
+	b.ResetCounters()
+	b.Access(1)
+	if b.Misses() != 0 {
+		t.Error("page 1 must still be buffered")
+	}
+	b.Access(2)
+	if b.Misses() != 1 {
+		t.Error("page 2 must have been evicted")
+	}
+}
+
+func TestBufferSingleFrame(t *testing.T) {
+	b := NewBufferManager(100, 1024) // under one page: clamped to 1 frame
+	if b.Frames() != 1 {
+		t.Fatalf("Frames = %d, want 1", b.Frames())
+	}
+	b.Access(1)
+	b.Access(2)
+	b.Access(1)
+	if b.Misses() != 3 {
+		t.Errorf("alternating pages through 1 frame: misses=%d, want 3", b.Misses())
+	}
+}
+
+func TestBufferClearAndReset(t *testing.T) {
+	b := NewBufferManager(4096, 1024)
+	b.Access(1)
+	b.Access(1)
+	b.ResetCounters()
+	if b.Hits() != 0 || b.Misses() != 0 {
+		t.Error("ResetCounters must zero stats")
+	}
+	b.Access(1)
+	if b.Hits() != 1 {
+		t.Error("ResetCounters must keep buffer contents")
+	}
+	b.Clear()
+	b.Access(1)
+	if b.Misses() != 1 {
+		t.Error("Clear must drop buffer contents")
+	}
+}
+
+func TestFIFODoesNotPromoteOnHit(t *testing.T) {
+	b := NewBufferManagerPolicy(2048, 1024, FIFO) // 2 frames
+	b.Access(1)
+	b.Access(2)
+	b.Access(1) // hit, but FIFO keeps 1 the oldest
+	b.Access(3) // evicts 1 (oldest), not 2
+	b.ResetCounters()
+	b.Access(2)
+	if b.Misses() != 0 {
+		t.Error("page 2 must still be buffered under FIFO")
+	}
+	b.Access(1)
+	if b.Misses() != 1 {
+		t.Error("page 1 must have been evicted under FIFO despite the hit")
+	}
+	if b.Policy() != FIFO || b.Policy().String() != "FIFO" {
+		t.Error("policy accessors wrong")
+	}
+}
+
+func TestClockGrantsSecondChance(t *testing.T) {
+	b := NewBufferManagerPolicy(2048, 1024, Clock) // 2 frames
+	b.Access(1)
+	b.Access(2)
+	b.Access(1) // sets 1's reference bit
+	b.Access(3) // clock sweeps: 1 referenced → spared; evicts 2
+	b.ResetCounters()
+	b.Access(1)
+	if b.Misses() != 0 {
+		t.Error("referenced page 1 must survive the clock sweep")
+	}
+	b.Access(2)
+	if b.Misses() != 1 {
+		t.Error("unreferenced page 2 must have been evicted")
+	}
+}
+
+func TestClockTerminatesWhenAllReferenced(t *testing.T) {
+	b := NewBufferManagerPolicy(3072, 1024, Clock) // 3 frames
+	for _, id := range []PageID{1, 2, 3} {
+		b.Access(id)
+		b.Access(id) // set every reference bit
+	}
+	b.Access(4) // must clear bits and still evict something
+	if len(b.table) != 3 {
+		t.Fatalf("buffer holds %d frames, want 3", len(b.table))
+	}
+}
+
+func TestPoliciesAgreeOnColdMisses(t *testing.T) {
+	for _, pol := range []Policy{LRU, FIFO, Clock} {
+		b := NewBufferManagerPolicy(4096, 1024, pol)
+		for i := 0; i < 16; i++ {
+			b.Access(PageID(i))
+		}
+		if b.Misses() != 16 {
+			t.Errorf("%v: cold misses = %d, want 16", pol, b.Misses())
+		}
+	}
+}
+
+func TestBufferScanPattern(t *testing.T) {
+	// Sequential scan over more pages than frames: every access misses.
+	b := NewBufferManager(8192, 1024) // 8 frames
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 16; i++ {
+			b.Access(PageID(i))
+		}
+	}
+	if b.Hits() != 0 {
+		t.Errorf("LRU must thrash on a sequential over-capacity scan; hits=%d", b.Hits())
+	}
+}

@@ -1,0 +1,161 @@
+// Package svg renders relations, approximations and decompositions as SVG
+// documents — the visual counterpart of the paper's Figures 3, 7, 14 and
+// 15, useful for inspecting generated data and approximation quality.
+package svg
+
+import (
+	"fmt"
+	"strings"
+
+	"spatialjoin/internal/approx"
+	"spatialjoin/internal/decomp"
+	"spatialjoin/internal/geom"
+)
+
+// Canvas accumulates SVG elements over a world-coordinate viewport.
+type Canvas struct {
+	viewport geom.Rect
+	size     int
+	elems    []string
+}
+
+// NewCanvas creates a canvas rendering the world-coordinate viewport onto
+// a square image of the given pixel size.
+func NewCanvas(viewport geom.Rect, sizePx int) *Canvas {
+	if sizePx <= 0 {
+		sizePx = 800
+	}
+	return &Canvas{viewport: viewport, size: sizePx}
+}
+
+// tx transforms world coordinates to pixel coordinates (y flipped).
+func (c *Canvas) tx(p geom.Point) (float64, float64) {
+	w := c.viewport.Width()
+	h := c.viewport.Height()
+	if w == 0 {
+		w = 1
+	}
+	if h == 0 {
+		h = 1
+	}
+	x := (p.X - c.viewport.MinX) / w * float64(c.size)
+	y := float64(c.size) - (p.Y-c.viewport.MinY)/h*float64(c.size)
+	return x, y
+}
+
+// Style is a minimal subset of SVG presentation attributes.
+type Style struct {
+	Fill        string
+	Stroke      string
+	StrokeWidth float64
+	Opacity     float64
+}
+
+// DefaultStyle renders thin black outlines with translucent gray fill.
+func DefaultStyle() Style {
+	return Style{Fill: "#d0d4cc", Stroke: "#333333", StrokeWidth: 1, Opacity: 0.9}
+}
+
+func (s Style) attrs() string {
+	fill := s.Fill
+	if fill == "" {
+		fill = "none"
+	}
+	stroke := s.Stroke
+	if stroke == "" {
+		stroke = "none"
+	}
+	sw := s.StrokeWidth
+	if sw == 0 {
+		sw = 1
+	}
+	op := s.Opacity
+	if op == 0 {
+		op = 1
+	}
+	return fmt.Sprintf(`fill=%q stroke=%q stroke-width="%.2f" opacity="%.2f"`, fill, stroke, sw, op)
+}
+
+func (c *Canvas) path(rings []geom.Ring, st Style) {
+	var b strings.Builder
+	for _, r := range rings {
+		for i, p := range r {
+			x, y := c.tx(p)
+			if i == 0 {
+				fmt.Fprintf(&b, "M%.2f %.2f", x, y)
+			} else {
+				fmt.Fprintf(&b, "L%.2f %.2f", x, y)
+			}
+		}
+		b.WriteString("Z")
+	}
+	c.elems = append(c.elems,
+		fmt.Sprintf(`<path d="%s" fill-rule="evenodd" %s/>`, b.String(), st.attrs()))
+}
+
+// Polygon draws a polygon with its holes (even–odd fill).
+func (c *Canvas) Polygon(p *geom.Polygon, st Style) {
+	rings := append([]geom.Ring{p.Outer}, p.Holes...)
+	c.path(rings, st)
+}
+
+// Ring draws a single closed ring.
+func (c *Canvas) Ring(r geom.Ring, st Style) { c.path([]geom.Ring{r}, st) }
+
+// Rect draws an axis-parallel rectangle.
+func (c *Canvas) Rect(r geom.Rect, st Style) {
+	corners := r.Corners()
+	c.path([]geom.Ring{corners[:]}, st)
+}
+
+// Circle draws a circle.
+func (c *Canvas) Circle(circle approx.Circle, st Style) {
+	x, y := c.tx(circle.C)
+	rx := circle.R / c.viewport.Width() * float64(c.size)
+	c.elems = append(c.elems,
+		fmt.Sprintf(`<circle cx="%.2f" cy="%.2f" r="%.2f" %s/>`, x, y, rx, st.attrs()))
+}
+
+// Trapezoids draws a decomposition.
+func (c *Canvas) Trapezoids(traps []decomp.Trapezoid, st Style) {
+	for _, t := range traps {
+		c.Ring(t.Ring(), st)
+	}
+}
+
+// Approximations draws the computed approximations of a set: conservative
+// outlines in blue tones, progressive in green.
+func (c *Canvas) Approximations(s *approx.Set, kinds []approx.Kind) {
+	colors := map[approx.Kind]string{
+		approx.MBR:  "#1f77b4",
+		approx.RMBR: "#5b9bd5",
+		approx.CH:   "#103a5e",
+		approx.C4:   "#4169aa",
+		approx.C5:   "#2e5a88",
+		approx.MBC:  "#7fb2e5",
+		approx.MBE:  "#9467bd",
+		approx.MEC:  "#2ca02c",
+		approx.MER:  "#62bb47",
+	}
+	for _, k := range kinds {
+		if !s.Has(k) {
+			continue
+		}
+		st := Style{Stroke: colors[k], StrokeWidth: 1.5}
+		c.Ring(s.Outline(k), st)
+	}
+}
+
+// String renders the document.
+func (c *Canvas) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		c.size, c.size, c.size, c.size)
+	b.WriteString("\n")
+	for _, e := range c.elems {
+		b.WriteString(e)
+		b.WriteString("\n")
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

@@ -1,0 +1,66 @@
+package svg
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"spatialjoin/internal/approx"
+	"spatialjoin/internal/decomp"
+	"spatialjoin/internal/geom"
+)
+
+func testPoly() *geom.Polygon {
+	return geom.NewPolygon(
+		[]geom.Point{{X: 0.1, Y: 0.1}, {X: 0.9, Y: 0.2}, {X: 0.8, Y: 0.9}, {X: 0.2, Y: 0.8}},
+		[]geom.Point{{X: 0.4, Y: 0.4}, {X: 0.6, Y: 0.4}, {X: 0.5, Y: 0.6}},
+	)
+}
+
+func TestCanvasProducesWellFormedXML(t *testing.T) {
+	p := testPoly()
+	c := NewCanvas(geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, 400)
+	c.Polygon(p, DefaultStyle())
+	c.Rect(p.Bounds(), Style{Stroke: "#1f77b4"})
+	c.Circle(approx.Circle{C: geom.Point{X: 0.5, Y: 0.5}, R: 0.2}, Style{Stroke: "#2ca02c"})
+	c.Trapezoids(decomp.Trapezoidize(p), Style{Stroke: "#999999", StrokeWidth: 0.5})
+	s := approx.Compute(p, approx.AllOptions())
+	c.Approximations(s, []approx.Kind{approx.MBR, approx.C5, approx.MBC, approx.MER, approx.MEC})
+
+	out := c.String()
+	if !strings.HasPrefix(out, "<svg") {
+		t.Fatal("output must start with <svg")
+	}
+	// The document must be well-formed XML.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("malformed XML: %v", err)
+		}
+	}
+	// Every element family must be present.
+	for _, want := range []string{"<path", "<circle", "evenodd"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q", want)
+		}
+	}
+}
+
+func TestCanvasCoordinateTransform(t *testing.T) {
+	c := NewCanvas(geom.Rect{MinX: 0, MinY: 0, MaxX: 2, MaxY: 2}, 100)
+	x, y := c.tx(geom.Point{X: 0, Y: 0})
+	if x != 0 || y != 100 {
+		t.Errorf("origin maps to (%v,%v), want (0,100) — y flipped", x, y)
+	}
+	x, y = c.tx(geom.Point{X: 2, Y: 2})
+	if x != 100 || y != 0 {
+		t.Errorf("top-right maps to (%v,%v), want (100,0)", x, y)
+	}
+	if NewCanvas(geom.Rect{}, 0).size != 800 {
+		t.Error("zero size must default to 800")
+	}
+}

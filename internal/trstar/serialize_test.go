@@ -1,0 +1,89 @@
+package trstar
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"spatialjoin/internal/ops"
+)
+
+func TestSerializeRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(431))
+	for trial := 0; trial < 20; trial++ {
+		p := starPoly(rng, rng.Float64()*3, rng.Float64()*3, 1, 8+rng.Intn(120))
+		orig := NewFromPolygon(p, 3+trial%3)
+		data, err := orig.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		got, err := UnmarshalBinary(data)
+		if err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if got.Height() != orig.Height() || got.NumTrapezoids() != orig.NumTrapezoids() ||
+			got.Capacity() != orig.Capacity() {
+			t.Fatalf("roundtrip changed shape: %d/%d/%d vs %d/%d/%d",
+				got.Height(), got.NumTrapezoids(), got.Capacity(),
+				orig.Height(), orig.NumTrapezoids(), orig.Capacity())
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("roundtrip invalid: %v", err)
+		}
+		// The loaded tree answers identically.
+		other := NewFromPolygon(starPoly(rng, rng.Float64()*3, rng.Float64()*3, 1, 12), 3)
+		var c1, c2 ops.Counters
+		if Intersects(orig, other, &c1) != Intersects(got, other, &c2) {
+			t.Fatal("roundtrip changed intersection answers")
+		}
+		// Serialization is deterministic.
+		again, _ := got.MarshalBinary()
+		if !bytes.Equal(data, again) {
+			t.Fatal("serialization not deterministic")
+		}
+	}
+}
+
+func TestSerializeEmpty(t *testing.T) {
+	empty := New(nil, 3)
+	data, err := empty.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTrapezoids() != 0 || got.Height() != 1 {
+		t.Error("empty roundtrip malformed")
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(433))
+	tree := NewFromPolygon(starPoly(rng, 0, 0, 1, 40), 3)
+	data, _ := tree.MarshalBinary()
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     data[:8],
+		"bad magic": append([]byte{1, 2, 3, 4}, data[4:]...),
+		"truncated": data[:len(data)-5],
+		"trailing":  append(append([]byte{}, data...), 0xAB),
+		"tiny cap":  mutate(data, 4, 1),
+		"node tag":  mutate(data, 10, 7),
+	}
+	for name, bad := range cases {
+		if _, err := UnmarshalBinary(bad); err == nil {
+			t.Errorf("%s: corruption not detected", name)
+		}
+	}
+}
+
+func mutate(data []byte, pos int, v byte) []byte {
+	out := append([]byte{}, data...)
+	if pos < len(out) {
+		out[pos] = v
+	}
+	return out
+}

@@ -1,0 +1,354 @@
+// Package trstar implements the TR*-tree of section 4.2 [SK 91]: a
+// main-memory resident R*-tree variant that organizes the trapezoids of
+// one decomposed polygon. Its characteristic design choice is a very small
+// maximum node capacity (M between 3 and 5, best performance at 3 —
+// Figure 17), which minimizes the number of main-memory comparisons per
+// traversal. The synchronized traversal of two TR*-trees decides the
+// intersection join predicate of a candidate pair at least one order of
+// magnitude cheaper than the plane sweep (Table 7).
+package trstar
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spatialjoin/internal/decomp"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/ops"
+	"spatialjoin/internal/rtreecore"
+)
+
+// Tree is the TR*-tree over the trapezoids of one spatial object.
+type Tree struct {
+	root     *node
+	capacity int // maximum entries per node (M)
+	minFill  int // minimum entries per node after a split
+	height   int // number of levels (leaf = level 1)
+	numTraps int
+}
+
+type entry struct {
+	rect  geom.Rect
+	child *node            // non-leaf entries
+	trap  decomp.Trapezoid // leaf entries
+}
+
+type node struct {
+	leaf    bool
+	entries []entry
+}
+
+func (n *node) bounds() geom.Rect {
+	b := geom.EmptyRect()
+	for _, e := range n.entries {
+		b = b.Union(e.rect)
+	}
+	return b
+}
+
+// DefaultCapacity is the paper's recommended maximum node capacity
+// (Figure 17: M = 3 performs best).
+const DefaultCapacity = 3
+
+// NewFromPolygon decomposes p into trapezoids and builds the TR*-tree over
+// them — the paper's object-insertion preprocessing for the exact
+// geometry processor.
+func NewFromPolygon(p *geom.Polygon, capacity int) *Tree {
+	return New(decomp.Trapezoidize(p), capacity)
+}
+
+// New builds a TR*-tree with the given maximum node capacity over the
+// trapezoids, inserting one component at a time with the R*-tree insertion
+// algorithms (ChooseSubtree, topological split, forced reinsert).
+func New(traps []decomp.Trapezoid, capacity int) *Tree {
+	if capacity < 3 {
+		panic(fmt.Sprintf("trstar: capacity %d too small (need >= 3)", capacity))
+	}
+	// Minimum fill 40 % of the capacity, rounded up: splitting an
+	// overflowing node of M+1 entries then yields two usable nodes even at
+	// the paper's smallest capacity M = 3 (2+2).
+	minFill := (capacity*2 + 4) / 5
+	if minFill < 2 {
+		minFill = 2
+	}
+	t := &Tree{
+		root:     &node{leaf: true},
+		capacity: capacity,
+		minFill:  minFill,
+		height:   1,
+	}
+	// Trapezoidize emits components in x order; sequential insertion into
+	// an R-tree produces poorly filled nodes. A deterministic shuffle
+	// restores the random insertion order the R*-tree algorithms assume.
+	perm := make([]int, len(traps))
+	for i := range perm {
+		perm[i] = i
+	}
+	rng := rand.New(rand.NewSource(0x7257a2))
+	rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	for _, i := range perm {
+		tr := traps[i]
+		t.insert(entry{rect: tr.Bounds(), trap: tr}, 1)
+		t.numTraps++
+	}
+	return t
+}
+
+// Height returns the number of levels of the tree. The paper reports
+// average heights of 5.0 (Europe) and 7.6 (BW) with M = 3.
+func (t *Tree) Height() int { return t.height }
+
+// NumTrapezoids returns the number of stored components.
+func (t *Tree) NumTrapezoids() int { return t.numTraps }
+
+// Capacity returns the maximum node capacity M.
+func (t *Tree) Capacity() int { return t.capacity }
+
+// Bounds returns the bounding rectangle of all components.
+func (t *Tree) Bounds() geom.Rect { return t.root.bounds() }
+
+// pendingEntry is an entry awaiting (re)insertion at a given level
+// (counted from the leaves, leaf = 1, so the target stays valid when the
+// root splits and the tree grows).
+type pendingEntry struct {
+	e     entry
+	level int
+}
+
+// insert adds an entry at the given level (1 = leaf), applying forced
+// reinsertion on the first overflow per level and splitting otherwise.
+// Reinsertions are queued and performed after the current descent unwinds,
+// so a descent never mutates nodes outside its own path.
+func (t *Tree) insert(e entry, level int) {
+	queue := []pendingEntry{{e: e, level: level}}
+	reinserted := make(map[int]bool)
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		split := t.chooseAndInsert(t.root, t.height, p.e, p.level, reinserted, &queue)
+		if split != nil {
+			// Root split: the tree grows by one level.
+			old := t.root
+			t.root = &node{leaf: false, entries: []entry{
+				{rect: old.bounds(), child: old},
+				{rect: split.bounds(), child: split},
+			}}
+			t.height++
+		}
+	}
+}
+
+// chooseAndInsert descends to the target level, inserts, and returns a new
+// sibling node if the node split.
+func (t *Tree) chooseAndInsert(n *node, nodeLevel int, e entry, targetLevel int, reinserted map[int]bool, queue *[]pendingEntry) *node {
+	if nodeLevel == targetLevel {
+		n.entries = append(n.entries, e)
+		return t.overflowTreatment(n, nodeLevel, reinserted, queue)
+	}
+	rects := make([]geom.Rect, len(n.entries))
+	for i, c := range n.entries {
+		rects[i] = c.rect
+	}
+	childrenAreLeaves := nodeLevel-1 == 1
+	i := rtreecore.ChooseSubtree(rects, e.rect, childrenAreLeaves)
+	child := n.entries[i].child
+	split := t.chooseAndInsert(child, nodeLevel-1, e, targetLevel, reinserted, queue)
+	n.entries[i].rect = child.bounds()
+	if split != nil {
+		n.entries = append(n.entries, entry{rect: split.bounds(), child: split})
+		return t.overflowTreatment(n, nodeLevel, reinserted, queue)
+	}
+	return nil
+}
+
+// overflowTreatment applies the R*-tree policy: on the first overflow of a
+// level during one insertion, remove the 30 % farthest entries and queue
+// them for reinsertion; afterwards, split.
+func (t *Tree) overflowTreatment(n *node, level int, reinserted map[int]bool, queue *[]pendingEntry) *node {
+	if len(n.entries) <= t.capacity {
+		return nil
+	}
+	if level != t.height && !reinserted[level] {
+		reinserted[level] = true
+		p := len(n.entries) * 3 / 10
+		if p < 1 {
+			p = 1
+		}
+		rects := make([]geom.Rect, len(n.entries))
+		for i, e := range n.entries {
+			rects[i] = e.rect
+		}
+		order := rtreecore.ReinsertOrder(rects, p)
+		drop := make(map[int]bool, p)
+		for _, i := range order {
+			drop[i] = true
+			*queue = append(*queue, pendingEntry{e: n.entries[i], level: level})
+		}
+		kept := n.entries[:0]
+		for i, e := range n.entries {
+			if !drop[i] {
+				kept = append(kept, e)
+			}
+		}
+		n.entries = kept
+		return nil
+	}
+	return t.split(n)
+}
+
+// split performs the R*-tree topological split, keeping one group in n and
+// returning the other as a new sibling.
+func (t *Tree) split(n *node) *node {
+	rects := make([]geom.Rect, len(n.entries))
+	for i, e := range n.entries {
+		rects[i] = e.rect
+	}
+	g1, g2 := rtreecore.Split(rects, t.minFill)
+	older := n.entries
+	n.entries = make([]entry, 0, len(g1))
+	for _, i := range g1 {
+		n.entries = append(n.entries, older[i])
+	}
+	sib := &node{leaf: n.leaf, entries: make([]entry, 0, len(g2))}
+	for _, i := range g2 {
+		sib.entries = append(sib.entries, older[i])
+	}
+	return sib
+}
+
+// ContainsPoint reports whether p lies in the closed region represented by
+// the tree (i.e. in some trapezoid), counting rectangle and trapezoid
+// tests. Due to directory overlap the search may follow several paths; the
+// paper notes O(n) worst-case point queries.
+func (t *Tree) ContainsPoint(p geom.Point, c *ops.Counters) bool {
+	return containsPoint(t.root, p, c)
+}
+
+func containsPoint(n *node, p geom.Point, c *ops.Counters) bool {
+	for _, e := range n.entries {
+		c.RectIntersection++
+		if !e.rect.ContainsPoint(p) {
+			continue
+		}
+		if n.leaf {
+			c.TrapIntersection++
+			if e.trap.ContainsPoint(p) {
+				return true
+			}
+		} else if containsPoint(e.child, p, c) {
+			return true
+		}
+	}
+	return false
+}
+
+// Intersects decides whether the regions of two TR*-trees intersect via
+// synchronized traversal (section 4.2): pairs of directory entries are
+// pruned by rectangle intersection tests; pairs of leaf entries whose
+// rectangles intersect are decided by trapezoid intersection tests. The
+// traversal stops at the first intersecting trapezoid pair. Because the
+// trapezoids tile the closed region, area containment (one object inside
+// the other) is detected by the same test — no separate point-in-polygon
+// fallback is needed.
+func Intersects(t1, t2 *Tree, c *ops.Counters) bool {
+	if t1.numTraps == 0 || t2.numTraps == 0 {
+		return false
+	}
+	c.RectIntersection++
+	if !t1.root.bounds().Intersects(t2.root.bounds()) {
+		return false
+	}
+	return nodesIntersect(t1.root, t2.root, c)
+}
+
+func nodesIntersect(n1, n2 *node, c *ops.Counters) bool {
+	switch {
+	case n1.leaf && n2.leaf:
+		for _, e1 := range n1.entries {
+			for _, e2 := range n2.entries {
+				c.RectIntersection++
+				if !e1.rect.Intersects(e2.rect) {
+					continue
+				}
+				c.TrapIntersection++
+				if e1.trap.Intersects(e2.trap) {
+					return true
+				}
+			}
+		}
+		return false
+	case !n1.leaf && !n2.leaf:
+		for _, e1 := range n1.entries {
+			for _, e2 := range n2.entries {
+				c.RectIntersection++
+				if e1.rect.Intersects(e2.rect) && nodesIntersect(e1.child, e2.child, c) {
+					return true
+				}
+			}
+		}
+		return false
+	case n1.leaf:
+		// Descend the taller tree only.
+		b := n1.bounds()
+		for _, e2 := range n2.entries {
+			c.RectIntersection++
+			if e2.rect.Intersects(b) && nodesIntersect(n1, e2.child, c) {
+				return true
+			}
+		}
+		return false
+	default:
+		b := n2.bounds()
+		for _, e1 := range n1.entries {
+			c.RectIntersection++
+			if e1.rect.Intersects(b) && nodesIntersect(e1.child, n2, c) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Validate checks the TR*-tree invariants (entry rectangles tightly bound
+// children, capacities respected, all trapezoids reachable at one level).
+// It is meant for tests.
+func (t *Tree) Validate() error {
+	count, err := validate(t.root, t.height, t.capacity)
+	if err != nil {
+		return err
+	}
+	if count != t.numTraps {
+		return fmt.Errorf("trstar: reachable trapezoids %d != recorded %d", count, t.numTraps)
+	}
+	return nil
+}
+
+func validate(n *node, level, capacity int) (int, error) {
+	if len(n.entries) > capacity {
+		return 0, fmt.Errorf("trstar: node with %d > %d entries", len(n.entries), capacity)
+	}
+	if n.leaf {
+		if level != 1 {
+			return 0, fmt.Errorf("trstar: leaf at level %d", level)
+		}
+		for _, e := range n.entries {
+			if !e.rect.Contains(e.trap.Bounds()) || !e.trap.Bounds().Contains(e.rect) {
+				return 0, fmt.Errorf("trstar: leaf entry rect %v is not the trapezoid MBR", e.rect)
+			}
+		}
+		return len(n.entries), nil
+	}
+	total := 0
+	for _, e := range n.entries {
+		cb := e.child.bounds()
+		if !e.rect.Contains(cb) || !cb.Contains(e.rect) {
+			return 0, fmt.Errorf("trstar: directory rect %v != child bounds %v", e.rect, cb)
+		}
+		sub, err := validate(e.child, level-1, capacity)
+		if err != nil {
+			return 0, err
+		}
+		total += sub
+	}
+	return total, nil
+}

@@ -1,0 +1,153 @@
+package zorder
+
+import (
+	"math/rand"
+	"testing"
+
+	"spatialjoin/internal/geom"
+)
+
+func TestEncodeInterleaves(t *testing.T) {
+	if Encode(0, 0) != 0 {
+		t.Error("Encode(0,0) must be 0")
+	}
+	if Encode(1, 0) != 1 {
+		t.Errorf("Encode(1,0) = %d, want 1", Encode(1, 0))
+	}
+	if Encode(0, 1) != 2 {
+		t.Errorf("Encode(0,1) = %d, want 2", Encode(0, 1))
+	}
+	if Encode(1, 1) != 3 {
+		t.Errorf("Encode(1,1) = %d, want 3", Encode(1, 1))
+	}
+	// Z order is monotone in quadrants: all cells of the lower-left
+	// quadrant precede the upper-right quadrant.
+	if Encode(2, 2) <= Encode(1, 1) {
+		t.Error("quadrant ordering broken")
+	}
+}
+
+func TestCoverContainsRectCells(t *testing.T) {
+	rng := rand.New(rand.NewSource(457))
+	cfg := DefaultCoverConfig()
+	for trial := 0; trial < 300; trial++ {
+		x, y := rng.Float64()*0.9, rng.Float64()*0.9
+		r := geom.Rect{MinX: x, MinY: y, MaxX: x + rng.Float64()*0.1, MaxY: y + rng.Float64()*0.1}
+		regions := Cover(r, cfg)
+		if len(regions) == 0 {
+			t.Fatalf("trial %d: empty cover", trial)
+		}
+		if len(regions) > cfg.MaxRegions {
+			t.Fatalf("trial %d: %d regions exceed the cap %d", trial, len(regions), cfg.MaxRegions)
+		}
+		// Sample points of the rectangle: their cells must be covered.
+		for s := 0; s < 20; s++ {
+			p := geom.Point{
+				X: r.MinX + rng.Float64()*(r.MaxX-r.MinX),
+				Y: r.MinY + rng.Float64()*(r.MaxY-r.MinY),
+			}
+			// Cover emits intervals at cfg.Level resolution.
+			scale := float64(uint32(1) << cfg.Level)
+			z := Encode(uint32(p.X*scale), uint32(p.Y*scale))
+			covered := false
+			for _, reg := range regions {
+				if z >= reg.Lo && z <= reg.Hi {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("trial %d: point %v (z=%d) not covered by %v", trial, p, z, regions)
+			}
+		}
+		// Regions are sorted and disjoint.
+		for i := 1; i < len(regions); i++ {
+			if regions[i].Lo <= regions[i-1].Hi {
+				t.Fatalf("trial %d: regions overlap or unsorted: %v", trial, regions)
+			}
+		}
+	}
+}
+
+func TestCoverDegenerate(t *testing.T) {
+	cfg := DefaultCoverConfig()
+	if got := Cover(geom.EmptyRect(), cfg); got != nil {
+		t.Error("empty rect must give nil cover")
+	}
+	outside := geom.Rect{MinX: 5, MinY: 5, MaxX: 6, MaxY: 6}
+	if got := Cover(outside, cfg); got != nil {
+		t.Error("rect outside the data space must give nil cover")
+	}
+	// Whole space collapses to one region.
+	whole := Cover(geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, cfg)
+	if len(whole) != 1 {
+		t.Errorf("whole-space cover = %v, want a single region", whole)
+	}
+}
+
+func randRects(rng *rand.Rand, n int, maxExt float64) []geom.Rect {
+	out := make([]geom.Rect, n)
+	for i := range out {
+		x := rng.Float64() * (1 - maxExt)
+		y := rng.Float64() * (1 - maxExt)
+		out[i] = geom.Rect{MinX: x, MinY: y, MaxX: x + rng.Float64()*maxExt, MaxY: y + rng.Float64()*maxExt}
+	}
+	return out
+}
+
+func TestJoinIsCandidateSuperset(t *testing.T) {
+	rng := rand.New(rand.NewSource(461))
+	a := randRects(rng, 300, 0.08)
+	b := randRects(rng, 300, 0.08)
+	got := map[[2]int]bool{}
+	st := Join(a, b, DefaultCoverConfig(), func(i, j int) { got[[2]int{i, j}] = true })
+	trueCount := 0
+	for i, ra := range a {
+		for j, rb := range b {
+			if ra.Intersects(rb) {
+				trueCount++
+				if !got[[2]int{i, j}] {
+					t.Fatalf("missing candidate pair (%d,%d): MBRs intersect", i, j)
+				}
+			}
+		}
+	}
+	if trueCount == 0 {
+		t.Fatal("vacuous workload")
+	}
+	if st.Pairs < int64(trueCount) {
+		t.Fatalf("stats pairs %d below true pairs %d", st.Pairs, trueCount)
+	}
+	// The cover-based candidate set should not explode: the paper's point
+	// is that curve-based joins are viable candidates generators.
+	if st.Pairs > 25*int64(trueCount) {
+		t.Errorf("candidate blowup: %d candidates for %d true pairs", st.Pairs, trueCount)
+	}
+	if st.IntervalsA == 0 || st.IntervalsB == 0 || st.Comparisons == 0 {
+		t.Error("stats not populated")
+	}
+}
+
+func TestJoinFinerLevelsFewerFalsePositives(t *testing.T) {
+	rng := rand.New(rand.NewSource(467))
+	a := randRects(rng, 250, 0.06)
+	b := randRects(rng, 250, 0.06)
+	counts := map[int]int64{}
+	for _, level := range []int{4, 8, 12} {
+		cfg := DefaultCoverConfig()
+		cfg.Level = level
+		cfg.MaxRegions = 16
+		st := Join(a, b, cfg, func(i, j int) {})
+		counts[level] = st.Pairs
+	}
+	if counts[12] > counts[4] {
+		t.Errorf("finer grids must not produce more candidates: L4=%d L12=%d", counts[4], counts[12])
+	}
+}
+
+func TestJoinEmpty(t *testing.T) {
+	st := Join(nil, nil, DefaultCoverConfig(), func(i, j int) { t.Fatal("no pairs expected") })
+	if st.Pairs != 0 {
+		t.Error("empty join must emit nothing")
+	}
+}

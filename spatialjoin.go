@@ -1,0 +1,171 @@
+// Package spatialjoin is a from-scratch Go implementation of the
+// multi-step spatial join processor of Brinkhoff, Kriegel, Schneider and
+// Seeger (Multi-Step Processing of Spatial Joins, SIGMOD 1994), together
+// with every substrate the paper depends on.
+//
+// This package is the public facade: it re-exports the geometry types,
+// the join processor and the data generator so that a downstream user
+// needs a single import. The implementation lives in the internal
+// packages (see README.md for the map); the facade adds nothing beyond
+// names, so the documentation of the aliased symbols applies unchanged.
+//
+// Minimal usage:
+//
+//	cfg := spatialjoin.DefaultConfig()
+//	r := spatialjoin.NewRelation("cities", cityPolygons, cfg)
+//	s := spatialjoin.NewRelation("forests", forestPolygons, cfg)
+//	pairs, stats := spatialjoin.Join(r, s, cfg)
+//
+// The processor executes the paper's three steps: an R*-tree MBR-join, a
+// geometric filter on conservative and progressive approximations
+// (5-corner and maximum enclosed rectangle by default) and an exact
+// geometry step on TR*-trees over trapezoid decompositions.
+package spatialjoin
+
+import (
+	"io"
+
+	"spatialjoin/internal/approx"
+	"spatialjoin/internal/data"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/multistep"
+)
+
+// Geometry types.
+type (
+	// Point is a location in the two-dimensional data space.
+	Point = geom.Point
+	// Rect is an axis-parallel rectangle (an MBR).
+	Rect = geom.Rect
+	// Polygon is a polygonal region with optional holes.
+	Polygon = geom.Polygon
+	// Ring is a simple closed polygonal chain.
+	Ring = geom.Ring
+)
+
+// Join processor types.
+type (
+	// Config selects the approximations, exact engine and storage
+	// parameters of the processor.
+	Config = multistep.Config
+	// Relation is a preprocessed input of the join.
+	Relation = multistep.Relation
+	// Pair is one element of a join response set.
+	Pair = multistep.Pair
+	// Stats reports per-step measurements of one join.
+	Stats = multistep.Stats
+	// WindowStats reports per-step measurements of one window query.
+	WindowStats = multistep.WindowStats
+	// Engine selects the exact geometry algorithm.
+	Engine = multistep.Engine
+	// ApproximationKind identifies a conservative or progressive
+	// approximation of section 3 of the paper.
+	ApproximationKind = approx.Kind
+	// MapConfig parameterizes the synthetic cartographic data generator.
+	MapConfig = data.MapConfig
+)
+
+// Exact engines.
+const (
+	EngineQuadratic  = multistep.EngineQuadratic
+	EnginePlaneSweep = multistep.EnginePlaneSweep
+	EngineTRStar     = multistep.EngineTRStar
+)
+
+// Approximation kinds.
+const (
+	MBR  = approx.MBR
+	RMBR = approx.RMBR
+	CH   = approx.CH
+	C4   = approx.C4
+	C5   = approx.C5
+	MBC  = approx.MBC
+	MBE  = approx.MBE
+	MEC  = approx.MEC
+	MER  = approx.MER
+)
+
+// NewPolygon builds a polygon from an outer boundary and optional holes.
+func NewPolygon(outer []Point, holes ...[]Point) *Polygon {
+	return geom.NewPolygon(outer, holes...)
+}
+
+// DefaultConfig returns the paper's recommended configuration (5-corner +
+// MER filter, TR*-tree exact engine with node capacity 3, 4 KB pages).
+func DefaultConfig() Config { return multistep.DefaultConfig() }
+
+// NewRelation preprocesses a relation for joining under cfg: it computes
+// the configured approximations of every polygon and builds the R*-tree.
+func NewRelation(name string, polys []*Polygon, cfg Config) *Relation {
+	return multistep.NewRelation(name, polys, cfg)
+}
+
+// Join computes the intersection join of two relations: all pairs whose
+// polygonal regions share at least one point.
+func Join(r, s *Relation, cfg Config) ([]Pair, Stats) {
+	return multistep.Join(r, s, cfg)
+}
+
+// JoinParallel is Join with the filter and exact steps spread over a
+// worker pool (workers ≤ 0 selects GOMAXPROCS). The response set is
+// identical to Join's.
+func JoinParallel(r, s *Relation, cfg Config, workers int) ([]Pair, Stats) {
+	return multistep.JoinParallel(r, s, cfg, workers)
+}
+
+// JoinContains computes the inclusion join: all pairs (a, b) with the
+// region of a containing the region of b.
+func JoinContains(r, s *Relation, cfg Config) ([]Pair, Stats) {
+	return multistep.JoinContains(r, s, cfg)
+}
+
+// WindowQuery returns the IDs of the objects of r intersecting the
+// window, processed with the same multi-step architecture as the join.
+func WindowQuery(r *Relation, w Rect, cfg Config) ([]int32, WindowStats) {
+	return multistep.WindowQuery(r, w, cfg)
+}
+
+// PointQuery returns the IDs of the objects of r containing the point.
+func PointQuery(r *Relation, p Point, cfg Config) ([]int32, WindowStats) {
+	return multistep.PointQuery(r, p, cfg)
+}
+
+// Neighbor is one nearest-neighbour result: object ID and exact region
+// distance.
+type Neighbor = multistep.Neighbor
+
+// NearestObjects returns the k objects of r closest to p by exact region
+// distance, refined over R*-tree MBR-distance candidates.
+func NearestObjects(r *Relation, p Point, k int) []Neighbor {
+	return multistep.NearestObjects(r, p, k)
+}
+
+// GenerateMap produces a deterministic synthetic cartographic relation: a
+// tiling of county-like polygons with fractal boundaries (see
+// internal/data for the knobs).
+func GenerateMap(cfg MapConfig) []*Polygon { return data.GenerateMap(cfg) }
+
+// ShiftedCopy returns the paper's strategy A counterpart of a relation: a
+// copy shifted diagonally by the given fraction of the average object
+// extent.
+func ShiftedCopy(rel []*Polygon, fraction float64) []*Polygon {
+	return data.StrategyA(rel, fraction)
+}
+
+// RandomizedCopy returns the paper's strategy B counterpart: objects
+// randomly shifted and rotated, rescaled so their areas sum to the
+// data-space area.
+func RandomizedCopy(rel []*Polygon, seed int64) []*Polygon {
+	return data.StrategyB(rel, seed)
+}
+
+// WritePolygons persists a relation in the compact binary format of
+// cmd/datagen.
+func WritePolygons(w io.Writer, rel []*Polygon) error {
+	return data.WriteRelation(w, rel)
+}
+
+// ReadPolygons loads a relation written by WritePolygons.
+func ReadPolygons(r io.Reader) ([]*Polygon, error) {
+	return data.ReadRelation(r)
+}

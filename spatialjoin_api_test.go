@@ -1,0 +1,70 @@
+package spatialjoin_test
+
+import (
+	"testing"
+
+	"spatialjoin"
+)
+
+// TestPublicAPI exercises the facade end to end: generation, intersection
+// join, parallel join, inclusion join, window and point queries.
+func TestPublicAPI(t *testing.T) {
+	base := spatialjoin.GenerateMap(spatialjoin.MapConfig{Cells: 60, TargetVerts: 40, Seed: 99})
+	shifted := spatialjoin.ShiftedCopy(base, 0.45)
+	cfg := spatialjoin.DefaultConfig()
+
+	r := spatialjoin.NewRelation("R", base, cfg)
+	s := spatialjoin.NewRelation("S", shifted, cfg)
+
+	pairs, st := spatialjoin.Join(r, s, cfg)
+	if len(pairs) == 0 || st.CandidatePairs == 0 {
+		t.Fatal("join produced nothing")
+	}
+	par, _ := spatialjoin.JoinParallel(r, s, cfg, 4)
+	if len(par) != len(pairs) {
+		t.Fatalf("parallel join %d pairs, sequential %d", len(par), len(pairs))
+	}
+
+	cont, _ := spatialjoin.JoinContains(r, r, cfg)
+	selfCount := 0
+	for _, p := range cont {
+		if p.A == p.B {
+			selfCount++
+		}
+	}
+	if selfCount != len(base) {
+		t.Errorf("inclusion join self pairs = %d, want %d", selfCount, len(base))
+	}
+
+	ids, wst := spatialjoin.WindowQuery(r, spatialjoin.Rect{MinX: 0.3, MinY: 0.3, MaxX: 0.6, MaxY: 0.6}, cfg)
+	if len(ids) == 0 || wst.Candidates == 0 {
+		t.Error("window query found nothing in the map center")
+	}
+	pt, _ := spatialjoin.PointQuery(r, spatialjoin.Point{X: 0.5, Y: 0.5}, cfg)
+	if len(pt) > 2 {
+		t.Errorf("point query in a tiling found %d covering objects", len(pt))
+	}
+
+	randomized := spatialjoin.RandomizedCopy(base, 7)
+	if len(randomized) != len(base) {
+		t.Error("randomized copy changed cardinality")
+	}
+
+	poly := spatialjoin.NewPolygon([]spatialjoin.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}})
+	if poly.Area() <= 0 {
+		t.Error("NewPolygon broken")
+	}
+
+	// Engine and kind constants are wired.
+	altCfg := cfg
+	altCfg.Engine = spatialjoin.EnginePlaneSweep
+	altCfg.Filter.Conservative = spatialjoin.RMBR
+	altCfg.Filter.Progressive = spatialjoin.MEC
+	altCfg.MECPrecision = 5e-3
+	r2 := spatialjoin.NewRelation("R", base, altCfg)
+	s2 := spatialjoin.NewRelation("S", shifted, altCfg)
+	alt, _ := spatialjoin.Join(r2, s2, altCfg)
+	if len(alt) != len(pairs) {
+		t.Fatalf("alternative configuration changed the response set: %d vs %d", len(alt), len(pairs))
+	}
+}

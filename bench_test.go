@@ -12,6 +12,8 @@
 package spatialjoin_test
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -459,6 +461,58 @@ func BenchmarkParallelJoin(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				_, _ = multistep.JoinParallel(rr, ss, cfg, workers)
 			}
+		})
+	}
+}
+
+// BenchmarkJoinThroughput compares the three join drivers on the
+// paper-style generated workload and reports end-to-end throughput in
+// response pairs per second: the sequential Join, the collect-and-sort
+// JoinParallel, and the streaming pipeline JoinStream, each at 1, 2, 4
+// and GOMAXPROCS workers. Each driver is measured at its own contract:
+// Join and JoinParallel deliver the sorted, materialized response set;
+// JoinStream delivers unsorted pairs to a consumer callback (collected
+// here so every driver pays for handling each response pair).
+func BenchmarkJoinThroughput(b *testing.B) {
+	r, s := benchPolys(1200, 48)
+	cfg := multistep.DefaultConfig()
+	rr := multistep.NewRelation("R", r, cfg)
+	ss := multistep.NewRelation("S", s, cfg)
+
+	workerCounts := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	reportPairs := func(b *testing.B, pairs int64) {
+		b.ReportMetric(float64(pairs)*float64(b.N)/b.Elapsed().Seconds(), "pairs/sec")
+	}
+
+	b.Run("join/seq", func(b *testing.B) {
+		var pairs int64
+		for i := 0; i < b.N; i++ {
+			_, st := multistep.Join(rr, ss, cfg)
+			pairs = st.ResultPairs
+		}
+		reportPairs(b, pairs)
+	})
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("parallel/w%d", w), func(b *testing.B) {
+			var pairs int64
+			for i := 0; i < b.N; i++ {
+				_, st := multistep.JoinParallel(rr, ss, cfg, w)
+				pairs = st.ResultPairs
+			}
+			reportPairs(b, pairs)
+		})
+	}
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("stream/w%d", w), func(b *testing.B) {
+			var pairs int64
+			var out []multistep.Pair
+			for i := 0; i < b.N; i++ {
+				out = out[:0]
+				st := multistep.JoinStream(rr, ss, cfg, multistep.StreamOptions{Workers: w},
+					func(p multistep.Pair) { out = append(out, p) })
+				pairs = st.ResultPairs
+			}
+			reportPairs(b, pairs)
 		})
 	}
 }

@@ -8,6 +8,11 @@
 //	spatialjoin [-n 810] [-verts 84] [-strategy A|B] [-engine trstar|planesweep|quadratic]
 //	            [-conservative 5C|RMBR|CH|4C|MBC|MBE] [-progressive MER|MEC]
 //	            [-no-filter] [-page 4096] [-seed 9401]
+//	            [-parallel N] [-stream]
+//
+// -parallel spreads the filter and exact steps over N workers
+// (JoinParallel); -stream additionally runs step 1 partitioned and the
+// whole join as the bounded-memory streaming pipeline (JoinStream).
 package main
 
 import (
@@ -35,7 +40,8 @@ func main() {
 	seed := flag.Int64("seed", 9401, "data seed")
 	predicate := flag.String("predicate", "intersects", "join predicate: intersects or contains")
 	step1 := flag.String("step1", "rstar", "step 1 candidate generator: rstar, zorder, nested")
-	parallel := flag.Int("parallel", 0, "filter/exact worker count (0 = sequential)")
+	parallel := flag.Int("parallel", 0, "filter/exact worker count (0 = sequential; with -stream, 0 = GOMAXPROCS)")
+	stream := flag.Bool("stream", false, "use the streaming pipeline (JoinStream): bounded memory, -parallel workers")
 	flag.Parse()
 
 	cfg := multistep.DefaultConfig()
@@ -85,7 +91,16 @@ func main() {
 	var st multistep.Stats
 	switch {
 	case strings.EqualFold(*predicate, "contains"):
+		if *stream || *parallel > 0 {
+			fmt.Fprintln(os.Stderr, "spatialjoin: -stream/-parallel are ignored with -predicate contains (the inclusion join is sequential)")
+		}
 		pairs, st = multistep.JoinContains(r, s, cfg)
+	case *stream:
+		// The streaming pipeline emits pairs as they are decided instead
+		// of materializing the candidate set; collect them here only for
+		// the summary line.
+		st = multistep.JoinStream(r, s, cfg, multistep.StreamOptions{Workers: *parallel},
+			func(p multistep.Pair) { pairs = append(pairs, p) })
 	case *parallel > 0:
 		pairs, st = multistep.JoinParallel(r, s, cfg, *parallel)
 	default:

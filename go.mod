@@ -1,0 +1,3 @@
+module spatialjoin
+
+go 1.24

@@ -5,6 +5,7 @@ import (
 )
 
 func TestAblationStep1AllGeneratorsAgree(t *testing.T) {
+	skipInShort(t)
 	tab := AblationStep1(sharedEnv())
 	if len(tab.Rows) != 3 {
 		t.Fatal("need three generators")
@@ -19,6 +20,7 @@ func TestAblationStep1AllGeneratorsAgree(t *testing.T) {
 }
 
 func TestAblationDecompositionShape(t *testing.T) {
+	skipInShort(t)
 	tab := AblationDecomposition(sharedEnv())
 	traps := cell(t, tab, 0, 1)
 	tris := cell(t, tab, 1, 1)
@@ -38,6 +40,7 @@ func TestAblationDecompositionShape(t *testing.T) {
 }
 
 func TestAblationSAMsShape(t *testing.T) {
+	skipInShort(t)
 	tab := AblationSAMs(smallBig())
 	if len(tab.Rows) != 4 {
 		t.Fatal("need four SAMs")
@@ -56,6 +59,7 @@ func TestAblationSAMsShape(t *testing.T) {
 }
 
 func TestAblationBufferPolicyShape(t *testing.T) {
+	skipInShort(t)
 	tab := AblationBufferPolicy(smallBig())
 	if len(tab.Rows) != 3 {
 		t.Fatal("need three policies")
@@ -70,6 +74,7 @@ func TestAblationBufferPolicyShape(t *testing.T) {
 }
 
 func TestAblationTRCapacityTrend(t *testing.T) {
+	skipInShort(t)
 	tab := AblationTRCapacityWide(sharedEnv())
 	if len(tab.Rows) != 6 {
 		t.Fatal("need six capacities")

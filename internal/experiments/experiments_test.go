@@ -20,6 +20,16 @@ func sharedEnv() *Env {
 	return testEnv
 }
 
+// skipInShort gates the expensive experiment reproductions behind
+// `go test -short`: the full suite regenerates every table and figure and
+// takes minutes, which is too slow for CI's per-commit loop.
+func skipInShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiment reproduction skipped in -short mode")
+	}
+}
+
 // smallBig returns the scaled-down big-relation parameters for tests.
 func smallBig() BigParams {
 	p := DefaultBigParams()
@@ -39,6 +49,7 @@ func cell(t *testing.T, tab *Table, row, col int) float64 {
 }
 
 func TestFigure2AndTable1(t *testing.T) {
+	skipInShort(t)
 	e := sharedEnv()
 	f2 := Figure2(e)
 	if len(f2.Rows) != 2 {
@@ -66,6 +77,7 @@ func TestFigure2AndTable1(t *testing.T) {
 }
 
 func TestTable2Shape(t *testing.T) {
+	skipInShort(t)
 	e := sharedEnv()
 	tab := Table2(e)
 	if len(tab.Rows) != 4 {
@@ -83,6 +95,7 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestTable3Shape(t *testing.T) {
+	skipInShort(t)
 	e := sharedEnv()
 	tab := Table3(e)
 	// Columns: series, MBC, MBE, RMBR, 4-C, 5-C, CH.
@@ -109,6 +122,7 @@ func TestTable3Shape(t *testing.T) {
 }
 
 func TestTable4Shape(t *testing.T) {
+	skipInShort(t)
 	e := sharedEnv()
 	tab := Table4(e)
 	for row := range tab.Rows {
@@ -133,6 +147,7 @@ func TestTable4Shape(t *testing.T) {
 }
 
 func TestTable5Shape(t *testing.T) {
+	skipInShort(t)
 	e := sharedEnv()
 	tab := Table5(e)
 	for row := range tab.Rows {
@@ -157,6 +172,7 @@ func TestTable5Shape(t *testing.T) {
 }
 
 func TestFigure4Shape(t *testing.T) {
+	skipInShort(t)
 	e := sharedEnv()
 	tab := Figure4(e)
 	// Rows: CH, 5-C, 4-C, RMBR, MBE, MBC, only MBR; columns Europe, BW.
@@ -178,6 +194,7 @@ func TestFigure4Shape(t *testing.T) {
 }
 
 func TestFigure5Shape(t *testing.T) {
+	skipInShort(t)
 	e := sharedEnv()
 	tab := Figure5(e)
 	if len(tab.Rows) != 8 {
@@ -194,6 +211,7 @@ func TestFigure5Shape(t *testing.T) {
 }
 
 func TestFigure8Shape(t *testing.T) {
+	skipInShort(t)
 	e := sharedEnv()
 	tab := Figure8(e)
 	for row := 0; row < 2; row++ {
@@ -207,6 +225,7 @@ func TestFigure8Shape(t *testing.T) {
 }
 
 func TestFigure12Shape(t *testing.T) {
+	skipInShort(t)
 	e := sharedEnv()
 	tab := Figure12(e)
 	identified := cell(t, tab, 4, 2)
@@ -216,6 +235,7 @@ func TestFigure12Shape(t *testing.T) {
 }
 
 func TestTable6Weights(t *testing.T) {
+	skipInShort(t)
 	tab := Table6()
 	if len(tab.Rows) != 6 {
 		t.Fatal("Table 6 needs six operations")
@@ -229,6 +249,7 @@ func TestTable6Weights(t *testing.T) {
 }
 
 func TestTable7Shape(t *testing.T) {
+	skipInShort(t)
 	e := sharedEnv()
 	_, results := Table7(e)
 	for _, res := range results {
@@ -266,6 +287,7 @@ func TestTable7Shape(t *testing.T) {
 }
 
 func TestFigure16Shape(t *testing.T) {
+	skipInShort(t)
 	e := sharedEnv()
 	_, bins := Figure16(e)
 	var first, last *Figure16Bin
@@ -291,6 +313,7 @@ func TestFigure16Shape(t *testing.T) {
 }
 
 func TestFigure17Shape(t *testing.T) {
+	skipInShort(t)
 	e := sharedEnv()
 	_, rows := Figure17(e)
 	if len(rows) != 3 {
@@ -312,6 +335,7 @@ func TestFigure17Shape(t *testing.T) {
 }
 
 func TestFigure10Shape(t *testing.T) {
+	skipInShort(t)
 	tab := Figure10(smallBig())
 	if len(tab.Rows) != 4 {
 		t.Fatal("Figure 10 needs RMBR/5-C × 2/4 KB")
@@ -334,6 +358,7 @@ func TestFigure10Shape(t *testing.T) {
 }
 
 func TestFigure11Shape(t *testing.T) {
+	skipInShort(t)
 	_, rows := Figure11(smallBig())
 	if len(rows) != 4 {
 		t.Fatal("Figure 11 needs RMBR/5-C × 2/4 KB")
@@ -354,6 +379,7 @@ func TestFigure11Shape(t *testing.T) {
 }
 
 func TestFigure18Shape(t *testing.T) {
+	skipInShort(t)
 	_, rows := Figure18(smallBig())
 	if len(rows) != 3 {
 		t.Fatal("Figure 18 needs three versions")

@@ -26,6 +26,8 @@ func JoinContains(r, s *Relation, cfg Config) ([]Pair, Stats) {
 	r.Tree.Buffer().ResetCounters()
 	s.Tree.Buffer().ResetCounters()
 
+	fetchedR := make(map[int32]struct{})
+	fetchedS := make(map[int32]struct{})
 	st.MBRJoin = rstar.Join(r.Tree, s.Tree, func(a, b rstar.Item) {
 		oa := r.Objects[a.ID]
 		ob := s.Objects[b.ID]
@@ -50,12 +52,15 @@ func JoinContains(r, s *Relation, cfg Config) ([]Pair, Stats) {
 		}
 
 		st.ExactTested++
-		if !oa.fetched {
-			oa.fetched = true
+		// Object fetches are tracked in join-local sets (not on the shared
+		// objects), so a panic mid-join leaves no dirty state and
+		// concurrent joins on the same relations do not race.
+		if _, ok := fetchedR[oa.ID]; !ok {
+			fetchedR[oa.ID] = struct{}{}
 			st.ObjectFetches++
 		}
-		if !ob.fetched {
-			ob.fetched = true
+		if _, ok := fetchedS[ob.ID]; !ok {
+			fetchedS[ob.ID] = struct{}{}
 			st.ObjectFetches++
 		}
 		if exact.ContainsPolygon(oa.Prepared(), ob.Prepared(), &st.Ops) {
@@ -64,12 +69,6 @@ func JoinContains(r, s *Relation, cfg Config) ([]Pair, Stats) {
 		}
 	})
 
-	for _, o := range r.Objects {
-		o.fetched = false
-	}
-	for _, o := range s.Objects {
-		o.fetched = false
-	}
 	st.PageAccessesR = r.Tree.Buffer().Misses()
 	st.PageAccessesS = s.Tree.Buffer().Misses()
 	st.ResultPairs = int64(len(out))

@@ -10,12 +10,19 @@
 //	         decided on the exact representation (quadratic, plane sweep,
 //	         or TR*-tree over decomposed objects).
 //
-// Candidate pairs stream through the steps one at a time; no intermediate
-// candidate set is materialized (section 2.4).
+// Candidate pairs stream through the steps without materializing an
+// intermediate candidate set (section 2.4). The streaming core JoinStream
+// additionally spreads the traversal and the filter/exact steps over a
+// worker pool — the CPU parallelism the paper defers to future work in
+// section 6 — while producing exactly the sequential response set and
+// statistics; Join and JoinParallel are thin collect-and-sort wrappers
+// around it.
 package multistep
 
 import (
 	"fmt"
+	"sort"
+	"sync/atomic"
 
 	"spatialjoin/internal/approx"
 	"spatialjoin/internal/exact"
@@ -23,7 +30,6 @@ import (
 	"spatialjoin/internal/ops"
 	"spatialjoin/internal/rstar"
 	"spatialjoin/internal/trstar"
-	"spatialjoin/internal/zorder"
 )
 
 // Engine selects the exact geometry algorithm of step 3.
@@ -118,32 +124,40 @@ func DefaultConfig() Config {
 }
 
 // Object is one spatial object with its precomputed approximations and
-// lazily built exact-geometry representations.
+// lazily built exact-geometry representations. The lazy builders are safe
+// for concurrent use, so the streaming pipeline's workers can share
+// objects without coordination; the builds are deterministic, so a
+// duplicated concurrent build yields an equivalent representation.
 type Object struct {
 	ID     int32
 	Poly   *geom.Polygon
 	Approx *approx.Set
 
-	prepared *exact.PreparedPolygon // built on first exact test
-	tree     *trstar.Tree           // built on first TR*-tree test
-	fetched  bool                   // has the exact geometry been "transferred to main memory"
+	prepared atomic.Pointer[exact.PreparedPolygon] // built on first exact test
+	tree     atomic.Pointer[trstar.Tree]           // built on first TR*-tree test
 }
 
 // Prepared returns the plane-sweep/quadratic representation, building it
 // on first use (the paper's per-object preprocessing).
 func (o *Object) Prepared() *exact.PreparedPolygon {
-	if o.prepared == nil {
-		o.prepared = exact.Prepare(o.Poly)
+	if p := o.prepared.Load(); p != nil {
+		return p
 	}
-	return o.prepared
+	p := exact.Prepare(o.Poly)
+	if !o.prepared.CompareAndSwap(nil, p) {
+		return o.prepared.Load()
+	}
+	return p
 }
 
 // Tree returns the TR*-tree representation, building it on first use.
 func (o *Object) Tree(capacity int) *trstar.Tree {
-	if o.tree == nil || o.tree.Capacity() != capacity {
-		o.tree = trstar.NewFromPolygon(o.Poly, capacity)
+	if t := o.tree.Load(); t != nil && t.Capacity() == capacity {
+		return t
 	}
-	return o.tree
+	t := trstar.NewFromPolygon(o.Poly, capacity)
+	o.tree.Store(t)
+	return t
 }
 
 // Relation is a set of objects indexed by an R*-tree on their MBRs. The
@@ -233,108 +247,28 @@ func (s Stats) Identified() float64 {
 }
 
 // Join runs the multi-step spatial join of r and s and returns the
-// response set (pairs of object IDs whose polygons intersect) along with
-// per-step statistics. Both relations must have been built with the same
-// Config.
+// response set (pairs of object IDs whose polygons intersect, sorted by
+// (A, B)) along with per-step statistics. Both relations must have been
+// built with the same Config.
+//
+// Join is a thin collect-and-sort wrapper around the streaming core
+// (JoinStream) with a single worker; use JoinStream directly to overlap
+// the steps, bound memory, and spread the work over several workers.
 func Join(r, s *Relation, cfg Config) ([]Pair, Stats) {
-	var st Stats
+	return collectStream(r, s, cfg, StreamOptions{Workers: 1})
+}
+
+// collectStream materializes a streaming join into the sorted response
+// set — the shared body of the Join and JoinParallel wrappers.
+func collectStream(r, s *Relation, cfg Config, opts StreamOptions) ([]Pair, Stats) {
 	var out []Pair
-
-	r.Tree.Buffer().ResetCounters()
-	s.Tree.Buffer().ResetCounters()
-
-	process := func(oa, ob *Object) {
-		st.CandidatePairs++
-
-		// Step 2: geometric filter.
-		if cfg.UseFilter {
-			switch cfg.Filter.Classify(oa.Approx, ob.Approx) {
-			case approx.Hit:
-				st.FilterHits++
-				out = append(out, Pair{A: oa.ID, B: ob.ID})
-				return
-			case approx.FalseHit:
-				st.FilterFalseHits++
-				return
-			}
+	st := JoinStream(r, s, cfg, opts, func(p Pair) { out = append(out, p) })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
 		}
-
-		// Step 3: exact geometry processor.
-		st.ExactTested++
-		if !oa.fetched {
-			oa.fetched = true
-			st.ObjectFetches++
-		}
-		if !ob.fetched {
-			ob.fetched = true
-			st.ObjectFetches++
-		}
-		var hit bool
-		switch cfg.Engine {
-		case EngineQuadratic:
-			hit = exact.QuadraticIntersects(oa.Prepared(), ob.Prepared(), &st.Ops)
-		case EnginePlaneSweep:
-			hit = exact.PlaneSweepIntersects(oa.Prepared(), ob.Prepared(), cfg.PlaneSweepRestrict, &st.Ops)
-		case EngineTRStar:
-			hit = trstar.Intersects(oa.Tree(cfg.TRCapacity), ob.Tree(cfg.TRCapacity), &st.Ops)
-		default:
-			panic("multistep: unknown engine")
-		}
-		if hit {
-			st.ExactHits++
-			out = append(out, Pair{A: oa.ID, B: ob.ID})
-		}
-	}
-
-	switch cfg.Step1 {
-	case Step1RStar:
-		st.MBRJoin = rstar.Join(r.Tree, s.Tree, func(a, b rstar.Item) {
-			process(r.Objects[a.ID], s.Objects[b.ID])
-		})
-	case Step1ZOrder:
-		// Space-filling-curve sort-merge: the Z covers yield a candidate
-		// superset; the MBR test removes the quantization false positives
-		// before the geometric filter sees the pair.
-		mbrsR := make([]geom.Rect, len(r.Objects))
-		space := geom.EmptyRect()
-		for i, o := range r.Objects {
-			mbrsR[i] = o.Approx.MBR
-			space = space.Union(mbrsR[i])
-		}
-		mbrsS := make([]geom.Rect, len(s.Objects))
-		for i, o := range s.Objects {
-			mbrsS[i] = o.Approx.MBR
-			space = space.Union(mbrsS[i])
-		}
-		zcfg := zorder.DefaultCoverConfig()
-		zcfg.DataSpace = space // both relations must be fully covered
-		zorder.Join(mbrsR, mbrsS, zcfg, func(i, j int) {
-			st.ZOrderCandidates++
-			if mbrsR[i].Intersects(mbrsS[j]) {
-				process(r.Objects[i], s.Objects[j])
-			}
-		})
-	case Step1NestedLoops:
-		for _, oa := range r.Objects {
-			for _, ob := range s.Objects {
-				if oa.Approx.MBR.Intersects(ob.Approx.MBR) {
-					process(oa, ob)
-				}
-			}
-		}
-	default:
-		panic("multistep: unknown step 1 generator")
-	}
-
-	for _, o := range r.Objects {
-		o.fetched = false
-	}
-	for _, o := range s.Objects {
-		o.fetched = false
-	}
-	st.PageAccessesR = r.Tree.Buffer().Misses()
-	st.PageAccessesS = s.Tree.Buffer().Misses()
-	st.ResultPairs = int64(len(out))
+		return out[i].B < out[j].B
+	})
 	return out, st
 }
 

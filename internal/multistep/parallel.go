@@ -1,175 +1,17 @@
 package multistep
 
-import (
-	"runtime"
-	"sort"
-	"sync"
-
-	"spatialjoin/internal/approx"
-	"spatialjoin/internal/exact"
-	"spatialjoin/internal/rstar"
-	"spatialjoin/internal/trstar"
-)
-
-// JoinParallel runs the multi-step join with the filter and exact steps
-// parallelized over a worker pool — the CPU parallelism the paper lists as
-// future work in section 6. Step 1 stays sequential (it is I/O-model
-// bound); the collected candidate pairs are partitioned over workers, and
-// the per-worker statistics and result lists are merged deterministically,
-// so the response set equals Join's exactly.
+// JoinParallel runs the multi-step join spread over a worker pool — the
+// CPU parallelism the paper lists as future work in section 6. It is a
+// thin collect-and-sort wrapper around the streaming core: JoinStream
+// partitions the step 1 traversal at the subtree level and pushes the
+// candidate pairs through bounded channels into workers that classify
+// each pair with the geometric filter exactly once and decide the
+// survivors on exact geometry. The response set (sorted by (A, B)) and
+// the statistics equal Join's exactly.
 //
 // Step 1 always uses the R*-tree generator regardless of cfg.Step1.
 // workers ≤ 0 selects GOMAXPROCS.
 func JoinParallel(r, s *Relation, cfg Config, workers int) ([]Pair, Stats) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	var st Stats
-
-	r.Tree.Buffer().ResetCounters()
-	s.Tree.Buffer().ResetCounters()
-
-	// Step 1 (sequential): collect the candidate pairs.
-	type cand struct{ a, b int32 }
-	var cands []cand
-	st.MBRJoin = rstar.Join(r.Tree, s.Tree, func(a, b rstar.Item) {
-		cands = append(cands, cand{a.ID, b.ID})
-	})
-	st.CandidatePairs = int64(len(cands))
-	st.PageAccessesR = r.Tree.Buffer().Misses()
-	st.PageAccessesS = s.Tree.Buffer().Misses()
-
-	// Pre-build the exact representations of every object that can reach
-	// step 3, in parallel; afterwards the pair workers only read objects.
-	needR := map[int32]bool{}
-	needS := map[int32]bool{}
-	for _, c := range cands {
-		if cfg.UseFilter &&
-			cfg.Filter.Classify(r.Objects[c.a].Approx, s.Objects[c.b].Approx) != approx.Candidate {
-			continue
-		}
-		needR[c.a] = true
-		needS[c.b] = true
-	}
-	var buildList []*Object
-	for id := range needR {
-		buildList = append(buildList, r.Objects[id])
-	}
-	for id := range needS {
-		buildList = append(buildList, s.Objects[id])
-	}
-	var wgPrep sync.WaitGroup
-	jobs := make(chan *Object, len(buildList))
-	for _, o := range buildList {
-		jobs <- o
-	}
-	close(jobs)
-	for w := 0; w < workers; w++ {
-		wgPrep.Add(1)
-		go func() {
-			defer wgPrep.Done()
-			for o := range jobs {
-				switch cfg.Engine {
-				case EngineTRStar:
-					o.Tree(cfg.TRCapacity)
-				default:
-					o.Prepared()
-				}
-			}
-		}()
-	}
-	wgPrep.Wait()
-
-	// Steps 2 + 3 in parallel over contiguous chunks.
-	type workerOut struct {
-		pairs                 []Pair
-		hits, falseHits       int64
-		exactTested, exactHit int64
-		ops                   Stats
-	}
-	outs := make([]workerOut, workers)
-	var wg sync.WaitGroup
-	chunk := (len(cands) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(cands) {
-			hi = len(cands)
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			o := &outs[w]
-			for _, c := range cands[lo:hi] {
-				oa := r.Objects[c.a]
-				ob := s.Objects[c.b]
-				if cfg.UseFilter {
-					switch cfg.Filter.Classify(oa.Approx, ob.Approx) {
-					case approx.Hit:
-						o.hits++
-						o.pairs = append(o.pairs, Pair{A: c.a, B: c.b})
-						continue
-					case approx.FalseHit:
-						o.falseHits++
-						continue
-					}
-				}
-				o.exactTested++
-				var hit bool
-				switch cfg.Engine {
-				case EngineQuadratic:
-					hit = exact.QuadraticIntersects(oa.prepared, ob.prepared, &o.ops.Ops)
-				case EnginePlaneSweep:
-					hit = exact.PlaneSweepIntersects(oa.prepared, ob.prepared, cfg.PlaneSweepRestrict, &o.ops.Ops)
-				case EngineTRStar:
-					hit = trstar.Intersects(oa.tree, ob.tree, &o.ops.Ops)
-				}
-				if hit {
-					o.exactHit++
-					o.pairs = append(o.pairs, Pair{A: c.a, B: c.b})
-				}
-			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
-
-	var out []Pair
-	fetched := map[int32]bool{}
-	fetchedS := map[int32]bool{}
-	for w := range outs {
-		o := &outs[w]
-		out = append(out, o.pairs...)
-		st.FilterHits += o.hits
-		st.FilterFalseHits += o.falseHits
-		st.ExactTested += o.exactTested
-		st.ExactHits += o.exactHit
-		st.Ops.Add(o.ops.Ops)
-	}
-	// Object fetches: distinct objects across all exact-tested pairs.
-	for _, c := range cands {
-		oa := r.Objects[c.a]
-		ob := s.Objects[c.b]
-		if cfg.UseFilter && cfg.Filter.Classify(oa.Approx, ob.Approx) != approx.Candidate {
-			continue
-		}
-		if !fetched[c.a] {
-			fetched[c.a] = true
-			st.ObjectFetches++
-		}
-		if !fetchedS[c.b] {
-			fetchedS[c.b] = true
-			st.ObjectFetches++
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].A != out[j].A {
-			return out[i].A < out[j].A
-		}
-		return out[i].B < out[j].B
-	})
-	st.ResultPairs = int64(len(out))
-	return out, st
+	cfg.Step1 = Step1RStar
+	return collectStream(r, s, cfg, StreamOptions{Workers: workers})
 }

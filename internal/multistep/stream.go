@@ -1,0 +1,268 @@
+package multistep
+
+import (
+	"runtime"
+	"sync"
+
+	"spatialjoin/internal/approx"
+	"spatialjoin/internal/exact"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/ops"
+	"spatialjoin/internal/rstar"
+	"spatialjoin/internal/trstar"
+	"spatialjoin/internal/zorder"
+)
+
+// StreamOptions tunes the streaming join pipeline of JoinStream.
+// The zero value selects the defaults of DefaultStreamOptions.
+type StreamOptions struct {
+	// Workers sets both the step 1 traversal fan-out and the size of the
+	// step 2+3 worker pool; ≤ 0 selects GOMAXPROCS.
+	Workers int
+	// Batch is the number of candidate pairs per pipeline batch (default
+	// 256). Larger batches amortize channel traffic; smaller batches
+	// lower latency and peak memory.
+	Batch int
+	// Queue is the bounded depth of the candidate and result channels,
+	// in batches (default 4×Workers). Together with Batch it caps the
+	// in-flight memory at O((Queue+2·Workers)·Batch) candidate pairs —
+	// the pipeline never materializes the full candidate set.
+	Queue int
+}
+
+// DefaultStreamOptions returns the resolved default pipeline shape:
+// GOMAXPROCS workers, 256-pair batches, a 4×Workers batch queue.
+func DefaultStreamOptions() StreamOptions {
+	return StreamOptions{}.withDefaults()
+}
+
+func (o StreamOptions) withDefaults() StreamOptions {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Batch <= 0 {
+		o.Batch = 256
+	}
+	if o.Queue <= 0 {
+		o.Queue = 4 * o.Workers
+	}
+	return o
+}
+
+// streamCand is one candidate pair in flight between step 1 and step 2.
+type streamCand struct{ a, b int32 }
+
+// streamWorker accumulates one worker's share of the steps 2+3 statistics;
+// the shares are merged deterministically after the pipeline drains.
+type streamWorker struct {
+	hits, falseHits    int64
+	exactTested        int64
+	exactHits          int64
+	ops                ops.Counters
+	fetchedR, fetchedS map[int32]struct{}
+}
+
+// JoinStream runs the multi-step spatial join as a streaming, fully
+// parallel pipeline and calls emit for every response pair:
+//
+//	step 1  — the candidate generator runs as the producer; with the
+//	          R*-tree generator the synchronized traversal itself is
+//	          partitioned at the subtree level over Workers goroutines
+//	          (rstar.JoinParallel).
+//	steps 2+3 — candidate batches flow through a bounded channel into a
+//	          pool of Workers that classify each pair with the geometric
+//	          filter (once) and decide the survivors on exact geometry.
+//
+// emit is called from a single collector goroutine, one pair at a time,
+// in no particular order; a nil emit discards the pairs and returns only
+// statistics. Memory stays bounded by the channel depths regardless of
+// the candidate-set size, so relation size is not capped by the candidate
+// count as it is when the pairs are collected first.
+//
+// The response set and every statistic equal Join's exactly: the per-task
+// and per-worker counters are pure sums and set unions, so the merge is
+// independent of scheduling, and the step 1 page traces are replayed in
+// sequential traversal order (see rstar.JoinParallel). Both relations
+// must have been built with the same Config. JoinStream must not run
+// concurrently with another join on the same relations (the R*-tree
+// buffer accounting is shared).
+func JoinStream(r, s *Relation, cfg Config, opts StreamOptions, emit func(Pair)) Stats {
+	opts = opts.withDefaults()
+	var st Stats
+
+	r.Tree.Buffer().ResetCounters()
+	s.Tree.Buffer().ResetCounters()
+
+	candCh := make(chan []streamCand, opts.Queue)
+	resCh := make(chan []Pair, opts.Queue)
+
+	// Steps 2+3: the worker pool.
+	workers := make([]streamWorker, opts.Workers)
+	var wg sync.WaitGroup
+	for w := range workers {
+		wg.Add(1)
+		go func(ws *streamWorker) {
+			defer wg.Done()
+			ws.fetchedR = make(map[int32]struct{})
+			ws.fetchedS = make(map[int32]struct{})
+			for batch := range candCh {
+				var out []Pair
+				for _, c := range batch {
+					oa, ob := r.Objects[c.a], s.Objects[c.b]
+					// Step 2: geometric filter, evaluated exactly once
+					// per candidate.
+					if cfg.UseFilter {
+						switch cfg.Filter.Classify(oa.Approx, ob.Approx) {
+						case approx.Hit:
+							ws.hits++
+							out = append(out, Pair{A: c.a, B: c.b})
+							continue
+						case approx.FalseHit:
+							ws.falseHits++
+							continue
+						}
+					}
+					// Step 3: exact geometry processor.
+					ws.exactTested++
+					ws.fetchedR[c.a] = struct{}{}
+					ws.fetchedS[c.b] = struct{}{}
+					var hit bool
+					switch cfg.Engine {
+					case EngineQuadratic:
+						hit = exact.QuadraticIntersects(oa.Prepared(), ob.Prepared(), &ws.ops)
+					case EnginePlaneSweep:
+						hit = exact.PlaneSweepIntersects(oa.Prepared(), ob.Prepared(), cfg.PlaneSweepRestrict, &ws.ops)
+					case EngineTRStar:
+						hit = trstar.Intersects(oa.Tree(cfg.TRCapacity), ob.Tree(cfg.TRCapacity), &ws.ops)
+					default:
+						panic("multistep: unknown engine")
+					}
+					if hit {
+						ws.exactHits++
+						out = append(out, Pair{A: c.a, B: c.b})
+					}
+				}
+				if len(out) > 0 {
+					resCh <- out
+				}
+			}
+		}(&workers[w])
+	}
+
+	// The collector serializes emission of the response set.
+	var resultPairs int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for batch := range resCh {
+			resultPairs += int64(len(batch))
+			if emit != nil {
+				for _, p := range batch {
+					emit(p)
+				}
+			}
+		}
+	}()
+
+	// Step 1: the candidate producer, on the calling goroutine.
+	switch cfg.Step1 {
+	case Step1RStar:
+		// Per-traversal-worker batch buffers: rstar.JoinParallel serializes
+		// calls with the same worker index, so no locks are needed.
+		batches := make([][]streamCand, opts.Workers)
+		st.MBRJoin = rstar.JoinParallel(r.Tree, s.Tree, opts.Workers, func(w int, a, b rstar.Item) {
+			buf := append(batches[w], streamCand{a.ID, b.ID})
+			if len(buf) >= opts.Batch {
+				candCh <- buf
+				buf = nil
+			}
+			batches[w] = buf
+		})
+		for _, buf := range batches {
+			if len(buf) > 0 {
+				candCh <- buf
+			}
+		}
+		st.CandidatePairs = st.MBRJoin.Pairs
+	case Step1ZOrder:
+		// Space-filling-curve sort-merge: the Z covers yield a candidate
+		// superset; the MBR test removes the quantization false positives
+		// before the geometric filter sees the pair.
+		mbrsR := make([]geom.Rect, len(r.Objects))
+		space := geom.EmptyRect()
+		for i, o := range r.Objects {
+			mbrsR[i] = o.Approx.MBR
+			space = space.Union(mbrsR[i])
+		}
+		mbrsS := make([]geom.Rect, len(s.Objects))
+		for i, o := range s.Objects {
+			mbrsS[i] = o.Approx.MBR
+			space = space.Union(mbrsS[i])
+		}
+		zcfg := zorder.DefaultCoverConfig()
+		zcfg.DataSpace = space // both relations must be fully covered
+		var buf []streamCand
+		zorder.Join(mbrsR, mbrsS, zcfg, func(i, j int) {
+			st.ZOrderCandidates++
+			if mbrsR[i].Intersects(mbrsS[j]) {
+				st.CandidatePairs++
+				buf = append(buf, streamCand{int32(i), int32(j)})
+				if len(buf) >= opts.Batch {
+					candCh <- buf
+					buf = nil
+				}
+			}
+		})
+		if len(buf) > 0 {
+			candCh <- buf
+		}
+	case Step1NestedLoops:
+		var buf []streamCand
+		for _, oa := range r.Objects {
+			for _, ob := range s.Objects {
+				if oa.Approx.MBR.Intersects(ob.Approx.MBR) {
+					st.CandidatePairs++
+					buf = append(buf, streamCand{oa.ID, ob.ID})
+					if len(buf) >= opts.Batch {
+						candCh <- buf
+						buf = nil
+					}
+				}
+			}
+		}
+		if len(buf) > 0 {
+			candCh <- buf
+		}
+	default:
+		panic("multistep: unknown step 1 generator")
+	}
+	close(candCh)
+	wg.Wait()
+	close(resCh)
+	<-done
+
+	// Deterministic merge: every counter is a sum and the fetch sets are
+	// unions, so the totals do not depend on how candidates were spread
+	// over the workers.
+	unionR := make(map[int32]struct{})
+	unionS := make(map[int32]struct{})
+	for w := range workers {
+		ws := &workers[w]
+		st.FilterHits += ws.hits
+		st.FilterFalseHits += ws.falseHits
+		st.ExactTested += ws.exactTested
+		st.ExactHits += ws.exactHits
+		st.Ops.Add(ws.ops)
+		for id := range ws.fetchedR {
+			unionR[id] = struct{}{}
+		}
+		for id := range ws.fetchedS {
+			unionS[id] = struct{}{}
+		}
+	}
+	st.ObjectFetches = int64(len(unionR) + len(unionS))
+	st.PageAccessesR = r.Tree.Buffer().Misses()
+	st.PageAccessesS = s.Tree.Buffer().Misses()
+	st.ResultPairs = resultPairs
+	return st
+}

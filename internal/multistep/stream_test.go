@@ -1,0 +1,130 @@
+package multistep
+
+import (
+	"testing"
+)
+
+// clearBuffers puts both relations' page buffers into the same (cold)
+// state, so that the page-access statistics of consecutive joins are
+// comparable byte for byte.
+func clearBuffers(r, s *Relation) {
+	r.Tree.Buffer().Clear()
+	s.Tree.Buffer().Clear()
+}
+
+// TestJoinStreamEquivalence is the streaming pipeline's correctness
+// theorem: for every exact engine, every step 1 generator and every
+// worker count, JoinStream (and the JoinParallel wrapper) produce exactly
+// Join's response set and exactly Join's statistics — candidate counts,
+// filter decisions, exact tests, object fetches, operation counters and
+// page accesses alike.
+func TestJoinStreamEquivalence(t *testing.T) {
+	rp, sp := smallSeries(t)
+	for _, step1 := range []Step1{Step1RStar, Step1ZOrder, Step1NestedLoops} {
+		for _, engine := range []Engine{EngineQuadratic, EnginePlaneSweep, EngineTRStar} {
+			cfg := DefaultConfig()
+			cfg.Step1 = step1
+			cfg.Engine = engine
+			r := NewRelation("R", rp, cfg)
+			s := NewRelation("S", sp, cfg)
+			name := step1.String() + "/" + engine.String()
+
+			clearBuffers(r, s)
+			want, wantSt := Join(r, s, cfg)
+			if len(want) == 0 {
+				t.Fatalf("%s: join produced nothing; test is vacuous", name)
+			}
+
+			for _, workers := range []int{1, 2, 4, 0} {
+				clearBuffers(r, s)
+				var got []Pair
+				st := JoinStream(r, s, cfg, StreamOptions{Workers: workers},
+					func(p Pair) { got = append(got, p) })
+				assertSameResponse(t, name, got, want)
+				if st != wantSt {
+					t.Errorf("%s workers=%d: stats diverge:\n got %+v\nwant %+v",
+						name, workers, st, wantSt)
+				}
+			}
+
+			if step1 == Step1RStar {
+				clearBuffers(r, s)
+				got, st := JoinParallel(r, s, cfg, 4)
+				assertSameResponse(t, name+"/JoinParallel", got, want)
+				if st != wantSt {
+					t.Errorf("%s: JoinParallel stats diverge:\n got %+v\nwant %+v",
+						name, st, wantSt)
+				}
+			}
+		}
+	}
+}
+
+// TestJoinStreamBackpressure runs the pipeline with the smallest possible
+// batches and queue so every channel operation and flush path is
+// exercised under back-pressure.
+func TestJoinStreamBackpressure(t *testing.T) {
+	rp, sp := smallSeries(t)
+	cfg := DefaultConfig()
+	r := NewRelation("R", rp, cfg)
+	s := NewRelation("S", sp, cfg)
+
+	clearBuffers(r, s)
+	want, wantSt := Join(r, s, cfg)
+
+	clearBuffers(r, s)
+	var got []Pair
+	st := JoinStream(r, s, cfg, StreamOptions{Workers: 3, Batch: 1, Queue: 1},
+		func(p Pair) { got = append(got, p) })
+	assertSameResponse(t, "batch=1", got, want)
+	if st != wantSt {
+		t.Errorf("batch=1: stats diverge:\n got %+v\nwant %+v", st, wantSt)
+	}
+}
+
+// TestJoinStreamNilEmit checks that a nil emit still drives the full
+// pipeline and reports complete statistics.
+func TestJoinStreamNilEmit(t *testing.T) {
+	rp, sp := smallSeries(t)
+	cfg := DefaultConfig()
+	r := NewRelation("R", rp, cfg)
+	s := NewRelation("S", sp, cfg)
+
+	clearBuffers(r, s)
+	want, wantSt := Join(r, s, cfg)
+
+	clearBuffers(r, s)
+	st := JoinStream(r, s, cfg, StreamOptions{}, nil)
+	if st != wantSt {
+		t.Errorf("nil emit: stats diverge:\n got %+v\nwant %+v", st, wantSt)
+	}
+	if st.ResultPairs != int64(len(want)) {
+		t.Errorf("nil emit: ResultPairs = %d, want %d", st.ResultPairs, len(want))
+	}
+}
+
+// TestJoinStreamRepeatable runs the same streaming join twice from the
+// same buffer state and demands identical statistics — the deterministic
+// merge must hide the scheduling.
+func TestJoinStreamRepeatable(t *testing.T) {
+	rp, sp := smallSeries(t)
+	cfg := DefaultConfig()
+	r := NewRelation("R", rp, cfg)
+	s := NewRelation("S", sp, cfg)
+
+	clearBuffers(r, s)
+	first := JoinStream(r, s, cfg, StreamOptions{Workers: 4}, nil)
+	clearBuffers(r, s)
+	second := JoinStream(r, s, cfg, StreamOptions{Workers: 4}, nil)
+	if first != second {
+		t.Errorf("streaming join not repeatable:\n first %+v\nsecond %+v", first, second)
+	}
+}
+
+// TestDefaultStreamOptions pins the documented defaults.
+func TestDefaultStreamOptions(t *testing.T) {
+	o := DefaultStreamOptions()
+	if o.Workers <= 0 || o.Batch != 256 || o.Queue != 4*o.Workers {
+		t.Errorf("unexpected defaults: %+v", o)
+	}
+}

@@ -1,0 +1,111 @@
+package rstar
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"spatialjoin/internal/storage"
+)
+
+// JoinParallel runs the MBR-join of Join with the synchronized traversal
+// partitioned at the subtree level: the two roots are paired sequentially,
+// every intersecting pairing of root children becomes one task, and the
+// tasks are fanned out over a pool of workers that traverse their subtree
+// pairs independently.
+//
+// emit is called for every candidate pair, concurrently from the worker
+// goroutines; worker identifies the calling worker (0 ≤ worker < the
+// normalized worker count), and calls with the same worker index are
+// serial, so the caller can keep per-worker state without locks. The
+// emission order differs from Join's; the emitted multiset of pairs does
+// not.
+//
+// The buffer managers are not safe for concurrent use, so workers record
+// their page visits into per-task traces that are replayed through the
+// buffers in the sequential traversal order after the workers finish. The
+// returned JoinStats and the trees' buffer hit/miss counters are therefore
+// byte-identical to running Join on the same trees in the same buffer
+// state.
+//
+// workers ≤ 0 selects GOMAXPROCS. With one worker, a leaf root, or trees
+// of height one the traversal falls back to the sequential Join path
+// (emitting with worker index 0).
+func JoinParallel(t1, t2 *Tree, workers int, emit func(worker int, a, b Item)) JoinStats {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var st JoinStats
+	if t1.size == 0 || t2.size == 0 {
+		return st
+	}
+	if workers == 1 || t1.root.leaf || t2.root.leaf {
+		v := &joinVisit{touch1: t1.touch, touch2: t2.touch, st: &st,
+			fn: func(a, b Item) { emit(0, a, b) }}
+		v.nodes(t1.root, t2.root)
+		return st
+	}
+
+	// Root pairing, sequentially: touch both roots, restrict to the
+	// intersection of the root regions, and sweep the root entries. Each
+	// emitted child pairing becomes one task; the task order is exactly
+	// the order the sequential traversal would descend in.
+	t1.touch(t1.root)
+	t2.touch(t2.root)
+	inter := t1.root.bounds().Intersection(t2.root.bounds())
+	if inter.IsEmpty() {
+		return st
+	}
+	type task struct{ n1, n2 *node }
+	var tasks []task
+	sweepPairs(t1.root.entries, t2.root.entries, inter, &st, func(e1, e2 entry) {
+		tasks = append(tasks, task{e1.child, e2.child})
+	})
+
+	type taskResult struct {
+		st             JoinStats
+		trace1, trace2 []storage.PageID
+	}
+	results := make([]taskResult, len(tasks))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				res := &results[i]
+				v := &joinVisit{
+					touch1: func(n *node) { res.trace1 = append(res.trace1, n.page) },
+					touch2: func(n *node) { res.trace2 = append(res.trace2, n.page) },
+					st:     &res.st,
+					fn:     func(a, b Item) { emit(w, a, b) },
+				}
+				v.nodes(tasks[i].n1, tasks[i].n2)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Merge the per-task statistics and replay the page traces in task
+	// order. Every statistic is a sum, so the merge is deterministic; the
+	// replay reproduces the sequential access sequence, so the buffers end
+	// in the same state with the same hit/miss counts.
+	for i := range results {
+		res := &results[i]
+		st.Pairs += res.st.Pairs
+		st.RectTests += res.st.RectTests
+		st.LeafTests += res.st.LeafTests
+		for _, pid := range res.trace1 {
+			t1.buf.Access(pid)
+		}
+		for _, pid := range res.trace2 {
+			t2.buf.Access(pid)
+		}
+	}
+	return st
+}

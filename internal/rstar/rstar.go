@@ -354,44 +354,57 @@ func Join(t1, t2 *Tree, fn func(a, b Item)) JoinStats {
 	if t1.size == 0 || t2.size == 0 {
 		return st
 	}
-	joinNodes(t1, t2, t1.root, t2.root, &st, fn)
+	v := &joinVisit{touch1: t1.touch, touch2: t2.touch, st: &st, fn: fn}
+	v.nodes(t1.root, t2.root)
 	return st
 }
 
-func joinNodes(t1, t2 *Tree, n1, n2 *node, st *JoinStats, fn func(a, b Item)) {
-	t1.touch(n1)
-	t2.touch(n2)
+// joinVisit parameterizes the synchronized traversal over how node visits
+// are recorded: the sequential Join routes them through the trees' buffer
+// managers, while the parallel traversal of JoinParallel records per-task
+// page traces and replays them afterwards (the buffer manager is not safe
+// for concurrent use, and replaying in canonical order keeps the miss
+// counts identical to the sequential traversal).
+type joinVisit struct {
+	touch1, touch2 func(*node)
+	st             *JoinStats
+	fn             func(a, b Item)
+}
+
+func (v *joinVisit) nodes(n1, n2 *node) {
+	v.touch1(n1)
+	v.touch2(n2)
 	inter := n1.bounds().Intersection(n2.bounds())
 	if inter.IsEmpty() {
 		return
 	}
 	switch {
 	case n1.leaf && n2.leaf:
-		before := st.RectTests
-		sweepPairs(n1.entries, n2.entries, inter, st, func(e1, e2 entry) {
-			st.Pairs++
-			fn(e1.item, e2.item)
+		before := v.st.RectTests
+		sweepPairs(n1.entries, n2.entries, inter, v.st, func(e1, e2 entry) {
+			v.st.Pairs++
+			v.fn(e1.item, e2.item)
 		})
-		st.LeafTests += st.RectTests - before
+		v.st.LeafTests += v.st.RectTests - before
 	case !n1.leaf && !n2.leaf:
-		sweepPairs(n1.entries, n2.entries, inter, st, func(e1, e2 entry) {
-			joinNodes(t1, t2, e1.child, e2.child, st, fn)
+		sweepPairs(n1.entries, n2.entries, inter, v.st, func(e1, e2 entry) {
+			v.nodes(e1.child, e2.child)
 		})
 	case n1.leaf:
 		// Different heights: descend the deeper tree only.
 		b1 := n1.bounds()
 		for i := range n2.entries {
-			st.RectTests++
+			v.st.RectTests++
 			if n2.entries[i].rect.Intersects(b1) {
-				joinNodes(t1, t2, n1, n2.entries[i].child, st, fn)
+				v.nodes(n1, n2.entries[i].child)
 			}
 		}
 	default:
 		b2 := n2.bounds()
 		for i := range n1.entries {
-			st.RectTests++
+			v.st.RectTests++
 			if n1.entries[i].rect.Intersects(b2) {
-				joinNodes(t1, t2, n1.entries[i].child, n2, st, fn)
+				v.nodes(n1.entries[i].child, n2)
 			}
 		}
 	}

@@ -58,6 +58,9 @@ type (
 	WindowStats = multistep.WindowStats
 	// Engine selects the exact geometry algorithm.
 	Engine = multistep.Engine
+	// StreamOptions tunes the streaming pipeline of JoinStream (worker
+	// count, batch size, bounded queue depth).
+	StreamOptions = multistep.StreamOptions
 	// ApproximationKind identifies a conservative or progressive
 	// approximation of section 3 of the paper.
 	ApproximationKind = approx.Kind
@@ -106,12 +109,26 @@ func Join(r, s *Relation, cfg Config) ([]Pair, Stats) {
 	return multistep.Join(r, s, cfg)
 }
 
-// JoinParallel is Join with the filter and exact steps spread over a
-// worker pool (workers ≤ 0 selects GOMAXPROCS). The response set is
-// identical to Join's.
+// JoinParallel is Join spread over a worker pool (workers ≤ 0 selects
+// GOMAXPROCS). The response set and statistics are identical to Join's.
 func JoinParallel(r, s *Relation, cfg Config, workers int) ([]Pair, Stats) {
 	return multistep.JoinParallel(r, s, cfg, workers)
 }
+
+// JoinStream runs the join as a streaming, fully parallel pipeline: the
+// step 1 traversal is partitioned over workers, candidate pairs flow
+// through bounded channels into a filter/exact worker pool, and emit
+// receives every response pair from a single collector goroutine. Memory
+// stays bounded by the pipeline depth instead of the candidate count; the
+// emitted pair set and the statistics equal Join's exactly. A nil emit
+// discards the pairs and returns only statistics.
+func JoinStream(r, s *Relation, cfg Config, opts StreamOptions, emit func(Pair)) Stats {
+	return multistep.JoinStream(r, s, cfg, opts, emit)
+}
+
+// DefaultStreamOptions returns the resolved default pipeline shape of
+// JoinStream (GOMAXPROCS workers, 256-pair batches, 4×Workers queue).
+func DefaultStreamOptions() StreamOptions { return multistep.DefaultStreamOptions() }
 
 // JoinContains computes the inclusion join: all pairs (a, b) with the
 // region of a containing the region of b.

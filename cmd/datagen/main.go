@@ -1,10 +1,24 @@
-// Command datagen emits a generated cartographic relation as
-// tab-separated WKT-like polygons on stdout, for inspection or use by
-// external tools.
+// Command datagen emits a generated cartographic relation: as
+// tab-separated WKT-like polygons on stdout (the default, for inspection
+// or external tools), as the compact binary polygon format (-bin), or as
+// a fully preprocessed relation store (-store) that cmd/spatialjoin and
+// OpenRelation reopen instantly — build once, serve many.
 //
 // Usage:
 //
 //	datagen [-n 810] [-verts 84] [-holes 0.06] [-seed 9401] [-stats]
+//	        [-bin out.sjr]
+//	        [-store out.store] [-strategy ""|A|B|B2] [-name NAME]
+//	        [-engine trstar] [-conservative 5C] [-progressive MER]
+//	        [-no-filter] [-page 4096] [-policy lru]
+//
+// With -store, the configuration flags select the preprocessing
+// (approximations, exact engine, page geometry, buffer policy) and are
+// fingerprinted into the store; opening it later requires the same
+// configuration. -strategy transforms the generated map into the
+// paper's test-series counterpart before preprocessing: A is the
+// shifted copy, and B/B2 are the two randomized placements
+// cmd/spatialjoin joins as R and S under its -strategy B.
 package main
 
 import (
@@ -14,8 +28,11 @@ import (
 	"os"
 	"strings"
 
+	"spatialjoin/internal/approx"
 	"spatialjoin/internal/data"
 	"spatialjoin/internal/geom"
+	"spatialjoin/internal/multistep"
+	"spatialjoin/internal/storage"
 )
 
 func main() {
@@ -25,6 +42,15 @@ func main() {
 	seed := flag.Int64("seed", 9401, "generation seed")
 	statsOnly := flag.Bool("stats", false, "print relation statistics instead of geometry")
 	binOut := flag.String("bin", "", "write the relation in binary form to this file instead of WKT on stdout")
+	storeOut := flag.String("store", "", "preprocess the relation and write it as a relation store to this file")
+	strategy := flag.String("strategy", "", "with -store: transform the map first: A (shifted copy), B (random placement, R side) or B2 (random placement, S side)")
+	name := flag.String("name", "", "with -store: relation name (default: the file name)")
+	engine := flag.String("engine", "trstar", "with -store: exact engine: trstar, planesweep, quadratic")
+	conservative := flag.String("conservative", "5C", "with -store: conservative approximation: 5C, 4C, RMBR, CH, MBC, MBE")
+	progressive := flag.String("progressive", "MER", "with -store: progressive approximation: MER, MEC")
+	noFilter := flag.Bool("no-filter", false, "with -store: disable the geometric filter (step 2)")
+	pageSize := flag.Int("page", 4096, "with -store: R*-tree page size in bytes")
+	policy := flag.String("policy", "lru", "with -store: buffer replacement policy: lru, fifo, clock")
 	flag.Parse()
 
 	rel := data.GenerateMap(data.MapConfig{
@@ -39,14 +65,58 @@ func main() {
 	if *binOut != "" {
 		f, err := os.Create(*binOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "datagen:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer f.Close()
 		if err := data.WriteRelation(f, rel); err != nil {
-			fmt.Fprintln(os.Stderr, "datagen:", err)
-			os.Exit(1)
+			fatal(err)
 		}
+		return
+	}
+	if *storeOut != "" {
+		cfg := multistep.DefaultConfig()
+		cfg.PageSize = *pageSize
+		cfg.UseFilter = !*noFilter
+		var err error
+		if cfg.Engine, err = multistep.ParseEngine(*engine); err != nil {
+			fatal(err)
+		}
+		if cfg.Filter.Conservative, err = approx.ParseKind(*conservative); err != nil {
+			fatal(err)
+		}
+		if cfg.Filter.Progressive, err = approx.ParseKind(*progressive); err != nil {
+			fatal(err)
+		}
+		if cfg.BufferPolicy, err = storage.ParsePolicy(*policy); err != nil {
+			fatal(err)
+		}
+		// The seed offsets mirror cmd/spatialjoin's test-series pairs:
+		// its strategy B joins StrategyB(base, seed+1) with
+		// StrategyB(base, seed+2), so B emits the R side and B2 the S
+		// side — the prebuilt stores reproduce the generate path
+		// exactly for both strategies.
+		switch strings.ToUpper(*strategy) {
+		case "":
+		case "A":
+			rel = data.StrategyA(rel, 0.45)
+		case "B":
+			rel = data.StrategyB(rel, *seed+1)
+		case "B2":
+			rel = data.StrategyB(rel, *seed+2)
+		default:
+			fatal(fmt.Errorf("unknown strategy %q", *strategy))
+		}
+		relName := *name
+		if relName == "" {
+			relName = *storeOut
+		}
+		r := multistep.NewRelation(relName, rel, cfg)
+		if err := multistep.SaveRelationFile(*storeOut, r, cfg); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: %d objects preprocessed (engine %s, filter %s+%s, page %d, policy %s)\n",
+			*storeOut, len(r.Objects), cfg.Engine, cfg.Filter.Conservative, cfg.Filter.Progressive,
+			cfg.PageSize, cfg.BufferPolicy)
 		return
 	}
 	w := bufio.NewWriter(os.Stdout)
@@ -78,4 +148,9 @@ func wkt(p *geom.Polygon) string {
 	}
 	b.WriteByte(')')
 	return b.String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
 }

@@ -1,18 +1,24 @@
 // Command spatialjoin runs the complete multi-step spatial join end to end
-// on generated cartographic data and prints per-step statistics and the
-// modelled cost breakdown — a one-command demonstration of the paper's
-// processor.
+// and prints per-step statistics and the modelled cost breakdown — a
+// one-command demonstration of the paper's processor. Inputs are either
+// generated on the fly (the default) or opened from prebuilt relation
+// stores written by cmd/datagen, in which case the expensive
+// preprocessing is skipped entirely.
 //
 // Usage:
 //
 //	spatialjoin [-n 810] [-verts 84] [-strategy A|B] [-engine trstar|planesweep|quadratic]
 //	            [-conservative 5C|RMBR|CH|4C|MBC|MBE] [-progressive MER|MEC]
-//	            [-no-filter] [-page 4096] [-seed 9401]
+//	            [-no-filter] [-page 4096] [-policy lru|fifo|clock] [-seed 9401]
 //	            [-parallel N] [-stream]
+//	            [-rstore R.store -sstore S.store]
 //
 // -parallel spreads the filter and exact steps over N workers
 // (JoinParallel); -stream additionally runs step 1 partitioned and the
 // whole join as the bounded-memory streaming pipeline (JoinStream).
+// -rstore/-sstore open prebuilt stores (both must be given, and the
+// configuration flags must match the ones the stores were built with —
+// a mismatch is rejected via the stores' config fingerprint).
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"spatialjoin/internal/costmodel"
 	"spatialjoin/internal/data"
 	"spatialjoin/internal/multistep"
+	"spatialjoin/internal/storage"
 )
 
 func main() {
@@ -37,24 +44,30 @@ func main() {
 	progressive := flag.String("progressive", "MER", "progressive approximation: MER, MEC")
 	noFilter := flag.Bool("no-filter", false, "disable the geometric filter (step 2)")
 	pageSize := flag.Int("page", 4096, "R*-tree page size in bytes")
+	policy := flag.String("policy", "lru", "buffer replacement policy: lru, fifo, clock")
 	seed := flag.Int64("seed", 9401, "data seed")
 	predicate := flag.String("predicate", "intersects", "join predicate: intersects or contains")
 	step1 := flag.String("step1", "rstar", "step 1 candidate generator: rstar, zorder, nested")
 	parallel := flag.Int("parallel", 0, "filter/exact worker count (0 = sequential; with -stream, 0 = GOMAXPROCS)")
 	stream := flag.Bool("stream", false, "use the streaming pipeline (JoinStream): bounded memory, -parallel workers")
+	rstorePath := flag.String("rstore", "", "open relation R from this prebuilt store instead of generating it")
+	sstorePath := flag.String("sstore", "", "open relation S from this prebuilt store instead of generating it")
 	flag.Parse()
 
 	cfg := multistep.DefaultConfig()
 	cfg.PageSize = *pageSize
 	cfg.UseFilter = !*noFilter
 	var err error
-	if cfg.Engine, err = parseEngine(*engine); err != nil {
+	if cfg.Engine, err = multistep.ParseEngine(*engine); err != nil {
 		fatal(err)
 	}
-	if cfg.Filter.Conservative, err = parseKind(*conservative); err != nil {
+	if cfg.Filter.Conservative, err = approx.ParseKind(*conservative); err != nil {
 		fatal(err)
 	}
-	if cfg.Filter.Progressive, err = parseKind(*progressive); err != nil {
+	if cfg.Filter.Progressive, err = approx.ParseKind(*progressive); err != nil {
+		fatal(err)
+	}
+	if cfg.BufferPolicy, err = storage.ParsePolicy(*policy); err != nil {
 		fatal(err)
 	}
 	switch strings.ToLower(*step1) {
@@ -68,23 +81,42 @@ func main() {
 		fatal(fmt.Errorf("unknown step1 generator %q", *step1))
 	}
 
-	fmt.Printf("generating %d objects with ~%d vertices (strategy %s)...\n", *n, *verts, *strategy)
-	base := data.GenerateMap(data.MapConfig{Cells: *n, TargetVerts: *verts, HoleFraction: 0.06, Seed: *seed})
-	var rPolys, sPolys = base, base
-	switch strings.ToUpper(*strategy) {
-	case "A":
-		sPolys = data.StrategyA(base, 0.45)
-	case "B":
-		rPolys = data.StrategyB(base, *seed+1)
-		sPolys = data.StrategyB(base, *seed+2)
+	var r, s *multistep.Relation
+	var prep time.Duration
+	switch {
+	case *rstorePath != "" && *sstorePath != "":
+		t0 := time.Now()
+		if r, err = multistep.OpenRelationFile(*rstorePath, cfg); err != nil {
+			fatal(fmt.Errorf("open %s: %w", *rstorePath, err))
+		}
+		if s, err = multistep.OpenRelationFile(*sstorePath, cfg); err != nil {
+			fatal(fmt.Errorf("open %s: %w", *sstorePath, err))
+		}
+		prep = time.Since(t0)
+		fmt.Printf("opened prebuilt stores %s (%d objects) and %s (%d objects) in %.3fs — preprocessing skipped\n",
+			*rstorePath, len(r.Objects), *sstorePath, len(s.Objects), prep.Seconds())
+	case *rstorePath != "" || *sstorePath != "":
+		fatal(fmt.Errorf("-rstore and -sstore must be given together"))
 	default:
-		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+		fmt.Printf("generating %d objects with ~%d vertices (strategy %s)...\n", *n, *verts, *strategy)
+		base := data.GenerateMap(data.MapConfig{Cells: *n, TargetVerts: *verts, HoleFraction: 0.06, Seed: *seed})
+		var rPolys, sPolys = base, base
+		switch strings.ToUpper(*strategy) {
+		case "A":
+			sPolys = data.StrategyA(base, 0.45)
+		case "B":
+			rPolys = data.StrategyB(base, *seed+1)
+			sPolys = data.StrategyB(base, *seed+2)
+		default:
+			fatal(fmt.Errorf("unknown strategy %q", *strategy))
+		}
+		t0 := time.Now()
+		r = multistep.NewRelation("R", rPolys, cfg)
+		s = multistep.NewRelation("S", sPolys, cfg)
+		prep = time.Since(t0)
+		fmt.Printf("preprocessing: %.2fs (approximations + R*-trees, entry %d bytes)\n",
+			prep.Seconds(), multistep.EntryBytes(cfg))
 	}
-
-	t0 := time.Now()
-	r := multistep.NewRelation("R", rPolys, cfg)
-	s := multistep.NewRelation("S", sPolys, cfg)
-	prep := time.Since(t0)
 
 	t1 := time.Now()
 	var pairs []multistep.Pair
@@ -108,9 +140,7 @@ func main() {
 	}
 	joinTime := time.Since(t1)
 
-	fmt.Printf("\npreprocessing: %.2fs (approximations + R*-trees, entry %d bytes)\n",
-		prep.Seconds(), multistep.EntryBytes(cfg))
-	fmt.Printf("join wall time: %.3fs\n\n", joinTime.Seconds())
+	fmt.Printf("\njoin wall time: %.3fs (buffer policy %s)\n\n", joinTime.Seconds(), cfg.BufferPolicy)
 	fmt.Printf("step 1 (MBR-join):      %8d candidate pairs, %d page accesses\n",
 		st.CandidatePairs, st.PageAccessesR+st.PageAccessesS)
 	if cfg.UseFilter {
@@ -125,40 +155,6 @@ func main() {
 	b := costmodel.FromStats(st, cfg.Engine, costmodel.PaperParams())
 	fmt.Printf("modelled cost (section 5): MBR-join %.1fs + object access %.1fs + exact %.1fs = %.1fs\n",
 		b.MBRJoin, b.ObjectAccess, b.ExactTest, b.Total())
-}
-
-func parseEngine(s string) (multistep.Engine, error) {
-	switch strings.ToLower(s) {
-	case "trstar", "tr*", "tr":
-		return multistep.EngineTRStar, nil
-	case "planesweep", "sweep":
-		return multistep.EnginePlaneSweep, nil
-	case "quadratic", "naive":
-		return multistep.EngineQuadratic, nil
-	}
-	return 0, fmt.Errorf("unknown engine %q", s)
-}
-
-func parseKind(s string) (approx.Kind, error) {
-	switch strings.ToUpper(strings.ReplaceAll(s, "-", "")) {
-	case "5C":
-		return approx.C5, nil
-	case "4C":
-		return approx.C4, nil
-	case "RMBR":
-		return approx.RMBR, nil
-	case "CH":
-		return approx.CH, nil
-	case "MBC":
-		return approx.MBC, nil
-	case "MBE":
-		return approx.MBE, nil
-	case "MER":
-		return approx.MER, nil
-	case "MEC":
-		return approx.MEC, nil
-	}
-	return 0, fmt.Errorf("unknown approximation %q", s)
 }
 
 func fatal(err error) {

@@ -18,6 +18,7 @@ package approx
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"spatialjoin/internal/convex"
 	"spatialjoin/internal/geom"
@@ -47,6 +48,32 @@ var ConservativeKinds = []Kind{MBC, MBE, RMBR, C4, C5, CH}
 
 // ProgressiveKinds lists the progressive kinds.
 var ProgressiveKinds = []Kind{MEC, MER}
+
+// ParseKind parses a kind abbreviation as printed by String,
+// case-insensitively and ignoring dashes ("5C", "5-c", "RMBR", "MER", …).
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToUpper(strings.ReplaceAll(s, "-", "")) {
+	case "MBR":
+		return MBR, nil
+	case "RMBR":
+		return RMBR, nil
+	case "CH":
+		return CH, nil
+	case "4C", "C4":
+		return C4, nil
+	case "5C", "C5":
+		return C5, nil
+	case "MBC":
+		return MBC, nil
+	case "MBE":
+		return MBE, nil
+	case "MEC":
+		return MEC, nil
+	case "MER":
+		return MER, nil
+	}
+	return 0, fmt.Errorf("approx: unknown approximation %q", s)
+}
 
 // String returns the paper's abbreviation for the kind.
 func (k Kind) String() string {

@@ -1,0 +1,187 @@
+package approx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"spatialjoin/internal/convex"
+	"spatialjoin/internal/geom"
+)
+
+// An approximation set persists as a presence bitmask followed by the
+// parameters of each present kind, so a relation store carries exactly
+// the approximations the configuration computed — the "build once"
+// counterpart of Compute (see DESIGN.md, "On-disk formats").
+//
+// Layout (little endian):
+//
+//	flags   uint16   bit i set ⇔ Kind(i) present (MBR always)
+//	objArea float64
+//	mbr     4×float64
+//	per present kind, in Kind order:
+//	  RMBR — center, W, H, angle, 4 corners (13 float64)
+//	  CH/C4/C5 — n uint16, then n points (degenerate hulls allowed)
+//	  MBC/MEC — center, radius (3 float64)
+//	  MBE — center, B00, B01, B10, B11 (6 float64)
+//	  MER — 4 float64
+
+// ErrCorruptSet reports malformed serialized approximation data.
+var ErrCorruptSet = errors.New("approx: corrupt serialized approximation set")
+
+// AppendBinary appends the serialized set to buf and returns the
+// extended slice. It fails (leaving buf unextended) when a ring exceeds
+// the format's uint16 length field — in practice only conceivable for a
+// convex hull of a degenerate, extremely detailed object.
+func (s *Set) AppendBinary(buf []byte) ([]byte, error) {
+	for _, ring := range []geom.Ring{s.CHA, s.C4A, s.C5A} {
+		if len(ring) > math.MaxUint16 {
+			return buf, fmt.Errorf("approx: ring of %d points exceeds the format", len(ring))
+		}
+	}
+	var flags uint16
+	for k := MBR; k <= MER; k++ {
+		if s.Has(k) {
+			flags |= 1 << uint(k)
+		}
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, flags)
+	buf = appendF64(buf, s.ObjArea)
+	buf = appendRect(buf, s.MBR)
+	if s.RMBRA != nil {
+		buf = appendPoint(buf, s.RMBRA.Center)
+		buf = appendF64(buf, s.RMBRA.W, s.RMBRA.H, s.RMBRA.Angle)
+		for _, c := range s.RMBRA.Corners {
+			buf = appendPoint(buf, c)
+		}
+	}
+	for _, ring := range []geom.Ring{s.CHA, s.C4A, s.C5A} {
+		if ring == nil {
+			continue
+		}
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(ring)))
+		for _, p := range ring {
+			buf = appendPoint(buf, p)
+		}
+	}
+	if s.MBCA != nil {
+		buf = appendPoint(buf, s.MBCA.C)
+		buf = appendF64(buf, s.MBCA.R)
+	}
+	if s.MBEA != nil {
+		buf = appendPoint(buf, s.MBEA.C)
+		buf = appendF64(buf, s.MBEA.B00, s.MBEA.B01, s.MBEA.B10, s.MBEA.B11)
+	}
+	if s.MECA != nil {
+		buf = appendPoint(buf, s.MECA.C)
+		buf = appendF64(buf, s.MECA.R)
+	}
+	if s.MERA != nil {
+		buf = appendRect(buf, *s.MERA)
+	}
+	return buf, nil
+}
+
+// DecodeSet decodes one set from the front of data, returning the set
+// and the number of bytes consumed.
+func DecodeSet(data []byte) (*Set, int, error) {
+	d := &setDecoder{data: data}
+	flags := d.u16()
+	s := &Set{ObjArea: d.f64(), MBR: d.rect()}
+	if flags&(1<<uint(MBR)) == 0 || flags >= 1<<uint(MER+1) {
+		return nil, 0, fmt.Errorf("%w: bad kind flags %#x", ErrCorruptSet, flags)
+	}
+	if flags&(1<<uint(RMBR)) != 0 {
+		o := convex.OrientedRect{Center: d.point(), W: d.f64(), H: d.f64(), Angle: d.f64()}
+		for i := range o.Corners {
+			o.Corners[i] = d.point()
+		}
+		s.RMBRA = &o
+	}
+	for _, dst := range []struct {
+		k    Kind
+		ring *geom.Ring
+	}{{CH, &s.CHA}, {C4, &s.C4A}, {C5, &s.C5A}} {
+		if flags&(1<<uint(dst.k)) == 0 {
+			continue
+		}
+		n := int(d.u16())
+		if d.err == nil && len(d.data)-d.pos < n*16 {
+			return nil, 0, fmt.Errorf("%w: ring of %d points exceeds the remaining data", ErrCorruptSet, n)
+		}
+		ring := make(geom.Ring, 0, n)
+		for i := 0; i < n; i++ {
+			ring = append(ring, d.point())
+		}
+		*dst.ring = ring
+	}
+	if flags&(1<<uint(MBC)) != 0 {
+		s.MBCA = &Circle{C: d.point(), R: d.f64()}
+	}
+	if flags&(1<<uint(MBE)) != 0 {
+		s.MBEA = &Ellipse{C: d.point(), B00: d.f64(), B01: d.f64(), B10: d.f64(), B11: d.f64()}
+	}
+	if flags&(1<<uint(MEC)) != 0 {
+		s.MECA = &Circle{C: d.point(), R: d.f64()}
+	}
+	if flags&(1<<uint(MER)) != 0 {
+		r := d.rect()
+		s.MERA = &r
+	}
+	if d.err != nil {
+		return nil, 0, d.err
+	}
+	return s, d.pos, nil
+}
+
+type setDecoder struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (d *setDecoder) u16() uint16 {
+	if d.err != nil || d.pos+2 > len(d.data) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.data[d.pos:])
+	d.pos += 2
+	return v
+}
+
+func (d *setDecoder) f64() float64 {
+	if d.err != nil || d.pos+8 > len(d.data) {
+		d.fail()
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.data[d.pos:]))
+	d.pos += 8
+	return v
+}
+
+func (d *setDecoder) point() geom.Point { return geom.Point{X: d.f64(), Y: d.f64()} }
+
+func (d *setDecoder) rect() geom.Rect {
+	return geom.Rect{MinX: d.f64(), MinY: d.f64(), MaxX: d.f64(), MaxY: d.f64()}
+}
+
+func (d *setDecoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: truncated", ErrCorruptSet)
+	}
+}
+
+func appendF64(buf []byte, vs ...float64) []byte {
+	for _, v := range vs {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+func appendPoint(buf []byte, p geom.Point) []byte { return appendF64(buf, p.X, p.Y) }
+
+func appendRect(buf []byte, r geom.Rect) []byte {
+	return appendF64(buf, r.MinX, r.MinY, r.MaxX, r.MaxY)
+}

@@ -1,0 +1,68 @@
+package data
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"spatialjoin/internal/geom"
+)
+
+// FuzzReadRelation fuzzes the stream decoder: corrupt or truncated
+// input must return an error wrapping ErrBadRelation — never panic and
+// never allocate more than the stream actually delivers. Valid input
+// must round-trip through WriteRelation unchanged.
+func FuzzReadRelation(f *testing.F) {
+	seed := func(polys []*geom.Polygon) []byte {
+		var buf bytes.Buffer
+		if err := WriteRelation(&buf, polys); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(seed(nil))
+	f.Add(seed([]*geom.Polygon{geom.NewPolygon([]geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}})}))
+	f.Add(seed(GenerateMap(MapConfig{Cells: 4, TargetVerts: 12, Seed: 7})))
+	f.Add([]byte{})
+	f.Add([]byte{0x31, 0x52, 0x4A, 0x53, 0xFF, 0xFF, 0xFF, 0xFF}) // magic + absurd count
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		polys, err := ReadRelation(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadRelation) {
+				t.Errorf("error does not wrap ErrBadRelation: %v", err)
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteRelation(&buf, polys); err != nil {
+			t.Errorf("decoded relation does not re-serialize: %v", err)
+		}
+	})
+}
+
+// FuzzDecodePolygon fuzzes the byte-slice polygon decoder used by the
+// relation store.
+func FuzzDecodePolygon(f *testing.F) {
+	tri := geom.NewPolygon([]geom.Point{{X: 0, Y: 0}, {X: 4, Y: 0}, {X: 0, Y: 4}},
+		[]geom.Point{{X: 1, Y: 1}, {X: 2, Y: 1}, {X: 1, Y: 2}})
+	f.Add(AppendPolygon(nil, tri))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, n, err := DecodePolygon(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadRelation) {
+				t.Errorf("error does not wrap ErrBadRelation: %v", err)
+			}
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		round := AppendPolygon(nil, p)
+		if !bytes.Equal(round, data[:n]) {
+			t.Error("re-encoded polygon differs from its source bytes")
+		}
+	})
+}

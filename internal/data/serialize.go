@@ -93,8 +93,10 @@ func ReadRelation(r io.Reader) ([]*geom.Polygon, error) {
 		if n < 3 || n > maxRelationPolys {
 			return nil, fmt.Errorf("ring of %d vertices", n)
 		}
-		ring := make(geom.Ring, n)
-		for i := range ring {
+		// Grow incrementally: a corrupt header must not allocate more
+		// than the stream actually delivers.
+		ring := make(geom.Ring, 0, minInt(int(n), 4096))
+		for i := uint32(0); i < n; i++ {
 			var xb, yb uint64
 			if err := binary.Read(br, binary.LittleEndian, &xb); err != nil {
 				return nil, err
@@ -102,11 +104,11 @@ func ReadRelation(r io.Reader) ([]*geom.Polygon, error) {
 			if err := binary.Read(br, binary.LittleEndian, &yb); err != nil {
 				return nil, err
 			}
-			ring[i] = geom.Point{X: math.Float64frombits(xb), Y: math.Float64frombits(yb)}
+			ring = append(ring, geom.Point{X: math.Float64frombits(xb), Y: math.Float64frombits(yb)})
 		}
 		return ring, nil
 	}
-	out := make([]*geom.Polygon, 0, count)
+	out := make([]*geom.Polygon, 0, minInt(int(count), 4096))
 	for k := uint32(0); k < count; k++ {
 		var rings uint32
 		if err := binary.Read(br, binary.LittleEndian, &rings); err != nil {
@@ -130,4 +132,86 @@ func ReadRelation(r io.Reader) ([]*geom.Polygon, error) {
 		out = append(out, p)
 	}
 	return out, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// AppendPolygon appends one polygon to buf in the byte-slice counterpart
+// of the stream format (rings uint32, then per ring n uint32 and n
+// points), for embedding polygons inside other formats such as the
+// relation store.
+func AppendPolygon(buf []byte, p *geom.Polygon) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(1+len(p.Holes)))
+	appendRing := func(r geom.Ring) {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r)))
+		for _, pt := range r {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(pt.X))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(pt.Y))
+		}
+	}
+	appendRing(p.Outer)
+	for _, h := range p.Holes {
+		appendRing(h)
+	}
+	return buf
+}
+
+// DecodePolygon decodes one polygon from the front of data, returning
+// the polygon and the number of bytes consumed. Corrupt input yields an
+// error wrapping ErrBadRelation; allocations never exceed the data
+// actually present.
+func DecodePolygon(data []byte) (*geom.Polygon, int, error) {
+	pos := 0
+	u32 := func() (uint32, error) {
+		if pos+4 > len(data) {
+			return 0, fmt.Errorf("%w: truncated polygon", ErrBadRelation)
+		}
+		v := binary.LittleEndian.Uint32(data[pos:])
+		pos += 4
+		return v, nil
+	}
+	rings, err := u32()
+	if err != nil {
+		return nil, 0, err
+	}
+	if rings < 1 || rings > 1<<20 {
+		return nil, 0, fmt.Errorf("%w: polygon with %d rings", ErrBadRelation, rings)
+	}
+	readRing := func() (geom.Ring, error) {
+		n, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		// Compare in uint64: int(n)*16 would overflow on 32-bit
+		// platforms and let a corrupt length reach make().
+		if n < 3 || uint64(len(data)-pos) < uint64(n)*16 {
+			return nil, fmt.Errorf("%w: ring of %d vertices exceeds the remaining data", ErrBadRelation, n)
+		}
+		ring := make(geom.Ring, n)
+		for i := range ring {
+			ring[i] = geom.Point{
+				X: math.Float64frombits(binary.LittleEndian.Uint64(data[pos:])),
+				Y: math.Float64frombits(binary.LittleEndian.Uint64(data[pos+8:])),
+			}
+			pos += 16
+		}
+		return ring, nil
+	}
+	p := &geom.Polygon{}
+	if p.Outer, err = readRing(); err != nil {
+		return nil, 0, err
+	}
+	for h := uint32(1); h < rings; h++ {
+		hole, err := readRing()
+		if err != nil {
+			return nil, 0, err
+		}
+		p.Holes = append(p.Holes, hole)
+	}
+	return p, pos, nil
 }

@@ -310,7 +310,7 @@ func AblationSAMs(p BigParams) *Table {
 		height int
 		point  func(geom.Point)
 		window func(geom.Rect)
-		buf    *storage.BufferManager
+		buf    storage.PageStore
 	}
 	var sams []sam
 	addStar := func(name string, tree *rstar.Tree) {

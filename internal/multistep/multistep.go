@@ -22,6 +22,7 @@ package multistep
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync/atomic"
 
 	"spatialjoin/internal/approx"
@@ -29,6 +30,7 @@ import (
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/ops"
 	"spatialjoin/internal/rstar"
+	"spatialjoin/internal/storage"
 	"spatialjoin/internal/trstar"
 )
 
@@ -54,6 +56,20 @@ func (e Engine) String() string {
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
 	}
+}
+
+// ParseEngine parses an engine name: "trstar" (also "tr*", "tr"),
+// "planesweep" ("sweep") or "quadratic" ("naive").
+func ParseEngine(s string) (Engine, error) {
+	switch strings.ToLower(s) {
+	case "trstar", "tr*", "tr":
+		return EngineTRStar, nil
+	case "planesweep", "sweep":
+		return EnginePlaneSweep, nil
+	case "quadratic", "naive":
+		return EngineQuadratic, nil
+	}
+	return 0, fmt.Errorf("multistep: unknown engine %q", s)
 }
 
 // Step1 selects the candidate generator of step 1. The paper recommends
@@ -104,6 +120,9 @@ type Config struct {
 	// PageSize and BufferBytes configure the R*-trees of step 1.
 	PageSize    int
 	BufferBytes int
+	// BufferPolicy selects the R*-tree buffer replacement policy
+	// (default LRU, the paper's choice).
+	BufferPolicy storage.Policy
 	// MECPrecision tunes the maximum-enclosed-circle computation.
 	MECPrecision float64
 }
@@ -199,6 +218,7 @@ func NewRelation(name string, polys []*geom.Polygon, cfg Config) *Relation {
 		PageSize:       cfg.PageSize,
 		LeafEntryBytes: EntryBytes(cfg),
 		BufferBytes:    cfg.BufferBytes,
+		BufferPolicy:   cfg.BufferPolicy,
 	})
 	for i, p := range polys {
 		o := &Object{ID: int32(i), Poly: p, Approx: approx.Compute(p, opt)}

@@ -1,0 +1,266 @@
+package multistep
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"spatialjoin/internal/data"
+	"spatialjoin/internal/storage"
+)
+
+// buildPair generates two small relations under cfg, the paper's
+// strategy A shape.
+func buildPair(cfg Config) (*Relation, *Relation) {
+	base := data.GenerateMap(data.MapConfig{Cells: 70, TargetVerts: 40, HoleFraction: 0.1, Seed: 677})
+	shifted := data.StrategyA(base, 0.45)
+	return NewRelation("R", base, cfg), NewRelation("S", shifted, cfg)
+}
+
+// saveOpen round-trips a relation through the store format.
+func saveOpen(t *testing.T, rel *Relation, cfg Config) *Relation {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SaveRelation(&buf, rel, cfg); err != nil {
+		t.Fatalf("SaveRelation: %v", err)
+	}
+	got, err := OpenRelation(&buf, cfg)
+	if err != nil {
+		t.Fatalf("OpenRelation: %v", err)
+	}
+	return got
+}
+
+// TestRelationStoreRoundTripEquivalence is the acceptance criterion of
+// the pluggable-store refactor: a reopened relation joins with the
+// identical response set AND identical Stats — including the buffer
+// hit/miss counts of the counting store — as the relation it was saved
+// from, across all three exact engines.
+func TestRelationStoreRoundTripEquivalence(t *testing.T) {
+	for _, engine := range []Engine{EngineQuadratic, EnginePlaneSweep, EngineTRStar} {
+		t.Run(engine.String(), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Engine = engine
+			r, s := buildPair(cfg)
+
+			// Save before joining: the store captures the
+			// post-construction buffer state that the in-memory join
+			// starts from.
+			var rBuf, sBuf bytes.Buffer
+			if err := SaveRelation(&rBuf, r, cfg); err != nil {
+				t.Fatalf("SaveRelation(R): %v", err)
+			}
+			if err := SaveRelation(&sBuf, s, cfg); err != nil {
+				t.Fatalf("SaveRelation(S): %v", err)
+			}
+
+			wantPairs, wantStats := Join(r, s, cfg)
+
+			r2, err := OpenRelation(&rBuf, cfg)
+			if err != nil {
+				t.Fatalf("OpenRelation(R): %v", err)
+			}
+			s2, err := OpenRelation(&sBuf, cfg)
+			if err != nil {
+				t.Fatalf("OpenRelation(S): %v", err)
+			}
+			if r2.Name != "R" || s2.Name != "S" {
+				t.Errorf("names %q, %q after reopen", r2.Name, s2.Name)
+			}
+			gotPairs, gotStats := Join(r2, s2, cfg)
+
+			if !reflect.DeepEqual(gotPairs, wantPairs) {
+				t.Errorf("response set differs after reopen: %d pairs, want %d", len(gotPairs), len(wantPairs))
+			}
+			if gotStats != wantStats {
+				t.Errorf("stats differ after reopen:\n got %+v\nwant %+v", gotStats, wantStats)
+			}
+			if len(wantPairs) == 0 {
+				t.Fatal("degenerate test: empty response set")
+			}
+		})
+	}
+}
+
+// TestRelationStoreStreamEquivalence runs the reopened relations through
+// the parallel streaming pipeline: statistics must still match the
+// in-memory build exactly.
+func TestRelationStoreStreamEquivalence(t *testing.T) {
+	cfg := DefaultConfig()
+	r, s := buildPair(cfg)
+	var rBuf, sBuf bytes.Buffer
+	if err := SaveRelation(&rBuf, r, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveRelation(&sBuf, s, cfg); err != nil {
+		t.Fatal(err)
+	}
+	wantStats := JoinStream(r, s, cfg, StreamOptions{Workers: 3}, nil)
+
+	r2, err := OpenRelation(&rBuf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenRelation(&sBuf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotStats := JoinStream(r2, s2, cfg, StreamOptions{Workers: 3}, nil)
+	if gotStats != wantStats {
+		t.Errorf("streaming stats differ after reopen:\n got %+v\nwant %+v", gotStats, wantStats)
+	}
+}
+
+// TestRelationStoreWindowQuery checks the window-query path on a
+// reopened relation.
+func TestRelationStoreWindowQuery(t *testing.T) {
+	cfg := DefaultConfig()
+	r, _ := buildPair(cfg)
+	var buf bytes.Buffer
+	if err := SaveRelation(&buf, r, cfg); err != nil {
+		t.Fatal(err)
+	}
+	w := r.Objects[3].Approx.MBR
+	wantIDs, wantStats := WindowQuery(r, w, cfg)
+
+	r2, err := OpenRelation(&buf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotIDs, gotStats := WindowQuery(r2, w, cfg)
+	if !reflect.DeepEqual(gotIDs, wantIDs) || gotStats != wantStats {
+		t.Errorf("window query differs after reopen: %v/%+v, want %v/%+v", gotIDs, gotStats, wantIDs, wantStats)
+	}
+}
+
+// TestRelationStoreFileRoundTrip exercises the disk-backed path:
+// SaveRelationFile lays the store out on a storage.FileStore and
+// OpenRelationFile reads it back page by page.
+func TestRelationStoreFileRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	r, s := buildPair(cfg)
+	dir := t.TempDir()
+	rPath := filepath.Join(dir, "r.store")
+	sPath := filepath.Join(dir, "s.store")
+	if err := SaveRelationFile(rPath, r, cfg); err != nil {
+		t.Fatalf("SaveRelationFile: %v", err)
+	}
+	if err := SaveRelationFile(sPath, s, cfg); err != nil {
+		t.Fatalf("SaveRelationFile: %v", err)
+	}
+	wantPairs, wantStats := Join(r, s, cfg)
+
+	r2, err := OpenRelationFile(rPath, cfg)
+	if err != nil {
+		t.Fatalf("OpenRelationFile: %v", err)
+	}
+	s2, err := OpenRelationFile(sPath, cfg)
+	if err != nil {
+		t.Fatalf("OpenRelationFile: %v", err)
+	}
+	gotPairs, gotStats := Join(r2, s2, cfg)
+	if !reflect.DeepEqual(gotPairs, wantPairs) {
+		t.Errorf("response set differs through the file store")
+	}
+	if gotStats != wantStats {
+		t.Errorf("stats differ through the file store:\n got %+v\nwant %+v", gotStats, wantStats)
+	}
+}
+
+// TestRelationStoreConfigMismatch: a store must refuse to open under a
+// configuration other than the one it was built with.
+func TestRelationStoreConfigMismatch(t *testing.T) {
+	cfg := DefaultConfig()
+	r, _ := buildPair(cfg)
+	var buf bytes.Buffer
+	if err := SaveRelation(&buf, r, cfg); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	for name, mutate := range map[string]func(*Config){
+		"engine":       func(c *Config) { c.Engine = EngineQuadratic },
+		"page size":    func(c *Config) { c.PageSize = 2048 },
+		"conservative": func(c *Config) { c.Filter.Conservative = 0 /* MBR */ },
+		"policy":       func(c *Config) { c.BufferPolicy = storage.Clock },
+		"no filter":    func(c *Config) { c.UseFilter = false },
+	} {
+		other := cfg
+		mutate(&other)
+		if _, err := OpenRelation(bytes.NewReader(blob), other); !errors.Is(err, ErrConfigMismatch) {
+			t.Errorf("%s changed: err = %v, want ErrConfigMismatch", name, err)
+		}
+	}
+}
+
+// TestRelationStoreCorruptInputs: corrupt or truncated stores must
+// return errors, never panic.
+func TestRelationStoreCorruptInputs(t *testing.T) {
+	cfg := DefaultConfig()
+	base := data.GenerateMap(data.MapConfig{Cells: 8, TargetVerts: 16, Seed: 31})
+	r := NewRelation("R", base, cfg)
+	var buf bytes.Buffer
+	if err := SaveRelation(&buf, r, cfg); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	// Every prefix must fail cleanly (the full blob parses).
+	for _, n := range []int{0, 1, 2, 5, 13, 16, 40, 100, len(blob) / 2, len(blob) - 1} {
+		if _, err := OpenRelation(bytes.NewReader(blob[:n]), cfg); err == nil {
+			t.Errorf("truncation to %d bytes: no error", n)
+		}
+	}
+	// Trailing garbage must be rejected.
+	if _, err := OpenRelation(bytes.NewReader(append(append([]byte{}, blob...), 0xFF)), cfg); err == nil {
+		t.Error("trailing byte: no error")
+	}
+	// Flipping bytes across the blob must error or yield a fully valid
+	// relation — never panic. (Flips inside polygon coordinates are
+	// legitimately undetectable; structural flips must be caught.)
+	for pos := 0; pos < len(blob); pos += 37 {
+		mut := append([]byte{}, blob...)
+		mut[pos] ^= 0x5A
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("byte flip at %d: panic %v", pos, p)
+				}
+			}()
+			rel, err := OpenRelation(bytes.NewReader(mut), cfg)
+			if err == nil && len(rel.Objects) != len(r.Objects) {
+				t.Errorf("byte flip at %d: silently changed object count", pos)
+			}
+		}()
+	}
+}
+
+// FuzzOpenRelation fuzzes the relation-store decoder: any input must
+// either fail with an error or decode into a relation that re-saves
+// successfully — never panic and never over-allocate.
+func FuzzOpenRelation(f *testing.F) {
+	cfg := DefaultConfig()
+	base := data.GenerateMap(data.MapConfig{Cells: 2, TargetVerts: 8, Seed: 31})
+	rel := NewRelation("seed", base, cfg)
+	var buf bytes.Buffer
+	if err := SaveRelation(&buf, rel, cfg); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:40])
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		// decodeRelation is OpenRelation minus the io.ReadAll slurp,
+		// which is disproportionately slow under fuzz instrumentation.
+		rel, err := decodeRelation(blob, cfg)
+		if err != nil {
+			return
+		}
+		if err := SaveRelation(&bytes.Buffer{}, rel, cfg); err != nil {
+			t.Errorf("decoded relation does not re-save: %v", err)
+		}
+	})
+}

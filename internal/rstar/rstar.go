@@ -44,6 +44,11 @@ type Config struct {
 	// BufferPolicy selects the page replacement policy (default LRU, the
 	// paper's choice).
 	BufferPolicy storage.Policy
+	// Store, when non-nil, is the page store node visits are routed
+	// through, overriding the counting buffer the tree would otherwise
+	// build from BufferBytes/PageSize/BufferPolicy. Pass a
+	// storage.FileStore to back the accounting with real paged reads.
+	Store storage.PageStore
 }
 
 // DefaultConfig mirrors the section 5 setup: 4 KB pages, MBR-only entries,
@@ -60,7 +65,7 @@ const (
 // Tree is a paged R*-tree.
 type Tree struct {
 	cfg      Config
-	buf      *storage.BufferManager
+	buf      storage.PageStore
 	root     *node
 	height   int
 	size     int
@@ -100,9 +105,13 @@ func New(cfg Config) *Tree {
 		panic(fmt.Sprintf("rstar: page size %d too small for entries of %d bytes",
 			cfg.PageSize, cfg.LeafEntryBytes))
 	}
+	buf := cfg.Store
+	if buf == nil {
+		buf = storage.NewBufferManagerPolicy(cfg.BufferBytes, cfg.PageSize, cfg.BufferPolicy)
+	}
 	t := &Tree{
 		cfg:      cfg,
-		buf:      storage.NewBufferManagerPolicy(cfg.BufferBytes, cfg.PageSize, cfg.BufferPolicy),
+		buf:      buf,
 		height:   1,
 		leafCap:  leafCap,
 		innerCap: innerCap,
@@ -126,8 +135,8 @@ func (t *Tree) newNode(leaf bool) *node {
 	return n
 }
 
-// Buffer exposes the buffer manager for measurements.
-func (t *Tree) Buffer() *storage.BufferManager { return t.buf }
+// Buffer exposes the page store for measurements.
+func (t *Tree) Buffer() storage.PageStore { return t.buf }
 
 // Size returns the number of stored items.
 func (t *Tree) Size() int { return t.size }

@@ -1,0 +1,279 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// FileStore is the disk-backed PageStore: a file of fixed-size page slots
+// behind the same replacement-policy buffer as the counting simulator. A
+// buffered page is served from the in-memory frame cache (a hit); an
+// unbuffered page is read from disk and faulted into the cache (a miss).
+// Because the residency decisions are made by the identical BufferManager
+// logic, the hit/miss accounting is byte-for-byte equal to the counting
+// store's on the same access sequence and frame count.
+//
+// File layout (little endian): a 16-byte header (magic 'SJPS', version,
+// slot size), then page i as the slotBytes-sized slot at offset
+// 16 + i·slotBytes. Reading a page beyond the end of the file yields a
+// zero-filled page — the store grows implicitly, like a fresh database
+// file, so a dynamically built tree can run on a FileStore before any
+// page has been written.
+type FileStore struct {
+	f     *os.File
+	slot  int
+	pages int // page slots physically present in the file
+	bm    *BufferManager
+	cache map[PageID][]byte
+	err   error // first I/O error seen by Access (sticky)
+}
+
+// FileStore implements PageStore.
+var _ PageStore = (*FileStore)(nil)
+
+const (
+	fileMagic       = 0x53_4A_50_53 // "SJPS"
+	fileVersion     = 1
+	fileHeaderBytes = 16
+)
+
+// ErrBadStore reports a malformed page-store file.
+var ErrBadStore = errors.New("storage: corrupt page-store file")
+
+// maxSlotBytes bounds the slot size accepted from a file header, so a
+// corrupt header cannot make every ReadPage allocate gigabytes.
+const maxSlotBytes = 1 << 26 // 64 MiB, far above any real page slot
+
+// CreateFileStore creates (or truncates) a paged file with the given slot
+// size and a buffer of bufferFrames frames.
+func CreateFileStore(path string, slotBytes, bufferFrames int, policy Policy) (*FileStore, error) {
+	if slotBytes <= 0 || slotBytes > maxSlotBytes {
+		return nil, fmt.Errorf("storage: slot size %d outside (0, %d]", slotBytes, maxSlotBytes)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [fileHeaderBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:], fileMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], fileVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(slotBytes))
+	if _, err := f.WriteAt(hdr[:], 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return newFileStore(f, slotBytes, 0, bufferFrames, policy), nil
+}
+
+// OpenFileStore opens an existing paged file; the slot size comes from
+// the file header.
+func OpenFileStore(path string, bufferFrames int, policy Policy) (*FileStore, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [fileHeaderBytes]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: %v", ErrBadStore, err)
+	}
+	magic := binary.LittleEndian.Uint32(hdr[0:])
+	version := binary.LittleEndian.Uint32(hdr[4:])
+	slot := int(binary.LittleEndian.Uint32(hdr[8:]))
+	if magic != fileMagic || version != fileVersion || slot <= 0 || slot > maxSlotBytes {
+		f.Close()
+		return nil, fmt.Errorf("%w: bad header (magic %#x version %d slot %d)", ErrBadStore, magic, version, slot)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	pages := int((info.Size() - fileHeaderBytes) / int64(slot))
+	if pages < 0 {
+		pages = 0
+	}
+	return newFileStore(f, slot, pages, bufferFrames, policy), nil
+}
+
+func newFileStore(f *os.File, slot, pages, bufferFrames int, policy Policy) *FileStore {
+	if bufferFrames < 1 {
+		bufferFrames = 1
+	}
+	s := &FileStore{
+		f:     f,
+		slot:  slot,
+		pages: pages,
+		bm:    NewBufferFrames(bufferFrames, policy),
+		cache: make(map[PageID][]byte, bufferFrames),
+	}
+	s.bm.onEvict = func(id PageID) { delete(s.cache, id) }
+	return s
+}
+
+// NewBufferFrames sizes a counting buffer by frame count directly, for
+// stores whose physical slot size differs from the modelled page size.
+func NewBufferFrames(frames int, policy Policy) *BufferManager {
+	if frames < 1 {
+		frames = 1
+	}
+	return &BufferManager{
+		frames: frames,
+		policy: policy,
+		table:  make(map[PageID]*frameNode, frames),
+	}
+}
+
+// SlotBytes returns the physical page slot size.
+func (s *FileStore) SlotBytes() int { return s.slot }
+
+// Pages returns the number of page slots present in the file.
+func (s *FileStore) Pages() int { return s.pages }
+
+// Err returns the first I/O error Access swallowed, if any. ReadPage and
+// the write path report their errors directly.
+func (s *FileStore) Err() error { return s.err }
+
+// Access touches a page through the buffer; a miss reads it from disk.
+// I/O errors are sticky and reported by Err (the PageStore access path
+// has no error channel — the counting simulator cannot fail).
+func (s *FileStore) Access(id PageID) {
+	if _, err := s.ReadPage(id); err != nil && s.err == nil {
+		s.err = err
+	}
+}
+
+// ReadPage returns the slotBytes-sized content of a page, through the
+// buffer: a resident page is a hit, a non-resident page is a miss that
+// reads the slot from disk and faults it into the frame cache. The
+// returned slice is the cached frame — the caller must not modify it.
+func (s *FileStore) ReadPage(id PageID) ([]byte, error) {
+	if id < 0 {
+		return nil, fmt.Errorf("storage: read of invalid page %d", id)
+	}
+	if _, resident := s.bm.table[id]; resident {
+		s.bm.Access(id) // hit
+		if data := s.cache[id]; data != nil {
+			return data, nil
+		}
+		// Resident without bytes: the frame came from Restore. The page
+		// is modelled as buffered, so the lazy fill is not a miss.
+		data, err := s.readDisk(id)
+		if err != nil {
+			return nil, err
+		}
+		s.cache[id] = data
+		return data, nil
+	}
+	s.bm.Access(id) // miss; the eviction hook prunes the cache
+	data, err := s.readDisk(id)
+	if err != nil {
+		return nil, err
+	}
+	if _, resident := s.bm.table[id]; resident {
+		s.cache[id] = data
+	}
+	return data, nil
+}
+
+// readDisk reads one slot from the file; slots past the end of the file
+// are zero-filled (implicitly allocated).
+func (s *FileStore) readDisk(id PageID) ([]byte, error) {
+	data := make([]byte, s.slot)
+	if int(id) >= s.pages {
+		return data, nil
+	}
+	if _, err := s.f.ReadAt(data, fileHeaderBytes+int64(id)*int64(s.slot)); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return data, nil
+}
+
+// AppendPage writes data (at most slotBytes, zero-padded) as the next
+// page and returns its ID.
+func (s *FileStore) AppendPage(data []byte) (PageID, error) {
+	id := PageID(s.pages)
+	if err := s.WritePage(id, data); err != nil {
+		return InvalidPage, err
+	}
+	return id, nil
+}
+
+// WritePage writes data (at most slotBytes, zero-padded) to the page
+// slot, extending the file as needed. Writes bypass the access
+// accounting; a resident page's cached bytes are updated (write-through).
+func (s *FileStore) WritePage(id PageID, data []byte) error {
+	if id < 0 {
+		return fmt.Errorf("storage: write to invalid page %d", id)
+	}
+	if len(data) > s.slot {
+		return fmt.Errorf("storage: page of %d bytes exceeds the %d-byte slot", len(data), s.slot)
+	}
+	buf := make([]byte, s.slot)
+	copy(buf, data)
+	if _, err := s.f.WriteAt(buf, fileHeaderBytes+int64(id)*int64(s.slot)); err != nil {
+		return err
+	}
+	if int(id) >= s.pages {
+		s.pages = int(id) + 1
+	}
+	if _, resident := s.bm.table[id]; resident {
+		s.cache[id] = buf
+	}
+	return nil
+}
+
+// Sync flushes the file to stable storage.
+func (s *FileStore) Sync() error { return s.f.Sync() }
+
+// Close syncs and closes the backing file.
+func (s *FileStore) Close() error {
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+// Hits returns the number of buffered accesses.
+func (s *FileStore) Hits() int64 { return s.bm.Hits() }
+
+// Misses returns the number of accesses that read from disk.
+func (s *FileStore) Misses() int64 { return s.bm.Misses() }
+
+// Accesses returns the total number of page touches.
+func (s *FileStore) Accesses() int64 { return s.bm.Accesses() }
+
+// ResetCounters zeroes the statistics without dropping buffer contents.
+func (s *FileStore) ResetCounters() { s.bm.ResetCounters() }
+
+// Clear drops all buffered pages (and their cached bytes) and zeroes the
+// statistics.
+func (s *FileStore) Clear() {
+	s.bm.Clear()
+	s.cache = make(map[PageID][]byte, s.bm.Frames())
+}
+
+// Frames returns the buffer capacity in pages.
+func (s *FileStore) Frames() int { return s.bm.Frames() }
+
+// Policy returns the replacement policy.
+func (s *FileStore) Policy() Policy { return s.bm.Policy() }
+
+// State snapshots the buffer contents (page residency, not bytes).
+func (s *FileStore) State() BufferState { return s.bm.State() }
+
+// Restore replaces the buffer contents with a snapshot; the restored
+// frames fault their bytes in lazily, without counting misses (the pages
+// are modelled as already buffered).
+func (s *FileStore) Restore(st BufferState) {
+	s.bm.Restore(st)
+	for id := range s.cache {
+		if _, resident := s.bm.table[id]; !resident {
+			delete(s.cache, id)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func tempStore(t *testing.T, slot, frames int, policy Policy) (*FileStore, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "pages.sjps")
+	fs, err := CreateFileStore(path, slot, frames, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fs.Close() })
+	return fs, path
+}
+
+func TestFileStoreReadsBackWrites(t *testing.T) {
+	fs, path := tempStore(t, 64, 4, LRU)
+	var want [][]byte
+	for i := 0; i < 10; i++ {
+		page := bytes.Repeat([]byte{byte(i + 1)}, 40)
+		id, err := fs.AppendPage(page)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != PageID(i) {
+			t.Fatalf("AppendPage returned page %d, want %d", id, i)
+		}
+		padded := make([]byte, 64)
+		copy(padded, page)
+		want = append(want, padded)
+	}
+	check := func(fs *FileStore) {
+		t.Helper()
+		for i, w := range want {
+			got, err := fs.ReadPage(PageID(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, w) {
+				t.Fatalf("page %d content differs", i)
+			}
+		}
+	}
+	check(fs)
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the header carries the slot size; contents must persist.
+	re, err := OpenFileStore(path, 4, LRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.SlotBytes() != 64 || re.Pages() != 10 {
+		t.Fatalf("reopened store: slot %d pages %d, want 64/10", re.SlotBytes(), re.Pages())
+	}
+	check(re)
+}
+
+func TestFileStoreAccountingMatchesCountingStore(t *testing.T) {
+	// The tentpole invariant: on the same access sequence and frame
+	// count, the disk-backed store's hit/miss accounting is
+	// byte-for-byte identical to the counting simulator's, under every
+	// replacement policy.
+	rng := rand.New(rand.NewSource(42))
+	trace := make([]PageID, 4000)
+	for i := range trace {
+		trace[i] = PageID(rng.Intn(40)) // 40 pages through 8 frames
+	}
+	for _, pol := range []Policy{LRU, FIFO, Clock} {
+		fs, _ := tempStore(t, 128, 8, pol)
+		for i := 0; i < 40; i++ {
+			if _, err := fs.AppendPage([]byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fs.Clear() // writes must not perturb the accounting
+		sim := NewBufferFrames(8, pol)
+		for _, id := range trace {
+			fs.Access(id)
+			sim.Access(id)
+		}
+		if err := fs.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if fs.Hits() != sim.Hits() || fs.Misses() != sim.Misses() {
+			t.Errorf("%v: file store %d/%d, simulator %d/%d",
+				pol, fs.Hits(), fs.Misses(), sim.Hits(), sim.Misses())
+		}
+	}
+}
+
+func TestFileStoreZeroFillsUnwrittenPages(t *testing.T) {
+	fs, _ := tempStore(t, 32, 2, LRU)
+	got, err := fs.ReadPage(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, 32)) {
+		t.Error("unwritten page must read as zeros")
+	}
+	if fs.Misses() != 1 {
+		t.Errorf("implicit page fault must count as a miss; misses=%d", fs.Misses())
+	}
+}
+
+func TestFileStoreWriteThrough(t *testing.T) {
+	fs, _ := tempStore(t, 16, 4, LRU)
+	if _, err := fs.AppendPage([]byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	fs.Access(0) // fault it in
+	if err := fs.WritePage(0, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadPage(0) // hit: must see the new bytes
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(bytes.TrimRight(got, "\x00")) != "new" {
+		t.Errorf("cached page not updated on write: %q", got)
+	}
+	if fs.Misses() != 1 {
+		t.Errorf("write-through must not fault; misses=%d", fs.Misses())
+	}
+}
+
+func TestFileStoreRestoreFaultsLazily(t *testing.T) {
+	fs, _ := tempStore(t, 16, 2, LRU)
+	fs.AppendPage([]byte("a"))
+	fs.AppendPage([]byte("b"))
+	fs.Access(0)
+	fs.Access(1)
+	st := fs.State()
+	fs.Clear()
+	fs.Restore(st)
+	// Restored frames have no bytes yet; reading them is a hit that
+	// fills lazily from disk.
+	got, err := fs.ReadPage(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 'a' {
+		t.Errorf("lazy fill read %q", got[:1])
+	}
+	if fs.Misses() != 0 || fs.Hits() != 1 {
+		t.Errorf("restored-page read must be a hit: %d/%d", fs.Hits(), fs.Misses())
+	}
+}
+
+func TestFileStoreRejectsBadInputs(t *testing.T) {
+	fs, path := tempStore(t, 16, 2, LRU)
+	if _, err := fs.ReadPage(-1); err == nil {
+		t.Error("negative page read must fail")
+	}
+	if err := fs.WritePage(-1, nil); err == nil {
+		t.Error("negative page write must fail")
+	}
+	if err := fs.WritePage(0, make([]byte, 17)); err == nil {
+		t.Error("oversized page write must fail")
+	}
+	if _, err := CreateFileStore(filepath.Join(t.TempDir(), "x"), 0, 1, LRU); err == nil {
+		t.Error("zero slot size must fail")
+	}
+
+	// Corrupt header: bad magic.
+	if err := os.WriteFile(path, []byte("not a page store"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileStore(path, 2, LRU); !errors.Is(err, ErrBadStore) {
+		t.Errorf("bad magic: err = %v, want ErrBadStore", err)
+	}
+	// Truncated header.
+	if err := os.WriteFile(path, []byte{1, 2}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileStore(path, 2, LRU); !errors.Is(err, ErrBadStore) {
+		t.Errorf("truncated header: err = %v, want ErrBadStore", err)
+	}
+	// Absurd slot size in the header: must be rejected at open, before
+	// any ReadPage can allocate it.
+	hdr := make([]byte, fileHeaderBytes)
+	hdr[0], hdr[1], hdr[2], hdr[3] = 0x53, 0x50, 0x4A, 0x53 // fileMagic LE
+	hdr[4] = fileVersion
+	hdr[8], hdr[9], hdr[10], hdr[11] = 0xF0, 0xFF, 0xFF, 0xFF // slot ≈ 4 GiB
+	if err := os.WriteFile(path, hdr, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileStore(path, 2, LRU); !errors.Is(err, ErrBadStore) {
+		t.Errorf("oversized slot: err = %v, want ErrBadStore", err)
+	}
+}

@@ -1,16 +1,64 @@
-// Package storage models the secondary-storage layer of the paper's
-// experiments: page-granular access through an LRU buffer with page-access
-// counting. The paper's I/O metric is the number of page accesses that
-// miss the buffer (sections 3.4 and 5: page sizes of 2 and 4 KB, an LRU
-// buffer of 128 KB, 10 ms per access); an in-memory counting buffer
-// reproduces that metric exactly (see DESIGN.md, substitutions).
+// Package storage is the secondary-storage layer of the paper's
+// experiments: page-granular access through a replacement-policy buffer
+// with page-access counting. The paper's I/O metric is the number of page
+// accesses that miss the buffer (sections 3.4 and 5: page sizes of 2 and
+// 4 KB, an LRU buffer of 128 KB, 10 ms per access).
+//
+// The layer is pluggable behind the PageStore interface, with two
+// implementations (see DESIGN.md at the repository root, "Substitutions"
+// and "On-disk formats"):
+//
+//   - BufferManager, the in-memory counting simulator that reproduces the
+//     paper's metric exactly without any disk, and
+//   - FileStore, a disk-backed paged file whose reads go through the same
+//     replacement logic, so its hit/miss accounting is byte-for-byte
+//     identical to the simulator's on the same access sequence.
 package storage
 
-// PageID identifies one page of the simulated store.
+import (
+	"fmt"
+	"strings"
+)
+
+// PageID identifies one page of the store.
 type PageID int32
 
 // InvalidPage is the zero value no allocated page ever gets.
 const InvalidPage PageID = -1
+
+// PageStore is the pluggable buffered page substrate: a page-granular
+// access path with hit/miss accounting. The R*-trees route every node
+// visit through a PageStore; the counting BufferManager simulates the
+// paper's buffered disk, while FileStore backs the same accounting with a
+// real paged file.
+type PageStore interface {
+	// Access touches a page: a buffered page is a hit, an unbuffered page
+	// is faulted in (a miss), evicting the policy's victim when full.
+	Access(id PageID)
+	// Hits returns the number of buffered accesses.
+	Hits() int64
+	// Misses returns the number of accesses that went to disk — the
+	// paper's page-access count.
+	Misses() int64
+	// Accesses returns the total number of page touches.
+	Accesses() int64
+	// ResetCounters zeroes the statistics without dropping buffer
+	// contents.
+	ResetCounters()
+	// Clear drops all buffered pages and zeroes the statistics.
+	Clear()
+	// Frames returns the buffer capacity in pages.
+	Frames() int
+	// Policy returns the replacement policy.
+	Policy() Policy
+	// State snapshots the buffer contents (not the counters), so a
+	// persisted relation can resume in the exact buffer state it was
+	// saved in.
+	State() BufferState
+	// Restore replaces the buffer contents with a snapshot taken by
+	// State, without touching the counters.
+	Restore(BufferState)
+}
 
 // Policy selects the buffer replacement strategy. The paper uses LRU; the
 // alternatives exist for the buffer-policy ablation.
@@ -22,6 +70,20 @@ const (
 	FIFO                // evict the oldest page regardless of reuse
 	Clock               // second-chance approximation of LRU
 )
+
+// ParsePolicy parses a policy name (case-insensitively): "lru", "fifo"
+// or "clock".
+func ParsePolicy(s string) (Policy, error) {
+	switch {
+	case strings.EqualFold(s, "lru"):
+		return LRU, nil
+	case strings.EqualFold(s, "fifo"):
+		return FIFO, nil
+	case strings.EqualFold(s, "clock"):
+		return Clock, nil
+	}
+	return 0, fmt.Errorf("storage: unknown replacement policy %q", s)
+}
 
 // String returns the policy name.
 func (p Policy) String() string {
@@ -49,7 +111,15 @@ type BufferManager struct {
 
 	hits   int64
 	misses int64
+
+	// onEvict, when set, observes every eviction — FileStore uses it to
+	// drop the evicted page's cached bytes. It must not call back into
+	// the buffer.
+	onEvict func(PageID)
 }
+
+// BufferManager implements PageStore.
+var _ PageStore = (*BufferManager)(nil)
 
 type frameNode struct {
 	id         PageID
@@ -126,6 +196,9 @@ func (b *BufferManager) evict() {
 				b.hand = next
 				b.unlink(victim)
 				delete(b.table, victim.id)
+				if b.onEvict != nil {
+					b.onEvict(victim.id)
+				}
 				return
 			}
 			victim.referenced = false
@@ -138,6 +211,9 @@ func (b *BufferManager) evict() {
 		evict := b.tail
 		b.unlink(evict)
 		delete(b.table, evict.id)
+		if b.onEvict != nil {
+			b.onEvict(evict.id)
+		}
 	}
 }
 
@@ -162,6 +238,61 @@ func (b *BufferManager) Clear() {
 	b.table = make(map[PageID]*frameNode, b.frames)
 	b.head, b.tail, b.hand = nil, nil, nil
 	b.hits, b.misses = 0, 0
+}
+
+// FrameState is the persisted state of one buffered page.
+type FrameState struct {
+	ID         PageID
+	Referenced bool // Clock second-chance bit
+}
+
+// BufferState is a snapshot of the buffer contents: the resident pages in
+// recency order plus the clock hand. It captures everything the
+// replacement policies consult, so restoring it resumes the exact
+// eviction behavior; the hit/miss counters are not part of the snapshot.
+type BufferState struct {
+	// Frames lists the resident pages from oldest (the eviction end) to
+	// newest.
+	Frames []FrameState
+	// Hand is the index into Frames of the clock hand, or -1 when the
+	// hand is unset (also for the non-Clock policies).
+	Hand int
+}
+
+// State snapshots the buffer contents (see BufferState).
+func (b *BufferManager) State() BufferState {
+	st := BufferState{Hand: -1}
+	for n := b.tail; n != nil; n = n.prev {
+		if n == b.hand {
+			st.Hand = len(st.Frames)
+		}
+		st.Frames = append(st.Frames, FrameState{ID: n.id, Referenced: n.referenced})
+	}
+	return st
+}
+
+// Restore replaces the buffer contents with a snapshot taken by State.
+// The counters are left untouched; frames beyond the buffer capacity are
+// ignored (newest kept).
+func (b *BufferManager) Restore(st BufferState) {
+	hits, misses := b.hits, b.misses
+	b.Clear()
+	b.hits, b.misses = hits, misses
+	drop := len(st.Frames) - b.frames // oldest frames beyond capacity
+	for i, f := range st.Frames {
+		if i < drop {
+			continue
+		}
+		if _, dup := b.table[f.ID]; dup {
+			continue
+		}
+		n := &frameNode{id: f.ID, referenced: f.Referenced}
+		b.table[f.ID] = n
+		b.pushFront(n) // oldest first: each push becomes the new head
+		if i == st.Hand {
+			b.hand = n
+		}
+	}
 }
 
 func (b *BufferManager) pushFront(n *frameNode) {

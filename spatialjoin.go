@@ -29,6 +29,7 @@ import (
 	"spatialjoin/internal/data"
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/multistep"
+	"spatialjoin/internal/storage"
 )
 
 // Geometry types.
@@ -66,6 +67,16 @@ type (
 	ApproximationKind = approx.Kind
 	// MapConfig parameterizes the synthetic cartographic data generator.
 	MapConfig = data.MapConfig
+	// BufferPolicy selects the page replacement policy of the R*-tree
+	// buffers (Config.BufferPolicy).
+	BufferPolicy = storage.Policy
+)
+
+// Buffer replacement policies.
+const (
+	PolicyLRU   = storage.LRU
+	PolicyFIFO  = storage.FIFO
+	PolicyClock = storage.Clock
 )
 
 // Exact engines.
@@ -174,6 +185,45 @@ func ShiftedCopy(rel []*Polygon, fraction float64) []*Polygon {
 // data-space area.
 func RandomizedCopy(rel []*Polygon, seed int64) []*Polygon {
 	return data.StrategyB(rel, seed)
+}
+
+// Relation store errors.
+var (
+	// ErrBadRelationStore reports a corrupt relation store.
+	ErrBadRelationStore = multistep.ErrBadRelationStore
+	// ErrConfigMismatch reports a relation store built under a different
+	// configuration than it is being opened with.
+	ErrConfigMismatch = multistep.ErrConfigMismatch
+)
+
+// SaveRelation persists a fully preprocessed relation — polygons,
+// approximations, the R*-tree in page-granular layout and (under the
+// TR*-tree engine) every object's TR*-tree — so it can be reopened
+// instantly with OpenRelation instead of re-running NewRelation. The
+// relation must have been built with cfg; the store records a config
+// fingerprint and refuses to open under a different configuration.
+func SaveRelation(w io.Writer, rel *Relation, cfg Config) error {
+	return multistep.SaveRelation(w, rel, cfg)
+}
+
+// OpenRelation restores a relation saved by SaveRelation under the same
+// cfg. Joins on the restored relation produce the identical response set
+// and identical statistics (including buffer hit/miss counts) as on the
+// originally built relation.
+func OpenRelation(r io.Reader, cfg Config) (*Relation, error) {
+	return multistep.OpenRelation(r, cfg)
+}
+
+// SaveRelationFile is SaveRelation onto a paged store file
+// (storage.FileStore layout) at path.
+func SaveRelationFile(path string, rel *Relation, cfg Config) error {
+	return multistep.SaveRelationFile(path, rel, cfg)
+}
+
+// OpenRelationFile opens a relation store written by SaveRelationFile,
+// reading it page by page through a buffered disk-backed store.
+func OpenRelationFile(path string, cfg Config) (*Relation, error) {
+	return multistep.OpenRelationFile(path, cfg)
 }
 
 // WritePolygons persists a relation in the compact binary format of

@@ -1,6 +1,9 @@
 package spatialjoin_test
 
 import (
+	"bytes"
+	"errors"
+	"path/filepath"
 	"testing"
 
 	"spatialjoin"
@@ -53,6 +56,37 @@ func TestPublicAPI(t *testing.T) {
 	poly := spatialjoin.NewPolygon([]spatialjoin.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}})
 	if poly.Area() <= 0 {
 		t.Error("NewPolygon broken")
+	}
+
+	// Persist & reopen: the store round trip through the facade.
+	var buf bytes.Buffer
+	if err := spatialjoin.SaveRelation(&buf, r, cfg); err != nil {
+		t.Fatalf("SaveRelation: %v", err)
+	}
+	reopened, err := spatialjoin.OpenRelation(bytes.NewReader(buf.Bytes()), cfg)
+	if err != nil {
+		t.Fatalf("OpenRelation: %v", err)
+	}
+	rePairs, _ := spatialjoin.Join(reopened, s, cfg)
+	if len(rePairs) != len(pairs) {
+		t.Fatalf("reopened relation joined %d pairs, want %d", len(rePairs), len(pairs))
+	}
+	otherCfg := cfg
+	otherCfg.BufferPolicy = spatialjoin.PolicyClock
+	if _, err := spatialjoin.OpenRelation(bytes.NewReader(buf.Bytes()), otherCfg); !errors.Is(err, spatialjoin.ErrConfigMismatch) {
+		t.Errorf("config mismatch not rejected: %v", err)
+	}
+	storePath := filepath.Join(t.TempDir(), "r.store")
+	if err := spatialjoin.SaveRelationFile(storePath, r, cfg); err != nil {
+		t.Fatalf("SaveRelationFile: %v", err)
+	}
+	fromFile, err := spatialjoin.OpenRelationFile(storePath, cfg)
+	if err != nil {
+		t.Fatalf("OpenRelationFile: %v", err)
+	}
+	filePairs, _ := spatialjoin.Join(fromFile, s, cfg)
+	if len(filePairs) != len(pairs) {
+		t.Fatalf("file-store relation joined %d pairs, want %d", len(filePairs), len(pairs))
 	}
 
 	// Engine and kind constants are wired.

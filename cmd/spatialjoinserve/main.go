@@ -1,0 +1,133 @@
+// Command spatialjoinserve serves spatial queries over HTTP from a
+// catalog of prebuilt relation stores — the "build once, serve many"
+// deployment of the multi-step processor. Every request runs on its own
+// per-query access context, so one process serves any number of
+// concurrent join, window, point and nearest-neighbour queries, each
+// response carrying the paper's per-step statistics for that query
+// alone.
+//
+// Usage:
+//
+//	spatialjoinserve [-addr :8080] -rel name=path [-rel name=path ...]
+//	                 [-engine trstar|planesweep|quadratic]
+//	                 [-conservative 5C|RMBR|CH|4C|MBC|MBE] [-progressive MER|MEC]
+//	                 [-no-filter] [-page 4096] [-buffer 131072] [-policy lru|fifo|clock]
+//	spatialjoinserve [-addr :8080] -demo 810
+//
+// The configuration flags must match the ones the stores were built
+// with (cmd/datagen -store); a mismatch is rejected at startup via the
+// stores' config fingerprint. -demo skips the stores and serves a
+// generated relation pair (demo-r, demo-s) instead — handy for a
+// first run:
+//
+//	datagen -n 810 -store r.store && datagen -n 810 -strategy A -store s.store
+//	spatialjoinserve -rel R=r.store -rel S=s.store &
+//	curl 'localhost:8080/join?r=R&s=S&limit=3'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"spatialjoin/internal/approx"
+	"spatialjoin/internal/data"
+	"spatialjoin/internal/multistep"
+	"spatialjoin/internal/serve"
+	"spatialjoin/internal/storage"
+)
+
+// relFlags collects repeated -rel name=path arguments in order.
+type relFlags []struct{ name, path string }
+
+func (r *relFlags) String() string {
+	var parts []string
+	for _, e := range *r {
+		parts = append(parts, e.name+"="+e.path)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (r *relFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*r = append(*r, struct{ name, path string }{name, path})
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	var rels relFlags
+	flag.Var(&rels, "rel", "serve a relation store as name=path (repeatable)")
+	demo := flag.Int("demo", 0, "serve a generated demo relation pair of this many objects instead of stores")
+	seed := flag.Int64("seed", 9401, "with -demo: generation seed")
+	engine := flag.String("engine", "trstar", "exact engine: trstar, planesweep, quadratic")
+	conservative := flag.String("conservative", "5C", "conservative approximation: 5C, 4C, RMBR, CH, MBC, MBE")
+	progressive := flag.String("progressive", "MER", "progressive approximation: MER, MEC")
+	noFilter := flag.Bool("no-filter", false, "disable the geometric filter (step 2)")
+	pageSize := flag.Int("page", 4096, "R*-tree page size in bytes")
+	bufferBytes := flag.Int("buffer", 128<<10, "R*-tree buffer size in bytes")
+	policy := flag.String("policy", "lru", "buffer replacement policy: lru, fifo, clock")
+	joinWorkers := flag.Int("join-workers", 0, "streaming-join workers per request (0 = GOMAXPROCS)")
+	maxPairs := flag.Int("max-pairs", serve.DefaultMaxJoinPairs, "cap on join pairs returned inline per request")
+	flag.Parse()
+
+	cfg := multistep.DefaultConfig()
+	cfg.PageSize = *pageSize
+	cfg.BufferBytes = *bufferBytes
+	cfg.UseFilter = !*noFilter
+	var err error
+	if cfg.Engine, err = multistep.ParseEngine(*engine); err != nil {
+		fatal(err)
+	}
+	if cfg.Filter.Conservative, err = approx.ParseKind(*conservative); err != nil {
+		fatal(err)
+	}
+	if cfg.Filter.Progressive, err = approx.ParseKind(*progressive); err != nil {
+		fatal(err)
+	}
+	if cfg.BufferPolicy, err = storage.ParsePolicy(*policy); err != nil {
+		fatal(err)
+	}
+
+	if len(rels) == 0 && *demo <= 0 {
+		fatal(fmt.Errorf("nothing to serve: pass at least one -rel name=path, or -demo N"))
+	}
+
+	cat := serve.NewCatalog()
+	for _, e := range rels {
+		if err := cat.LoadFile(e.name, e.path, cfg); err != nil {
+			fatal(err)
+		}
+		entry, _ := cat.Get(e.name)
+		log.Printf("opened %s: relation %q, %d objects, R*-tree height %d (%d pages)",
+			e.path, e.name, len(entry.Rel.Objects), entry.Rel.Tree.Height(), entry.Rel.Tree.Pages())
+	}
+	if *demo > 0 {
+		log.Printf("generating demo relations (%d objects each)...", *demo)
+		rp := data.GenerateMap(data.MapConfig{Cells: *demo, TargetVerts: 84, HoleFraction: 0.06, Seed: *seed})
+		sp := data.StrategyA(rp, 0.45)
+		cat.Add("demo-r", multistep.NewRelation("demo-r", rp, cfg), cfg)
+		cat.Add("demo-s", multistep.NewRelation("demo-s", sp, cfg), cfg)
+		log.Printf("serving demo-r and demo-s")
+	}
+
+	srv := serve.NewServer(cat)
+	srv.JoinWorkers = *joinWorkers
+	srv.MaxJoinPairs = *maxPairs
+	log.Printf("serving %d relation(s) on %s — try /healthz, /relations, /window, /point, /nearest, /join",
+		len(cat.Names()), *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spatialjoinserve:", err)
+	os.Exit(1)
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 
+	"spatialjoin/internal/codec"
 	"spatialjoin/internal/convex"
 	"spatialjoin/internal/geom"
 )
@@ -86,16 +87,20 @@ func (s *Set) AppendBinary(buf []byte) ([]byte, error) {
 // DecodeSet decodes one set from the front of data, returning the set
 // and the number of bytes consumed.
 func DecodeSet(data []byte) (*Set, int, error) {
-	d := &setDecoder{data: data}
-	flags := d.u16()
-	s := &Set{ObjArea: d.f64(), MBR: d.rect()}
+	d := codec.New(data, fmt.Errorf("%w: truncated", ErrCorruptSet))
+	point := func() geom.Point { return geom.Point{X: d.F64(), Y: d.F64()} }
+	rect := func() geom.Rect {
+		return geom.Rect{MinX: d.F64(), MinY: d.F64(), MaxX: d.F64(), MaxY: d.F64()}
+	}
+	flags := d.U16()
+	s := &Set{ObjArea: d.F64(), MBR: rect()}
 	if flags&(1<<uint(MBR)) == 0 || flags >= 1<<uint(MER+1) {
 		return nil, 0, fmt.Errorf("%w: bad kind flags %#x", ErrCorruptSet, flags)
 	}
 	if flags&(1<<uint(RMBR)) != 0 {
-		o := convex.OrientedRect{Center: d.point(), W: d.f64(), H: d.f64(), Angle: d.f64()}
+		o := convex.OrientedRect{Center: point(), W: d.F64(), H: d.F64(), Angle: d.F64()}
 		for i := range o.Corners {
-			o.Corners[i] = d.point()
+			o.Corners[i] = point()
 		}
 		s.RMBRA = &o
 	}
@@ -106,71 +111,33 @@ func DecodeSet(data []byte) (*Set, int, error) {
 		if flags&(1<<uint(dst.k)) == 0 {
 			continue
 		}
-		n := int(d.u16())
-		if d.err == nil && len(d.data)-d.pos < n*16 {
+		n := int(d.U16())
+		if d.Err() == nil && d.Remaining() < n*16 {
 			return nil, 0, fmt.Errorf("%w: ring of %d points exceeds the remaining data", ErrCorruptSet, n)
 		}
 		ring := make(geom.Ring, 0, n)
 		for i := 0; i < n; i++ {
-			ring = append(ring, d.point())
+			ring = append(ring, point())
 		}
 		*dst.ring = ring
 	}
 	if flags&(1<<uint(MBC)) != 0 {
-		s.MBCA = &Circle{C: d.point(), R: d.f64()}
+		s.MBCA = &Circle{C: point(), R: d.F64()}
 	}
 	if flags&(1<<uint(MBE)) != 0 {
-		s.MBEA = &Ellipse{C: d.point(), B00: d.f64(), B01: d.f64(), B10: d.f64(), B11: d.f64()}
+		s.MBEA = &Ellipse{C: point(), B00: d.F64(), B01: d.F64(), B10: d.F64(), B11: d.F64()}
 	}
 	if flags&(1<<uint(MEC)) != 0 {
-		s.MECA = &Circle{C: d.point(), R: d.f64()}
+		s.MECA = &Circle{C: point(), R: d.F64()}
 	}
 	if flags&(1<<uint(MER)) != 0 {
-		r := d.rect()
+		r := rect()
 		s.MERA = &r
 	}
-	if d.err != nil {
-		return nil, 0, d.err
+	if d.Err() != nil {
+		return nil, 0, d.Err()
 	}
-	return s, d.pos, nil
-}
-
-type setDecoder struct {
-	data []byte
-	pos  int
-	err  error
-}
-
-func (d *setDecoder) u16() uint16 {
-	if d.err != nil || d.pos+2 > len(d.data) {
-		d.fail()
-		return 0
-	}
-	v := binary.LittleEndian.Uint16(d.data[d.pos:])
-	d.pos += 2
-	return v
-}
-
-func (d *setDecoder) f64() float64 {
-	if d.err != nil || d.pos+8 > len(d.data) {
-		d.fail()
-		return 0
-	}
-	v := math.Float64frombits(binary.LittleEndian.Uint64(d.data[d.pos:]))
-	d.pos += 8
-	return v
-}
-
-func (d *setDecoder) point() geom.Point { return geom.Point{X: d.f64(), Y: d.f64()} }
-
-func (d *setDecoder) rect() geom.Rect {
-	return geom.Rect{MinX: d.f64(), MinY: d.f64(), MaxX: d.f64(), MaxY: d.f64()}
-}
-
-func (d *setDecoder) fail() {
-	if d.err == nil {
-		d.err = fmt.Errorf("%w: truncated", ErrCorruptSet)
-	}
+	return s, d.Pos(), nil
 }
 
 func appendF64(buf []byte, vs ...float64) []byte {

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 
+	"spatialjoin/internal/codec"
 	"spatialjoin/internal/geom"
 )
 
@@ -166,43 +167,32 @@ func AppendPolygon(buf []byte, p *geom.Polygon) []byte {
 // error wrapping ErrBadRelation; allocations never exceed the data
 // actually present.
 func DecodePolygon(data []byte) (*geom.Polygon, int, error) {
-	pos := 0
-	u32 := func() (uint32, error) {
-		if pos+4 > len(data) {
-			return 0, fmt.Errorf("%w: truncated polygon", ErrBadRelation)
-		}
-		v := binary.LittleEndian.Uint32(data[pos:])
-		pos += 4
-		return v, nil
-	}
-	rings, err := u32()
-	if err != nil {
+	d := codec.New(data, fmt.Errorf("%w: truncated polygon", ErrBadRelation))
+	rings := d.U32()
+	if err := d.Err(); err != nil {
 		return nil, 0, err
 	}
 	if rings < 1 || rings > 1<<20 {
 		return nil, 0, fmt.Errorf("%w: polygon with %d rings", ErrBadRelation, rings)
 	}
 	readRing := func() (geom.Ring, error) {
-		n, err := u32()
-		if err != nil {
+		n := d.U32()
+		if err := d.Err(); err != nil {
 			return nil, err
 		}
 		// Compare in uint64: int(n)*16 would overflow on 32-bit
 		// platforms and let a corrupt length reach make().
-		if n < 3 || uint64(len(data)-pos) < uint64(n)*16 {
+		if n < 3 || uint64(d.Remaining()) < uint64(n)*16 {
 			return nil, fmt.Errorf("%w: ring of %d vertices exceeds the remaining data", ErrBadRelation, n)
 		}
 		ring := make(geom.Ring, n)
 		for i := range ring {
-			ring[i] = geom.Point{
-				X: math.Float64frombits(binary.LittleEndian.Uint64(data[pos:])),
-				Y: math.Float64frombits(binary.LittleEndian.Uint64(data[pos+8:])),
-			}
-			pos += 16
+			ring[i] = geom.Point{X: d.F64(), Y: d.F64()}
 		}
 		return ring, nil
 	}
 	p := &geom.Polygon{}
+	var err error
 	if p.Outer, err = readRing(); err != nil {
 		return nil, 0, err
 	}
@@ -213,5 +203,5 @@ func DecodePolygon(data []byte) (*geom.Polygon, int, error) {
 		}
 		p.Holes = append(p.Holes, hole)
 	}
-	return p, pos, nil
+	return p, d.Pos(), nil
 }

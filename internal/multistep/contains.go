@@ -5,6 +5,7 @@ import (
 	"spatialjoin/internal/exact"
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/rstar"
+	"spatialjoin/internal/storage"
 )
 
 // JoinContains runs the multi-step inclusion join "a ∈ r contains b ∈ s"
@@ -19,16 +20,28 @@ import (
 //	step 3 — the exact inclusion predicate with operation counting.
 //
 // Both relations must have been built with the same Config.
+//
+// JoinContains accounts on the shared tree buffers (reset first) — the
+// sequential single-query mode; JoinContainsAccess is the
+// concurrent-query variant.
 func JoinContains(r, s *Relation, cfg Config) ([]Pair, Stats) {
+	r.Tree.Buffer().ResetCounters()
+	s.Tree.Buffer().ResetCounters()
+	return JoinContainsAccess(r, s, r.Tree.Buffer(), s.Tree.Buffer(), cfg)
+}
+
+// JoinContainsAccess is JoinContains with each tree's page visits routed
+// through an explicit access context. With per-query sessions
+// (Relation.NewSession on both sides) inclusion joins may run
+// concurrently with any other queries on the same relations.
+func JoinContainsAccess(r, s *Relation, axR, axS storage.Accessor, cfg Config) ([]Pair, Stats) {
 	var st Stats
 	var out []Pair
 
-	r.Tree.Buffer().ResetCounters()
-	s.Tree.Buffer().ResetCounters()
-
+	missesR, missesS := axR.Misses(), axS.Misses()
 	fetchedR := make(map[int32]struct{})
 	fetchedS := make(map[int32]struct{})
-	st.MBRJoin = rstar.Join(r.Tree, s.Tree, func(a, b rstar.Item) {
+	st.MBRJoin = rstar.JoinAccess(r.Tree, s.Tree, axR, axS, func(a, b rstar.Item) {
 		oa := r.Objects[a.ID]
 		ob := s.Objects[b.ID]
 		// Step 1 pretest: containment of the regions implies containment
@@ -69,8 +82,8 @@ func JoinContains(r, s *Relation, cfg Config) ([]Pair, Stats) {
 		}
 	})
 
-	st.PageAccessesR = r.Tree.Buffer().Misses()
-	st.PageAccessesS = s.Tree.Buffer().Misses()
+	st.PageAccessesR = axR.Misses() - missesR
+	st.PageAccessesS = axS.Misses() - missesS
 	st.ResultPairs = int64(len(out))
 	return out, st
 }

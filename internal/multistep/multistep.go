@@ -170,11 +170,26 @@ func (o *Object) Prepared() *exact.PreparedPolygon {
 }
 
 // Tree returns the TR*-tree representation, building it on first use.
+// Like Prepared it is safe for concurrent use: the common case — many
+// queries racing to build the tree at the same capacity — publishes one
+// canonical tree via compare-and-swap, so every caller observes the same
+// instance. Only a capacity change (a different Config against the same
+// objects, which no query workload does mid-flight) rebuilds and
+// replaces the cached tree.
 func (o *Object) Tree(capacity int) *trstar.Tree {
 	if t := o.tree.Load(); t != nil && t.Capacity() == capacity {
 		return t
 	}
 	t := trstar.NewFromPolygon(o.Poly, capacity)
+	if o.tree.CompareAndSwap(nil, t) {
+		return t
+	}
+	// Lost the build race: adopt the winner if it has the right
+	// capacity, else replace the stale-capacity tree (last writer wins;
+	// both replacements are valid trees for their capacity).
+	if cur := o.tree.Load(); cur != nil && cur.Capacity() == capacity {
+		return cur
+	}
 	o.tree.Store(t)
 	return t
 }
@@ -183,11 +198,26 @@ func (o *Object) Tree(capacity int) *trstar.Tree {
 // R*-tree entry size reflects the approximations stored with each entry
 // (section 3.4, approach 2), so enabling the filter costs index capacity —
 // the loss/gain trade-off of Figure 11.
+//
+// A built (or reopened) Relation is immutable and serves any number of
+// concurrent queries, provided each query carries its own page-access
+// context: create one with NewSession and pass it to the *Access query
+// entry points (or to StreamOptions.AccessR/AccessS for joins). The
+// plain entry points (Join, WindowQuery, …) account on the shared tree
+// buffer — the paper's sequential mode, one query at a time.
 type Relation struct {
 	Name    string
 	Objects []*Object
 	Tree    *rstar.Tree
 }
+
+// NewSession returns a per-query page-access context for the relation's
+// R*-tree: a private replacement simulation seeded from the shared
+// buffer's current snapshot, with isolated hit/miss counters. Sessions
+// make the relation safe for N concurrent queries, each reporting
+// exactly the statistics a sequential query from the same starting
+// buffer state would.
+func (r *Relation) NewSession() *storage.Session { return r.Tree.NewSession() }
 
 // EntryBytes returns the modelled R*-tree data-entry size for a filter
 // configuration (section 5: MBR 16 B + info 32 B + approximations).
@@ -208,6 +238,14 @@ func EntryBytes(cfg Config) int {
 // NewRelation preprocesses a relation: approximations for every object
 // (only those the configuration needs) and the R*-tree over the MBRs.
 func NewRelation(name string, polys []*geom.Polygon, cfg Config) *Relation {
+	return NewRelationWithStore(name, polys, cfg, nil)
+}
+
+// NewRelationWithStore is NewRelation with an explicit page store
+// plugged into the R*-tree — pass a storage.FileStore to back the page
+// accounting with real (concurrency-safe, single-flight) disk reads. A
+// nil store selects the counting buffer the configuration describes.
+func NewRelationWithStore(name string, polys []*geom.Polygon, cfg Config, store storage.PageStore) *Relation {
 	rel := &Relation{Name: name}
 	var opt approx.Options
 	if cfg.UseFilter {
@@ -219,6 +257,7 @@ func NewRelation(name string, polys []*geom.Polygon, cfg Config) *Relation {
 		LeafEntryBytes: EntryBytes(cfg),
 		BufferBytes:    cfg.BufferBytes,
 		BufferPolicy:   cfg.BufferPolicy,
+		Store:          store,
 	})
 	for i, p := range polys {
 		o := &Object{ID: int32(i), Poly: p, Approx: approx.Compute(p, opt)}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"spatialjoin/internal/geom"
+	"spatialjoin/internal/storage"
 )
 
 // Neighbor is one result of a nearest-neighbour query: an object ID with
@@ -21,7 +22,16 @@ type Neighbor struct {
 // proven final: when the k-th best exact distance does not exceed the MBR
 // distance of the next unexamined candidate, no further object can
 // improve the result.
+//
+// Page visits are accounted on the shared tree buffer (single-query
+// mode); NearestObjectsAccess is the concurrent-query variant.
 func NearestObjects(r *Relation, p geom.Point, k int) []Neighbor {
+	return NearestObjectsAccess(r, r.Tree.Buffer(), p, k)
+}
+
+// NearestObjectsAccess is NearestObjects with page visits routed through
+// an explicit access context (see WindowQueryAccess).
+func NearestObjectsAccess(r *Relation, ax storage.Accessor, p geom.Point, k int) []Neighbor {
 	if k <= 0 || len(r.Objects) == 0 {
 		return nil
 	}
@@ -36,7 +46,7 @@ func NearestObjects(r *Relation, p geom.Point, k int) []Neighbor {
 		if fetch > len(r.Objects) {
 			fetch = len(r.Objects)
 		}
-		cands := r.Tree.NearestNeighbors(p, fetch)
+		cands := r.Tree.NearestNeighborsAccess(ax, p, fetch)
 		out := make([]Neighbor, 0, len(cands))
 		for _, it := range cands {
 			out = append(out, Neighbor{

@@ -8,6 +8,7 @@ import (
 	"io"
 
 	"spatialjoin/internal/approx"
+	"spatialjoin/internal/codec"
 	"spatialjoin/internal/data"
 	"spatialjoin/internal/rstar"
 	"spatialjoin/internal/storage"
@@ -154,27 +155,27 @@ func OpenRelation(r io.Reader, cfg Config) (*Relation, error) {
 }
 
 func decodeRelation(blob []byte, cfg Config) (*Relation, error) {
-	d := &relDecoder{data: blob}
-	if d.u32() != relstoreMagic {
+	d := codec.New(blob, fmt.Errorf("%w: truncated", ErrBadRelationStore))
+	if d.U32() != relstoreMagic {
 		return nil, fmt.Errorf("%w: bad magic", ErrBadRelationStore)
 	}
-	if v := d.u16(); d.err == nil && v != relstoreVersion {
+	if v := d.U16(); d.Err() == nil && v != relstoreVersion {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadRelationStore, v)
 	}
-	if fp := d.u64(); d.err == nil && fp != ConfigFingerprint(cfg) {
+	if fp := d.U64(); d.Err() == nil && fp != ConfigFingerprint(cfg) {
 		return nil, fmt.Errorf("%w: fingerprint %#x, this configuration is %#x",
 			ErrConfigMismatch, fp, ConfigFingerprint(cfg))
 	}
-	name := string(d.bytes(int(d.u16())))
-	count := int(d.u32())
+	name := string(d.Bytes(int(d.U16())))
+	count := int(d.U32())
 
-	treeLen := d.u64()
-	if d.err == nil && treeLen > uint64(len(d.data)-d.pos) {
+	treeLen := d.U64()
+	if d.Err() == nil && treeLen > uint64(d.Remaining()) {
 		return nil, fmt.Errorf("%w: tree of %d bytes exceeds the remaining data", ErrBadRelationStore, treeLen)
 	}
-	treeBytes := d.bytes(int(treeLen))
-	if d.err != nil {
-		return nil, d.err
+	treeBytes := d.Bytes(int(treeLen))
+	if d.Err() != nil {
+		return nil, d.Err()
 	}
 	tree, err := rstar.UnmarshalTree(treeBytes, rstar.Config{
 		PageSize:       cfg.PageSize,
@@ -186,51 +187,51 @@ func decodeRelation(blob []byte, cfg Config) (*Relation, error) {
 		return nil, fmt.Errorf("%w: %v", ErrBadRelationStore, err)
 	}
 
-	frames64 := uint64(d.u32())
-	hand := int(int32(d.u32()))
+	frames64 := uint64(d.U32())
+	hand := int(int32(d.U32()))
 	// Compare in uint64: frames*5 would overflow 32-bit ints.
-	if d.err == nil && uint64(len(d.data)-d.pos) < frames64*5 {
+	if d.Err() == nil && uint64(d.Remaining()) < frames64*5 {
 		return nil, fmt.Errorf("%w: buffer state of %d frames exceeds the remaining data", ErrBadRelationStore, frames64)
 	}
 	frames := int(frames64)
 	bufState := storage.BufferState{Hand: hand}
-	for i := 0; i < frames && d.err == nil; i++ {
-		id := storage.PageID(int32(d.u32()))
-		ref := d.u8()
+	for i := 0; i < frames && d.Err() == nil; i++ {
+		id := storage.PageID(int32(d.U32()))
+		ref := d.U8()
 		bufState.Frames = append(bufState.Frames, storage.FrameState{ID: id, Referenced: ref == 1})
 	}
-	if d.err == nil && (hand < -1 || hand >= frames) {
+	if d.Err() == nil && (hand < -1 || hand >= frames) {
 		return nil, fmt.Errorf("%w: clock hand %d outside %d frames", ErrBadRelationStore, hand, frames)
 	}
 
-	trTag := d.u8()
-	if d.err == nil && trTag > 1 {
+	trTag := d.U8()
+	if d.Err() == nil && trTag > 1 {
 		return nil, fmt.Errorf("%w: bad TR*-tree tag %d", ErrBadRelationStore, trTag)
 	}
 	hasTR := trTag == 1
-	if d.err == nil && hasTR != (cfg.Engine == EngineTRStar) {
+	if d.Err() == nil && hasTR != (cfg.Engine == EngineTRStar) {
 		return nil, fmt.Errorf("%w: TR*-tree presence contradicts the engine", ErrBadRelationStore)
 	}
 	rel := &Relation{Name: name, Tree: tree}
-	for i := 0; i < count && d.err == nil; i++ {
-		poly, n, err := data.DecodePolygon(d.data[d.pos:])
+	for i := 0; i < count && d.Err() == nil; i++ {
+		poly, n, err := data.DecodePolygon(d.Rest())
 		if err != nil {
 			return nil, fmt.Errorf("%w: object %d: %v", ErrBadRelationStore, i, err)
 		}
-		d.pos += n
-		set, n, err := approx.DecodeSet(d.data[d.pos:])
+		d.Skip(n)
+		set, n, err := approx.DecodeSet(d.Rest())
 		if err != nil {
 			return nil, fmt.Errorf("%w: object %d: %v", ErrBadRelationStore, i, err)
 		}
-		d.pos += n
+		d.Skip(n)
 		o := &Object{ID: int32(i), Poly: poly, Approx: set}
 		if hasTR {
-			trLen := int(d.u32())
-			if d.err == nil && len(d.data)-d.pos < trLen {
+			trLen := int(d.U32())
+			if d.Err() == nil && d.Remaining() < trLen {
 				return nil, fmt.Errorf("%w: object %d: TR*-tree of %d bytes exceeds the remaining data", ErrBadRelationStore, i, trLen)
 			}
-			trBytes := d.bytes(trLen)
-			if d.err != nil {
+			trBytes := d.Bytes(trLen)
+			if d.Err() != nil {
 				break
 			}
 			tr, err := trstar.UnmarshalBinary(trBytes)
@@ -245,11 +246,11 @@ func decodeRelation(blob []byte, cfg Config) (*Relation, error) {
 		}
 		rel.Objects = append(rel.Objects, o)
 	}
-	if d.err != nil {
-		return nil, d.err
+	if d.Err() != nil {
+		return nil, d.Err()
 	}
-	if d.pos != len(d.data) {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadRelationStore, len(d.data)-d.pos)
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadRelationStore, d.Remaining())
 	}
 
 	// The tree items must index the object table: same cardinality, IDs
@@ -336,59 +337,4 @@ func OpenRelationFile(path string, cfg Config) (*Relation, error) {
 		blob = append(blob, p...)
 	}
 	return decodeRelation(blob[:blobLen], cfg)
-}
-
-// relDecoder reads the relation store sections with a sticky error.
-type relDecoder struct {
-	data []byte
-	pos  int
-	err  error
-}
-
-func (d *relDecoder) fail() {
-	if d.err == nil {
-		d.err = fmt.Errorf("%w: truncated", ErrBadRelationStore)
-	}
-}
-
-func (d *relDecoder) bytes(n int) []byte {
-	if d.err != nil || n < 0 || d.pos+n > len(d.data) {
-		d.fail()
-		return nil
-	}
-	v := d.data[d.pos : d.pos+n]
-	d.pos += n
-	return v
-}
-
-func (d *relDecoder) u8() byte {
-	b := d.bytes(1)
-	if b == nil {
-		return 0
-	}
-	return b[0]
-}
-
-func (d *relDecoder) u16() uint16 {
-	b := d.bytes(2)
-	if b == nil {
-		return 0
-	}
-	return binary.LittleEndian.Uint16(b)
-}
-
-func (d *relDecoder) u32() uint32 {
-	b := d.bytes(4)
-	if b == nil {
-		return 0
-	}
-	return binary.LittleEndian.Uint32(b)
-}
-
-func (d *relDecoder) u64() uint64 {
-	b := d.bytes(8)
-	if b == nil {
-		return 0
-	}
-	return binary.LittleEndian.Uint64(b)
 }

@@ -9,6 +9,7 @@ import (
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/ops"
 	"spatialjoin/internal/rstar"
+	"spatialjoin/internal/storage"
 	"spatialjoin/internal/trstar"
 	"spatialjoin/internal/zorder"
 )
@@ -28,6 +29,15 @@ type StreamOptions struct {
 	// in-flight memory at O((Queue+2·Workers)·Batch) candidate pairs —
 	// the pipeline never materializes the full candidate set.
 	Queue int
+	// AccessR and AccessS, when non-nil, are the per-query page-access
+	// contexts the step 1 traversal is accounted on (typically
+	// Relation.NewSession of each side). With both set, the join never
+	// touches the shared tree buffers, so any number of joins and
+	// queries may run concurrently on the same relations, each with
+	// isolated Stats. When nil, the corresponding shared tree buffer is
+	// used (its counters reset first) — the sequential single-query mode
+	// with the paper's accounting.
+	AccessR, AccessS storage.Accessor
 }
 
 // DefaultStreamOptions returns the resolved default pipeline shape:
@@ -83,15 +93,26 @@ type streamWorker struct {
 // and per-worker counters are pure sums and set unions, so the merge is
 // independent of scheduling, and the step 1 page traces are replayed in
 // sequential traversal order (see rstar.JoinParallel). Both relations
-// must have been built with the same Config. JoinStream must not run
-// concurrently with another join on the same relations (the R*-tree
-// buffer accounting is shared).
+// must have been built with the same Config.
+//
+// Without explicit access contexts (opts.AccessR/AccessS nil) the page
+// accounting runs on the shared tree buffers, so JoinStream must not run
+// concurrently with another query on the same relations; with per-query
+// sessions in both fields the join is fully concurrent-safe.
 func JoinStream(r, s *Relation, cfg Config, opts StreamOptions, emit func(Pair)) Stats {
 	opts = opts.withDefaults()
 	var st Stats
 
-	r.Tree.Buffer().ResetCounters()
-	s.Tree.Buffer().ResetCounters()
+	axR, axS := opts.AccessR, opts.AccessS
+	if axR == nil {
+		r.Tree.Buffer().ResetCounters()
+		axR = r.Tree.Buffer()
+	}
+	if axS == nil {
+		s.Tree.Buffer().ResetCounters()
+		axS = s.Tree.Buffer()
+	}
+	missesR, missesS := axR.Misses(), axS.Misses()
 
 	candCh := make(chan []streamCand, opts.Queue)
 	resCh := make(chan []Pair, opts.Queue)
@@ -170,7 +191,7 @@ func JoinStream(r, s *Relation, cfg Config, opts StreamOptions, emit func(Pair))
 		// Per-traversal-worker batch buffers: rstar.JoinParallel serializes
 		// calls with the same worker index, so no locks are needed.
 		batches := make([][]streamCand, opts.Workers)
-		st.MBRJoin = rstar.JoinParallel(r.Tree, s.Tree, opts.Workers, func(w int, a, b rstar.Item) {
+		st.MBRJoin = rstar.JoinParallelAccess(r.Tree, s.Tree, axR, axS, opts.Workers, func(w int, a, b rstar.Item) {
 			buf := append(batches[w], streamCand{a.ID, b.ID})
 			if len(buf) >= opts.Batch {
 				candCh <- buf
@@ -261,8 +282,8 @@ func JoinStream(r, s *Relation, cfg Config, opts StreamOptions, emit func(Pair))
 		}
 	}
 	st.ObjectFetches = int64(len(unionR) + len(unionS))
-	st.PageAccessesR = r.Tree.Buffer().Misses()
-	st.PageAccessesS = s.Tree.Buffer().Misses()
+	st.PageAccessesR = axR.Misses() - missesR
+	st.PageAccessesS = axS.Misses() - missesS
 	st.ResultPairs = resultPairs
 	return st
 }

@@ -5,6 +5,7 @@ import (
 	"spatialjoin/internal/exact"
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/rstar"
+	"spatialjoin/internal/storage"
 )
 
 // WindowStats reports the work of one multi-step window query.
@@ -24,11 +25,25 @@ type WindowStats struct {
 // [KBS 93, BHKS 93] on which section 2.4 builds the join processor; it
 // shares every component with the join. The result is the list of object
 // IDs whose regions intersect w.
+//
+// WindowQuery accounts on the shared tree buffer (reset first) — the
+// sequential single-query mode. For concurrent queries use
+// WindowQueryAccess with a per-query session.
 func WindowQuery(r *Relation, w geom.Rect, cfg Config) ([]int32, WindowStats) {
+	r.Tree.Buffer().ResetCounters()
+	return WindowQueryAccess(r, r.Tree.Buffer(), w, cfg)
+}
+
+// WindowQueryAccess is WindowQuery with page visits routed through an
+// explicit access context; PageAccesses reports the misses the query
+// added to it. With per-query sessions (Relation.NewSession) any number
+// of window queries may run concurrently on the same relation, each with
+// isolated statistics.
+func WindowQueryAccess(r *Relation, ax storage.Accessor, w geom.Rect, cfg Config) ([]int32, WindowStats) {
 	var st WindowStats
 	var out []int32
-	r.Tree.Buffer().ResetCounters()
-	r.Tree.WindowQuery(w, func(it rstar.Item) {
+	missesBefore := ax.Misses()
+	r.Tree.WindowQueryAccess(ax, w, func(it rstar.Item) {
 		st.Candidates++
 		o := r.Objects[it.ID]
 		if cfg.UseFilter {
@@ -48,13 +63,19 @@ func WindowQuery(r *Relation, w geom.Rect, cfg Config) ([]int32, WindowStats) {
 			out = append(out, o.ID)
 		}
 	})
-	st.PageAccesses = r.Tree.Buffer().Misses()
+	st.PageAccesses = ax.Misses() - missesBefore
 	st.ResultObjects = int64(len(out))
 	return out, st
 }
 
 // PointQuery runs the multi-step point query: the degenerate window query
-// at a single point.
+// at a single point (shared-buffer accounting; see WindowQuery).
 func PointQuery(r *Relation, p geom.Point, cfg Config) ([]int32, WindowStats) {
 	return WindowQuery(r, geom.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}, cfg)
+}
+
+// PointQueryAccess is PointQuery with an explicit access context (see
+// WindowQueryAccess).
+func PointQueryAccess(r *Relation, ax storage.Accessor, p geom.Point, cfg Config) ([]int32, WindowStats) {
+	return WindowQueryAccess(r, ax, geom.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}, cfg)
 }

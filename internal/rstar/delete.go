@@ -1,6 +1,9 @@
 package rstar
 
-import "spatialjoin/internal/geom"
+import (
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/storage"
+)
 
 // Delete removes the item with the given key rectangle and ID, following
 // the R-tree deletion algorithm [Gut 84] adopted by the R*-tree: the entry
@@ -110,7 +113,14 @@ type nnCandidate struct {
 // p (by minimum distance; 0 for covering rectangles), using best-first
 // traversal with a distance-ordered priority queue. Spatial selections
 // like this are among the basic operations the paper lists in section 2.
+// Page visits are accounted on the shared buffer (single-query mode).
 func (t *Tree) NearestNeighbors(p geom.Point, k int) []Item {
+	return t.NearestNeighborsAccess(t.buf, p, k)
+}
+
+// NearestNeighborsAccess is NearestNeighbors with page visits routed
+// through an explicit access context (see PointQueryAccess).
+func (t *Tree) NearestNeighborsAccess(ax storage.Accessor, p geom.Point, k int) []Item {
 	if k <= 0 || t.size == 0 {
 		return nil
 	}
@@ -123,7 +133,7 @@ func (t *Tree) NearestNeighbors(p geom.Point, k int) []Item {
 			out = append(out, c.item)
 			continue
 		}
-		t.touch(c.n)
+		ax.Access(c.n.page)
 		for _, e := range c.n.entries {
 			if c.n.leaf {
 				heap.push(nnCandidate{dist: rectDist(e.rect, p), item: e.item, leaf: true})

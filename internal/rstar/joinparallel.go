@@ -32,6 +32,17 @@ import (
 // of height one the traversal falls back to the sequential Join path
 // (emitting with worker index 0).
 func JoinParallel(t1, t2 *Tree, workers int, emit func(worker int, a, b Item)) JoinStats {
+	return JoinParallelAccess(t1, t2, t1.buf, t2.buf, workers, emit)
+}
+
+// JoinParallelAccess is JoinParallel with each tree's page visits
+// replayed into an explicit access context instead of the shared
+// buffers. With per-query sessions (NewSession on both trees) the whole
+// parallel join — traversal fan-out included — is safe to run
+// concurrently with other queries on the same trees, and ax1/ax2 report
+// accounting identical to a sequential JoinAccess from the same buffer
+// state.
+func JoinParallelAccess(t1, t2 *Tree, ax1, ax2 storage.Accessor, workers int, emit func(worker int, a, b Item)) JoinStats {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -40,8 +51,11 @@ func JoinParallel(t1, t2 *Tree, workers int, emit func(worker int, a, b Item)) J
 		return st
 	}
 	if workers == 1 || t1.root.leaf || t2.root.leaf {
-		v := &joinVisit{touch1: t1.touch, touch2: t2.touch, st: &st,
-			fn: func(a, b Item) { emit(0, a, b) }}
+		v := &joinVisit{
+			touch1: func(n *node) { ax1.Access(n.page) },
+			touch2: func(n *node) { ax2.Access(n.page) },
+			st:     &st,
+			fn:     func(a, b Item) { emit(0, a, b) }}
 		v.nodes(t1.root, t2.root)
 		return st
 	}
@@ -50,8 +64,8 @@ func JoinParallel(t1, t2 *Tree, workers int, emit func(worker int, a, b Item)) J
 	// intersection of the root regions, and sweep the root entries. Each
 	// emitted child pairing becomes one task; the task order is exactly
 	// the order the sequential traversal would descend in.
-	t1.touch(t1.root)
-	t2.touch(t2.root)
+	ax1.Access(t1.root.page)
+	ax2.Access(t2.root.page)
 	inter := t1.root.bounds().Intersection(t2.root.bounds())
 	if inter.IsEmpty() {
 		return st
@@ -93,18 +107,18 @@ func JoinParallel(t1, t2 *Tree, workers int, emit func(worker int, a, b Item)) J
 
 	// Merge the per-task statistics and replay the page traces in task
 	// order. Every statistic is a sum, so the merge is deterministic; the
-	// replay reproduces the sequential access sequence, so the buffers end
-	// in the same state with the same hit/miss counts.
+	// replay reproduces the sequential access sequence, so the access
+	// contexts end in the same state with the same hit/miss counts.
 	for i := range results {
 		res := &results[i]
 		st.Pairs += res.st.Pairs
 		st.RectTests += res.st.RectTests
 		st.LeafTests += res.st.LeafTests
 		for _, pid := range res.trace1 {
-			t1.buf.Access(pid)
+			ax1.Access(pid)
 		}
 		for _, pid := range res.trace2 {
-			t2.buf.Access(pid)
+			ax2.Access(pid)
 		}
 	}
 	return st

@@ -166,8 +166,19 @@ func (t *Tree) minFillOf(leaf bool) int {
 	return t.minInner
 }
 
-// touch routes one node visit through the buffer.
+// touch routes one node visit through the shared buffer — the
+// single-query accounting mode used by construction and the plain query
+// entry points. Queries that must run concurrently route their visits
+// through a per-query storage.Accessor instead (the *Access variants).
 func (t *Tree) touch(n *node) { t.buf.Access(n.page) }
+
+// NewSession returns a per-query access context over the tree's page
+// store: a private replacement simulation seeded from the store's
+// current buffer snapshot, with its own counters. Any number of sessions
+// may query the tree concurrently through the *Access entry points; the
+// shared buffer (and therefore every other query's accounting) is left
+// untouched.
+func (t *Tree) NewSession() *storage.Session { return storage.NewSession(t.buf) }
 
 // Insert adds an item, following the R*-tree insertion algorithm
 // (ChooseSubtree by overlap/area enlargement, forced reinsertion on the
@@ -277,19 +288,34 @@ func (t *Tree) split(n *node) *node {
 	return sib
 }
 
-// PointQuery calls fn for every item whose key rectangle contains p.
+// PointQuery calls fn for every item whose key rectangle contains p,
+// with page visits accounted on the shared buffer (single-query mode).
 func (t *Tree) PointQuery(p geom.Point, fn func(Item)) {
-	t.searchRect(t.root, geom.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}, fn)
+	t.PointQueryAccess(t.buf, p, fn)
+}
+
+// PointQueryAccess is PointQuery with page visits routed through an
+// explicit access context. With per-query sessions (NewSession), any
+// number of searches may run concurrently on the same tree.
+func (t *Tree) PointQueryAccess(ax storage.Accessor, p geom.Point, fn func(Item)) {
+	t.searchRect(ax, t.root, geom.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}, fn)
 }
 
 // WindowQuery calls fn for every item whose key rectangle intersects the
-// query window w.
+// query window w, with page visits accounted on the shared buffer
+// (single-query mode).
 func (t *Tree) WindowQuery(w geom.Rect, fn func(Item)) {
-	t.searchRect(t.root, w, fn)
+	t.WindowQueryAccess(t.buf, w, fn)
 }
 
-func (t *Tree) searchRect(n *node, w geom.Rect, fn func(Item)) {
-	t.touch(n)
+// WindowQueryAccess is WindowQuery with page visits routed through an
+// explicit access context (see PointQueryAccess).
+func (t *Tree) WindowQueryAccess(ax storage.Accessor, w geom.Rect, fn func(Item)) {
+	t.searchRect(ax, t.root, w, fn)
+}
+
+func (t *Tree) searchRect(ax storage.Accessor, n *node, w geom.Rect, fn func(Item)) {
+	ax.Access(n.page)
 	for _, e := range n.entries {
 		if !e.rect.Intersects(w) {
 			continue
@@ -297,14 +323,14 @@ func (t *Tree) searchRect(n *node, w geom.Rect, fn func(Item)) {
 		if n.leaf {
 			fn(e.item)
 		} else {
-			t.searchRect(e.child, w, fn)
+			t.searchRect(ax, e.child, w, fn)
 		}
 	}
 }
 
 // All calls fn for every stored item (a full scan in tree order).
 func (t *Tree) All(fn func(Item)) {
-	t.searchRect(t.root, geom.Rect{MinX: -1e300, MinY: -1e300, MaxX: 1e300, MaxY: 1e300}, fn)
+	t.searchRect(t.buf, t.root, geom.Rect{MinX: -1e300, MinY: -1e300, MaxX: 1e300, MaxY: 1e300}, fn)
 }
 
 // Validate checks the structural invariants; for tests.
@@ -357,13 +383,25 @@ type JoinStats struct {
 // are sorted by their lower x bound, and intersecting entry pairs are
 // enumerated with a plane sweep over that order. fn receives every pair of
 // items whose key rectangles intersect — the candidate set of the
-// multi-step join.
+// multi-step join. Page visits are accounted on the trees' shared
+// buffers (single-query mode).
 func Join(t1, t2 *Tree, fn func(a, b Item)) JoinStats {
+	return JoinAccess(t1, t2, t1.buf, t2.buf, fn)
+}
+
+// JoinAccess is Join with each tree's page visits routed through an
+// explicit access context. With per-query sessions (NewSession on both
+// trees), any number of joins may run concurrently on the same trees.
+func JoinAccess(t1, t2 *Tree, ax1, ax2 storage.Accessor, fn func(a, b Item)) JoinStats {
 	var st JoinStats
 	if t1.size == 0 || t2.size == 0 {
 		return st
 	}
-	v := &joinVisit{touch1: t1.touch, touch2: t2.touch, st: &st, fn: fn}
+	v := &joinVisit{
+		touch1: func(n *node) { ax1.Access(n.page) },
+		touch2: func(n *node) { ax2.Access(n.page) },
+		st:     &st, fn: fn,
+	}
 	v.nodes(t1.root, t2.root)
 	return st
 }

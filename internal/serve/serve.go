@@ -1,0 +1,397 @@
+// Package serve is the concurrent query-serving layer on top of the
+// multi-step processor: an HTTP service over a catalog of opened
+// relations. It exists to prove — and exploit — the per-query access
+// contexts of the storage refactor: every request runs on its own
+// storage.Session, so one opened Relation serves any number of
+// simultaneous join, window, point and nearest-neighbour queries, each
+// reporting exactly the isolated statistics a solo run would (the
+// paper's metrics, per request).
+//
+// The intended deployment is "build once, serve many": preprocess
+// relations offline (cmd/datagen -store), open the persisted stores at
+// startup (multistep.OpenRelationFile), and serve queries from the
+// immutable in-memory relations. cmd/spatialjoinserve is the binary.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/multistep"
+)
+
+// Entry is one served relation with the configuration it was built
+// under. Queries against the entry use exactly this configuration;
+// joining two entries requires equal preprocessing fingerprints.
+type Entry struct {
+	Rel *multistep.Relation
+	Cfg multistep.Config
+}
+
+// Catalog is the named set of relations a server exposes. Relations are
+// registered at startup (or added at runtime — the catalog itself is
+// concurrency-safe); the relations themselves are immutable once added.
+type Catalog struct {
+	mu   sync.RWMutex
+	rels map[string]*Entry
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{rels: make(map[string]*Entry)}
+}
+
+// Add registers a relation under a name, replacing any previous entry.
+func (c *Catalog) Add(name string, rel *multistep.Relation, cfg multistep.Config) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rels[name] = &Entry{Rel: rel, Cfg: cfg}
+}
+
+// LoadFile opens a persisted relation store (multistep.SaveRelationFile
+// layout) and registers it under the given name.
+func (c *Catalog) LoadFile(name, path string, cfg multistep.Config) error {
+	rel, err := multistep.OpenRelationFile(path, cfg)
+	if err != nil {
+		return fmt.Errorf("serve: open %s: %w", path, err)
+	}
+	c.Add(name, rel, cfg)
+	return nil
+}
+
+// Get returns the entry registered under name.
+func (c *Catalog) Get(name string) (*Entry, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.rels[name]
+	return e, ok
+}
+
+// Names returns the registered relation names, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.rels))
+	for n := range c.rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Server serves the catalog over HTTP. Every query request creates
+// per-query sessions, so requests are handled fully concurrently.
+type Server struct {
+	cat *Catalog
+	// MaxJoinPairs caps the number of response pairs a /join request
+	// returns inline (the full count is always reported in the
+	// statistics). Defaults to DefaultMaxJoinPairs.
+	MaxJoinPairs int
+	// JoinWorkers is the per-request worker count of the streaming join
+	// pipeline; ≤ 0 selects GOMAXPROCS.
+	JoinWorkers int
+}
+
+// DefaultMaxJoinPairs bounds the /join response body.
+const DefaultMaxJoinPairs = 10000
+
+// NewServer returns a Server over the catalog.
+func NewServer(cat *Catalog) *Server {
+	return &Server{cat: cat, MaxJoinPairs: DefaultMaxJoinPairs}
+}
+
+// Handler returns the HTTP handler tree:
+//
+//	GET /healthz                                     liveness + relation count
+//	GET /relations                                   catalog listing
+//	GET /window?rel=R&minx=&miny=&maxx=&maxy=        multi-step window query
+//	GET /point?rel=R&x=&y=                           multi-step point query
+//	GET /nearest?rel=R&x=&y=&k=5                     k nearest objects by region distance
+//	GET /join?r=R&s=S[&limit=][&workers=]            multi-step spatial join
+//
+// All responses are JSON; query statistics (the paper's per-step
+// measures, including the per-query buffer page accesses) ride along
+// with every result.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /relations", s.handleRelations)
+	mux.HandleFunc("GET /window", s.handleWindow)
+	mux.HandleFunc("GET /point", s.handlePoint)
+	mux.HandleFunc("GET /nearest", s.handleNearest)
+	mux.HandleFunc("GET /join", s.handleJoin)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// relParam resolves the relation named by the query parameter key,
+// returning the entry and its catalog name.
+func (s *Server) relParam(w http.ResponseWriter, r *http.Request, key string) (*Entry, string, bool) {
+	name := r.URL.Query().Get(key)
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "missing relation parameter %q", key)
+		return nil, "", false
+	}
+	e, ok := s.cat.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown relation %q", name)
+		return nil, "", false
+	}
+	return e, name, true
+}
+
+// floatParam parses a required float query parameter.
+func floatParam(w http.ResponseWriter, r *http.Request, key string) (float64, bool) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		writeError(w, http.StatusBadRequest, "missing parameter %q", key)
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parameter %q: %v", key, err)
+		return 0, false
+	}
+	return v, true
+}
+
+// intParam parses an optional int query parameter with a default.
+func intParam(w http.ResponseWriter, r *http.Request, key string, def int) (int, bool) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return def, true
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parameter %q: %v", key, err)
+		return 0, false
+	}
+	return v, true
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "relations": len(s.cat.Names())})
+}
+
+// relationInfo is one catalog listing row.
+type relationInfo struct {
+	Name    string `json:"name"`
+	Objects int    `json:"objects"`
+	Height  int    `json:"treeHeight"`
+	Pages   int    `json:"treePages"`
+	Engine  string `json:"engine"`
+}
+
+func (s *Server) handleRelations(w http.ResponseWriter, r *http.Request) {
+	var out []relationInfo
+	for _, name := range s.cat.Names() {
+		e, ok := s.cat.Get(name)
+		if !ok {
+			continue
+		}
+		out = append(out, relationInfo{
+			Name:    name,
+			Objects: len(e.Rel.Objects),
+			Height:  e.Rel.Tree.Height(),
+			Pages:   e.Rel.Tree.Pages(),
+			Engine:  e.Cfg.Engine.String(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// windowResponse answers /window and /point.
+type windowResponse struct {
+	Relation string                `json:"relation"`
+	IDs      []int32               `json:"ids"`
+	Stats    multistep.WindowStats `json:"stats"`
+}
+
+func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
+	e, name, ok := s.relParam(w, r, "rel")
+	if !ok {
+		return
+	}
+	minx, ok := floatParam(w, r, "minx")
+	if !ok {
+		return
+	}
+	miny, ok := floatParam(w, r, "miny")
+	if !ok {
+		return
+	}
+	maxx, ok := floatParam(w, r, "maxx")
+	if !ok {
+		return
+	}
+	maxy, ok := floatParam(w, r, "maxy")
+	if !ok {
+		return
+	}
+	win := geom.Rect{MinX: minx, MinY: miny, MaxX: maxx, MaxY: maxy}
+	ids, st := multistep.WindowQueryAccess(e.Rel, e.Rel.NewSession(), win, e.Cfg)
+	if ids == nil {
+		ids = []int32{}
+	}
+	writeJSON(w, http.StatusOK, windowResponse{Relation: name, IDs: ids, Stats: st})
+}
+
+func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
+	e, name, ok := s.relParam(w, r, "rel")
+	if !ok {
+		return
+	}
+	x, ok := floatParam(w, r, "x")
+	if !ok {
+		return
+	}
+	y, ok := floatParam(w, r, "y")
+	if !ok {
+		return
+	}
+	ids, st := multistep.PointQueryAccess(e.Rel, e.Rel.NewSession(), geom.Point{X: x, Y: y}, e.Cfg)
+	if ids == nil {
+		ids = []int32{}
+	}
+	writeJSON(w, http.StatusOK, windowResponse{Relation: name, IDs: ids, Stats: st})
+}
+
+// nearestStats carries the per-query page accounting of a nearest
+// query (the multi-step WindowStats do not apply to the best-first
+// search, but the paper's page-access metric does).
+type nearestStats struct {
+	// PageAccesses counts the page touches that missed the buffer —
+	// the paper's I/O metric for this query alone.
+	PageAccesses int64
+	// PageTouches counts all page touches of the best-first search.
+	PageTouches int64
+}
+
+// nearestResponse answers /nearest.
+type nearestResponse struct {
+	Relation  string               `json:"relation"`
+	Neighbors []multistep.Neighbor `json:"neighbors"`
+	Stats     nearestStats         `json:"stats"`
+}
+
+func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
+	e, name, ok := s.relParam(w, r, "rel")
+	if !ok {
+		return
+	}
+	x, ok := floatParam(w, r, "x")
+	if !ok {
+		return
+	}
+	y, ok := floatParam(w, r, "y")
+	if !ok {
+		return
+	}
+	k, ok := intParam(w, r, "k", 5)
+	if !ok {
+		return
+	}
+	if k < 1 {
+		writeError(w, http.StatusBadRequest, "parameter %q must be positive", "k")
+		return
+	}
+	sess := e.Rel.NewSession()
+	nn := multistep.NearestObjectsAccess(e.Rel, sess, geom.Point{X: x, Y: y}, k)
+	if nn == nil {
+		nn = []multistep.Neighbor{}
+	}
+	writeJSON(w, http.StatusOK, nearestResponse{
+		Relation:  name,
+		Neighbors: nn,
+		Stats:     nearestStats{PageAccesses: sess.Misses(), PageTouches: sess.Accesses()},
+	})
+}
+
+// joinResponse answers /join. Pairs is truncated to the limit; the full
+// response-set size is Stats.ResultPairs.
+type joinResponse struct {
+	R         string           `json:"r"`
+	S         string           `json:"s"`
+	Pairs     []multistep.Pair `json:"pairs"`
+	Truncated bool             `json:"truncated"`
+	Stats     multistep.Stats  `json:"stats"`
+}
+
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	eR, nameR, ok := s.relParam(w, r, "r")
+	if !ok {
+		return
+	}
+	eS, nameS, ok := s.relParam(w, r, "s")
+	if !ok {
+		return
+	}
+	if multistep.ConfigFingerprint(eR.Cfg) != multistep.ConfigFingerprint(eS.Cfg) {
+		writeError(w, http.StatusConflict,
+			"relations %q and %q were preprocessed under different configurations", nameR, nameS)
+		return
+	}
+	limit, ok := intParam(w, r, "limit", s.MaxJoinPairs)
+	if !ok {
+		return
+	}
+	if limit < 0 || limit > s.MaxJoinPairs {
+		limit = s.MaxJoinPairs
+	}
+	workers, ok := intParam(w, r, "workers", s.JoinWorkers)
+	if !ok {
+		return
+	}
+	// Clamp the per-request worker count: an unauthenticated parameter
+	// must not be able to allocate per-worker state without bound.
+	if maxWorkers := 4 * runtime.GOMAXPROCS(0); workers > maxWorkers {
+		workers = maxWorkers
+	}
+
+	// Collect the full response set and sort before truncating: the
+	// streaming emission order depends on worker scheduling, so keeping
+	// "the first limit pairs" would return a different subset per
+	// request on multi-core hosts.
+	pairs := []multistep.Pair{}
+	st := multistep.JoinStream(eR.Rel, eS.Rel, eR.Cfg, multistep.StreamOptions{
+		Workers: workers,
+		AccessR: eR.Rel.NewSession(),
+		AccessS: eS.Rel.NewSession(),
+	}, func(p multistep.Pair) { pairs = append(pairs, p) })
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+	if len(pairs) > limit {
+		pairs = pairs[:limit]
+	}
+	writeJSON(w, http.StatusOK, joinResponse{
+		R: nameR, S: nameS,
+		Pairs:     pairs,
+		Truncated: st.ResultPairs > int64(len(pairs)),
+		Stats:     st,
+	})
+}

@@ -1,0 +1,299 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"spatialjoin/internal/data"
+	"spatialjoin/internal/multistep"
+)
+
+// testCatalog builds a small two-relation catalog (R and its shifted
+// copy S) under the paper's default configuration.
+func testCatalog(t testing.TB) (*Catalog, multistep.Config) {
+	t.Helper()
+	cfg := multistep.DefaultConfig()
+	cfg.BufferBytes = 8192 // small buffer: non-trivial per-query accounting
+	rp := data.GenerateMap(data.MapConfig{Cells: 80, TargetVerts: 48, HoleFraction: 0.1, Seed: 211})
+	sp := data.StrategyA(rp, 0.45)
+	cat := NewCatalog()
+	cat.Add("R", multistep.NewRelation("R", rp, cfg), cfg)
+	cat.Add("S", multistep.NewRelation("S", sp, cfg), cfg)
+	return cat, cfg
+}
+
+func get(t *testing.T, h http.Handler, url string, wantStatus int, out any) {
+	t.Helper()
+	req := httptest.NewRequest("GET", url, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != wantStatus {
+		t.Fatalf("GET %s: status %d (want %d): %s", url, rec.Code, wantStatus, rec.Body)
+	}
+	if out != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("GET %s: bad JSON: %v", url, err)
+		}
+	}
+}
+
+func TestEndpoints(t *testing.T) {
+	cat, _ := testCatalog(t)
+	h := NewServer(cat).Handler()
+
+	var health struct {
+		OK        bool `json:"ok"`
+		Relations int  `json:"relations"`
+	}
+	get(t, h, "/healthz", http.StatusOK, &health)
+	if !health.OK || health.Relations != 2 {
+		t.Errorf("healthz = %+v", health)
+	}
+
+	var rels []relationInfo
+	get(t, h, "/relations", http.StatusOK, &rels)
+	if len(rels) != 2 || rels[0].Name != "R" || rels[1].Name != "S" || rels[0].Objects == 0 {
+		t.Errorf("relations = %+v", rels)
+	}
+
+	var win windowResponse
+	get(t, h, "/window?rel=R&minx=0.2&miny=0.2&maxx=0.45&maxy=0.4", http.StatusOK, &win)
+	if len(win.IDs) == 0 || win.Stats.Candidates == 0 {
+		t.Errorf("window = %+v", win)
+	}
+
+	var pt windowResponse
+	get(t, h, "/point?rel=R&x=0.31&y=0.47", http.StatusOK, &pt)
+	if len(pt.IDs) != 1 || pt.IDs[0] != 47 {
+		t.Errorf("point = %+v", pt)
+	}
+
+	var nn nearestResponse
+	get(t, h, "/nearest?rel=R&x=0.31&y=0.47&k=3", http.StatusOK, &nn)
+	if len(nn.Neighbors) != 3 || nn.Neighbors[0].ID != 47 || nn.Neighbors[0].Dist != 0 {
+		t.Errorf("nearest = %+v", nn)
+	}
+	// The best-first search touches at least the root; misses depend on
+	// which pages the session snapshot holds resident.
+	if nn.Stats.PageTouches <= 0 || nn.Stats.PageAccesses < 0 {
+		t.Errorf("nearest must report its per-query page accounting, got %+v", nn.Stats)
+	}
+
+	var jn joinResponse
+	get(t, h, "/join?r=R&s=S", http.StatusOK, &jn)
+	if jn.Stats.ResultPairs == 0 || int64(len(jn.Pairs)) != jn.Stats.ResultPairs || jn.Truncated {
+		t.Errorf("join = %d pairs, stats %+v", len(jn.Pairs), jn.Stats)
+	}
+
+	var trunc joinResponse
+	get(t, h, "/join?r=R&s=S&limit=5", http.StatusOK, &trunc)
+	if len(trunc.Pairs) != 5 || !trunc.Truncated || trunc.Stats.ResultPairs != jn.Stats.ResultPairs {
+		t.Errorf("limited join = %d pairs truncated=%v", len(trunc.Pairs), trunc.Truncated)
+	}
+	// A truncated response returns the (A, B)-smallest pairs — the
+	// deterministic prefix of the sorted response set, independent of
+	// worker scheduling.
+	if !reflect.DeepEqual(trunc.Pairs, jn.Pairs[:5]) {
+		t.Errorf("truncated join is not the sorted prefix: %v vs %v", trunc.Pairs, jn.Pairs[:5])
+	}
+
+	// An absurd workers parameter is clamped, not obeyed.
+	var wj joinResponse
+	get(t, h, "/join?r=R&s=S&limit=5&workers=1000000000", http.StatusOK, &wj)
+	if !reflect.DeepEqual(wj.Pairs, trunc.Pairs) || wj.Stats.ResultPairs != jn.Stats.ResultPairs {
+		t.Errorf("clamped-workers join diverged")
+	}
+}
+
+func TestEndpointErrors(t *testing.T) {
+	cat, cfg := testCatalog(t)
+	// A third relation under a different configuration: joins against it
+	// must be rejected by fingerprint.
+	other := cfg
+	other.PageSize = 2048
+	rp := data.GenerateMap(data.MapConfig{Cells: 20, TargetVerts: 24, Seed: 7})
+	cat.Add("T", multistep.NewRelation("T", rp, other), other)
+	h := NewServer(cat).Handler()
+
+	get(t, h, "/window?rel=missing&minx=0&miny=0&maxx=1&maxy=1", http.StatusNotFound, nil)
+	get(t, h, "/window?rel=R&minx=0&miny=0&maxx=1", http.StatusBadRequest, nil)
+	get(t, h, "/window?rel=R&minx=zero&miny=0&maxx=1&maxy=1", http.StatusBadRequest, nil)
+	get(t, h, "/point?rel=R&x=0.5", http.StatusBadRequest, nil)
+	get(t, h, "/nearest?rel=R&x=0.5&y=0.5&k=0", http.StatusBadRequest, nil)
+	get(t, h, "/join?r=R", http.StatusBadRequest, nil)
+	get(t, h, "/join?r=R&s=T", http.StatusConflict, nil)
+}
+
+func TestCatalogLoadFile(t *testing.T) {
+	cfg := multistep.DefaultConfig()
+	rp := data.GenerateMap(data.MapConfig{Cells: 30, TargetVerts: 32, Seed: 77})
+	rel := multistep.NewRelation("stored", rp, cfg)
+	path := filepath.Join(t.TempDir(), "rel.store")
+	if err := multistep.SaveRelationFile(path, rel, cfg); err != nil {
+		t.Fatal(err)
+	}
+	cat := NewCatalog()
+	if err := cat.LoadFile("stored", path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := cat.Get("stored")
+	if !ok || len(e.Rel.Objects) != len(rel.Objects) {
+		t.Fatal("loaded relation missing or truncated")
+	}
+	if err := cat.LoadFile("bad", filepath.Join(t.TempDir(), "absent.store"), cfg); err == nil {
+		t.Fatal("loading a missing file must fail")
+	}
+}
+
+// TestConcurrentRequests hammers one server with parallel mixed queries
+// and checks that every response equals its solo-run baseline — the
+// HTTP-level proof of per-query isolation (run it under -race).
+func TestConcurrentRequests(t *testing.T) {
+	cat, _ := testCatalog(t)
+	h := NewServer(cat).Handler()
+
+	urls := []string{
+		"/window?rel=R&minx=0.2&miny=0.2&maxx=0.45&maxy=0.4",
+		"/window?rel=S&minx=0.5&miny=0.1&maxx=0.8&maxy=0.6",
+		"/point?rel=R&x=0.31&y=0.47",
+		"/nearest?rel=R&x=0.7&y=0.2&k=4",
+		"/join?r=R&s=S&limit=100",
+	}
+	baseline := make([]string, len(urls))
+	for i, u := range urls {
+		req := httptest.NewRequest("GET", u, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("baseline GET %s: %d", u, rec.Code)
+		}
+		baseline[i] = rec.Body.String()
+	}
+
+	const goroutines = 9
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 4; round++ {
+				i := (g + round) % len(urls)
+				req := httptest.NewRequest("GET", urls[i], nil)
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					t.Errorf("goroutine %d: GET %s: %d", g, urls[i], rec.Code)
+					return
+				}
+				if rec.Body.String() != baseline[i] {
+					t.Errorf("goroutine %d: GET %s diverged from the solo-run response", g, urls[i])
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestServerOverRealConnections exercises the full network stack once:
+// an httptest.Server with keep-alives and true parallel clients.
+func TestServerOverRealConnections(t *testing.T) {
+	cat, _ := testCatalog(t)
+	ts := httptest.NewServer(NewServer(cat).Handler())
+	defer ts.Close()
+
+	var want windowResponse
+	res, err := http.Get(ts.URL + "/window?rel=R&minx=0.2&miny=0.2&maxx=0.45&maxy=0.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(res.Body).Decode(&want); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := http.Get(ts.URL + "/window?rel=R&minx=0.2&miny=0.2&maxx=0.45&maxy=0.4")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer res.Body.Close()
+			var got windowResponse
+			if err := json.NewDecoder(res.Body).Decode(&got); err != nil {
+				t.Error(err)
+				return
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Error("concurrent network response diverged from baseline")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkConcurrentQueries measures the serving throughput (QPS) of
+// one opened relation under parallel load — the "serve many" payoff of
+// the per-query access contexts. Run with -cpu to scale the client
+// parallelism; qps is reported as a custom metric.
+func BenchmarkConcurrentQueries(b *testing.B) {
+	cat, _ := testCatalog(b)
+	h := NewServer(cat).Handler()
+	// Pre-warm the lazy exact representations so the benchmark measures
+	// steady-state serving, not one-time builds.
+	warm := httptest.NewRequest("GET", "/join?r=R&s=S&limit=1", nil)
+	h.ServeHTTP(httptest.NewRecorder(), warm)
+
+	for _, bench := range []struct{ name, url string }{
+		{"window", "/window?rel=R&minx=0.2&miny=0.2&maxx=0.45&maxy=0.4"},
+		{"point", "/point?rel=R&x=0.31&y=0.47"},
+		{"nearest", "/nearest?rel=R&x=0.31&y=0.47&k=5"},
+		{"join", "/join?r=R&s=S&limit=0"},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			start := time.Now()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					req := httptest.NewRequest("GET", bench.url, nil)
+					rec := httptest.NewRecorder()
+					h.ServeHTTP(rec, req)
+					if rec.Code != http.StatusOK {
+						b.Fatalf("status %d", rec.Code)
+					}
+				}
+			})
+			elapsed := time.Since(start).Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N)/elapsed, "qps")
+			}
+		})
+	}
+}
+
+// Example output shape of the window endpoint, for the README.
+func ExampleServer() {
+	cat := NewCatalog()
+	cfg := multistep.DefaultConfig()
+	rp := data.GenerateMap(data.MapConfig{Cells: 12, TargetVerts: 16, Seed: 3})
+	cat.Add("demo", multistep.NewRelation("demo", rp, cfg), cfg)
+	h := NewServer(cat).Handler()
+	req := httptest.NewRequest("GET", "/healthz", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	fmt.Print(rec.Body.String())
+	// Output:
+	// {
+	//   "ok": true,
+	//   "relations": 1
+	// }
+}

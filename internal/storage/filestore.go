@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 )
 
 // FileStore is the disk-backed PageStore: a file of fixed-size page slots
@@ -16,6 +17,14 @@ import (
 // logic, the hit/miss accounting is byte-for-byte equal to the counting
 // store's on the same access sequence and frame count.
 //
+// The store is safe for concurrent use: a mutex guards the frame cache
+// and the replacement/accounting state, and the session read path
+// (ReadShared) deduplicates concurrent disk reads of the same page
+// through a single-flight table. The accounting path (Access/ReadPage)
+// remains the shared-mode Accessor of one query at a time — the paper's
+// sequential metric is only meaningful for a serial access sequence —
+// while any number of per-query Sessions may read concurrently.
+//
 // File layout (little endian): a 16-byte header (magic 'SJPS', version,
 // slot size), then page i as the slotBytes-sized slot at offset
 // 16 + i·slotBytes. Reading a page beyond the end of the file yields a
@@ -23,16 +32,30 @@ import (
 // file, so a dynamically built tree can run on a FileStore before any
 // page has been written.
 type FileStore struct {
-	f     *os.File
-	slot  int
-	pages int // page slots physically present in the file
-	bm    *BufferManager
-	cache map[PageID][]byte
-	err   error // first I/O error seen by Access (sticky)
+	f    *os.File
+	slot int
+
+	mu       sync.Mutex
+	pages    int // page slots physically present in the file
+	bm       *BufferManager
+	cache    map[PageID][]byte
+	inflight map[PageID]*pageLoad // single-flight table of ReadShared
+	err      error                // first I/O error seen by Access (sticky)
 }
 
-// FileStore implements PageStore.
-var _ PageStore = (*FileStore)(nil)
+// pageLoad is one in-flight disk read shared by concurrent ReadShared
+// callers of the same page.
+type pageLoad struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// FileStore implements PageStore and serves bytes to per-query Sessions.
+var (
+	_ PageStore  = (*FileStore)(nil)
+	_ ByteSource = (*FileStore)(nil)
+)
 
 const (
 	fileMagic       = 0x53_4A_50_53 // "SJPS"
@@ -104,11 +127,12 @@ func newFileStore(f *os.File, slot, pages, bufferFrames int, policy Policy) *Fil
 		bufferFrames = 1
 	}
 	s := &FileStore{
-		f:     f,
-		slot:  slot,
-		pages: pages,
-		bm:    NewBufferFrames(bufferFrames, policy),
-		cache: make(map[PageID][]byte, bufferFrames),
+		f:        f,
+		slot:     slot,
+		pages:    pages,
+		bm:       NewBufferFrames(bufferFrames, policy),
+		cache:    make(map[PageID][]byte, bufferFrames),
+		inflight: make(map[PageID]*pageLoad),
 	}
 	s.bm.onEvict = func(id PageID) { delete(s.cache, id) }
 	return s
@@ -131,18 +155,30 @@ func NewBufferFrames(frames int, policy Policy) *BufferManager {
 func (s *FileStore) SlotBytes() int { return s.slot }
 
 // Pages returns the number of page slots present in the file.
-func (s *FileStore) Pages() int { return s.pages }
+func (s *FileStore) Pages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pages
+}
 
 // Err returns the first I/O error Access swallowed, if any. ReadPage and
 // the write path report their errors directly.
-func (s *FileStore) Err() error { return s.err }
+func (s *FileStore) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
 
 // Access touches a page through the buffer; a miss reads it from disk.
 // I/O errors are sticky and reported by Err (the PageStore access path
 // has no error channel — the counting simulator cannot fail).
 func (s *FileStore) Access(id PageID) {
-	if _, err := s.ReadPage(id); err != nil && s.err == nil {
-		s.err = err
+	if _, err := s.ReadPage(id); err != nil {
+		s.mu.Lock()
+		if s.err == nil {
+			s.err = err
+		}
+		s.mu.Unlock()
 	}
 }
 
@@ -150,10 +186,17 @@ func (s *FileStore) Access(id PageID) {
 // buffer: a resident page is a hit, a non-resident page is a miss that
 // reads the slot from disk and faults it into the frame cache. The
 // returned slice is the cached frame — the caller must not modify it.
+//
+// ReadPage is the shared-mode accounting path: it mutates the buffer, so
+// while it is internally synchronized, interleaving it across queries
+// scrambles the modelled metric. Concurrent queries read through
+// Sessions (ReadShared) instead.
 func (s *FileStore) ReadPage(id PageID) ([]byte, error) {
 	if id < 0 {
 		return nil, fmt.Errorf("storage: read of invalid page %d", id)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, resident := s.bm.table[id]; resident {
 		s.bm.Access(id) // hit
 		if data := s.cache[id]; data != nil {
@@ -161,7 +204,7 @@ func (s *FileStore) ReadPage(id PageID) ([]byte, error) {
 		}
 		// Resident without bytes: the frame came from Restore. The page
 		// is modelled as buffered, so the lazy fill is not a miss.
-		data, err := s.readDisk(id)
+		data, err := s.readDisk(id, s.pages)
 		if err != nil {
 			return nil, err
 		}
@@ -169,7 +212,7 @@ func (s *FileStore) ReadPage(id PageID) ([]byte, error) {
 		return data, nil
 	}
 	s.bm.Access(id) // miss; the eviction hook prunes the cache
-	data, err := s.readDisk(id)
+	data, err := s.readDisk(id, s.pages)
 	if err != nil {
 		return nil, err
 	}
@@ -179,11 +222,49 @@ func (s *FileStore) ReadPage(id PageID) ([]byte, error) {
 	return data, nil
 }
 
+// ReadShared returns the bytes of a page without touching the store's
+// accounting or replacement state — the concurrency-safe read path of
+// per-query Sessions (it implements ByteSource). A page resident in the
+// shared frame cache is served from memory; anything else is read from
+// disk, with concurrent reads of the same page collapsed into one I/O
+// through the single-flight table. The bytes are not admitted to the
+// cache: residency stays exactly as shared-mode accounting (or a
+// restored snapshot) left it, so the store's State() — the seed of every
+// new Session — is stable while only sessions are active.
+func (s *FileStore) ReadShared(id PageID) ([]byte, error) {
+	if id < 0 {
+		return nil, fmt.Errorf("storage: read of invalid page %d", id)
+	}
+	s.mu.Lock()
+	if data := s.cache[id]; data != nil {
+		s.mu.Unlock()
+		return data, nil
+	}
+	if fl, ok := s.inflight[id]; ok {
+		s.mu.Unlock()
+		<-fl.done
+		return fl.data, fl.err
+	}
+	fl := &pageLoad{done: make(chan struct{})}
+	s.inflight[id] = fl
+	pages := s.pages
+	s.mu.Unlock()
+
+	fl.data, fl.err = s.readDisk(id, pages)
+	s.mu.Lock()
+	delete(s.inflight, id)
+	s.mu.Unlock()
+	close(fl.done)
+	return fl.data, fl.err
+}
+
 // readDisk reads one slot from the file; slots past the end of the file
-// are zero-filled (implicitly allocated).
-func (s *FileStore) readDisk(id PageID) ([]byte, error) {
+// (pages is the caller's snapshot of the slot count) are zero-filled
+// (implicitly allocated). os.File.ReadAt is safe for concurrent use, so
+// readDisk may run outside the mutex.
+func (s *FileStore) readDisk(id PageID, pages int) ([]byte, error) {
 	data := make([]byte, s.slot)
-	if int(id) >= s.pages {
+	if int(id) >= pages {
 		return data, nil
 	}
 	if _, err := s.f.ReadAt(data, fileHeaderBytes+int64(id)*int64(s.slot)); err != nil && err != io.EOF {
@@ -195,8 +276,11 @@ func (s *FileStore) readDisk(id PageID) ([]byte, error) {
 // AppendPage writes data (at most slotBytes, zero-padded) as the next
 // page and returns its ID.
 func (s *FileStore) AppendPage(data []byte) (PageID, error) {
+	s.mu.Lock()
 	id := PageID(s.pages)
-	if err := s.WritePage(id, data); err != nil {
+	err := s.writePageLocked(id, data)
+	s.mu.Unlock()
+	if err != nil {
 		return InvalidPage, err
 	}
 	return id, nil
@@ -206,6 +290,12 @@ func (s *FileStore) AppendPage(data []byte) (PageID, error) {
 // slot, extending the file as needed. Writes bypass the access
 // accounting; a resident page's cached bytes are updated (write-through).
 func (s *FileStore) WritePage(id PageID, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writePageLocked(id, data)
+}
+
+func (s *FileStore) writePageLocked(id PageID, data []byte) error {
 	if id < 0 {
 		return fmt.Errorf("storage: write to invalid page %d", id)
 	}
@@ -239,37 +329,62 @@ func (s *FileStore) Close() error {
 }
 
 // Hits returns the number of buffered accesses.
-func (s *FileStore) Hits() int64 { return s.bm.Hits() }
+func (s *FileStore) Hits() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bm.Hits()
+}
 
 // Misses returns the number of accesses that read from disk.
-func (s *FileStore) Misses() int64 { return s.bm.Misses() }
+func (s *FileStore) Misses() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bm.Misses()
+}
 
 // Accesses returns the total number of page touches.
-func (s *FileStore) Accesses() int64 { return s.bm.Accesses() }
+func (s *FileStore) Accesses() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bm.Accesses()
+}
 
 // ResetCounters zeroes the statistics without dropping buffer contents.
-func (s *FileStore) ResetCounters() { s.bm.ResetCounters() }
+func (s *FileStore) ResetCounters() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bm.ResetCounters()
+}
 
 // Clear drops all buffered pages (and their cached bytes) and zeroes the
 // statistics.
 func (s *FileStore) Clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.bm.Clear()
 	s.cache = make(map[PageID][]byte, s.bm.Frames())
 }
 
-// Frames returns the buffer capacity in pages.
+// Frames returns the buffer capacity in pages (immutable, no lock
+// needed).
 func (s *FileStore) Frames() int { return s.bm.Frames() }
 
-// Policy returns the replacement policy.
+// Policy returns the replacement policy (immutable, no lock needed).
 func (s *FileStore) Policy() Policy { return s.bm.Policy() }
 
 // State snapshots the buffer contents (page residency, not bytes).
-func (s *FileStore) State() BufferState { return s.bm.State() }
+func (s *FileStore) State() BufferState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bm.State()
+}
 
 // Restore replaces the buffer contents with a snapshot; the restored
 // frames fault their bytes in lazily, without counting misses (the pages
 // are modelled as already buffered).
 func (s *FileStore) Restore(st BufferState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.bm.Restore(st)
 	for id := range s.cache {
 		if _, resident := s.bm.table[id]; !resident {

@@ -26,12 +26,15 @@ type PageID int32
 // InvalidPage is the zero value no allocated page ever gets.
 const InvalidPage PageID = -1
 
-// PageStore is the pluggable buffered page substrate: a page-granular
-// access path with hit/miss accounting. The R*-trees route every node
-// visit through a PageStore; the counting BufferManager simulates the
-// paper's buffered disk, while FileStore backs the same accounting with a
-// real paged file.
-type PageStore interface {
+// Accessor is the page-access face of one query: every node visit of a
+// tree traversal is routed through an Accessor, which decides hit or
+// miss and counts both. A PageStore is itself an Accessor — the shared,
+// single-query mode in which one traversal at a time mutates the store's
+// buffer directly, reproducing the paper's sequential accounting. A
+// Session is the per-query alternative: a private replacement simulation
+// seeded from a snapshot of the store, so N concurrent queries each
+// carry their own isolated accounting (see NewSession).
+type Accessor interface {
 	// Access touches a page: a buffered page is a hit, an unbuffered page
 	// is faulted in (a miss), evicting the policy's victim when full.
 	Access(id PageID)
@@ -42,6 +45,19 @@ type PageStore interface {
 	Misses() int64
 	// Accesses returns the total number of page touches.
 	Accesses() int64
+}
+
+// PageStore is the pluggable buffered page substrate: a page-granular
+// access path with hit/miss accounting. The R*-trees route every node
+// visit through a PageStore; the counting BufferManager simulates the
+// paper's buffered disk, while FileStore backs the same accounting with a
+// real paged file.
+//
+// Used directly, a PageStore is the shared-mode Accessor of exactly one
+// query at a time; wrap it in a Session (NewSession) for concurrent
+// queries with isolated accounting.
+type PageStore interface {
+	Accessor
 	// ResetCounters zeroes the statistics without dropping buffer
 	// contents.
 	ResetCounters()

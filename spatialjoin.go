@@ -70,6 +70,16 @@ type (
 	// BufferPolicy selects the page replacement policy of the R*-tree
 	// buffers (Config.BufferPolicy).
 	BufferPolicy = storage.Policy
+	// Accessor is the page-access context of one query. A Relation's
+	// shared buffer is the sequential single-query context; Session is
+	// the per-query context that makes concurrent queries safe.
+	Accessor = storage.Accessor
+	// Session is a per-query page-access context: a private replacement
+	// simulation with isolated hit/miss counters, created from a
+	// relation with Relation.NewSession. Sessions make one opened
+	// Relation safe for any number of concurrent queries (pass them to
+	// the *Access query variants or to StreamOptions.AccessR/AccessS).
+	Session = storage.Session
 )
 
 // Buffer replacement policies.
@@ -132,7 +142,9 @@ func JoinParallel(r, s *Relation, cfg Config, workers int) ([]Pair, Stats) {
 // receives every response pair from a single collector goroutine. Memory
 // stays bounded by the pipeline depth instead of the candidate count; the
 // emitted pair set and the statistics equal Join's exactly. A nil emit
-// discards the pairs and returns only statistics.
+// discards the pairs and returns only statistics. With per-query sessions
+// in StreamOptions.AccessR/AccessS the join runs concurrently-safe
+// against any other queries on the same relations.
 func JoinStream(r, s *Relation, cfg Config, opts StreamOptions, emit func(Pair)) Stats {
 	return multistep.JoinStream(r, s, cfg, opts, emit)
 }
@@ -147,15 +159,40 @@ func JoinContains(r, s *Relation, cfg Config) ([]Pair, Stats) {
 	return multistep.JoinContains(r, s, cfg)
 }
 
+// JoinContainsAccess is JoinContains with each side's page visits routed
+// through an explicit per-query access context (Relation.NewSession),
+// making it safe to run concurrently with other queries on the same
+// relations.
+func JoinContainsAccess(r, s *Relation, axR, axS Accessor, cfg Config) ([]Pair, Stats) {
+	return multistep.JoinContainsAccess(r, s, axR, axS, cfg)
+}
+
 // WindowQuery returns the IDs of the objects of r intersecting the
 // window, processed with the same multi-step architecture as the join.
+// It accounts on the relation's shared buffer — one query at a time; use
+// WindowQueryAccess with a per-query Session for concurrent queries.
 func WindowQuery(r *Relation, w Rect, cfg Config) ([]int32, WindowStats) {
 	return multistep.WindowQuery(r, w, cfg)
 }
 
-// PointQuery returns the IDs of the objects of r containing the point.
+// WindowQueryAccess is WindowQuery with page visits routed through an
+// explicit per-query access context (Relation.NewSession). Any number of
+// *Access queries may run concurrently on the same relation, each with
+// isolated statistics.
+func WindowQueryAccess(r *Relation, ax Accessor, w Rect, cfg Config) ([]int32, WindowStats) {
+	return multistep.WindowQueryAccess(r, ax, w, cfg)
+}
+
+// PointQuery returns the IDs of the objects of r containing the point
+// (shared-buffer accounting; see WindowQuery).
 func PointQuery(r *Relation, p Point, cfg Config) ([]int32, WindowStats) {
 	return multistep.PointQuery(r, p, cfg)
+}
+
+// PointQueryAccess is PointQuery with an explicit per-query access
+// context (see WindowQueryAccess).
+func PointQueryAccess(r *Relation, ax Accessor, p Point, cfg Config) ([]int32, WindowStats) {
+	return multistep.PointQueryAccess(r, ax, p, cfg)
 }
 
 // Neighbor is one nearest-neighbour result: object ID and exact region
@@ -163,9 +200,16 @@ func PointQuery(r *Relation, p Point, cfg Config) ([]int32, WindowStats) {
 type Neighbor = multistep.Neighbor
 
 // NearestObjects returns the k objects of r closest to p by exact region
-// distance, refined over R*-tree MBR-distance candidates.
+// distance, refined over R*-tree MBR-distance candidates (shared-buffer
+// accounting; see WindowQuery).
 func NearestObjects(r *Relation, p Point, k int) []Neighbor {
 	return multistep.NearestObjects(r, p, k)
+}
+
+// NearestObjectsAccess is NearestObjects with an explicit per-query
+// access context (see WindowQueryAccess).
+func NearestObjectsAccess(r *Relation, ax Accessor, p Point, k int) []Neighbor {
+	return multistep.NearestObjectsAccess(r, ax, p, k)
 }
 
 // GenerateMap produces a deterministic synthetic cartographic relation: a

@@ -1,0 +1,79 @@
+package spatialjoin_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"spatialjoin"
+)
+
+// TestConcurrentFacadeQueries exercises the per-query access contexts
+// through the public facade: one opened Relation pair, many goroutines,
+// every query on its own Session — results and statistics must equal
+// the solo-run baselines (run under -race in CI).
+func TestConcurrentFacadeQueries(t *testing.T) {
+	base := spatialjoin.GenerateMap(spatialjoin.MapConfig{Cells: 60, TargetVerts: 40, Seed: 99})
+	shifted := spatialjoin.ShiftedCopy(base, 0.45)
+	cfg := spatialjoin.DefaultConfig()
+	cfg.BufferBytes = 8192
+	r := spatialjoin.NewRelation("R", base, cfg)
+	s := spatialjoin.NewRelation("S", shifted, cfg)
+
+	win := spatialjoin.Rect{MinX: 0.3, MinY: 0.3, MaxX: 0.6, MaxY: 0.6}
+	pt := spatialjoin.Point{X: 0.5, Y: 0.5}
+
+	wantIDs, wantWSt := spatialjoin.WindowQueryAccess(r, r.NewSession(), win, cfg)
+	wantPt, wantPSt := spatialjoin.PointQueryAccess(r, r.NewSession(), pt, cfg)
+	wantNN := spatialjoin.NearestObjectsAccess(r, r.NewSession(), pt, 4)
+	wantJoinSt := spatialjoin.JoinStream(r, s, cfg, spatialjoin.StreamOptions{
+		Workers: 2, AccessR: r.NewSession(), AccessS: s.NewSession(),
+	}, nil)
+	wantCont, wantContSt := spatialjoin.JoinContainsAccess(r, s, r.NewSession(), s.NewSession(), cfg)
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			switch g % 5 {
+			case 0:
+				ids, st := spatialjoin.WindowQueryAccess(r, r.NewSession(), win, cfg)
+				if !reflect.DeepEqual(ids, wantIDs) || st != wantWSt {
+					t.Errorf("goroutine %d: window query diverged", g)
+				}
+			case 1:
+				ids, st := spatialjoin.PointQueryAccess(r, r.NewSession(), pt, cfg)
+				if !reflect.DeepEqual(ids, wantPt) || st != wantPSt {
+					t.Errorf("goroutine %d: point query diverged", g)
+				}
+			case 2:
+				nn := spatialjoin.NearestObjectsAccess(r, r.NewSession(), pt, 4)
+				if !reflect.DeepEqual(nn, wantNN) {
+					t.Errorf("goroutine %d: nearest query diverged", g)
+				}
+			case 3:
+				st := spatialjoin.JoinStream(r, s, cfg, spatialjoin.StreamOptions{
+					Workers: 2, AccessR: r.NewSession(), AccessS: s.NewSession(),
+				}, nil)
+				if !reflect.DeepEqual(st, wantJoinSt) {
+					t.Errorf("goroutine %d: join stats diverged", g)
+				}
+			case 4:
+				pairs, st := spatialjoin.JoinContainsAccess(r, s, r.NewSession(), s.NewSession(), cfg)
+				if !reflect.DeepEqual(pairs, wantCont) || !reflect.DeepEqual(st, wantContSt) {
+					t.Errorf("goroutine %d: inclusion join diverged", g)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// A Session is an Accessor; the aliases are wired.
+	var ax spatialjoin.Accessor = r.NewSession()
+	ax.Access(0)
+	if ax.Accesses() != 1 {
+		t.Error("Session accessor alias broken")
+	}
+}

@@ -12,6 +12,7 @@
 package spatialjoin_test
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -293,12 +294,12 @@ func BenchmarkMultiStepJoin(b *testing.B) {
 	ss := multistep.NewRelation("S", s, cfg)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, _ = multistep.Join(rr, ss, cfg)
+		benchJoin(b, rr, ss, cfg, 1)
 	}
 }
 
 // ---------------------------------------------------------------------
-// Ablation benchmarks (DESIGN.md section 6).
+// Ablation benchmarks (DESIGN.md section 8).
 // ---------------------------------------------------------------------
 
 // BenchmarkAblationDecomposition compares the three decomposition
@@ -392,8 +393,7 @@ func BenchmarkAblationStep1(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var cands int64
 			for i := 0; i < b.N; i++ {
-				_, st := multistep.Join(rr, ss, cfg)
-				cands = st.CandidatePairs
+				cands = benchJoin(b, rr, ss, cfg, 1).CandidatePairs
 			}
 			b.ReportMetric(float64(cands), "candidates")
 		})
@@ -459,7 +459,7 @@ func BenchmarkParallelJoin(b *testing.B) {
 		name := map[int]string{1: "w1", 4: "w4"}[workers]
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				_, _ = multistep.JoinParallel(rr, ss, cfg, workers)
+				benchJoin(b, rr, ss, cfg, workers)
 			}
 		})
 	}
@@ -487,17 +487,15 @@ func BenchmarkJoinThroughput(b *testing.B) {
 	b.Run("join/seq", func(b *testing.B) {
 		var pairs int64
 		for i := 0; i < b.N; i++ {
-			_, st := multistep.Join(rr, ss, cfg)
-			pairs = st.ResultPairs
+			pairs = benchJoin(b, rr, ss, cfg, 1).ResultPairs
 		}
 		reportPairs(b, pairs)
 	})
 	for _, w := range workerCounts {
-		b.Run(fmt.Sprintf("parallel/w%d", w), func(b *testing.B) {
+		b.Run(fmt.Sprintf("collect/w%d", w), func(b *testing.B) {
 			var pairs int64
 			for i := 0; i < b.N; i++ {
-				_, st := multistep.JoinParallel(rr, ss, cfg, w)
-				pairs = st.ResultPairs
+				pairs = benchJoin(b, rr, ss, cfg, w).ResultPairs
 			}
 			reportPairs(b, pairs)
 		})
@@ -508,8 +506,32 @@ func BenchmarkJoinThroughput(b *testing.B) {
 			var out []multistep.Pair
 			for i := 0; i < b.N; i++ {
 				out = out[:0]
-				st := multistep.JoinStream(rr, ss, cfg, multistep.StreamOptions{Workers: w},
-					func(p multistep.Pair) { out = append(out, p) })
+				_, st, err := multistep.Join(context.Background(), rr, ss,
+					multistep.WithConfig(cfg), multistep.WithWorkers(w),
+					multistep.WithStream(func(p multistep.Pair) { out = append(out, p) }))
+				if err != nil {
+					b.Fatal(err)
+				}
+				pairs = st.ResultPairs
+			}
+			reportPairs(b, pairs)
+		})
+	}
+
+	// The within-distance (ε-)join enters the performance trajectory
+	// alongside the intersection join: same pipeline, ε-expanded step 1,
+	// distance-based filter and exact kernels.
+	for _, eps := range []float64{0.005, 0.02} {
+		b.Run(fmt.Sprintf("within/eps%g", eps), func(b *testing.B) {
+			var pairs int64
+			for i := 0; i < b.N; i++ {
+				_, st, err := multistep.Join(context.Background(), rr, ss,
+					multistep.WithConfig(cfg),
+					multistep.WithPredicate(multistep.WithinDistance(eps)),
+					multistep.WithBufferless())
+				if err != nil {
+					b.Fatal(err)
+				}
 				pairs = st.ResultPairs
 			}
 			reportPairs(b, pairs)
@@ -538,10 +560,21 @@ func BenchmarkAblationFilterChain(b *testing.B) {
 		b.Run(cc.name, func(b *testing.B) {
 			var exactTested int64
 			for i := 0; i < b.N; i++ {
-				_, st := multistep.Join(rr, ss, cfg)
-				exactTested = st.ExactTested
+				exactTested = benchJoin(b, rr, ss, cfg, 1).ExactTested
 			}
 			b.ReportMetric(float64(exactTested), "exact-pairs")
 		})
 	}
+}
+
+// benchJoin runs the unified join with the given worker count, failing
+// the benchmark on error.
+func benchJoin(b *testing.B, r, s *multistep.Relation, cfg multistep.Config, workers int) multistep.Stats {
+	b.Helper()
+	_, st, err := multistep.Join(context.Background(), r, s,
+		multistep.WithConfig(cfg), multistep.WithWorkers(workers))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
 }

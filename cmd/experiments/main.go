@@ -62,7 +62,7 @@ func main() {
 		{"figure10", true, func() *experiments.Table { return experiments.Figure10(big) }},
 		{"figure11", true, func() *experiments.Table { t, _ := experiments.Figure11(big); return t }},
 		{"figure18", true, func() *experiments.Table { t, _ := experiments.Figure18(big); return t }},
-		// Ablations beyond the paper's own figures (DESIGN.md §6).
+		// Ablations beyond the paper's own figures (DESIGN.md §8).
 		{"ablation-step1", false, func() *experiments.Table { return experiments.AblationStep1(env) }},
 		{"ablation-decomp", false, func() *experiments.Table { return experiments.AblationDecomposition(env) }},
 		{"ablation-trcap", false, func() *experiments.Table { return experiments.AblationTRCapacityWide(env) }},

@@ -10,18 +10,22 @@
 //	spatialjoin [-n 810] [-verts 84] [-strategy A|B] [-engine trstar|planesweep|quadratic]
 //	            [-conservative 5C|RMBR|CH|4C|MBC|MBE] [-progressive MER|MEC]
 //	            [-no-filter] [-page 4096] [-policy lru|fifo|clock] [-seed 9401]
+//	            [-predicate intersects|contains|within] [-epsilon ε]
 //	            [-parallel N] [-stream]
 //	            [-rstore R.store -sstore S.store]
 //
-// -parallel spreads the filter and exact steps over N workers
-// (JoinParallel); -stream additionally runs step 1 partitioned and the
-// whole join as the bounded-memory streaming pipeline (JoinStream).
-// -rstore/-sstore open prebuilt stores (both must be given, and the
-// configuration flags must match the ones the stores were built with —
-// a mismatch is rejected via the stores' config fingerprint).
+// Joins run through the unified multistep.Join entry point: -predicate
+// selects the spatial predicate (-epsilon is the distance bound of the
+// within predicate, and implies it), -parallel spreads the pipeline over
+// N workers, and -stream switches from collect-and-sort to the
+// bounded-memory streaming emission. -rstore/-sstore open prebuilt
+// stores (both must be given, and the configuration flags must match the
+// ones the stores were built with — a mismatch is rejected via the
+// stores' config fingerprint).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -46,7 +50,8 @@ func main() {
 	pageSize := flag.Int("page", 4096, "R*-tree page size in bytes")
 	policy := flag.String("policy", "lru", "buffer replacement policy: lru, fifo, clock")
 	seed := flag.Int64("seed", 9401, "data seed")
-	predicate := flag.String("predicate", "intersects", "join predicate: intersects or contains")
+	predicate := flag.String("predicate", "intersects", "join predicate: intersects, contains, or within (the ε-distance join)")
+	epsilon := flag.Float64("epsilon", 0, "distance bound of the within predicate (implies -predicate within)")
 	step1 := flag.String("step1", "rstar", "step 1 candidate generator: rstar, zorder, nested")
 	parallel := flag.Int("parallel", 0, "filter/exact worker count (0 = sequential; with -stream, 0 = GOMAXPROCS)")
 	stream := flag.Bool("stream", false, "use the streaming pipeline (JoinStream): bounded memory, -parallel workers")
@@ -118,29 +123,45 @@ func main() {
 			prep.Seconds(), multistep.EntryBytes(cfg))
 	}
 
-	t1 := time.Now()
+	predName := *predicate
+	if *epsilon > 0 && strings.EqualFold(predName, "intersects") {
+		predName = "within"
+	}
+	pred, err := multistep.ParsePredicate(predName, *epsilon)
+	if err != nil {
+		fatal(err)
+	}
+
+	// One entry point for every variant: the predicate, the worker count
+	// and the emission mode are orthogonal options of the unified join.
+	opts := []multistep.Option{
+		multistep.WithConfig(cfg),
+		multistep.WithPredicate(pred),
+	}
+	workers := *parallel
+	if workers <= 0 && !*stream {
+		workers = 1 // sequential measurement mode, the paper's accounting
+	}
+	opts = append(opts, multistep.WithWorkers(workers))
 	var pairs []multistep.Pair
-	var st multistep.Stats
-	switch {
-	case strings.EqualFold(*predicate, "contains"):
-		if *stream || *parallel > 0 {
-			fmt.Fprintln(os.Stderr, "spatialjoin: -stream/-parallel are ignored with -predicate contains (the inclusion join is sequential)")
-		}
-		pairs, st = multistep.JoinContains(r, s, cfg)
-	case *stream:
+	if *stream {
 		// The streaming pipeline emits pairs as they are decided instead
 		// of materializing the candidate set; collect them here only for
 		// the summary line.
-		st = multistep.JoinStream(r, s, cfg, multistep.StreamOptions{Workers: *parallel},
-			func(p multistep.Pair) { pairs = append(pairs, p) })
-	case *parallel > 0:
-		pairs, st = multistep.JoinParallel(r, s, cfg, *parallel)
-	default:
-		pairs, st = multistep.Join(r, s, cfg)
+		opts = append(opts, multistep.WithStream(func(p multistep.Pair) { pairs = append(pairs, p) }))
+	}
+	t1 := time.Now()
+	collected, st, err := multistep.Join(context.Background(), r, s, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	if !*stream {
+		pairs = collected
 	}
 	joinTime := time.Since(t1)
 
-	fmt.Printf("\njoin wall time: %.3fs (buffer policy %s)\n\n", joinTime.Seconds(), cfg.BufferPolicy)
+	fmt.Printf("\njoin wall time: %.3fs (predicate %s, buffer policy %s)\n\n",
+		joinTime.Seconds(), pred, cfg.BufferPolicy)
 	fmt.Printf("step 1 (MBR-join):      %8d candidate pairs, %d page accesses\n",
 		st.CandidatePairs, st.PageAccessesR+st.PageAccessesS)
 	if cfg.UseFilter {
@@ -150,7 +171,7 @@ func main() {
 	}
 	fmt.Printf("step 3 (%s):   %8d pairs tested, %d hits; ops: %s\n",
 		cfg.Engine, st.ExactTested, st.ExactHits, st.Ops.String())
-	fmt.Printf("\nresponse set: %d intersecting pairs\n", len(pairs))
+	fmt.Printf("\nresponse set: %d pairs (%s)\n", len(pairs), pred)
 
 	b := costmodel.FromStats(st, cfg.Engine, costmodel.PaperParams())
 	fmt.Printf("modelled cost (section 5): MBR-join %.1fs + object access %.1fs + exact %.1fs = %.1fs\n",

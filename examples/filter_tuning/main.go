@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"spatialjoin/internal/approx"
@@ -33,7 +34,10 @@ func main() {
 
 			r := multistep.NewRelation("R", base, cfg)
 			s := multistep.NewRelation("S", shifted, cfg)
-			_, st := multistep.Join(r, s, cfg)
+			_, st, err := multistep.Join(context.Background(), r, s, multistep.WithWorkers(1))
+			if err != nil {
+				panic(err)
+			}
 
 			fmt.Printf("%-14s %-6s %10d %10d %10d %7.0f%% %10d\n",
 				cons, prog, st.FilterFalseHits, st.FilterHits, st.ExactTested,

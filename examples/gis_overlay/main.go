@@ -8,7 +8,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"sort"
 
 	"spatialjoin"
@@ -36,8 +38,13 @@ func main() {
 	cityRel := spatialjoin.NewRelation("cities", cities, cfg)
 	forestRel := spatialjoin.NewRelation("forests", forests, cfg)
 
+	ctx := context.Background()
+
 	// Intersection join: forests touching a city.
-	pairs, st := spatialjoin.Join(forestRel, cityRel, cfg)
+	pairs, st, err := spatialjoin.Join(ctx, forestRel, cityRel)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Inclusion join: city parks (small parcels) entirely inside a city.
 	parkGrid := spatialjoin.GenerateMap(spatialjoin.MapConfig{
@@ -50,7 +57,11 @@ func main() {
 		parks = append(parks, parkGrid[i])
 	}
 	parkRel := spatialjoin.NewRelation("parks", parks, cfg)
-	contained, _ := spatialjoin.JoinContains(cityRel, parkRel, cfg)
+	contained, _, err := spatialjoin.Join(ctx, cityRel, parkRel,
+		spatialjoin.WithPredicate(spatialjoin.Contains()))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Aggregate: which forests intersect how many cities?
 	perForest := map[int32]int{}

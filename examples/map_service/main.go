@@ -9,7 +9,9 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"log"
 	"math/rand"
 	"time"
 
@@ -41,14 +43,18 @@ func main() {
 	rel := spatialjoin.NewRelation("parcels", loaded, cfg)
 	fmt.Printf("indexed in %.2fs (approximations + R*-tree)\n\n", time.Since(start).Seconds())
 
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(7))
 	// Point queries: which parcel is here?
 	hits := 0
 	start = time.Now()
 	for i := 0; i < 500; i++ {
 		p := spatialjoin.Point{X: rng.Float64(), Y: rng.Float64()}
-		ids, _ := spatialjoin.PointQuery(rel, p, cfg)
-		hits += len(ids)
+		res, err := spatialjoin.Query(ctx, rel, spatialjoin.ForPoint(p))
+		if err != nil {
+			log.Fatal(err)
+		}
+		hits += len(res.IDs)
 	}
 	fmt.Printf("500 point queries: %d parcels found, %.1f µs/query\n",
 		hits, time.Since(start).Seconds()/500*1e6)
@@ -61,20 +67,35 @@ func main() {
 	for i := 0; i < 200; i++ {
 		x, y := rng.Float64()*0.9, rng.Float64()*0.9
 		w := spatialjoin.Rect{MinX: x, MinY: y, MaxX: x + 0.08, MaxY: y + 0.08}
-		ids, st := spatialjoin.WindowQuery(rel, w, cfg)
-		found += len(ids)
-		decided += st.FilterHits + st.FilterFalseHits
-		cands += st.Candidates
+		res, err := spatialjoin.Query(ctx, rel, spatialjoin.ForWindow(w))
+		if err != nil {
+			log.Fatal(err)
+		}
+		found += len(res.IDs)
+		decided += res.Stats.FilterHits + res.Stats.FilterFalseHits
+		cands += res.Stats.Candidates
 	}
 	fmt.Printf("200 window queries: %d results, filter decided %.0f%% of candidates, %.1f µs/query\n",
 		found, 100*float64(decided)/float64(cands), time.Since(start).Seconds()/200*1e6)
 
 	// Nearest neighbours: the five parcels closest to a landmark.
 	landmark := spatialjoin.Point{X: 0.42, Y: 0.58}
-	nn := spatialjoin.NearestObjects(rel, landmark, 5)
+	near, err := spatialjoin.Query(ctx, rel, spatialjoin.ForNearest(landmark, 5))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("\nfive parcels nearest to the landmark:")
-	for _, nb := range nn {
+	for _, nb := range near.Neighbors {
 		fmt.Printf("  parcel %3d at distance %.4f (%d vertices)\n",
 			nb.ID, nb.Dist, loaded[nb.ID].NumVertices())
 	}
+
+	// ε-range query: every parcel within 0.02 of the landmark — the
+	// within-distance predicate on a point target.
+	rng2, err := spatialjoin.Query(ctx, rel, spatialjoin.ForPoint(landmark),
+		spatialjoin.WithPredicate(spatialjoin.WithinDistance(0.02)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nparcels within ε=0.02 of the landmark: %d\n", len(rng2.IDs))
 }

@@ -6,7 +6,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"spatialjoin"
 )
@@ -32,7 +34,12 @@ func main() {
 	r := spatialjoin.NewRelation("counties", counties, cfg)
 	s := spatialjoin.NewRelation("shifted", shifted, cfg)
 
-	pairs, st := spatialjoin.Join(r, s, cfg)
+	// One unified, context-aware entry point: the relations carry their
+	// build configuration, the predicate and execution knobs are options.
+	pairs, st, err := spatialjoin.Join(context.Background(), r, s)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("objects: %d × %d\n", len(counties), len(shifted))
 	fmt.Printf("step 1 — MBR-join:   %d candidate pairs\n", st.CandidatePairs)
@@ -49,7 +56,22 @@ func main() {
 	}
 	fmt.Println()
 
-	// Window query through the same multi-step machinery.
-	ids, _ := spatialjoin.WindowQuery(r, spatialjoin.Rect{MinX: 0.4, MinY: 0.4, MaxX: 0.6, MaxY: 0.6}, cfg)
-	fmt.Printf("window query:        %d counties intersect the center window\n", len(ids))
+	// Window query through the same multi-step machinery (the unified
+	// Query entry point serves window, point, ε-range and nearest).
+	res, err := spatialjoin.Query(context.Background(), r,
+		spatialjoin.ForWindow(spatialjoin.Rect{MinX: 0.4, MinY: 0.4, MaxX: 0.6, MaxY: 0.6}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("window query:        %d counties intersect the center window\n", len(res.IDs))
+
+	// The within-distance (ε-)join rides the same index and pipeline:
+	// pairs of regions within ε of each other, not just intersecting.
+	within, _, err := spatialjoin.Join(context.Background(), r, s,
+		spatialjoin.WithPredicate(spatialjoin.WithinDistance(0.01)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ε-join (ε=0.01):     %d pairs within distance (⊇ the %d intersecting)\n",
+		len(within), len(pairs))
 }

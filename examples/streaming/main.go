@@ -7,7 +7,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"runtime"
 	"time"
 
@@ -26,35 +28,47 @@ func main() {
 	r := spatialjoin.NewRelation("counties", counties, cfg)
 	s := spatialjoin.NewRelation("shifted", shifted, cfg)
 
+	ctx := context.Background()
+
 	// Warm the lazily built exact representations once, so the timed runs
 	// below compare the join drivers rather than the one-time object
 	// preprocessing.
-	spatialjoin.JoinStream(r, s, cfg, spatialjoin.StreamOptions{}, nil)
+	if _, _, err := spatialjoin.Join(ctx, r, s, spatialjoin.WithBufferless()); err != nil {
+		log.Fatal(err)
+	}
 
-	// Sequential baseline: Join materializes and sorts the response set.
+	// Sequential baseline: one worker, collect and sort the response set.
 	t0 := time.Now()
-	pairs, _ := spatialjoin.Join(r, s, cfg)
+	pairs, _, err := spatialjoin.Join(ctx, r, s, spatialjoin.WithWorkers(1))
+	if err != nil {
+		log.Fatal(err)
+	}
 	seq := time.Since(t0)
 
 	// Streaming: step 1 is partitioned over workers, candidates flow
 	// through bounded channels into a filter/exact worker pool, and the
 	// emit callback sees pairs the moment they are decided — here it just
 	// counts them and samples the first few.
-	opts := spatialjoin.StreamOptions{Workers: runtime.GOMAXPROCS(0)}
+	workers := runtime.GOMAXPROCS(0)
 	var streamed int
 	var sample []spatialjoin.Pair
 	t0 = time.Now()
-	st := spatialjoin.JoinStream(r, s, cfg, opts, func(p spatialjoin.Pair) {
-		if streamed < 5 {
-			sample = append(sample, p)
-		}
-		streamed++
-	})
+	_, st, err := spatialjoin.Join(ctx, r, s,
+		spatialjoin.WithWorkers(workers),
+		spatialjoin.WithStream(func(p spatialjoin.Pair) {
+			if streamed < 5 {
+				sample = append(sample, p)
+			}
+			streamed++
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
 	wall := time.Since(t0)
 
-	fmt.Printf("objects: %d × %d, workers: %d\n", len(counties), len(shifted), opts.Workers)
+	fmt.Printf("objects: %d × %d, workers: %d\n", len(counties), len(shifted), workers)
 	fmt.Printf("sequential Join:  %d pairs in %v\n", len(pairs), seq.Round(time.Millisecond))
-	fmt.Printf("JoinStream:       %d pairs in %v (%.1f× vs Join; scales with cores)\n",
+	fmt.Printf("streamed Join:    %d pairs in %v (%.1f× vs sequential; scales with cores)\n",
 		streamed, wall.Round(time.Millisecond), seq.Seconds()/wall.Seconds())
 	fmt.Printf("first streamed:   %v (delivery order is nondeterministic)\n", sample)
 	fmt.Printf("stats match Join: %d candidates, %d filter-decided, %d exact tests\n",

@@ -1,6 +1,8 @@
 package approx
 
 import (
+	"math"
+
 	"spatialjoin/internal/convex"
 	"spatialjoin/internal/geom"
 )
@@ -146,6 +148,117 @@ func (f FilterConfig) Classify(a, b *Set) Class {
 		}
 	}
 	return Candidate
+}
+
+// ClassifyWithin runs the geometric filter on one candidate pair of the
+// within-distance (ε-)join. The step order mirrors Classify:
+//
+//   - conservative approximations are supersets, so their distance lower
+//     bounds the object distance — a conservative distance above eps
+//     proves a false hit;
+//   - progressive approximations are subsets, so their distance upper
+//     bounds the object distance — a progressive distance of at most eps
+//     proves a hit;
+//   - the false-area test proves the objects intersect, i.e. distance 0,
+//     which is a hit for every eps ≥ 0.
+//
+// Unlike the intersection filter, the MBR is a useful conservative kind
+// here: step 1 prunes with the ε-expanded (per-axis) MBR test, while the
+// Euclidean MBR distance additionally rejects diagonal near-misses.
+// With eps = 0 the classification is equivalent to Classify wherever the
+// distance kernels and the boolean intersection tests agree (they do for
+// every polygonal kind; both are exact).
+func (f FilterConfig) ClassifyWithin(a, b *Set, eps float64) Class {
+	if !f.NoConservative {
+		if ConservativeDist(f.Conservative, a, b) > eps {
+			return FalseHit
+		}
+	}
+	if !f.NoProgressive {
+		if ProgressiveDist(f.Progressive, a, b) <= eps {
+			return Hit
+		}
+	}
+	if f.UseFalseArea {
+		if FalseAreaHit(f.Conservative, a, b) {
+			return Hit
+		}
+	}
+	return Candidate
+}
+
+// ConservativeDist returns a sound lower bound of the object distance
+// derived from the conservative approximations of kind k: the exact
+// distance of the approximations for polygonal and circular kinds, and
+// the MBR distance as the fallback for kinds without a cheap exact
+// distance (ellipses) or with degenerate data. Supersets are closer than
+// the objects, so any of these bounds the object distance from below.
+func ConservativeDist(k Kind, a, b *Set) float64 {
+	switch k {
+	case MBR:
+		return a.MBR.Dist(b.MBR)
+	case RMBR:
+		if a.RMBRA == nil || b.RMBRA == nil {
+			return a.MBR.Dist(b.MBR)
+		}
+		return convex.Distance(a.RMBRA.Ring(), b.RMBRA.Ring())
+	case CH:
+		return ringDistOrMBR(a.CHA, b.CHA, a, b)
+	case C4:
+		return ringDistOrMBR(a.C4A, b.C4A, a, b)
+	case C5:
+		return ringDistOrMBR(a.C5A, b.C5A, a, b)
+	case MBC:
+		if a.MBCA == nil || b.MBCA == nil {
+			return a.MBR.Dist(b.MBR)
+		}
+		return circleDist(a.MBCA, b.MBCA)
+	case MBE:
+		// No closed-form ellipse distance; the MBR distance is the sound
+		// conservative fallback (an inscribed outline would overestimate).
+		return a.MBR.Dist(b.MBR)
+	}
+	panic("approx: not a conservative kind: " + k.String())
+}
+
+// ringDistOrMBR is the exact convex-ring distance with the MBR fallback
+// for degenerate (empty) hull rings.
+func ringDistOrMBR(ra, rb geom.Ring, a, b *Set) float64 {
+	if len(ra) == 0 || len(rb) == 0 {
+		return a.MBR.Dist(b.MBR)
+	}
+	return convex.Distance(ra, rb)
+}
+
+// ProgressiveDist returns a sound upper bound of the object distance
+// derived from the progressive approximations of kind k: their exact
+// distance when both exist, +Inf (proving nothing) when either object has
+// no progressive approximation. Subsets are farther apart than the
+// objects, so the approximation distance bounds the object distance from
+// above.
+func ProgressiveDist(k Kind, a, b *Set) float64 {
+	switch k {
+	case MEC:
+		if a.MECA == nil || b.MECA == nil || a.MECA.R <= 0 || b.MECA.R <= 0 {
+			return math.Inf(1)
+		}
+		return circleDist(a.MECA, b.MECA)
+	case MER:
+		if a.MERA == nil || b.MERA == nil || a.MERA.IsEmpty() || b.MERA.IsEmpty() {
+			return math.Inf(1)
+		}
+		return a.MERA.Dist(*b.MERA)
+	}
+	panic("approx: not a progressive kind: " + k.String())
+}
+
+// circleDist is the exact distance between two closed discs.
+func circleDist(a, b *Circle) float64 {
+	d := a.C.Dist(b.C) - a.R - b.R
+	if d < 0 {
+		return 0
+	}
+	return d
 }
 
 // Kinds returns the approximation kinds Classify consumes, for use as

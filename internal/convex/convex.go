@@ -318,3 +318,29 @@ func hasSeparatingAxis(a, b geom.Ring) bool {
 	}
 	return false
 }
+
+// Distance returns the Euclidean distance between the closed convex
+// regions bounded by two rings: 0 when they intersect (SAT), otherwise
+// the smallest distance between their boundaries. Degenerate rings with
+// fewer than three vertices are treated as the point or segment they
+// span. The result is exact, so it serves as a sound lower bound of the
+// object distance when the rings are conservative approximations and as
+// a sound upper bound when they are progressive ones.
+func Distance(a, b geom.Ring) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return math.Inf(1)
+	}
+	if len(a) >= 3 && len(b) >= 3 && SATIntersects(a, b) {
+		return 0
+	}
+	d := math.Inf(1)
+	for i := range a {
+		ea := a.Edge(i)
+		for j := range b {
+			if dd := ea.DistToSegment(b.Edge(j)); dd < d {
+				d = dd
+			}
+		}
+	}
+	return d
+}

@@ -1,0 +1,32 @@
+// Package ctxpoll converts a context into a polling hook cheap enough
+// for the innermost loops of the query pipeline. The traversal and the
+// filter/exact workers poll at every node pair or candidate pair, so the
+// hook must not take a lock per call: cancellation is observed through
+// an atomic flag armed by a single watcher goroutine.
+package ctxpoll
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Stop returns a polling hook for ctx: nil (meaning "never poll") for
+// contexts that cannot be cancelled, otherwise a lock-free func that
+// becomes true once the context is done. release must be called when
+// the guarded work ends; it lets the watcher goroutine exit even when
+// the context is never cancelled.
+func Stop(ctx context.Context) (stop func() bool, release func()) {
+	if ctx == nil || ctx.Done() == nil {
+		return nil, func() {}
+	}
+	var flag atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			flag.Store(true)
+		case <-done:
+		}
+	}()
+	return flag.Load, func() { close(done) }
+}

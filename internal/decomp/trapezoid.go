@@ -64,6 +64,16 @@ func (t Trapezoid) Intersects(u Trapezoid) bool {
 	return convex.SATIntersects(t.dedup(), u.dedup())
 }
 
+// Dist returns the Euclidean distance between two closed trapezoids: 0
+// when they intersect, otherwise the smallest boundary distance. Because
+// the trapezoids of a decomposition tile the closed region, the minimum
+// of Dist over all component pairs of two decomposed objects equals the
+// exact region distance — the within-distance analogue of the trapezoid
+// intersection test.
+func (t Trapezoid) Dist(u Trapezoid) float64 {
+	return convex.Distance(t.dedup(), u.dedup())
+}
+
 // dedup drops coincident corners so the SAT sees a clean convex ring.
 func (t Trapezoid) dedup() geom.Ring {
 	out := make(geom.Ring, 0, 4)

@@ -1,0 +1,66 @@
+package exact
+
+import (
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/ops"
+)
+
+// WithinDistance decides the within-distance predicate on exact geometry:
+// whether the closed polygonal regions of a and b lie within Euclidean
+// distance eps of each other. It is the step 3 refinement of the ε-join,
+// reusing the repository's distance kernel (segment–segment distances,
+// the same primitive NearestObjects refines point candidates with).
+//
+// The test runs in three stages, mirroring the intersection engines:
+//
+//  1. MBR distance pretest — the MBR distance lower-bounds the region
+//     distance, so a gap above eps decides "no" without touching edges.
+//  2. Containment fallback — intersecting regions have distance 0; the
+//     only intersection configuration without a boundary pair at
+//     distance 0 is containment, decided by the MBR-pretested
+//     point-in-polygon test of section 4.
+//  3. Boundary distance — edge pairs are scanned (counted as edge
+//     intersection tests) with an early exit at the first pair within
+//     eps. With restrict set, the search-space restriction of
+//     section 4.1 first drops every edge farther than eps from the
+//     other object's MBR (counted as edge–rectangle tests), the
+//     ε-analogue of clipping the sweep to the MBR intersection.
+//
+// With eps = 0 the predicate coincides with the intersection predicate.
+func WithinDistance(a, b *PreparedPolygon, eps float64, restrict bool, c *ops.Counters) bool {
+	c.RectIntersection++
+	if a.MBR.Dist(b.MBR) > eps {
+		return false
+	}
+	if containmentFallback(a, b, c) {
+		return true
+	}
+	ea, eb := a.Edges, b.Edges
+	if restrict {
+		ea = edgesNear(a.Edges, b.MBR, eps, c)
+		eb = edgesNear(b.Edges, a.MBR, eps, c)
+	}
+	for _, sa := range ea {
+		for _, sb := range eb {
+			c.EdgeIntersection++
+			if sa.DistToSegment(sb) <= eps {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// edgesNear returns the edges within eps of the rectangle — the only
+// edges that can realize a boundary distance of at most eps to an object
+// bounded by r. Every candidate edge is one edge–rectangle test.
+func edgesNear(edges []geom.Segment, r geom.Rect, eps float64, c *ops.Counters) []geom.Segment {
+	out := make([]geom.Segment, 0, len(edges))
+	for _, e := range edges {
+		c.EdgeRect++
+		if e.Bounds().Dist(r) <= eps {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -17,7 +18,7 @@ import (
 	"spatialjoin/internal/trstar"
 )
 
-// The ablation experiments quantify the design decisions DESIGN.md §6
+// The ablation experiments quantify the design decisions DESIGN.md §8
 // calls out, beyond what the paper's own figures cover.
 
 // AblationStep1 compares the three candidate generators of step 1 on one
@@ -38,7 +39,7 @@ func AblationStep1(e *Env) *Table {
 		r := multistep.NewRelation("R", sd.R, cfg)
 		s := multistep.NewRelation("S", sd.S, cfg)
 		start := time.Now()
-		_, st := multistep.Join(r, s, cfg)
+		_, st := seqJoin(r, s, cfg)
 		wall := time.Since(start)
 		note := ""
 		if step1 == multistep.Step1ZOrder {
@@ -180,7 +181,7 @@ func Figure18Wall(p BigParams) *Table {
 			}
 		}
 		start := time.Now()
-		_, st := multistep.Join(rr, ss, cfg)
+		_, st := seqJoin(rr, ss, cfg)
 		wall := time.Since(start).Seconds()
 		t.AddRow(name, fmt.Sprintf("%.2f", wall), fmt.Sprint(st.ExactTested))
 		return wall, st.ExactTested
@@ -222,7 +223,7 @@ func AblationParallelism(p BigParams) *Table {
 	cfg.BufferBytes = p.BufferBytes
 	rr := multistep.NewRelation("R", r, cfg)
 	ss := multistep.NewRelation("S", s, cfg)
-	_, st := multistep.Join(rr, ss, cfg)
+	_, st := seqJoin(rr, ss, cfg)
 	base := costmodel.FromStats(st, cfg.Engine, costmodel.PaperParams())
 
 	t := &Table{
@@ -233,14 +234,20 @@ func AblationParallelism(p BigParams) *Table {
 		disks, workers := conf[0], conf[1]
 		modelled := costmodel.ParallelBreakdown(base, disks, workers).Total()
 		start := time.Now()
-		multistep.JoinParallel(rr, ss, cfg, workers)
+		if _, _, err := multistep.Join(context.Background(), rr, ss,
+			multistep.WithConfig(cfg), multistep.WithWorkers(workers)); err != nil {
+			panic(err)
+		}
 		wallParallel := time.Since(start).Seconds()
 		// Consume the streamed pairs so both wall columns include
 		// delivering every response pair (JoinParallel materializes them).
 		var streamed int64
 		start = time.Now()
-		multistep.JoinStream(rr, ss, cfg, multistep.StreamOptions{Workers: workers},
-			func(multistep.Pair) { streamed++ })
+		if _, _, err := multistep.Join(context.Background(), rr, ss,
+			multistep.WithConfig(cfg), multistep.WithWorkers(workers),
+			multistep.WithStream(func(multistep.Pair) { streamed++ })); err != nil {
+			panic(err)
+		}
 		wallStream := time.Since(start).Seconds()
 		t.AddRow(fmt.Sprint(disks), fmt.Sprint(workers),
 			fmt.Sprintf("%.1f", modelled), fmt.Sprintf("%.2f", wallParallel),
@@ -379,7 +386,7 @@ func AblationFilterCombos(e *Env) *Table {
 			cfg.MECPrecision = 2e-3
 			r := multistep.NewRelation("R", sd.R, cfg)
 			s := multistep.NewRelation("S", sd.S, cfg)
-			_, st := multistep.Join(r, s, cfg)
+			_, st := seqJoin(r, s, cfg)
 			t.AddRow(cons.String(), prog.String(),
 				fmt.Sprintf("%.0f", 100*st.Identified()),
 				fmt.Sprint(st.ExactTested),

@@ -221,11 +221,11 @@ func Figure11(p BigParams) (*Table, []Figure11Row) {
 
 			r0 := multistep.NewRelation("R", r, base)
 			s0 := multistep.NewRelation("S", s, base)
-			_, st0 := multistep.Join(r0, s0, base)
+			_, st0 := seqJoin(r0, s0, base)
 
 			r1 := multistep.NewRelation("R", r, filt)
 			s1 := multistep.NewRelation("S", s, filt)
-			_, st1 := multistep.Join(r1, s1, filt)
+			_, st1 := seqJoin(r1, s1, filt)
 
 			gl := costmodel.Figure11(st0, st1, costmodel.PaperParams())
 			rows = append(rows, Figure11Row{Kind: kind, PageSize: pageSize,
@@ -272,18 +272,18 @@ func Figure18(p BigParams) (*Table, []Figure18Row) {
 
 	r1 := multistep.NewRelation("R", r, v1cfg)
 	s1 := multistep.NewRelation("S", s, v1cfg)
-	_, st1 := multistep.Join(r1, s1, v1cfg)
+	_, st1 := seqJoin(r1, s1, v1cfg)
 	rows = append(rows, Figure18Row{Version: "version 1 (no filter, plane-sweep)",
 		Breakdown: costmodel.FromStats(st1, v1cfg.Engine, params)})
 
 	// Versions 2 and 3 share the filtered relations (same entry layout).
 	r2 := multistep.NewRelation("R", r, v2cfg)
 	s2 := multistep.NewRelation("S", s, v2cfg)
-	_, st2 := multistep.Join(r2, s2, v2cfg)
+	_, st2 := seqJoin(r2, s2, v2cfg)
 	rows = append(rows, Figure18Row{Version: "version 2 (5-C+MER filter, plane-sweep)",
 		Breakdown: costmodel.FromStats(st2, v2cfg.Engine, params)})
 
-	_, st3 := multistep.Join(r2, s2, v3cfg)
+	_, st3 := seqJoin(r2, s2, v3cfg)
 	rows = append(rows, Figure18Row{Version: "version 3 (5-C+MER filter, TR*-tree)",
 		Breakdown: costmodel.FromStats(st3, v3cfg.Engine, params)})
 

@@ -12,11 +12,13 @@
 package experiments
 
 import (
+	"context"
 	"sync"
 
 	"spatialjoin/internal/approx"
 	"spatialjoin/internal/data"
 	"spatialjoin/internal/geom"
+	"spatialjoin/internal/multistep"
 	"spatialjoin/internal/ops"
 	"spatialjoin/internal/trstar"
 )
@@ -180,3 +182,15 @@ func (e *Env) Tree(sd *SeriesData, side byte, idx, capacity int) *trstar.Tree {
 
 // FalseHits returns the number of candidate pairs that are false hits.
 func (sd *SeriesData) FalseHits() int { return len(sd.Pairs) - sd.Hits }
+
+// seqJoin runs the unified join sequentially (one worker) under an
+// explicit configuration — the experiments' measurement mode, matching
+// the paper's single-CPU accounting.
+func seqJoin(r, s *multistep.Relation, cfg multistep.Config) ([]multistep.Pair, multistep.Stats) {
+	pairs, st, err := multistep.Join(context.Background(), r, s,
+		multistep.WithConfig(cfg), multistep.WithWorkers(1))
+	if err != nil {
+		panic(err)
+	}
+	return pairs, st
+}

@@ -187,6 +187,63 @@ func (p *Polygon) DistToPoint(q Point) float64 {
 	return d
 }
 
+// DistToPolygon returns the Euclidean distance between the closed
+// polygonal regions of p and q: 0 when they intersect, otherwise the
+// smallest distance between their boundaries. Like Intersects it is the
+// brute-force ground truth — the oracle of the within-distance join —
+// against which the engine-specific distance tests are validated.
+func (p *Polygon) DistToPolygon(q *Polygon) float64 {
+	if p.Intersects(q) {
+		return 0
+	}
+	// Disjoint closed regions: the infimum distance is attained between
+	// boundary points (hole rings included — one region may lie inside a
+	// hole of the other).
+	var pe, qe []Segment
+	pe = p.Edges(pe)
+	qe = q.Edges(qe)
+	d := math.Inf(1)
+	for _, a := range pe {
+		for _, b := range qe {
+			if dd := a.DistToSegment(b); dd < d {
+				d = dd
+			}
+		}
+	}
+	return d
+}
+
+// DistToRect returns the Euclidean distance between the closed polygonal
+// region and the closed rectangle (degenerate rectangles — segments and
+// points — included): 0 when they share a point, otherwise the smallest
+// boundary distance. It is the exact kernel of the ε-range query.
+func (p *Polygon) DistToRect(r Rect) float64 {
+	if r.IsEmpty() {
+		return math.Inf(1)
+	}
+	// Containment either way means intersection (holes cannot separate a
+	// rectangle that contains the full outer ring, and a rectangle corner
+	// inside the region is decided by ContainsPoint).
+	if r.Contains(p.Bounds()) {
+		return 0
+	}
+	c := r.Corners()
+	if p.Bounds().ContainsPoint(c[0]) && p.ContainsPoint(c[0]) {
+		return 0
+	}
+	var edges []Segment
+	edges = p.Edges(edges)
+	d := math.Inf(1)
+	for _, e := range edges {
+		for i := 0; i < 4; i++ {
+			if dd := e.DistToSegment(Segment{A: c[i], B: c[(i+1)%4]}); dd < d {
+				d = dd
+			}
+		}
+	}
+	return d
+}
+
 // ValidateSimple checks structural invariants: every ring is simple
 // (non-self-intersecting), the outer ring is counterclockwise, holes are
 // clockwise and lie inside the outer ring. It is quadratic and meant for

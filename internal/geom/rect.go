@@ -132,6 +132,25 @@ func (r Rect) Enlargement(s Rect) float64 {
 // OverlapArea returns the area of the common region of r and s.
 func (r Rect) OverlapArea(s Rect) float64 { return r.Intersection(s).Area() }
 
+// Dist returns the Euclidean distance between the closed regions r and s:
+// 0 when they intersect, +Inf when either is empty. Because the MBR is a
+// superset of its object, the MBR distance is a lower bound of the region
+// distance — the step 1 pruning measure of the within-distance join.
+func (r Rect) Dist(s Rect) float64 {
+	if r.IsEmpty() || s.IsEmpty() {
+		return math.Inf(1)
+	}
+	dx := math.Max(0, math.Max(s.MinX-r.MaxX, r.MinX-s.MaxX))
+	dy := math.Max(0, math.Max(s.MinY-r.MaxY, r.MinY-s.MaxY))
+	if dx == 0 {
+		return dy
+	}
+	if dy == 0 {
+		return dx
+	}
+	return math.Hypot(dx, dy)
+}
+
 // Translate returns r shifted by (dx, dy).
 func (r Rect) Translate(dx, dy float64) Rect {
 	if r.IsEmpty() {

@@ -138,6 +138,27 @@ func (s Segment) IntersectionPoint(t Segment) (Point, bool) {
 	return Point{}, false
 }
 
+// DistToSegment returns the Euclidean distance between the closed
+// segments s and t: 0 when they intersect, otherwise the smallest
+// endpoint-to-segment distance (the minimum over two disjoint segments is
+// always realized at an endpoint of one of them).
+func (s Segment) DistToSegment(t Segment) float64 {
+	if s.Intersects(t) {
+		return 0
+	}
+	d := s.DistToPoint(t.A)
+	if dd := s.DistToPoint(t.B); dd < d {
+		d = dd
+	}
+	if dd := t.DistToPoint(s.A); dd < d {
+		d = dd
+	}
+	if dd := t.DistToPoint(s.B); dd < d {
+		d = dd
+	}
+	return d
+}
+
 // DistToPoint returns the Euclidean distance from p to the closed segment s.
 func (s Segment) DistToPoint(p Point) float64 {
 	d := s.B.Sub(s.A)

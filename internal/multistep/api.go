@@ -1,0 +1,411 @@
+package multistep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"spatialjoin/internal/approx"
+	"spatialjoin/internal/ctxpoll"
+	"spatialjoin/internal/exact"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/rstar"
+	"spatialjoin/internal/storage"
+)
+
+// This file is the unified query API of the package: two entry points,
+//
+//	Join(ctx, r, s, opts...)  — the predicate-parameterized spatial join
+//	Query(ctx, r, opts...)    — window / point / nearest queries on one
+//	                            relation
+//
+// replacing the pre-redesign combinatorial surface (Join, JoinParallel,
+// JoinStream, JoinContains, and an *Access twin of every query). The
+// predicate (Intersects, Contains, WithinDistance) and every execution
+// concern — worker count, streaming emission, per-query access contexts,
+// result limits — are orthogonal functional options, and the context is
+// threaded through the whole pipeline, so cancelling it stops the work
+// mid-join.
+
+// Errors of the unified query API.
+var (
+	// ErrNoTarget reports a Query without a ForWindow, ForPoint or
+	// ForNearest target.
+	ErrNoTarget = errors.New("multistep: query has no target (use ForWindow, ForPoint or ForNearest)")
+	// ErrBadPredicate reports a predicate the entry point cannot evaluate
+	// (a negative distance bound, or Contains/nearest combinations a
+	// single-relation query has no semantics for).
+	ErrBadPredicate = errors.New("multistep: unsupported predicate for this query")
+)
+
+// queryOptions is the resolved option set of one Join or Query call.
+type queryOptions struct {
+	cfg        *Config // nil: use the relations' build configuration
+	pred       Predicate
+	workers    int
+	batch      int
+	queue      int
+	emit       func(Pair)
+	bufferless bool
+	axR, axS   storage.Accessor
+	limit      int // < 0: unlimited
+
+	window   *geom.Rect
+	point    *geom.Point
+	nearest  bool
+	nearestK int
+}
+
+// Option configures one Join or Query call. Options are orthogonal: any
+// combination that makes sense may be passed, and the zero set reproduces
+// the paper's sequential accounting on the relations' build
+// configuration.
+type Option func(*queryOptions)
+
+// WithPredicate selects the spatial predicate (default Intersects).
+func WithPredicate(p Predicate) Option {
+	return func(o *queryOptions) { o.pred = p }
+}
+
+// WithConfig overrides the processor configuration. Without it the
+// relations' build configuration is used, which is almost always right:
+// the approximations and tree layout were computed under it. Joins of two
+// relations built under different configurations are rejected unless an
+// explicit override is given.
+func WithConfig(cfg Config) Option {
+	return func(o *queryOptions) { o.cfg = &cfg }
+}
+
+// WithWorkers sets the worker count of the join pipeline: the step 1
+// traversal fan-out and the step 2+3 pool size alike. n ≤ 0 selects
+// GOMAXPROCS (the default). Statistics are independent of the worker
+// count by construction.
+func WithWorkers(n int) Option {
+	return func(o *queryOptions) { o.workers = n }
+}
+
+// WithBatch sets the candidate batch size of the join pipeline (default
+// 256); WithQueue sets the bounded channel depth in batches (default
+// 4×workers). Together they cap the in-flight memory.
+func WithBatch(n int) Option {
+	return func(o *queryOptions) { o.batch = n }
+}
+
+// WithQueue sets the bounded queue depth of the join pipeline in batches.
+func WithQueue(n int) Option {
+	return func(o *queryOptions) { o.queue = n }
+}
+
+// WithStream streams response pairs to emit as they are decided (from a
+// single collector goroutine, in no particular order) instead of
+// collecting them: Join returns a nil slice and memory stays bounded by
+// the pipeline depth regardless of the response-set size.
+func WithStream(emit func(Pair)) Option {
+	return func(o *queryOptions) { o.emit = emit }
+}
+
+// WithBufferless discards the response set entirely: Join returns a nil
+// slice and only the statistics. (WithStream already implies bounded
+// memory; WithBufferless is for measurement runs that need no pairs at
+// all.)
+func WithBufferless() Option {
+	return func(o *queryOptions) { o.bufferless = true }
+}
+
+// WithSessions routes each side's page visits through explicit per-query
+// access contexts — typically Relation.NewSession of each side. With both
+// set, the call never touches the shared tree buffers, so any number of
+// queries may run concurrently on the same relations, each reporting
+// exactly its solo-run statistics. A nil accessor selects the shared
+// buffer (counters reset first) for that side — the paper's sequential
+// single-query accounting, one query at a time.
+func WithSessions(axR, axS storage.Accessor) Option {
+	return func(o *queryOptions) { o.axR, o.axS = axR, axS }
+}
+
+// WithSession is WithSessions for the single-relation Query entry point.
+func WithSession(ax storage.Accessor) Option {
+	return func(o *queryOptions) { o.axR = ax }
+}
+
+// WithLimit caps the number of response pairs Join returns (the sorted
+// (A, B)-prefix of the full response set; statistics always reflect the
+// complete join). n < 0 means unlimited, the default.
+func WithLimit(n int) Option {
+	return func(o *queryOptions) { o.limit = n }
+}
+
+// ForWindow targets Query at a window: the objects whose regions
+// intersect w (or, under WithinDistance(ε), come within ε of it).
+func ForWindow(w geom.Rect) Option {
+	return func(o *queryOptions) { o.window = &w }
+}
+
+// ForPoint targets Query at a point: the objects whose regions contain p
+// (or, under WithinDistance(ε), come within ε of it — the ε-range query).
+func ForPoint(p geom.Point) Option {
+	return func(o *queryOptions) { o.point = &p }
+}
+
+// ForNearest targets Query at the k objects closest to p by exact region
+// distance, refined over R*-tree MBR-distance candidates.
+func ForNearest(p geom.Point, k int) Option {
+	return func(o *queryOptions) {
+		o.point = &p
+		o.nearest = true
+		o.nearestK = k
+	}
+}
+
+// resolve applies the options and defaults.
+func resolve(opts []Option) queryOptions {
+	o := queryOptions{limit: -1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// joinConfig picks the effective configuration of a join and rejects
+// mismatched build configurations without an explicit override.
+func joinConfig(r, s *Relation, o *queryOptions) (Config, error) {
+	if o.cfg != nil {
+		return *o.cfg, nil
+	}
+	if ConfigFingerprint(r.Cfg) != ConfigFingerprint(s.Cfg) {
+		return Config{}, fmt.Errorf("multistep: relations %q and %q were built under different configurations: %w",
+			r.Name, s.Name, ErrConfigMismatch)
+	}
+	return r.Cfg, nil
+}
+
+// Join runs the multi-step spatial join of r and s under the configured
+// predicate (default Intersects) and returns the response set sorted by
+// (A, B) along with the per-step statistics. Every statistic is
+// independent of the worker count and of streaming by construction, so
+// one entry point serves measurement and production alike.
+//
+// Cancellation: when ctx is cancelled, the step 1 traversal workers, the
+// filter/exact pool and the collector all stop at their next check; Join
+// returns ctx.Err() and partial statistics that must not be interpreted.
+//
+// Accounting: without WithSessions the page accounting runs on the shared
+// tree buffers (counters reset first) — the paper's sequential mode, one
+// query at a time. With per-query sessions on both sides the join is
+// fully concurrent-safe.
+func Join(ctx context.Context, r, s *Relation, opts ...Option) ([]Pair, Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	o := resolve(opts)
+	if err := o.pred.validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	cfg, err := joinConfig(r, s, &o)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+
+	emit := o.emit
+	var out []Pair
+	collect := emit == nil && !o.bufferless
+	if collect {
+		emit = func(p Pair) { out = append(out, p) }
+	}
+	st, err := joinStream(ctx, r, s, cfg, o.pred, o, emit)
+	if err != nil {
+		return nil, st, err
+	}
+	if collect {
+		sortResponse(out)
+		if o.limit >= 0 && len(out) > o.limit {
+			out = out[:o.limit]
+		}
+	}
+	return out, st, nil
+}
+
+// sortResponse orders a response set by (A, B) — the canonical order of
+// the collected join result.
+func sortResponse(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].A != ps[j].A {
+			return ps[i].A < ps[j].A
+		}
+		return ps[i].B < ps[j].B
+	})
+}
+
+// QueryResult is the answer of the unified Query entry point.
+type QueryResult struct {
+	// IDs lists the qualifying objects for window and point targets,
+	// in tree-delivery order (the pre-redesign order).
+	IDs []int32
+	// Neighbors lists the k nearest objects for ForNearest targets, by
+	// ascending exact region distance.
+	Neighbors []Neighbor
+	// Stats carries the per-step measurements; for ForNearest only the
+	// page accounting and result count apply.
+	Stats WindowStats
+}
+
+// Query runs a multi-step query on one relation: a window query, a point
+// query, an ε-range query (a window/point target with WithinDistance), or
+// a k-nearest-objects query. Exactly one target option (ForWindow,
+// ForPoint, ForNearest) is required.
+//
+// Accounting follows Join: the shared tree buffer (counters reset first)
+// without WithSession, an isolated per-query context with it.
+// Cancellation stops the tree traversal at the next node and returns
+// ctx.Err().
+func Query(ctx context.Context, r *Relation, opts ...Option) (QueryResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	o := resolve(opts)
+	if err := o.pred.validate(); err != nil {
+		return QueryResult{}, err
+	}
+	cfg := r.Cfg
+	if o.cfg != nil {
+		cfg = *o.cfg
+	}
+	ax := o.axR
+	if ax == nil {
+		buf := r.Tree.Buffer()
+		buf.ResetCounters()
+		ax = buf
+	}
+
+	switch {
+	case o.nearest:
+		if o.window != nil {
+			return QueryResult{}, errors.New("multistep: query has more than one target")
+		}
+		if o.pred.kind != predIntersects {
+			return QueryResult{}, fmt.Errorf("%w: nearest-objects queries take no predicate", ErrBadPredicate)
+		}
+		return nearestQuery(ctx, r, ax, *o.point, o.nearestK)
+	case o.window != nil && o.point == nil:
+		return rangeQuery(ctx, r, ax, *o.window, cfg, o.pred, o.limit)
+	case o.point != nil && o.window == nil:
+		w := geom.Rect{MinX: o.point.X, MinY: o.point.Y, MaxX: o.point.X, MaxY: o.point.Y}
+		return rangeQuery(ctx, r, ax, w, cfg, o.pred, o.limit)
+	case o.window != nil && o.point != nil:
+		return QueryResult{}, errors.New("multistep: query has more than one target")
+	default:
+		return QueryResult{}, ErrNoTarget
+	}
+}
+
+// rangeQuery answers window and point targets under the Intersects and
+// WithinDistance predicates: the R*-tree delivers the objects whose MBRs
+// satisfy the (ε-expanded) window predicate, the geometric filter decides
+// most of them on approximations (Intersects only; distance queries go
+// straight to the exact kernel), and the rest are decided exactly.
+func rangeQuery(ctx context.Context, r *Relation, ax storage.Accessor, w geom.Rect, cfg Config, pred Predicate, limit int) (QueryResult, error) {
+	if pred.kind == predContains {
+		return QueryResult{}, fmt.Errorf("%w: containment of a window is not a query predicate", ErrBadPredicate)
+	}
+	var res QueryResult
+	eps := pred.step1Eps()
+	missesBefore := ax.Misses()
+	stop, release := ctxpoll.Stop(ctx)
+	defer release()
+	r.Tree.WindowQueryAccessStop(ax, w.Expand(eps), stop, func(it rstar.Item) {
+		res.Stats.Candidates++
+		o := r.Objects[it.ID]
+		if pred.kind == predWithin {
+			// The ε-range test: exact region-to-window distance, the same
+			// kernel the nearest-objects refinement uses.
+			res.Stats.ExactTested++
+			if o.Poly.DistToRect(w) <= eps {
+				res.IDs = append(res.IDs, o.ID)
+			}
+			return
+		}
+		if cfg.UseFilter {
+			switch cfg.Filter.ClassifyWindow(o.Approx, w) {
+			case approx.Hit:
+				res.Stats.FilterHits++
+				res.IDs = append(res.IDs, o.ID)
+				return
+			case approx.FalseHit:
+				res.Stats.FilterFalseHits++
+				return
+			}
+		}
+		res.Stats.ExactTested++
+		var c Stats // scratch counter sink; window queries report counts only
+		if exact.IntersectsRectExact(o.Prepared(), w, &c.Ops) {
+			res.IDs = append(res.IDs, o.ID)
+		}
+	})
+	if err := ctx.Err(); err != nil {
+		return QueryResult{}, err
+	}
+	if limit >= 0 && len(res.IDs) > limit {
+		res.IDs = res.IDs[:limit]
+	}
+	res.Stats.PageAccesses = ax.Misses() - missesBefore
+	res.Stats.ResultObjects = int64(len(res.IDs))
+	return res, nil
+}
+
+// nearestQuery answers ForNearest targets: the best-first R*-tree search
+// delivers MBR-distance candidates (a lower bound of the region
+// distance), which are refined by exact region distance until the k-th
+// best exact distance is proven final.
+func nearestQuery(ctx context.Context, r *Relation, ax storage.Accessor, p geom.Point, k int) (QueryResult, error) {
+	var res QueryResult
+	missesBefore := ax.Misses()
+	if k <= 0 || len(r.Objects) == 0 {
+		return res, nil
+	}
+	if k > len(r.Objects) {
+		k = len(r.Objects)
+	}
+	fetch := k * 4
+	if fetch < k+8 {
+		fetch = k + 8
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return QueryResult{}, err
+		}
+		if fetch > len(r.Objects) {
+			fetch = len(r.Objects)
+		}
+		cands := r.Tree.NearestNeighborsAccess(ax, p, fetch)
+		res.Stats.Candidates = int64(len(cands))
+		out := make([]Neighbor, 0, len(cands))
+		for _, it := range cands {
+			out = append(out, Neighbor{
+				ID:   it.ID,
+				Dist: r.Objects[it.ID].Poly.DistToPoint(p),
+			})
+		}
+		res.Stats.ExactTested += int64(len(cands))
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Dist != out[j].Dist {
+				return out[i].Dist < out[j].Dist
+			}
+			return out[i].ID < out[j].ID
+		})
+		done := fetch == len(r.Objects)
+		if !done {
+			// The MBR distance of the last candidate bounds every
+			// unexamined object from below.
+			lastMBRDist := mbrDist(cands[len(cands)-1].Rect, p)
+			done = out[k-1].Dist <= lastMBRDist
+		}
+		if done {
+			res.Neighbors = out[:k]
+			res.Stats.ResultObjects = int64(k)
+			res.Stats.PageAccesses = ax.Misses() - missesBefore
+			return res, nil
+		}
+		fetch *= 2
+	}
+}

@@ -61,7 +61,7 @@ func TestSequentialStatsMatchPreRefactorGoldens(t *testing.T) {
 		cfg.Engine = engine
 		r := NewRelation("R", rp, cfg)
 		s := NewRelation("S", sp, cfg)
-		_, st := Join(r, s, cfg)
+		_, st := testJoin(t, r, s, cfg)
 		if !reflect.DeepEqual(st, want) {
 			t.Errorf("%v: stats drifted from the pre-refactor goldens:\n got %+v\nwant %+v", engine, st, want)
 		}
@@ -73,7 +73,7 @@ func TestSequentialStatsMatchPreRefactorGoldens(t *testing.T) {
 	cfg.BufferBytes = 4096
 	r := NewRelation("R", rp, cfg)
 	s := NewRelation("S", sp, cfg)
-	_, st := Join(r, s, cfg)
+	_, st := testJoin(t, r, s, cfg)
 	if st.PageAccessesR != 6 || st.PageAccessesS != 9 {
 		t.Errorf("small-buffer page accesses R/S = %d/%d, pre-refactor golden 6/9",
 			st.PageAccessesR, st.PageAccessesS)
@@ -86,12 +86,12 @@ func TestSequentialStatsMatchPreRefactorGoldens(t *testing.T) {
 	}
 
 	w := geom.Rect{MinX: 0.2, MinY: 0.2, MaxX: 0.45, MaxY: 0.4}
-	ids, wst := WindowQuery(r, w, cfg)
+	ids, wst := testWindow(t, r, w, cfg)
 	wantW := WindowStats{Candidates: 11, FilterHits: 6, FilterFalseHits: 1, ExactTested: 4, ResultObjects: 10, PageAccesses: 3}
 	if len(ids) != 10 || wst != wantW {
 		t.Errorf("window query drifted: %d ids, %+v (golden 10 ids, %+v)", len(ids), wst, wantW)
 	}
-	pids, pst := PointQuery(r, geom.Point{X: 0.31, Y: 0.47}, cfg)
+	pids, pst := testPoint(t, r, geom.Point{X: 0.31, Y: 0.47}, cfg)
 	wantP := WindowStats{Candidates: 2, FilterHits: 1, FilterFalseHits: 1, ExactTested: 0, ResultObjects: 1, PageAccesses: 2}
 	if len(pids) != 1 || pids[0] != 47 || pst != wantP {
 		t.Errorf("point query drifted: ids %v, %+v (golden [47], %+v)", pids, pst, wantP)
@@ -112,18 +112,18 @@ func TestSessionStatsMatchSharedMode(t *testing.T) {
 		s := NewRelation("S", sp, cfg)
 
 		// One shared join fixes the buffer state at X.
-		sharedPairs, _ := Join(r, s, cfg)
+		sharedPairs, _ := testJoin(t, r, s, cfg)
 
 		// A session join from state X...
 		var sessPairs []Pair
-		sessSt := JoinStream(r, s, cfg, StreamOptions{
+		sessSt := testJoinStream(t, r, s, cfg, StreamOptions{
 			Workers: 2, AccessR: r.NewSession(), AccessS: s.NewSession(),
 		}, func(p Pair) { sessPairs = append(sessPairs, p) })
 
 		// ...must equal a shared join from state X (sessions left the
 		// shared buffers untouched, so this second shared run also
 		// starts from X).
-		wantPairs, wantSt := Join(r, s, cfg)
+		wantPairs, wantSt := testJoin(t, r, s, cfg)
 		if !reflect.DeepEqual(sessSt, wantSt) {
 			t.Errorf("%v: session stats differ from shared mode:\n got %+v\nwant %+v", engine, sessSt, wantSt)
 		}
@@ -133,8 +133,8 @@ func TestSessionStatsMatchSharedMode(t *testing.T) {
 
 		// Window queries: session vs shared from the same state.
 		w := geom.Rect{MinX: 0.1, MinY: 0.3, MaxX: 0.6, MaxY: 0.55}
-		sessIDs, sessW := WindowQueryAccess(r, r.NewSession(), w, cfg)
-		wantIDs, wantW := WindowQuery(r, w, cfg)
+		sessIDs, sessW := testWindowAccess(t, r, r.NewSession(), w, cfg)
+		wantIDs, wantW := testWindow(t, r, w, cfg)
 		if !reflect.DeepEqual(sessIDs, wantIDs) || sessW != wantW {
 			t.Errorf("%v: session window query differs: %v %+v vs %v %+v",
 				engine, sessIDs, sessW, wantIDs, wantW)
@@ -159,19 +159,19 @@ type queryBaselines struct {
 	containsP  []Pair
 }
 
-func computeBaselines(r, s *Relation, cfg Config) *queryBaselines {
+func computeBaselines(t *testing.T, r, s *Relation, cfg Config) *queryBaselines {
 	b := &queryBaselines{
 		window: geom.Rect{MinX: 0.15, MinY: 0.2, MaxX: 0.5, MaxY: 0.45},
 		point:  geom.Point{X: 0.31, Y: 0.47},
 	}
-	b.windowIDs, b.windowSt = WindowQueryAccess(r, r.NewSession(), b.window, cfg)
-	b.pointIDs, b.pointSt = PointQueryAccess(r, r.NewSession(), b.point, cfg)
-	b.nearest = NearestObjectsAccess(r, r.NewSession(), b.point, 5)
-	b.joinSt = JoinStream(r, s, cfg, StreamOptions{
+	b.windowIDs, b.windowSt = testWindowAccess(t, r, r.NewSession(), b.window, cfg)
+	b.pointIDs, b.pointSt = testPointAccess(t, r, r.NewSession(), b.point, cfg)
+	b.nearest = testNearestAccess(t, r, r.NewSession(), b.point, 5)
+	b.joinSt = testJoinStream(t, r, s, cfg, StreamOptions{
 		Workers: 2, AccessR: r.NewSession(), AccessS: s.NewSession(),
 	}, func(p Pair) { b.joinPairs = append(b.joinPairs, p) })
 	sortPairs(b.joinPairs)
-	b.containsP, b.containsSt = JoinContainsAccess(r, s, r.NewSession(), s.NewSession(), cfg)
+	b.containsP, b.containsSt = testJoinContainsAccess(t, r, s, r.NewSession(), s.NewSession(), cfg)
 	return b
 }
 
@@ -179,23 +179,23 @@ func runQueryMix(t *testing.T, g int, r, s *Relation, cfg Config, b *queryBaseli
 	for round := 0; round < 3; round++ {
 		switch (g + round) % 5 {
 		case 0:
-			ids, st := WindowQueryAccess(r, r.NewSession(), b.window, cfg)
+			ids, st := testWindowAccess(t, r, r.NewSession(), b.window, cfg)
 			if !reflect.DeepEqual(ids, b.windowIDs) || st != b.windowSt {
 				t.Errorf("goroutine %d: concurrent window query diverged from baseline", g)
 			}
 		case 1:
-			ids, st := PointQueryAccess(r, r.NewSession(), b.point, cfg)
+			ids, st := testPointAccess(t, r, r.NewSession(), b.point, cfg)
 			if !reflect.DeepEqual(ids, b.pointIDs) || st != b.pointSt {
 				t.Errorf("goroutine %d: concurrent point query diverged from baseline", g)
 			}
 		case 2:
-			nn := NearestObjectsAccess(r, r.NewSession(), b.point, 5)
+			nn := testNearestAccess(t, r, r.NewSession(), b.point, 5)
 			if !reflect.DeepEqual(nn, b.nearest) {
 				t.Errorf("goroutine %d: concurrent nearest query diverged from baseline", g)
 			}
 		case 3:
 			var pairs []Pair
-			st := JoinStream(r, s, cfg, StreamOptions{
+			st := testJoinStream(t, r, s, cfg, StreamOptions{
 				Workers: 2, AccessR: r.NewSession(), AccessS: s.NewSession(),
 			}, func(p Pair) { pairs = append(pairs, p) })
 			sortPairs(pairs)
@@ -206,7 +206,7 @@ func runQueryMix(t *testing.T, g int, r, s *Relation, cfg Config, b *queryBaseli
 				t.Errorf("goroutine %d: concurrent join response set diverged", g)
 			}
 		case 4:
-			pairs, st := JoinContainsAccess(r, s, r.NewSession(), s.NewSession(), cfg)
+			pairs, st := testJoinContainsAccess(t, r, s, r.NewSession(), s.NewSession(), cfg)
 			if !reflect.DeepEqual(st, b.containsSt) || !reflect.DeepEqual(pairs, b.containsP) {
 				t.Errorf("goroutine %d: concurrent inclusion join diverged from baseline", g)
 			}
@@ -226,7 +226,7 @@ func TestConcurrentQueriesInMemory(t *testing.T) {
 	cfg.BufferBytes = 8192
 	r := NewRelation("R", rp, cfg)
 	s := NewRelation("S", sp, cfg)
-	b := computeBaselines(r, s, cfg)
+	b := computeBaselines(t, r, s, cfg)
 
 	// Fresh relations so the concurrent goroutines also race on the lazy
 	// Prepared/TR*-tree builds, not just on the page accounting.
@@ -266,7 +266,7 @@ func TestConcurrentQueriesFileStore(t *testing.T) {
 	defer fsS.Close()
 	r := NewRelationWithStore("R", rp, cfg, fsR)
 	s := NewRelationWithStore("S", sp, cfg, fsS)
-	b := computeBaselines(r, s, cfg)
+	b := computeBaselines(t, r, s, cfg)
 
 	const goroutines = 8
 	var wg sync.WaitGroup
@@ -309,7 +309,7 @@ func TestConcurrentQueriesOnReopenedRelation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b := computeBaselines(r, s, cfg)
+	b := computeBaselines(t, r, s, cfg)
 
 	const goroutines = 8
 	var wg sync.WaitGroup

@@ -1,95 +1,18 @@
 package multistep
 
 import (
-	"spatialjoin/internal/approx"
-	"spatialjoin/internal/exact"
 	"spatialjoin/internal/geom"
-	"spatialjoin/internal/rstar"
-	"spatialjoin/internal/storage"
 )
 
-// JoinContains runs the multi-step inclusion join "a ∈ r contains b ∈ s"
-// (section 2.2: "for other predicates, e.g. inclusion, a similar approach
-// can be used"). The three steps mirror the intersection join:
-//
-//	step 1 — the R*-tree MBR-join restricted to pairs with
-//	         MBR(a) ⊇ MBR(b) (containment of regions implies containment
-//	         of the MBRs);
-//	step 2 — the inclusion filter on approximations
-//	         (approx.FilterConfig.ClassifyContains);
-//	step 3 — the exact inclusion predicate with operation counting.
-//
-// Both relations must have been built with the same Config.
-//
-// JoinContains accounts on the shared tree buffers (reset first) — the
-// sequential single-query mode; JoinContainsAccess is the
-// concurrent-query variant.
-func JoinContains(r, s *Relation, cfg Config) ([]Pair, Stats) {
-	r.Tree.Buffer().ResetCounters()
-	s.Tree.Buffer().ResetCounters()
-	return JoinContainsAccess(r, s, r.Tree.Buffer(), s.Tree.Buffer(), cfg)
-}
-
-// JoinContainsAccess is JoinContains with each tree's page visits routed
-// through an explicit access context. With per-query sessions
-// (Relation.NewSession on both sides) inclusion joins may run
-// concurrently with any other queries on the same relations.
-func JoinContainsAccess(r, s *Relation, axR, axS storage.Accessor, cfg Config) ([]Pair, Stats) {
-	var st Stats
-	var out []Pair
-
-	missesR, missesS := axR.Misses(), axS.Misses()
-	fetchedR := make(map[int32]struct{})
-	fetchedS := make(map[int32]struct{})
-	st.MBRJoin = rstar.JoinAccess(r.Tree, s.Tree, axR, axS, func(a, b rstar.Item) {
-		oa := r.Objects[a.ID]
-		ob := s.Objects[b.ID]
-		// Step 1 pretest: containment of the regions implies containment
-		// of the MBRs; intersecting-but-not-containing pairs are not
-		// inclusion candidates.
-		if !oa.Approx.MBR.Contains(ob.Approx.MBR) {
-			return
-		}
-		st.CandidatePairs++
-
-		if cfg.UseFilter {
-			switch cfg.Filter.ClassifyContains(oa.Approx, ob.Approx) {
-			case approx.Hit:
-				st.FilterHits++
-				out = append(out, Pair{A: oa.ID, B: ob.ID})
-				return
-			case approx.FalseHit:
-				st.FilterFalseHits++
-				return
-			}
-		}
-
-		st.ExactTested++
-		// Object fetches are tracked in join-local sets (not on the shared
-		// objects), so a panic mid-join leaves no dirty state and
-		// concurrent joins on the same relations do not race.
-		if _, ok := fetchedR[oa.ID]; !ok {
-			fetchedR[oa.ID] = struct{}{}
-			st.ObjectFetches++
-		}
-		if _, ok := fetchedS[ob.ID]; !ok {
-			fetchedS[ob.ID] = struct{}{}
-			st.ObjectFetches++
-		}
-		if exact.ContainsPolygon(oa.Prepared(), ob.Prepared(), &st.Ops) {
-			st.ExactHits++
-			out = append(out, Pair{A: oa.ID, B: ob.ID})
-		}
-	})
-
-	st.PageAccessesR = axR.Misses() - missesR
-	st.PageAccessesS = axS.Misses() - missesS
-	st.ResultPairs = int64(len(out))
-	return out, st
-}
+// The inclusion join runs through the unified Join entry point with the
+// Contains predicate (see predicate.go): step 1 restricts the MBR-join to
+// nested MBRs (containment of regions implies containment of the MBRs),
+// step 2 classifies with the inclusion filter on approximations
+// (approx.FilterConfig.ClassifyContains), and step 3 decides the
+// survivors with the exact inclusion test.
 
 // NestedLoopsContains is the brute-force inclusion join used to validate
-// JoinContains.
+// the Contains predicate.
 func NestedLoopsContains(r, s []*geom.Polygon) []Pair {
 	var out []Pair
 	for i, a := range r {

@@ -16,7 +16,7 @@ func TestStep1AlternativesAgree(t *testing.T) {
 		cfg.Step1 = step1
 		r := NewRelation("R", rp, cfg)
 		s := NewRelation("S", sp, cfg)
-		got, st := Join(r, s, cfg)
+		got, st := testJoin(t, r, s, cfg)
 		assertSameResponse(t, step1.String(), got, want)
 		if step1 == Step1ZOrder {
 			if st.ZOrderCandidates < st.CandidatePairs {
@@ -37,7 +37,7 @@ func TestStep1CandidateCountsIdentical(t *testing.T) {
 		cfg.Step1 = step1
 		r := NewRelation("R", rp, cfg)
 		s := NewRelation("S", sp, cfg)
-		_, st := Join(r, s, cfg)
+		_, st := testJoin(t, r, s, cfg)
 		counts[step1] = st.CandidatePairs
 	}
 	if counts[Step1RStar] != counts[Step1NestedLoops] || counts[Step1RStar] != counts[Step1ZOrder] {
@@ -52,9 +52,9 @@ func TestJoinParallelMatchesSequential(t *testing.T) {
 		cfg.Engine = engine
 		r := NewRelation("R", rp, cfg)
 		s := NewRelation("S", sp, cfg)
-		want, wantSt := Join(r, s, cfg)
+		want, wantSt := testJoin(t, r, s, cfg)
 		for _, workers := range []int{1, 2, 7, 0} {
-			got, st := JoinParallel(r, s, cfg, workers)
+			got, st := testJoinWorkers(t, r, s, cfg, workers)
 			assertSameResponse(t, engine.String(), got, want)
 			if st.CandidatePairs != wantSt.CandidatePairs ||
 				st.FilterHits != wantSt.FilterHits ||
@@ -77,7 +77,7 @@ func TestWindowQueryMatchesBruteForce(t *testing.T) {
 		cx, cy := rng.Float64(), rng.Float64()
 		ext := 0.005 + rng.Float64()*0.12
 		w := geom.Rect{MinX: cx, MinY: cy, MaxX: cx + ext, MaxY: cy + ext}
-		got, st := WindowQuery(rel, w, cfg)
+		got, st := testWindow(t, rel, w, cfg)
 		gotSet := map[int32]bool{}
 		for _, id := range got {
 			gotSet[id] = true
@@ -110,7 +110,7 @@ func TestPointQuery(t *testing.T) {
 	rng := rand.New(rand.NewSource(547))
 	for trial := 0; trial < 150; trial++ {
 		pt := geom.Point{X: rng.Float64(), Y: rng.Float64()}
-		got, _ := PointQuery(rel, pt, cfg)
+		got, _ := testPoint(t, rel, pt, cfg)
 		want := 0
 		for _, p := range polys {
 			if p.Bounds().ContainsPoint(pt) && p.ContainsPoint(pt) {

@@ -11,17 +11,25 @@
 //	         or TR*-tree over decomposed objects).
 //
 // Candidate pairs stream through the steps without materializing an
-// intermediate candidate set (section 2.4). The streaming core JoinStream
-// additionally spreads the traversal and the filter/exact steps over a
-// worker pool — the CPU parallelism the paper defers to future work in
-// section 6 — while producing exactly the sequential response set and
-// statistics; Join and JoinParallel are thin collect-and-sort wrappers
-// around it.
+// intermediate candidate set (section 2.4). The pipeline is
+// predicate-generic — section 2.2's "for other predicates ... a similar
+// approach can be used" — and the public surface reflects that: one
+// context-aware, option-driven entry point per query shape,
+//
+//	Join(ctx, r, s, opts...)   // intersection, inclusion, ε-distance joins
+//	Query(ctx, r, opts...)     // window, point, ε-range, nearest queries
+//
+// with the Predicate (Intersects, Contains, WithinDistance) specializing
+// all three steps and functional options covering workers, streaming,
+// per-query access contexts and limits (see api.go and predicate.go).
+// The streaming core spreads the traversal and the filter/exact steps
+// over a worker pool — the CPU parallelism the paper defers to future
+// work in section 6 — while producing exactly the sequential response
+// set and statistics.
 package multistep
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"sync/atomic"
 
@@ -201,14 +209,19 @@ func (o *Object) Tree(capacity int) *trstar.Tree {
 //
 // A built (or reopened) Relation is immutable and serves any number of
 // concurrent queries, provided each query carries its own page-access
-// context: create one with NewSession and pass it to the *Access query
-// entry points (or to StreamOptions.AccessR/AccessS for joins). The
-// plain entry points (Join, WindowQuery, …) account on the shared tree
-// buffer — the paper's sequential mode, one query at a time.
+// context: create one with NewSession and pass it via the WithSessions
+// (joins) or WithSession (queries) option. Without sessions, Join and
+// Query account on the shared tree buffer — the paper's sequential
+// mode, one query at a time.
 type Relation struct {
 	Name    string
 	Objects []*Object
 	Tree    *rstar.Tree
+	// Cfg is the configuration the relation was preprocessed under —
+	// which approximations were computed, the tree layout, the exact
+	// engine. The unified Join/Query entry points default to it, so a
+	// relation carries everything a query needs.
+	Cfg Config
 }
 
 // NewSession returns a per-query page-access context for the relation's
@@ -246,7 +259,7 @@ func NewRelation(name string, polys []*geom.Polygon, cfg Config) *Relation {
 // accounting with real (concurrency-safe, single-flight) disk reads. A
 // nil store selects the counting buffer the configuration describes.
 func NewRelationWithStore(name string, polys []*geom.Polygon, cfg Config, store storage.PageStore) *Relation {
-	rel := &Relation{Name: name}
+	rel := &Relation{Name: name, Cfg: cfg}
 	var opt approx.Options
 	if cfg.UseFilter {
 		opt = cfg.Filter.Kinds()
@@ -303,32 +316,6 @@ func (s Stats) Identified() float64 {
 		return 0
 	}
 	return float64(s.FilterHits+s.FilterFalseHits) / float64(s.CandidatePairs)
-}
-
-// Join runs the multi-step spatial join of r and s and returns the
-// response set (pairs of object IDs whose polygons intersect, sorted by
-// (A, B)) along with per-step statistics. Both relations must have been
-// built with the same Config.
-//
-// Join is a thin collect-and-sort wrapper around the streaming core
-// (JoinStream) with a single worker; use JoinStream directly to overlap
-// the steps, bound memory, and spread the work over several workers.
-func Join(r, s *Relation, cfg Config) ([]Pair, Stats) {
-	return collectStream(r, s, cfg, StreamOptions{Workers: 1})
-}
-
-// collectStream materializes a streaming join into the sorted response
-// set — the shared body of the Join and JoinParallel wrappers.
-func collectStream(r, s *Relation, cfg Config, opts StreamOptions) ([]Pair, Stats) {
-	var out []Pair
-	st := JoinStream(r, s, cfg, opts, func(p Pair) { out = append(out, p) })
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].A != out[j].A {
-			return out[i].A < out[j].A
-		}
-		return out[i].B < out[j].B
-	})
-	return out, st
 }
 
 // NestedLoopsJoin is the section 2.3 baseline: the full Cartesian product

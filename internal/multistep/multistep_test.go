@@ -1,13 +1,130 @@
 package multistep
 
 import (
+	"context"
 	"sort"
 	"testing"
 
 	"spatialjoin/internal/approx"
 	"spatialjoin/internal/data"
 	"spatialjoin/internal/geom"
+	"spatialjoin/internal/storage"
 )
+
+// The helpers below run the pre-redesign entry points through the
+// unified API — each body is one row of the README migration table, so
+// every test exercising them doubles as an equivalence proof of the
+// redesign against the pre-redesign behaviour (goldens included).
+
+// testJoin is the old sequential Join(r, s, cfg).
+func testJoin(t testing.TB, r, s *Relation, cfg Config) ([]Pair, Stats) {
+	t.Helper()
+	pairs, st, err := Join(context.Background(), r, s, WithConfig(cfg), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pairs, st
+}
+
+// testJoinWorkers is the old JoinParallel(r, s, cfg, workers).
+func testJoinWorkers(t testing.TB, r, s *Relation, cfg Config, workers int) ([]Pair, Stats) {
+	t.Helper()
+	cfg.Step1 = Step1RStar
+	pairs, st, err := Join(context.Background(), r, s, WithConfig(cfg), WithWorkers(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pairs, st
+}
+
+// testJoinStream is the old JoinStream(r, s, cfg, opts, emit).
+func testJoinStream(t testing.TB, r, s *Relation, cfg Config, opts StreamOptions, emit func(Pair)) Stats {
+	t.Helper()
+	o := []Option{
+		WithConfig(cfg), WithWorkers(opts.Workers), WithBatch(opts.Batch),
+		WithQueue(opts.Queue), WithSessions(opts.AccessR, opts.AccessS),
+	}
+	if emit != nil {
+		o = append(o, WithStream(emit))
+	} else {
+		o = append(o, WithBufferless())
+	}
+	_, st, err := Join(context.Background(), r, s, o...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// testJoinContains is the old JoinContains(r, s, cfg);
+// testJoinContainsAccess its *Access twin.
+func testJoinContains(t testing.TB, r, s *Relation, cfg Config) ([]Pair, Stats) {
+	t.Helper()
+	pairs, st, err := Join(context.Background(), r, s,
+		WithConfig(cfg), WithPredicate(Contains()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pairs, st
+}
+
+func testJoinContainsAccess(t testing.TB, r, s *Relation, axR, axS storage.Accessor, cfg Config) ([]Pair, Stats) {
+	t.Helper()
+	pairs, st, err := Join(context.Background(), r, s,
+		WithConfig(cfg), WithPredicate(Contains()), WithSessions(axR, axS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pairs, st
+}
+
+// testWindow is the old WindowQuery(rel, w, cfg); testWindowAccess,
+// testPoint, testPointAccess and testNearestAccess follow the same
+// pattern for the remaining pre-redesign names.
+func testWindow(t testing.TB, rel *Relation, w geom.Rect, cfg Config) ([]int32, WindowStats) {
+	t.Helper()
+	res, err := Query(context.Background(), rel, ForWindow(w), WithConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.IDs, res.Stats
+}
+
+func testWindowAccess(t testing.TB, rel *Relation, ax storage.Accessor, w geom.Rect, cfg Config) ([]int32, WindowStats) {
+	t.Helper()
+	res, err := Query(context.Background(), rel, ForWindow(w), WithConfig(cfg), WithSession(ax))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.IDs, res.Stats
+}
+
+func testPoint(t testing.TB, rel *Relation, p geom.Point, cfg Config) ([]int32, WindowStats) {
+	t.Helper()
+	res, err := Query(context.Background(), rel, ForPoint(p), WithConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.IDs, res.Stats
+}
+
+func testPointAccess(t testing.TB, rel *Relation, ax storage.Accessor, p geom.Point, cfg Config) ([]int32, WindowStats) {
+	t.Helper()
+	res, err := Query(context.Background(), rel, ForPoint(p), WithConfig(cfg), WithSession(ax))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.IDs, res.Stats
+}
+
+func testNearestAccess(t testing.TB, rel *Relation, ax storage.Accessor, p geom.Point, k int) []Neighbor {
+	t.Helper()
+	res, err := Query(context.Background(), rel, ForNearest(p, k), WithSession(ax))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Neighbors
+}
 
 // smallSeries builds a reduced test series so the full pipeline can be
 // cross-validated against nested loops quickly.
@@ -58,7 +175,7 @@ func TestJoinMatchesNestedLoopsAllEngines(t *testing.T) {
 			cfg.UseFilter = useFilter
 			r := NewRelation("R", rp, cfg)
 			s := NewRelation("S", sp, cfg)
-			got, st := Join(r, s, cfg)
+			got, st := testJoin(t, r, s, cfg)
 			name := engine.String()
 			if useFilter {
 				name += "+filter"
@@ -92,7 +209,7 @@ func TestJoinWithFalseAreaTest(t *testing.T) {
 	cfg.Filter.UseFalseArea = true
 	r := NewRelation("R", rp, cfg)
 	s := NewRelation("S", sp, cfg)
-	got, _ := Join(r, s, cfg)
+	got, _ := testJoin(t, r, s, cfg)
 	assertSameResponse(t, "false-area", got, want)
 }
 
@@ -104,7 +221,7 @@ func TestJoinStrategyB(t *testing.T) {
 	cfg := DefaultConfig()
 	r := NewRelation("R", rp, cfg)
 	s := NewRelation("S", sp, cfg)
-	got, _ := Join(r, s, cfg)
+	got, _ := testJoin(t, r, s, cfg)
 	assertSameResponse(t, "strategy B", got, want)
 }
 
@@ -116,11 +233,11 @@ func TestFilterReducesExactWork(t *testing.T) {
 
 	r0 := NewRelation("R", rp, base)
 	s0 := NewRelation("S", sp, base)
-	_, st0 := Join(r0, s0, base)
+	_, st0 := testJoin(t, r0, s0, base)
 
 	r1 := NewRelation("R", rp, withFilter)
 	s1 := NewRelation("S", sp, withFilter)
-	_, st1 := Join(r1, s1, withFilter)
+	_, st1 := testJoin(t, r1, s1, withFilter)
 
 	if st1.ExactTested >= st0.ExactTested {
 		t.Errorf("filter must reduce exact tests: %d vs %d", st1.ExactTested, st0.ExactTested)
@@ -157,10 +274,10 @@ func TestLargerEntriesCostPages(t *testing.T) {
 
 	r0 := NewRelation("R", rp, plain)
 	s0 := NewRelation("S", sp, plain)
-	_, st0 := Join(r0, s0, plain)
+	_, st0 := testJoin(t, r0, s0, plain)
 	r1 := NewRelation("R", rp, filt)
 	s1 := NewRelation("S", sp, filt)
-	_, st1 := Join(r1, s1, filt)
+	_, st1 := testJoin(t, r1, s1, filt)
 
 	if r1.Tree.Pages() <= r0.Tree.Pages() {
 		t.Errorf("larger entries must allocate more pages: %d vs %d", r1.Tree.Pages(), r0.Tree.Pages())

@@ -1,96 +1,18 @@
 package multistep
 
-import (
-	"sort"
-
-	"spatialjoin/internal/geom"
-	"spatialjoin/internal/storage"
-)
+import "spatialjoin/internal/geom"
 
 // Neighbor is one result of a nearest-neighbour query: an object ID with
 // its exact distance to the query point (0 when the point lies in the
-// object's region).
+// object's region). Nearest queries run through the unified Query entry
+// point with the ForNearest target (see api.go).
 type Neighbor struct {
 	ID   int32
 	Dist float64
 }
 
-// NearestObjects returns the k objects of r closest to p by exact region
-// distance — one of the basic spatial operations of section 2. The search
-// refines R*-tree nearest-neighbour candidates (whose MBR distance is a
-// lower bound of the region distance) until the k-th exact distance is
-// proven final: when the k-th best exact distance does not exceed the MBR
-// distance of the next unexamined candidate, no further object can
-// improve the result.
-//
-// Page visits are accounted on the shared tree buffer (single-query
-// mode); NearestObjectsAccess is the concurrent-query variant.
-func NearestObjects(r *Relation, p geom.Point, k int) []Neighbor {
-	return NearestObjectsAccess(r, r.Tree.Buffer(), p, k)
-}
-
-// NearestObjectsAccess is NearestObjects with page visits routed through
-// an explicit access context (see WindowQueryAccess).
-func NearestObjectsAccess(r *Relation, ax storage.Accessor, p geom.Point, k int) []Neighbor {
-	if k <= 0 || len(r.Objects) == 0 {
-		return nil
-	}
-	if k > len(r.Objects) {
-		k = len(r.Objects)
-	}
-	fetch := k * 4
-	if fetch < k+8 {
-		fetch = k + 8
-	}
-	for {
-		if fetch > len(r.Objects) {
-			fetch = len(r.Objects)
-		}
-		cands := r.Tree.NearestNeighborsAccess(ax, p, fetch)
-		out := make([]Neighbor, 0, len(cands))
-		for _, it := range cands {
-			out = append(out, Neighbor{
-				ID:   it.ID,
-				Dist: r.Objects[it.ID].Poly.DistToPoint(p),
-			})
-		}
-		sort.Slice(out, func(i, j int) bool {
-			if out[i].Dist != out[j].Dist {
-				return out[i].Dist < out[j].Dist
-			}
-			return out[i].ID < out[j].ID
-		})
-		if fetch == len(r.Objects) {
-			return out[:k]
-		}
-		// The MBR distance of the last candidate bounds every unexamined
-		// object from below.
-		lastMBRDist := mbrDist(cands[len(cands)-1].Rect, p)
-		if out[k-1].Dist <= lastMBRDist {
-			return out[:k]
-		}
-		fetch *= 2
-	}
-}
-
+// mbrDist returns the Euclidean distance from p to the closed rectangle —
+// the lower bound the best-first refinement of nearestQuery prunes with.
 func mbrDist(r geom.Rect, p geom.Point) float64 {
-	dx := 0.0
-	if p.X < r.MinX {
-		dx = r.MinX - p.X
-	} else if p.X > r.MaxX {
-		dx = p.X - r.MaxX
-	}
-	dy := 0.0
-	if p.Y < r.MinY {
-		dy = r.MinY - p.Y
-	} else if p.Y > r.MaxY {
-		dy = p.Y - r.MaxY
-	}
-	if dx == 0 {
-		return dy
-	}
-	if dy == 0 {
-		return dx
-	}
-	return geom.Point{X: dx, Y: dy}.Norm()
+	return r.Dist(geom.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y})
 }

@@ -1,6 +1,7 @@
 package multistep
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"testing"
@@ -8,6 +9,20 @@ import (
 	"spatialjoin/internal/data"
 	"spatialjoin/internal/geom"
 )
+
+// testNearest is the old NearestObjects(rel, p, k): shared-buffer
+// accounting through the unified Query entry point.
+func testNearest(t testing.TB, rel *Relation, p geom.Point, k int) []Neighbor {
+	t.Helper()
+	if k <= 0 {
+		return nil
+	}
+	res, err := Query(context.Background(), rel, ForNearest(p, k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Neighbors
+}
 
 func TestNearestObjectsMatchesBruteForce(t *testing.T) {
 	polys := data.GenerateMap(data.MapConfig{Cells: 120, TargetVerts: 32, Seed: 941})
@@ -18,7 +33,7 @@ func TestNearestObjectsMatchesBruteForce(t *testing.T) {
 	for trial := 0; trial < 60; trial++ {
 		p := geom.Point{X: rng.Float64()*1.4 - 0.2, Y: rng.Float64()*1.4 - 0.2}
 		k := 1 + rng.Intn(8)
-		got := NearestObjects(rel, p, k)
+		got := testNearest(t, rel, p, k)
 		if len(got) != k {
 			t.Fatalf("trial %d: got %d neighbours, want %d", trial, len(got), k)
 		}
@@ -60,16 +75,16 @@ func TestNearestObjectsEdgeCases(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.UseFilter = false
 	rel := NewRelation("R", polys, cfg)
-	if got := NearestObjects(rel, geom.Point{}, 0); got != nil {
+	if got := testNearest(t, rel, geom.Point{}, 0); got != nil {
 		t.Error("k=0 must return nil")
 	}
 	// k larger than the relation clamps.
-	got := NearestObjects(rel, geom.Point{X: 0.5, Y: 0.5}, 100)
+	got := testNearest(t, rel, geom.Point{X: 0.5, Y: 0.5}, 100)
 	if len(got) != len(polys) {
 		t.Errorf("k beyond relation size: got %d, want %d", len(got), len(polys))
 	}
 	// A point inside some polygon has distance 0 to it.
-	inside := NearestObjects(rel, geom.Point{X: 0.5, Y: 0.5}, 1)
+	inside := testNearest(t, rel, geom.Point{X: 0.5, Y: 0.5}, 1)
 	if inside[0].Dist != 0 {
 		t.Errorf("point inside the tiling must have a 0-distance neighbour, got %v", inside[0].Dist)
 	}

@@ -212,7 +212,7 @@ func decodeRelation(blob []byte, cfg Config) (*Relation, error) {
 	if d.Err() == nil && hasTR != (cfg.Engine == EngineTRStar) {
 		return nil, fmt.Errorf("%w: TR*-tree presence contradicts the engine", ErrBadRelationStore)
 	}
-	rel := &Relation{Name: name, Tree: tree}
+	rel := &Relation{Name: name, Tree: tree, Cfg: cfg}
 	for i := 0; i < count && d.Err() == nil; i++ {
 		poly, n, err := data.DecodePolygon(d.Rest())
 		if err != nil {

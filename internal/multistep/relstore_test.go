@@ -56,7 +56,7 @@ func TestRelationStoreRoundTripEquivalence(t *testing.T) {
 				t.Fatalf("SaveRelation(S): %v", err)
 			}
 
-			wantPairs, wantStats := Join(r, s, cfg)
+			wantPairs, wantStats := testJoin(t, r, s, cfg)
 
 			r2, err := OpenRelation(&rBuf, cfg)
 			if err != nil {
@@ -69,7 +69,7 @@ func TestRelationStoreRoundTripEquivalence(t *testing.T) {
 			if r2.Name != "R" || s2.Name != "S" {
 				t.Errorf("names %q, %q after reopen", r2.Name, s2.Name)
 			}
-			gotPairs, gotStats := Join(r2, s2, cfg)
+			gotPairs, gotStats := testJoin(t, r2, s2, cfg)
 
 			if !reflect.DeepEqual(gotPairs, wantPairs) {
 				t.Errorf("response set differs after reopen: %d pairs, want %d", len(gotPairs), len(wantPairs))
@@ -97,7 +97,7 @@ func TestRelationStoreStreamEquivalence(t *testing.T) {
 	if err := SaveRelation(&sBuf, s, cfg); err != nil {
 		t.Fatal(err)
 	}
-	wantStats := JoinStream(r, s, cfg, StreamOptions{Workers: 3}, nil)
+	wantStats := testJoinStream(t, r, s, cfg, StreamOptions{Workers: 3}, nil)
 
 	r2, err := OpenRelation(&rBuf, cfg)
 	if err != nil {
@@ -107,7 +107,7 @@ func TestRelationStoreStreamEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotStats := JoinStream(r2, s2, cfg, StreamOptions{Workers: 3}, nil)
+	gotStats := testJoinStream(t, r2, s2, cfg, StreamOptions{Workers: 3}, nil)
 	if gotStats != wantStats {
 		t.Errorf("streaming stats differ after reopen:\n got %+v\nwant %+v", gotStats, wantStats)
 	}
@@ -123,13 +123,13 @@ func TestRelationStoreWindowQuery(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := r.Objects[3].Approx.MBR
-	wantIDs, wantStats := WindowQuery(r, w, cfg)
+	wantIDs, wantStats := testWindow(t, r, w, cfg)
 
 	r2, err := OpenRelation(&buf, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotIDs, gotStats := WindowQuery(r2, w, cfg)
+	gotIDs, gotStats := testWindow(t, r2, w, cfg)
 	if !reflect.DeepEqual(gotIDs, wantIDs) || gotStats != wantStats {
 		t.Errorf("window query differs after reopen: %v/%+v, want %v/%+v", gotIDs, gotStats, wantIDs, wantStats)
 	}
@@ -150,7 +150,7 @@ func TestRelationStoreFileRoundTrip(t *testing.T) {
 	if err := SaveRelationFile(sPath, s, cfg); err != nil {
 		t.Fatalf("SaveRelationFile: %v", err)
 	}
-	wantPairs, wantStats := Join(r, s, cfg)
+	wantPairs, wantStats := testJoin(t, r, s, cfg)
 
 	r2, err := OpenRelationFile(rPath, cfg)
 	if err != nil {
@@ -160,7 +160,7 @@ func TestRelationStoreFileRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("OpenRelationFile: %v", err)
 	}
-	gotPairs, gotStats := Join(r2, s2, cfg)
+	gotPairs, gotStats := testJoin(t, r2, s2, cfg)
 	if !reflect.DeepEqual(gotPairs, wantPairs) {
 		t.Errorf("response set differs through the file store")
 	}

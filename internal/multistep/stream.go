@@ -1,21 +1,25 @@
 package multistep
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
 	"spatialjoin/internal/approx"
-	"spatialjoin/internal/exact"
+	"spatialjoin/internal/ctxpoll"
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/ops"
 	"spatialjoin/internal/rstar"
 	"spatialjoin/internal/storage"
-	"spatialjoin/internal/trstar"
 	"spatialjoin/internal/zorder"
 )
 
-// StreamOptions tunes the streaming join pipeline of JoinStream.
-// The zero value selects the defaults of DefaultStreamOptions.
+// StreamOptions tunes the streaming join pipeline.
+//
+// Deprecated: the fields map onto options of the unified Join entry
+// point — Workers → WithWorkers, Batch → WithBatch, Queue → WithQueue,
+// AccessR/AccessS → WithSessions. The type remains for the facade's
+// deprecated JoinStream wrapper.
 type StreamOptions struct {
 	// Workers sets both the step 1 traversal fan-out and the size of the
 	// step 2+3 worker pool; ≤ 0 selects GOMAXPROCS.
@@ -31,30 +35,31 @@ type StreamOptions struct {
 	Queue int
 	// AccessR and AccessS, when non-nil, are the per-query page-access
 	// contexts the step 1 traversal is accounted on (typically
-	// Relation.NewSession of each side). With both set, the join never
-	// touches the shared tree buffers, so any number of joins and
-	// queries may run concurrently on the same relations, each with
-	// isolated Stats. When nil, the corresponding shared tree buffer is
-	// used (its counters reset first) — the sequential single-query mode
-	// with the paper's accounting.
+	// Relation.NewSession of each side).
 	AccessR, AccessS storage.Accessor
 }
 
 // DefaultStreamOptions returns the resolved default pipeline shape:
 // GOMAXPROCS workers, 256-pair batches, a 4×Workers batch queue.
+//
+// Deprecated: the unified Join applies the same defaults; see
+// StreamOptions.
 func DefaultStreamOptions() StreamOptions {
-	return StreamOptions{}.withDefaults()
+	o := StreamOptions{Workers: runtime.GOMAXPROCS(0), Batch: 256}
+	o.Queue = 4 * o.Workers
+	return o
 }
 
-func (o StreamOptions) withDefaults() StreamOptions {
-	if o.Workers <= 0 {
-		o.Workers = runtime.GOMAXPROCS(0)
+// withDefaults resolves the pipeline shape of one join call.
+func (o queryOptions) withDefaults() queryOptions {
+	if o.workers <= 0 {
+		o.workers = runtime.GOMAXPROCS(0)
 	}
-	if o.Batch <= 0 {
-		o.Batch = 256
+	if o.batch <= 0 {
+		o.batch = 256
 	}
-	if o.Queue <= 0 {
-		o.Queue = 4 * o.Workers
+	if o.queue <= 0 {
+		o.queue = 4 * o.workers
 	}
 	return o
 }
@@ -72,38 +77,39 @@ type streamWorker struct {
 	fetchedR, fetchedS map[int32]struct{}
 }
 
-// JoinStream runs the multi-step spatial join as a streaming, fully
+// joinStream runs the multi-step spatial join as a streaming, fully
 // parallel pipeline and calls emit for every response pair:
 //
 //	step 1  — the candidate generator runs as the producer; with the
 //	          R*-tree generator the synchronized traversal itself is
 //	          partitioned at the subtree level over Workers goroutines
-//	          (rstar.JoinParallel).
+//	          (rstar.JoinParallelAccess), evaluating the predicate's
+//	          (possibly ε-expanded) rectangle test and candidate pretest.
 //	steps 2+3 — candidate batches flow through a bounded channel into a
-//	          pool of Workers that classify each pair with the geometric
-//	          filter (once) and decide the survivors on exact geometry.
+//	          pool of Workers that classify each pair with the
+//	          predicate's geometric filter (once) and decide the
+//	          survivors on the predicate's exact geometry test.
 //
 // emit is called from a single collector goroutine, one pair at a time,
 // in no particular order; a nil emit discards the pairs and returns only
 // statistics. Memory stays bounded by the channel depths regardless of
-// the candidate-set size, so relation size is not capped by the candidate
-// count as it is when the pairs are collected first.
+// the candidate-set size.
 //
-// The response set and every statistic equal Join's exactly: the per-task
-// and per-worker counters are pure sums and set unions, so the merge is
-// independent of scheduling, and the step 1 page traces are replayed in
-// sequential traversal order (see rstar.JoinParallel). Both relations
-// must have been built with the same Config.
+// The emitted pair set and every statistic are independent of the worker
+// count: the per-task and per-worker counters are pure sums and set
+// unions, so the merge is independent of scheduling, and the step 1 page
+// traces are replayed in sequential traversal order (see
+// rstar.JoinParallelAccess).
 //
-// Without explicit access contexts (opts.AccessR/AccessS nil) the page
-// accounting runs on the shared tree buffers, so JoinStream must not run
-// concurrently with another query on the same relations; with per-query
-// sessions in both fields the join is fully concurrent-safe.
-func JoinStream(r, s *Relation, cfg Config, opts StreamOptions, emit func(Pair)) Stats {
-	opts = opts.withDefaults()
+// Cancellation: the traversal workers poll the context at every node
+// pair, the producers at every batch boundary, and the filter/exact pool
+// at every pair; a cancelled context drains the pipeline without further
+// work and surfaces ctx.Err().
+func joinStream(ctx context.Context, r, s *Relation, cfg Config, pred Predicate, o queryOptions, emit func(Pair)) (Stats, error) {
+	o = o.withDefaults()
 	var st Stats
 
-	axR, axS := opts.AccessR, opts.AccessS
+	axR, axS := o.axR, o.axS
 	if axR == nil {
 		r.Tree.Buffer().ResetCounters()
 		axR = r.Tree.Buffer()
@@ -114,11 +120,24 @@ func JoinStream(r, s *Relation, cfg Config, opts StreamOptions, emit func(Pair))
 	}
 	missesR, missesS := axR.Misses(), axS.Misses()
 
-	candCh := make(chan []streamCand, opts.Queue)
-	resCh := make(chan []Pair, opts.Queue)
+	stop, release := ctxpoll.Stop(ctx)
+	defer release()
+	stopCh := ctx.Done()
+
+	candCh := make(chan []streamCand, o.queue)
+	resCh := make(chan []Pair, o.queue)
+
+	// send enqueues one candidate batch, abandoning it when the context
+	// is cancelled (the workers are draining by then).
+	send := func(buf []streamCand) {
+		select {
+		case candCh <- buf:
+		case <-stopCh: // nil for uncancellable contexts: select blocks on the send alone
+		}
+	}
 
 	// Steps 2+3: the worker pool.
-	workers := make([]streamWorker, opts.Workers)
+	workers := make([]streamWorker, o.workers)
 	var wg sync.WaitGroup
 	for w := range workers {
 		wg.Add(1)
@@ -129,11 +148,14 @@ func JoinStream(r, s *Relation, cfg Config, opts StreamOptions, emit func(Pair))
 			for batch := range candCh {
 				var out []Pair
 				for _, c := range batch {
+					if stop != nil && stop() {
+						break
+					}
 					oa, ob := r.Objects[c.a], s.Objects[c.b]
-					// Step 2: geometric filter, evaluated exactly once
-					// per candidate.
+					// Step 2: the predicate's geometric filter, evaluated
+					// exactly once per candidate.
 					if cfg.UseFilter {
-						switch cfg.Filter.Classify(oa.Approx, ob.Approx) {
+						switch pred.classify(cfg.Filter, oa, ob) {
 						case approx.Hit:
 							ws.hits++
 							out = append(out, Pair{A: c.a, B: c.b})
@@ -143,28 +165,20 @@ func JoinStream(r, s *Relation, cfg Config, opts StreamOptions, emit func(Pair))
 							continue
 						}
 					}
-					// Step 3: exact geometry processor.
+					// Step 3: the predicate's exact geometry test.
 					ws.exactTested++
 					ws.fetchedR[c.a] = struct{}{}
 					ws.fetchedS[c.b] = struct{}{}
-					var hit bool
-					switch cfg.Engine {
-					case EngineQuadratic:
-						hit = exact.QuadraticIntersects(oa.Prepared(), ob.Prepared(), &ws.ops)
-					case EnginePlaneSweep:
-						hit = exact.PlaneSweepIntersects(oa.Prepared(), ob.Prepared(), cfg.PlaneSweepRestrict, &ws.ops)
-					case EngineTRStar:
-						hit = trstar.Intersects(oa.Tree(cfg.TRCapacity), ob.Tree(cfg.TRCapacity), &ws.ops)
-					default:
-						panic("multistep: unknown engine")
-					}
-					if hit {
+					if pred.exactDecide(cfg, oa, ob, &ws.ops) {
 						ws.exactHits++
 						out = append(out, Pair{A: c.a, B: c.b})
 					}
 				}
 				if len(out) > 0 {
-					resCh <- out
+					select {
+					case resCh <- out:
+					case <-stopCh:
+					}
 				}
 			}
 		}(&workers[w])
@@ -185,34 +199,49 @@ func JoinStream(r, s *Relation, cfg Config, opts StreamOptions, emit func(Pair))
 		}
 	}()
 
-	// Step 1: the candidate producer, on the calling goroutine.
+	// Step 1: the candidate producer, on the calling goroutine. Candidate
+	// counting happens producer-side (per traversal worker for the
+	// R*-tree generator — the counts are pure sums, so the merge is
+	// scheduling-independent): the predicate pretest (MBR nesting for
+	// inclusion joins) refines the rectangle-test survivors into
+	// candidates.
+	eps := pred.step1Eps()
 	switch cfg.Step1 {
 	case Step1RStar:
-		// Per-traversal-worker batch buffers: rstar.JoinParallel serializes
-		// calls with the same worker index, so no locks are needed.
-		batches := make([][]streamCand, opts.Workers)
-		st.MBRJoin = rstar.JoinParallelAccess(r.Tree, s.Tree, axR, axS, opts.Workers, func(w int, a, b rstar.Item) {
+		// Per-traversal-worker batch buffers and candidate counters:
+		// rstar.JoinParallelAccess serializes calls with the same worker
+		// index, so no locks are needed.
+		batches := make([][]streamCand, o.workers)
+		cands := make([]int64, o.workers)
+		st.MBRJoin = rstar.JoinParallelAccess(ctx, r.Tree, s.Tree, axR, axS, eps, o.workers, func(w int, a, b rstar.Item) {
+			if !pred.pretest(r.Objects[a.ID], s.Objects[b.ID]) {
+				return
+			}
+			cands[w]++
 			buf := append(batches[w], streamCand{a.ID, b.ID})
-			if len(buf) >= opts.Batch {
-				candCh <- buf
+			if len(buf) >= o.batch {
+				send(buf)
 				buf = nil
 			}
 			batches[w] = buf
 		})
 		for _, buf := range batches {
 			if len(buf) > 0 {
-				candCh <- buf
+				send(buf)
 			}
 		}
-		st.CandidatePairs = st.MBRJoin.Pairs
+		for _, c := range cands {
+			st.CandidatePairs += c
+		}
 	case Step1ZOrder:
-		// Space-filling-curve sort-merge: the Z covers yield a candidate
-		// superset; the MBR test removes the quantization false positives
-		// before the geometric filter sees the pair.
+		// Space-filling-curve sort-merge: the Z covers of the ε-expanded
+		// R-side MBRs yield a candidate superset; the (ε-expanded) MBR
+		// test removes the quantization false positives before the
+		// geometric filter sees the pair.
 		mbrsR := make([]geom.Rect, len(r.Objects))
 		space := geom.EmptyRect()
 		for i, o := range r.Objects {
-			mbrsR[i] = o.Approx.MBR
+			mbrsR[i] = o.Approx.MBR.Expand(eps)
 			space = space.Union(mbrsR[i])
 		}
 		mbrsS := make([]geom.Rect, len(s.Objects))
@@ -224,35 +253,42 @@ func JoinStream(r, s *Relation, cfg Config, opts StreamOptions, emit func(Pair))
 		zcfg.DataSpace = space // both relations must be fully covered
 		var buf []streamCand
 		zorder.Join(mbrsR, mbrsS, zcfg, func(i, j int) {
+			if stop != nil && stop() {
+				return
+			}
 			st.ZOrderCandidates++
-			if mbrsR[i].Intersects(mbrsS[j]) {
+			if mbrsR[i].Intersects(mbrsS[j]) && pred.pretest(r.Objects[i], s.Objects[j]) {
 				st.CandidatePairs++
 				buf = append(buf, streamCand{int32(i), int32(j)})
-				if len(buf) >= opts.Batch {
-					candCh <- buf
+				if len(buf) >= o.batch {
+					send(buf)
 					buf = nil
 				}
 			}
 		})
 		if len(buf) > 0 {
-			candCh <- buf
+			send(buf)
 		}
 	case Step1NestedLoops:
 		var buf []streamCand
+	nested:
 		for _, oa := range r.Objects {
+			if stop != nil && stop() {
+				break nested
+			}
 			for _, ob := range s.Objects {
-				if oa.Approx.MBR.Intersects(ob.Approx.MBR) {
+				if oa.Approx.MBR.Expand(eps).Intersects(ob.Approx.MBR) && pred.pretest(oa, ob) {
 					st.CandidatePairs++
 					buf = append(buf, streamCand{oa.ID, ob.ID})
-					if len(buf) >= opts.Batch {
-						candCh <- buf
+					if len(buf) >= o.batch {
+						send(buf)
 						buf = nil
 					}
 				}
 			}
 		}
 		if len(buf) > 0 {
-			candCh <- buf
+			send(buf)
 		}
 	default:
 		panic("multistep: unknown step 1 generator")
@@ -261,6 +297,10 @@ func JoinStream(r, s *Relation, cfg Config, opts StreamOptions, emit func(Pair))
 	wg.Wait()
 	close(resCh)
 	<-done
+
+	if err := ctx.Err(); err != nil {
+		return st, err
+	}
 
 	// Deterministic merge: every counter is a sum and the fetch sets are
 	// unions, so the totals do not depend on how candidates were spread
@@ -285,5 +325,5 @@ func JoinStream(r, s *Relation, cfg Config, opts StreamOptions, emit func(Pair))
 	st.PageAccessesR = axR.Misses() - missesR
 	st.PageAccessesS = axS.Misses() - missesS
 	st.ResultPairs = resultPairs
-	return st
+	return st, nil
 }

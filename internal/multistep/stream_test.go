@@ -30,7 +30,7 @@ func TestJoinStreamEquivalence(t *testing.T) {
 			name := step1.String() + "/" + engine.String()
 
 			clearBuffers(r, s)
-			want, wantSt := Join(r, s, cfg)
+			want, wantSt := testJoin(t, r, s, cfg)
 			if len(want) == 0 {
 				t.Fatalf("%s: join produced nothing; test is vacuous", name)
 			}
@@ -38,7 +38,7 @@ func TestJoinStreamEquivalence(t *testing.T) {
 			for _, workers := range []int{1, 2, 4, 0} {
 				clearBuffers(r, s)
 				var got []Pair
-				st := JoinStream(r, s, cfg, StreamOptions{Workers: workers},
+				st := testJoinStream(t, r, s, cfg, StreamOptions{Workers: workers},
 					func(p Pair) { got = append(got, p) })
 				assertSameResponse(t, name, got, want)
 				if st != wantSt {
@@ -49,7 +49,7 @@ func TestJoinStreamEquivalence(t *testing.T) {
 
 			if step1 == Step1RStar {
 				clearBuffers(r, s)
-				got, st := JoinParallel(r, s, cfg, 4)
+				got, st := testJoinWorkers(t, r, s, cfg, 4)
 				assertSameResponse(t, name+"/JoinParallel", got, want)
 				if st != wantSt {
 					t.Errorf("%s: JoinParallel stats diverge:\n got %+v\nwant %+v",
@@ -70,11 +70,11 @@ func TestJoinStreamBackpressure(t *testing.T) {
 	s := NewRelation("S", sp, cfg)
 
 	clearBuffers(r, s)
-	want, wantSt := Join(r, s, cfg)
+	want, wantSt := testJoin(t, r, s, cfg)
 
 	clearBuffers(r, s)
 	var got []Pair
-	st := JoinStream(r, s, cfg, StreamOptions{Workers: 3, Batch: 1, Queue: 1},
+	st := testJoinStream(t, r, s, cfg, StreamOptions{Workers: 3, Batch: 1, Queue: 1},
 		func(p Pair) { got = append(got, p) })
 	assertSameResponse(t, "batch=1", got, want)
 	if st != wantSt {
@@ -91,10 +91,10 @@ func TestJoinStreamNilEmit(t *testing.T) {
 	s := NewRelation("S", sp, cfg)
 
 	clearBuffers(r, s)
-	want, wantSt := Join(r, s, cfg)
+	want, wantSt := testJoin(t, r, s, cfg)
 
 	clearBuffers(r, s)
-	st := JoinStream(r, s, cfg, StreamOptions{}, nil)
+	st := testJoinStream(t, r, s, cfg, StreamOptions{}, nil)
 	if st != wantSt {
 		t.Errorf("nil emit: stats diverge:\n got %+v\nwant %+v", st, wantSt)
 	}
@@ -113,9 +113,9 @@ func TestJoinStreamRepeatable(t *testing.T) {
 	s := NewRelation("S", sp, cfg)
 
 	clearBuffers(r, s)
-	first := JoinStream(r, s, cfg, StreamOptions{Workers: 4}, nil)
+	first := testJoinStream(t, r, s, cfg, StreamOptions{Workers: 4}, nil)
 	clearBuffers(r, s)
-	second := JoinStream(r, s, cfg, StreamOptions{Workers: 4}, nil)
+	second := testJoinStream(t, r, s, cfg, StreamOptions{Workers: 4}, nil)
 	if first != second {
 		t.Errorf("streaming join not repeatable:\n first %+v\nsecond %+v", first, second)
 	}

@@ -1,81 +1,13 @@
 package multistep
 
-import (
-	"spatialjoin/internal/approx"
-	"spatialjoin/internal/exact"
-	"spatialjoin/internal/geom"
-	"spatialjoin/internal/rstar"
-	"spatialjoin/internal/storage"
-)
-
-// WindowStats reports the work of one multi-step window query.
+// WindowStats reports the work of one multi-step window, point, ε-range
+// or nearest query (see Query; for nearest queries only the candidate,
+// exact-test, result and page-access fields apply).
 type WindowStats struct {
-	Candidates      int64 // objects whose MBR intersects the window
+	Candidates      int64 // objects whose MBR satisfies the step 1 predicate
 	FilterHits      int64
 	FilterFalseHits int64
 	ExactTested     int64
 	ResultObjects   int64
 	PageAccesses    int64
-}
-
-// WindowQuery runs the multi-step window query on a relation: the R*-tree
-// delivers the objects whose MBRs intersect the window, the geometric
-// filter decides most of them on approximations, and the rest are decided
-// by the exact polygon–rectangle test. This is the query framework of
-// [KBS 93, BHKS 93] on which section 2.4 builds the join processor; it
-// shares every component with the join. The result is the list of object
-// IDs whose regions intersect w.
-//
-// WindowQuery accounts on the shared tree buffer (reset first) — the
-// sequential single-query mode. For concurrent queries use
-// WindowQueryAccess with a per-query session.
-func WindowQuery(r *Relation, w geom.Rect, cfg Config) ([]int32, WindowStats) {
-	r.Tree.Buffer().ResetCounters()
-	return WindowQueryAccess(r, r.Tree.Buffer(), w, cfg)
-}
-
-// WindowQueryAccess is WindowQuery with page visits routed through an
-// explicit access context; PageAccesses reports the misses the query
-// added to it. With per-query sessions (Relation.NewSession) any number
-// of window queries may run concurrently on the same relation, each with
-// isolated statistics.
-func WindowQueryAccess(r *Relation, ax storage.Accessor, w geom.Rect, cfg Config) ([]int32, WindowStats) {
-	var st WindowStats
-	var out []int32
-	missesBefore := ax.Misses()
-	r.Tree.WindowQueryAccess(ax, w, func(it rstar.Item) {
-		st.Candidates++
-		o := r.Objects[it.ID]
-		if cfg.UseFilter {
-			switch cfg.Filter.ClassifyWindow(o.Approx, w) {
-			case approx.Hit:
-				st.FilterHits++
-				out = append(out, o.ID)
-				return
-			case approx.FalseHit:
-				st.FilterFalseHits++
-				return
-			}
-		}
-		st.ExactTested++
-		var c = &Stats{} // scratch counter sink; window queries report counts only
-		if exact.IntersectsRectExact(o.Prepared(), w, &c.Ops) {
-			out = append(out, o.ID)
-		}
-	})
-	st.PageAccesses = ax.Misses() - missesBefore
-	st.ResultObjects = int64(len(out))
-	return out, st
-}
-
-// PointQuery runs the multi-step point query: the degenerate window query
-// at a single point (shared-buffer accounting; see WindowQuery).
-func PointQuery(r *Relation, p geom.Point, cfg Config) ([]int32, WindowStats) {
-	return WindowQuery(r, geom.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}, cfg)
-}
-
-// PointQueryAccess is PointQuery with an explicit access context (see
-// WindowQueryAccess).
-func PointQueryAccess(r *Relation, ax storage.Accessor, p geom.Point, cfg Config) ([]int32, WindowStats) {
-	return WindowQueryAccess(r, ax, geom.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}, cfg)
 }

@@ -1,10 +1,12 @@
 package rstar
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"spatialjoin/internal/ctxpoll"
 	"spatialjoin/internal/storage"
 )
 
@@ -32,17 +34,23 @@ import (
 // of height one the traversal falls back to the sequential Join path
 // (emitting with worker index 0).
 func JoinParallel(t1, t2 *Tree, workers int, emit func(worker int, a, b Item)) JoinStats {
-	return JoinParallelAccess(t1, t2, t1.buf, t2.buf, workers, emit)
+	return JoinParallelAccess(context.Background(), t1, t2, t1.buf, t2.buf, 0, workers, emit)
 }
 
 // JoinParallelAccess is JoinParallel with each tree's page visits
 // replayed into an explicit access context instead of the shared
-// buffers. With per-query sessions (NewSession on both trees) the whole
-// parallel join — traversal fan-out included — is safe to run
-// concurrently with other queries on the same trees, and ax1/ax2 report
-// accounting identical to a sequential JoinAccess from the same buffer
-// state.
-func JoinParallelAccess(t1, t2 *Tree, ax1, ax2 storage.Accessor, workers int, emit func(worker int, a, b Item)) JoinStats {
+// buffers, an ε-expanded rectangle predicate (eps = 0 selects the plain
+// MBR intersection join; see JoinAccessEps), and cooperative
+// cancellation: when ctx is cancelled the traversal workers stop at the
+// next node pair, pending tasks are dropped, the page-trace replay is
+// skipped, and the partial statistics are returned (the caller observes
+// the cancellation via ctx.Err()).
+//
+// With per-query sessions (NewSession on both trees) the whole parallel
+// join — traversal fan-out included — is safe to run concurrently with
+// other queries on the same trees, and ax1/ax2 report accounting
+// identical to a sequential JoinAccessEps from the same buffer state.
+func JoinParallelAccess(ctx context.Context, t1, t2 *Tree, ax1, ax2 storage.Accessor, eps float64, workers int, emit func(worker int, a, b Item)) JoinStats {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -50,29 +58,33 @@ func JoinParallelAccess(t1, t2 *Tree, ax1, ax2 storage.Accessor, workers int, em
 	if t1.size == 0 || t2.size == 0 {
 		return st
 	}
+	stop, release := ctxpoll.Stop(ctx)
+	defer release()
 	if workers == 1 || t1.root.leaf || t2.root.leaf {
 		v := &joinVisit{
 			touch1: func(n *node) { ax1.Access(n.page) },
 			touch2: func(n *node) { ax2.Access(n.page) },
 			st:     &st,
+			eps:    eps,
+			stop:   stop,
 			fn:     func(a, b Item) { emit(0, a, b) }}
 		v.nodes(t1.root, t2.root)
 		return st
 	}
 
 	// Root pairing, sequentially: touch both roots, restrict to the
-	// intersection of the root regions, and sweep the root entries. Each
-	// emitted child pairing becomes one task; the task order is exactly
-	// the order the sequential traversal would descend in.
+	// intersection of the (ε-expanded) root regions, and sweep the root
+	// entries. Each emitted child pairing becomes one task; the task order
+	// is exactly the order the sequential traversal would descend in.
 	ax1.Access(t1.root.page)
 	ax2.Access(t2.root.page)
-	inter := t1.root.bounds().Intersection(t2.root.bounds())
+	inter := t1.root.bounds().Expand(eps).Intersection(t2.root.bounds().Expand(eps))
 	if inter.IsEmpty() {
 		return st
 	}
 	type task struct{ n1, n2 *node }
 	var tasks []task
-	sweepPairs(t1.root.entries, t2.root.entries, inter, &st, func(e1, e2 entry) {
+	sweepPairs(t1.root.entries, t2.root.entries, inter, eps, &st, func(e1, e2 entry) {
 		tasks = append(tasks, task{e1.child, e2.child})
 	})
 
@@ -88,6 +100,9 @@ func JoinParallelAccess(t1, t2 *Tree, ax1, ax2 storage.Accessor, workers int, em
 		go func(w int) {
 			defer wg.Done()
 			for {
+				if stop != nil && stop() {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(tasks) {
 					return
@@ -97,6 +112,8 @@ func JoinParallelAccess(t1, t2 *Tree, ax1, ax2 storage.Accessor, workers int, em
 					touch1: func(n *node) { res.trace1 = append(res.trace1, n.page) },
 					touch2: func(n *node) { res.trace2 = append(res.trace2, n.page) },
 					st:     &res.st,
+					eps:    eps,
+					stop:   stop,
 					fn:     func(a, b Item) { emit(w, a, b) },
 				}
 				v.nodes(tasks[i].n1, tasks[i].n2)
@@ -104,6 +121,11 @@ func JoinParallelAccess(t1, t2 *Tree, ax1, ax2 storage.Accessor, workers int, em
 		}(w)
 	}
 	wg.Wait()
+	if ctx.Err() != nil {
+		// Cancelled: the partial traces would not reproduce any sequential
+		// state; the caller discards the statistics along with the error.
+		return st
+	}
 
 	// Merge the per-task statistics and replay the page traces in task
 	// order. Every statistic is a sum, so the merge is deterministic; the

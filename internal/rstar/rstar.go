@@ -298,7 +298,7 @@ func (t *Tree) PointQuery(p geom.Point, fn func(Item)) {
 // explicit access context. With per-query sessions (NewSession), any
 // number of searches may run concurrently on the same tree.
 func (t *Tree) PointQueryAccess(ax storage.Accessor, p geom.Point, fn func(Item)) {
-	t.searchRect(ax, t.root, geom.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}, fn)
+	t.searchRect(ax, t.root, geom.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}, nil, fn)
 }
 
 // WindowQuery calls fn for every item whose key rectangle intersects the
@@ -311,10 +311,21 @@ func (t *Tree) WindowQuery(w geom.Rect, fn func(Item)) {
 // WindowQueryAccess is WindowQuery with page visits routed through an
 // explicit access context (see PointQueryAccess).
 func (t *Tree) WindowQueryAccess(ax storage.Accessor, w geom.Rect, fn func(Item)) {
-	t.searchRect(ax, t.root, w, fn)
+	t.WindowQueryAccessStop(ax, w, nil, fn)
 }
 
-func (t *Tree) searchRect(ax storage.Accessor, n *node, w geom.Rect, fn func(Item)) {
+// WindowQueryAccessStop is WindowQueryAccess with an abort hook: a
+// non-nil stop is polled at every node visit and ends the search when it
+// returns true — the cancellation hook of the context-threaded query
+// entry points.
+func (t *Tree) WindowQueryAccessStop(ax storage.Accessor, w geom.Rect, stop func() bool, fn func(Item)) {
+	t.searchRect(ax, t.root, w, stop, fn)
+}
+
+func (t *Tree) searchRect(ax storage.Accessor, n *node, w geom.Rect, stop func() bool, fn func(Item)) {
+	if stop != nil && stop() {
+		return
+	}
 	ax.Access(n.page)
 	for _, e := range n.entries {
 		if !e.rect.Intersects(w) {
@@ -323,14 +334,14 @@ func (t *Tree) searchRect(ax storage.Accessor, n *node, w geom.Rect, fn func(Ite
 		if n.leaf {
 			fn(e.item)
 		} else {
-			t.searchRect(ax, e.child, w, fn)
+			t.searchRect(ax, e.child, w, stop, fn)
 		}
 	}
 }
 
 // All calls fn for every stored item (a full scan in tree order).
 func (t *Tree) All(fn func(Item)) {
-	t.searchRect(t.buf, t.root, geom.Rect{MinX: -1e300, MinY: -1e300, MaxX: 1e300, MaxY: 1e300}, fn)
+	t.searchRect(t.buf, t.root, geom.Rect{MinX: -1e300, MinY: -1e300, MaxX: 1e300, MaxY: 1e300}, nil, fn)
 }
 
 // Validate checks the structural invariants; for tests.
@@ -393,6 +404,21 @@ func Join(t1, t2 *Tree, fn func(a, b Item)) JoinStats {
 // explicit access context. With per-query sessions (NewSession on both
 // trees), any number of joins may run concurrently on the same trees.
 func JoinAccess(t1, t2 *Tree, ax1, ax2 storage.Accessor, fn func(a, b Item)) JoinStats {
+	return JoinAccessEps(t1, t2, ax1, ax2, 0, nil, fn)
+}
+
+// JoinAccessEps generalizes JoinAccess to the ε-expanded MBR predicate of
+// the within-distance join: fn receives every pair of items whose key
+// rectangles come within eps of each other per axis (equivalently, whose
+// ε-expanded rectangles intersect — the candidate predicate of the
+// ε-join; with eps = 0 this is exactly the MBR intersection join). The
+// traversal restricts the search space to the intersection of the
+// ε-expanded node regions and keeps the plane-sweep enumeration, with the
+// ε slack folded into the sweep bounds. A non-nil stop is polled at every
+// node pair and aborts the traversal when it returns true (partial
+// statistics are returned) — the cancellation hook of the
+// context-threaded join pipeline.
+func JoinAccessEps(t1, t2 *Tree, ax1, ax2 storage.Accessor, eps float64, stop func() bool, fn func(a, b Item)) JoinStats {
 	var st JoinStats
 	if t1.size == 0 || t2.size == 0 {
 		return st
@@ -400,7 +426,7 @@ func JoinAccess(t1, t2 *Tree, ax1, ax2 storage.Accessor, fn func(a, b Item)) Joi
 	v := &joinVisit{
 		touch1: func(n *node) { ax1.Access(n.page) },
 		touch2: func(n *node) { ax2.Access(n.page) },
-		st:     &st, fn: fn,
+		st:     &st, fn: fn, eps: eps, stop: stop,
 	}
 	v.nodes(t1.root, t2.root)
 	return st
@@ -411,30 +437,52 @@ func JoinAccess(t1, t2 *Tree, ax1, ax2 storage.Accessor, fn func(a, b Item)) Joi
 // managers, while the parallel traversal of JoinParallel records per-task
 // page traces and replays them afterwards (the buffer manager is not safe
 // for concurrent use, and replaying in canonical order keeps the miss
-// counts identical to the sequential traversal).
+// counts identical to the sequential traversal). eps widens every
+// rectangle predicate for the within-distance join (0 = plain
+// intersection); stop, when non-nil, aborts the traversal early.
 type joinVisit struct {
 	touch1, touch2 func(*node)
 	st             *JoinStats
 	fn             func(a, b Item)
+	eps            float64
+	stop           func() bool
+}
+
+// within reports whether the per-axis gap between two rectangles is at
+// most eps — the ε-expanded intersection predicate. With eps = 0 it is
+// exactly Rect.Intersects.
+func within(a, b geom.Rect, eps float64) bool {
+	if a.IsEmpty() || b.IsEmpty() {
+		return false
+	}
+	return a.MinX <= b.MaxX+eps && b.MinX <= a.MaxX+eps &&
+		a.MinY <= b.MaxY+eps && b.MinY <= a.MaxY+eps
 }
 
 func (v *joinVisit) nodes(n1, n2 *node) {
+	if v.stop != nil && v.stop() {
+		return
+	}
 	v.touch1(n1)
 	v.touch2(n2)
-	inter := n1.bounds().Intersection(n2.bounds())
+	// Restrict the search space to the intersection of the ε-expanded
+	// node regions: every entry pair within eps of each other has both
+	// entries intersecting it (each rectangle lies in its own expanded
+	// region and meets the expansion of the other side's).
+	inter := n1.bounds().Expand(v.eps).Intersection(n2.bounds().Expand(v.eps))
 	if inter.IsEmpty() {
 		return
 	}
 	switch {
 	case n1.leaf && n2.leaf:
 		before := v.st.RectTests
-		sweepPairs(n1.entries, n2.entries, inter, v.st, func(e1, e2 entry) {
+		sweepPairs(n1.entries, n2.entries, inter, v.eps, v.st, func(e1, e2 entry) {
 			v.st.Pairs++
 			v.fn(e1.item, e2.item)
 		})
 		v.st.LeafTests += v.st.RectTests - before
 	case !n1.leaf && !n2.leaf:
-		sweepPairs(n1.entries, n2.entries, inter, v.st, func(e1, e2 entry) {
+		sweepPairs(n1.entries, n2.entries, inter, v.eps, v.st, func(e1, e2 entry) {
 			v.nodes(e1.child, e2.child)
 		})
 	case n1.leaf:
@@ -442,7 +490,7 @@ func (v *joinVisit) nodes(n1, n2 *node) {
 		b1 := n1.bounds()
 		for i := range n2.entries {
 			v.st.RectTests++
-			if n2.entries[i].rect.Intersects(b1) {
+			if within(n2.entries[i].rect, b1, v.eps) {
 				v.nodes(n1, n2.entries[i].child)
 			}
 		}
@@ -450,19 +498,20 @@ func (v *joinVisit) nodes(n1, n2 *node) {
 		b2 := n2.bounds()
 		for i := range n1.entries {
 			v.st.RectTests++
-			if n1.entries[i].rect.Intersects(b2) {
+			if within(n1.entries[i].rect, b2, v.eps) {
 				v.nodes(n1.entries[i].child, n2)
 			}
 		}
 	}
 }
 
-// sweepPairs enumerates the pairs of entries with intersecting rectangles.
-// Restricting the search space: only entries intersecting the common
-// intersection rectangle participate. Plane-sweep order: both restricted
-// sequences are sorted by MinX and swept, so an entry is only tested
-// against entries that overlap its x range [BKS 93a].
-func sweepPairs(e1, e2 []entry, inter geom.Rect, st *JoinStats, emit func(a, b entry)) {
+// sweepPairs enumerates the pairs of entries whose rectangles satisfy the
+// ε-expanded intersection predicate. Restricting the search space: only
+// entries intersecting the (ε-expanded) common intersection rectangle
+// participate. Plane-sweep order: both restricted sequences are sorted by
+// MinX and swept, so an entry is only tested against entries whose x
+// ranges come within eps of its own [BKS 93a].
+func sweepPairs(e1, e2 []entry, inter geom.Rect, eps float64, st *JoinStats, emit func(a, b entry)) {
 	r1 := restrict(e1, inter, st)
 	r2 := restrict(e2, inter, st)
 	if len(r1) == 0 || len(r2) == 0 {
@@ -473,21 +522,21 @@ func sweepPairs(e1, e2 []entry, inter geom.Rect, st *JoinStats, emit func(a, b e
 	i, j := 0, 0
 	for i < len(r1) && j < len(r2) {
 		if r1[i].rect.MinX <= r2[j].rect.MinX {
-			sweepInternal(r1[i], r2, j, st, emit, false)
+			sweepInternal(r1[i], r2, j, eps, st, emit, false)
 			i++
 		} else {
-			sweepInternal(r2[j], r1, i, st, emit, true)
+			sweepInternal(r2[j], r1, i, eps, st, emit, true)
 			j++
 		}
 	}
 }
 
 // sweepInternal tests pivot against others[from:] while their x ranges
-// overlap the pivot's.
-func sweepInternal(pivot entry, others []entry, from int, st *JoinStats, emit func(a, b entry), swapped bool) {
-	for k := from; k < len(others) && others[k].rect.MinX <= pivot.rect.MaxX; k++ {
+// come within eps of the pivot's.
+func sweepInternal(pivot entry, others []entry, from int, eps float64, st *JoinStats, emit func(a, b entry), swapped bool) {
+	for k := from; k < len(others) && others[k].rect.MinX <= pivot.rect.MaxX+eps; k++ {
 		st.RectTests++
-		if pivot.rect.MinY <= others[k].rect.MaxY && others[k].rect.MinY <= pivot.rect.MaxY {
+		if pivot.rect.MinY <= others[k].rect.MaxY+eps && others[k].rect.MinY <= pivot.rect.MaxY+eps {
 			if swapped {
 				emit(others[k], pivot)
 			} else {

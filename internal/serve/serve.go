@@ -20,6 +20,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 
 	"spatialjoin/internal/geom"
@@ -111,13 +112,21 @@ func NewServer(cat *Catalog) *Server {
 //	GET /healthz                                     liveness + relation count
 //	GET /relations                                   catalog listing
 //	GET /window?rel=R&minx=&miny=&maxx=&maxy=        multi-step window query
-//	GET /point?rel=R&x=&y=                           multi-step point query
+//	         [&epsilon=ε]                            (ε-range: within ε of the window)
+//	GET /point?rel=R&x=&y=[&epsilon=ε]               multi-step point / ε-range query
 //	GET /nearest?rel=R&x=&y=&k=5                     k nearest objects by region distance
-//	GET /join?r=R&s=S[&limit=][&workers=]            multi-step spatial join
+//	GET /join?r=R&s=S[&predicate=intersects|contains|within]
+//	         [&epsilon=ε][&limit=][&workers=]        multi-step spatial join
 //
 // All responses are JSON; query statistics (the paper's per-step
 // measures, including the per-query buffer page accesses) ride along
 // with every result.
+//
+// Every handler threads the request context through the query pipeline:
+// when the client disconnects, the step 1 traversal workers, the
+// filter/exact pool and the collector all stop at their next check, so a
+// cancelled request releases its workers instead of running the join to
+// completion.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -250,11 +259,70 @@ func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	win := geom.Rect{MinX: minx, MinY: miny, MaxX: maxx, MaxY: maxy}
-	ids, st := multistep.WindowQueryAccess(e.Rel, e.Rel.NewSession(), win, e.Cfg)
+	pred, ok := predicateParam(w, r)
+	if !ok {
+		return
+	}
+	res, err := multistep.Query(r.Context(), e.Rel,
+		multistep.ForWindow(win), multistep.WithConfig(e.Cfg),
+		multistep.WithSession(e.Rel.NewSession()), multistep.WithPredicate(pred))
+	if !finishQuery(w, r, err) {
+		return
+	}
+	ids := res.IDs
 	if ids == nil {
 		ids = []int32{}
 	}
-	writeJSON(w, http.StatusOK, windowResponse{Relation: name, IDs: ids, Stats: st})
+	writeJSON(w, http.StatusOK, windowResponse{Relation: name, IDs: ids, Stats: res.Stats})
+}
+
+// predicateParam resolves the optional predicate of a request: the
+// plain intersection query without parameters, the ε-range
+// (within-distance) query with epsilon (or predicate=within&epsilon=ε).
+// As in cmd/spatialjoin, an epsilon promotes the (default or explicit)
+// intersects predicate to within; an epsilon on a predicate that takes
+// none (contains) is rejected rather than silently dropped.
+func predicateParam(w http.ResponseWriter, r *http.Request) (multistep.Predicate, bool) {
+	name := r.URL.Query().Get("predicate")
+	rawEps := r.URL.Query().Get("epsilon")
+	eps := 0.0
+	if rawEps != "" {
+		v, err := strconv.ParseFloat(rawEps, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "parameter %q: %v", "epsilon", err)
+			return multistep.Predicate{}, false
+		}
+		eps = v
+		switch strings.ToLower(name) {
+		case "", "intersects", "intersect":
+			name = "within"
+		case "within", "within-distance", "distance", "epsilon":
+		default:
+			writeError(w, http.StatusBadRequest,
+				"parameter %q is only valid with the within predicate, not %q", "epsilon", name)
+			return multistep.Predicate{}, false
+		}
+	}
+	pred, err := multistep.ParsePredicate(name, eps)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return multistep.Predicate{}, false
+	}
+	return pred, true
+}
+
+// finishQuery maps a query error onto the response: a cancelled request
+// writes nothing (the client is gone), any other error is a bad request.
+// It reports whether the handler should proceed to write the result.
+func finishQuery(w http.ResponseWriter, r *http.Request, err error) bool {
+	if err == nil {
+		return true
+	}
+	if r.Context().Err() != nil {
+		return false // client disconnected; the pipeline already stopped
+	}
+	writeError(w, http.StatusBadRequest, "%v", err)
+	return false
 }
 
 func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
@@ -270,11 +338,21 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	ids, st := multistep.PointQueryAccess(e.Rel, e.Rel.NewSession(), geom.Point{X: x, Y: y}, e.Cfg)
+	pred, ok := predicateParam(w, r)
+	if !ok {
+		return
+	}
+	res, err := multistep.Query(r.Context(), e.Rel,
+		multistep.ForPoint(geom.Point{X: x, Y: y}), multistep.WithConfig(e.Cfg),
+		multistep.WithSession(e.Rel.NewSession()), multistep.WithPredicate(pred))
+	if !finishQuery(w, r, err) {
+		return
+	}
+	ids := res.IDs
 	if ids == nil {
 		ids = []int32{}
 	}
-	writeJSON(w, http.StatusOK, windowResponse{Relation: name, IDs: ids, Stats: st})
+	writeJSON(w, http.StatusOK, windowResponse{Relation: name, IDs: ids, Stats: res.Stats})
 }
 
 // nearestStats carries the per-query page accounting of a nearest
@@ -317,7 +395,12 @@ func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := e.Rel.NewSession()
-	nn := multistep.NearestObjectsAccess(e.Rel, sess, geom.Point{X: x, Y: y}, k)
+	res, err := multistep.Query(r.Context(), e.Rel,
+		multistep.ForNearest(geom.Point{X: x, Y: y}, k), multistep.WithSession(sess))
+	if !finishQuery(w, r, err) {
+		return
+	}
+	nn := res.Neighbors
 	if nn == nil {
 		nn = []multistep.Neighbor{}
 	}
@@ -333,6 +416,7 @@ func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
 type joinResponse struct {
 	R         string           `json:"r"`
 	S         string           `json:"s"`
+	Predicate string           `json:"predicate"`
 	Pairs     []multistep.Pair `json:"pairs"`
 	Truncated bool             `json:"truncated"`
 	Stats     multistep.Stats  `json:"stats"`
@@ -352,6 +436,10 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 			"relations %q and %q were preprocessed under different configurations", nameR, nameS)
 		return
 	}
+	pred, ok := predicateParam(w, r)
+	if !ok {
+		return
+	}
 	limit, ok := intParam(w, r, "limit", s.MaxJoinPairs)
 	if !ok {
 		return
@@ -369,27 +457,26 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		workers = maxWorkers
 	}
 
-	// Collect the full response set and sort before truncating: the
-	// streaming emission order depends on worker scheduling, so keeping
-	// "the first limit pairs" would return a different subset per
-	// request on multi-core hosts.
-	pairs := []multistep.Pair{}
-	st := multistep.JoinStream(eR.Rel, eS.Rel, eR.Cfg, multistep.StreamOptions{
-		Workers: workers,
-		AccessR: eR.Rel.NewSession(),
-		AccessS: eS.Rel.NewSession(),
-	}, func(p multistep.Pair) { pairs = append(pairs, p) })
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].A != pairs[j].A {
-			return pairs[i].A < pairs[j].A
-		}
-		return pairs[i].B < pairs[j].B
-	})
-	if len(pairs) > limit {
-		pairs = pairs[:limit]
+	// Join collects the full response set and sorts before truncating
+	// (WithLimit): the streaming emission order depends on worker
+	// scheduling, so keeping "the first limit pairs" would return a
+	// different subset per request on multi-core hosts. The request
+	// context rides along, so a disconnected client stops the pipeline.
+	pairs, st, err := multistep.Join(r.Context(), eR.Rel, eS.Rel,
+		multistep.WithConfig(eR.Cfg),
+		multistep.WithPredicate(pred),
+		multistep.WithWorkers(workers),
+		multistep.WithLimit(limit),
+		multistep.WithSessions(eR.Rel.NewSession(), eS.Rel.NewSession()))
+	if !finishQuery(w, r, err) {
+		return
+	}
+	if pairs == nil {
+		pairs = []multistep.Pair{}
 	}
 	writeJSON(w, http.StatusOK, joinResponse{
 		R: nameR, S: nameS,
+		Predicate: pred.String(),
 		Pairs:     pairs,
 		Truncated: st.ResultPairs > int64(len(pairs)),
 		Stats:     st,

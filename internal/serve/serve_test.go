@@ -1,12 +1,14 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -296,4 +298,117 @@ func ExampleServer() {
 	//   "ok": true,
 	//   "relations": 1
 	// }
+}
+
+// TestJoinPredicates exercises the /join predicate and epsilon
+// parameters: the contains join, the within-distance join (a superset of
+// the intersection join, degenerating to it at ε = 0), and parameter
+// validation.
+func TestJoinPredicates(t *testing.T) {
+	cat, _ := testCatalog(t)
+	h := NewServer(cat).Handler()
+
+	var inter joinResponse
+	get(t, h, "/join?r=R&s=S", http.StatusOK, &inter)
+	if inter.Predicate != "intersects" || inter.Stats.ResultPairs == 0 {
+		t.Fatalf("intersects join = %+v", inter.Stats)
+	}
+
+	var zero joinResponse
+	get(t, h, "/join?r=R&s=S&predicate=within&epsilon=0", http.StatusOK, &zero)
+	if zero.Stats.ResultPairs != inter.Stats.ResultPairs {
+		t.Errorf("within(0) found %d pairs, intersects %d", zero.Stats.ResultPairs, inter.Stats.ResultPairs)
+	}
+
+	var within joinResponse
+	get(t, h, "/join?r=R&s=S&epsilon=0.02", http.StatusOK, &within) // epsilon implies within
+	if within.Predicate != "within(0.02)" {
+		t.Errorf("predicate echoed as %q", within.Predicate)
+	}
+	if within.Stats.ResultPairs < inter.Stats.ResultPairs {
+		t.Errorf("ε-join found %d pairs, fewer than the %d intersecting",
+			within.Stats.ResultPairs, inter.Stats.ResultPairs)
+	}
+
+	// The inclusion self-join: every region contains itself, so the
+	// response holds at least the diagonal.
+	var contains joinResponse
+	get(t, h, "/join?r=R&s=R&predicate=contains", http.StatusOK, &contains)
+	if contains.Predicate != "contains" || contains.Stats.ResultPairs < 80 {
+		t.Errorf("contains self-join = %+v", contains.Stats)
+	}
+
+	get(t, h, "/join?r=R&s=S&predicate=frobnicate", http.StatusBadRequest, nil)
+	get(t, h, "/join?r=R&s=S&epsilon=-1", http.StatusBadRequest, nil)
+	get(t, h, "/join?r=R&s=S&epsilon=nope", http.StatusBadRequest, nil)
+	// An explicit intersects predicate with an epsilon is promoted to the
+	// ε-join (matching cmd/spatialjoin), never silently dropped…
+	var promoted joinResponse
+	get(t, h, "/join?r=R&s=S&predicate=intersects&epsilon=0.02", http.StatusOK, &promoted)
+	if promoted.Predicate != "within(0.02)" || promoted.Stats.ResultPairs != within.Stats.ResultPairs {
+		t.Errorf("intersects+epsilon promoted to %q (%d pairs), want within(0.02) (%d pairs)",
+			promoted.Predicate, promoted.Stats.ResultPairs, within.Stats.ResultPairs)
+	}
+	// …while an epsilon on a predicate that takes none is rejected.
+	get(t, h, "/join?r=R&s=S&predicate=contains&epsilon=0.02", http.StatusBadRequest, nil)
+
+	// ε-range queries on the single-relation endpoints.
+	var pt windowResponse
+	get(t, h, "/point?rel=R&x=0.31&y=0.47&epsilon=0.05", http.StatusOK, &pt)
+	var plain windowResponse
+	get(t, h, "/point?rel=R&x=0.31&y=0.47", http.StatusOK, &plain)
+	if len(pt.IDs) < len(plain.IDs) {
+		t.Errorf("ε-range point query found %d, plain point query %d", len(pt.IDs), len(plain.IDs))
+	}
+}
+
+// TestCancelledRequestReleasesWorkers is the serving-layer cancellation
+// acceptance test: a /join request whose client disconnects mid-join
+// must stop its pipeline workers (no goroutine leak — run under -race in
+// CI) instead of running the join to completion.
+func TestCancelledRequestReleasesWorkers(t *testing.T) {
+	// A heavier workload than testCatalog so the join reliably outlives
+	// the cancellation point.
+	cfg := multistep.DefaultConfig()
+	cfg.UseFilter = false
+	cfg.Engine = multistep.EngineQuadratic
+	rp := data.GenerateMap(data.MapConfig{Cells: 600, TargetVerts: 56, HoleFraction: 0.1, Seed: 613})
+	sp := data.StrategyA(rp, 0.45)
+	cat := NewCatalog()
+	cat.Add("R", multistep.NewRelation("R", rp, cfg), cfg)
+	cat.Add("S", multistep.NewRelation("S", sp, cfg), cfg)
+	srv := httptest.NewServer(NewServer(cat).Handler())
+	defer srv.Close()
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "GET", srv.URL+"/join?r=R&s=S&workers=4", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the join start
+	start := time.Now()
+	cancel()
+	if err := <-done; err == nil {
+		t.Log("request finished before the cancellation point; leak check still applies")
+	}
+
+	// All request-scoped goroutines — HTTP handler, traversal workers,
+	// filter/exact pool, collector — must drain promptly.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after client disconnect: %d, baseline %d (waited %v)",
+				runtime.NumGoroutine(), before, time.Since(start))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }

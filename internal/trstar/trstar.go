@@ -309,6 +309,74 @@ func nodesIntersect(n1, n2 *node, c *ops.Counters) bool {
 	}
 }
 
+// WithinDistance decides whether the regions of two TR*-trees lie within
+// Euclidean distance eps of each other, via the same synchronized
+// traversal as Intersects with the rectangle intersection tests replaced
+// by rectangle distance tests (a sound prune: the MBR distance lower
+// bounds the trapezoid distance) and the trapezoid intersection tests by
+// exact trapezoid distance tests. Because the trapezoids tile the closed
+// regions, the first component pair within eps decides the predicate —
+// containment configurations included (an overlapping pair has distance
+// 0). With eps = 0 the predicate coincides with Intersects.
+func WithinDistance(t1, t2 *Tree, eps float64, c *ops.Counters) bool {
+	if t1.numTraps == 0 || t2.numTraps == 0 {
+		return false
+	}
+	c.RectIntersection++
+	if t1.root.bounds().Dist(t2.root.bounds()) > eps {
+		return false
+	}
+	return nodesWithin(t1.root, t2.root, eps, c)
+}
+
+func nodesWithin(n1, n2 *node, eps float64, c *ops.Counters) bool {
+	switch {
+	case n1.leaf && n2.leaf:
+		for _, e1 := range n1.entries {
+			for _, e2 := range n2.entries {
+				c.RectIntersection++
+				if e1.rect.Dist(e2.rect) > eps {
+					continue
+				}
+				c.TrapIntersection++
+				if e1.trap.Dist(e2.trap) <= eps {
+					return true
+				}
+			}
+		}
+		return false
+	case !n1.leaf && !n2.leaf:
+		for _, e1 := range n1.entries {
+			for _, e2 := range n2.entries {
+				c.RectIntersection++
+				if e1.rect.Dist(e2.rect) <= eps && nodesWithin(e1.child, e2.child, eps, c) {
+					return true
+				}
+			}
+		}
+		return false
+	case n1.leaf:
+		// Descend the taller tree only.
+		b := n1.bounds()
+		for _, e2 := range n2.entries {
+			c.RectIntersection++
+			if e2.rect.Dist(b) <= eps && nodesWithin(n1, e2.child, eps, c) {
+				return true
+			}
+		}
+		return false
+	default:
+		b := n2.bounds()
+		for _, e1 := range n1.entries {
+			c.RectIntersection++
+			if e1.rect.Dist(b) <= eps && nodesWithin(e1.child, n2, eps, c) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
 // Validate checks the TR*-tree invariants (entry rectangles tightly bound
 // children, capacities respected, all trapezoids reachable at one level).
 // It is meant for tests.

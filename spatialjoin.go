@@ -9,20 +9,37 @@
 // packages (see README.md for the map); the facade adds nothing beyond
 // names, so the documentation of the aliased symbols applies unchanged.
 //
-// Minimal usage:
+// Minimal usage — one context-aware entry point per query shape, with
+// the predicate and every execution concern as options:
 //
 //	cfg := spatialjoin.DefaultConfig()
 //	r := spatialjoin.NewRelation("cities", cityPolygons, cfg)
 //	s := spatialjoin.NewRelation("forests", forestPolygons, cfg)
-//	pairs, stats := spatialjoin.Join(r, s, cfg)
+//	pairs, stats, err := spatialjoin.Join(ctx, r, s)
+//
+//	// ε-distance join, streamed, cancellable:
+//	_, stats, err = spatialjoin.Join(ctx, r, s,
+//		spatialjoin.WithPredicate(spatialjoin.WithinDistance(0.05)),
+//		spatialjoin.WithStream(func(p spatialjoin.Pair) { ... }))
+//
+//	// window / point / nearest queries:
+//	res, err := spatialjoin.Query(ctx, r, spatialjoin.ForWindow(w))
 //
 // The processor executes the paper's three steps: an R*-tree MBR-join, a
 // geometric filter on conservative and progressive approximations
 // (5-corner and maximum enclosed rectangle by default) and an exact
-// geometry step on TR*-trees over trapezoid decompositions.
+// geometry step on TR*-trees over trapezoid decompositions. Each
+// predicate — Intersects, Contains, WithinDistance(ε) — specializes all
+// three steps; see the Predicate documentation.
+//
+// The pre-redesign entry points (JoinParallel, JoinStream, JoinContains,
+// WindowQuery, PointQuery, NearestObjects and their *Access twins)
+// remain as deprecated wrappers with identical outputs; see the
+// migration table in README.md.
 package spatialjoin
 
 import (
+	"context"
 	"io"
 
 	"spatialjoin/internal/approx"
@@ -55,12 +72,24 @@ type (
 	Pair = multistep.Pair
 	// Stats reports per-step measurements of one join.
 	Stats = multistep.Stats
-	// WindowStats reports per-step measurements of one window query.
+	// WindowStats reports per-step measurements of one window, point,
+	// ε-range or nearest query.
 	WindowStats = multistep.WindowStats
 	// Engine selects the exact geometry algorithm.
 	Engine = multistep.Engine
-	// StreamOptions tunes the streaming pipeline of JoinStream (worker
-	// count, batch size, bounded queue depth).
+	// Predicate is the spatial relationship a Join or Query evaluates —
+	// Intersects, Contains or WithinDistance(ε). Each predicate
+	// specializes all three steps of the multi-step processor.
+	Predicate = multistep.Predicate
+	// Option configures one Join or Query call (predicate, workers,
+	// streaming, sessions, limits, targets).
+	Option = multistep.Option
+	// QueryResult is the answer of the unified Query entry point.
+	QueryResult = multistep.QueryResult
+	// StreamOptions tunes the streaming pipeline of JoinStream.
+	//
+	// Deprecated: use the WithWorkers/WithBatch/WithQueue/WithSessions
+	// options of Join.
 	StreamOptions = multistep.StreamOptions
 	// ApproximationKind identifies a conservative or progressive
 	// approximation of section 3 of the paper.
@@ -77,8 +106,8 @@ type (
 	// Session is a per-query page-access context: a private replacement
 	// simulation with isolated hit/miss counters, created from a
 	// relation with Relation.NewSession. Sessions make one opened
-	// Relation safe for any number of concurrent queries (pass them to
-	// the *Access query variants or to StreamOptions.AccessR/AccessS).
+	// Relation safe for any number of concurrent queries (pass them via
+	// the WithSessions/WithSession options).
 	Session = storage.Session
 )
 
@@ -124,92 +153,228 @@ func NewRelation(name string, polys []*Polygon, cfg Config) *Relation {
 	return multistep.NewRelation(name, polys, cfg)
 }
 
-// Join computes the intersection join of two relations: all pairs whose
-// polygonal regions share at least one point.
-func Join(r, s *Relation, cfg Config) ([]Pair, Stats) {
-	return multistep.Join(r, s, cfg)
+// Predicates of the unified query API.
+
+// Intersects is the paper's primary predicate: the regions share at
+// least one point. It is the default of Join and Query.
+func Intersects() Predicate { return multistep.Intersects() }
+
+// Contains is the inclusion predicate: the R-side region contains the
+// S-side region.
+func Contains() Predicate { return multistep.Contains() }
+
+// WithinDistance is the ε-join predicate: the regions lie within
+// Euclidean distance eps of each other. WithinDistance(0) is equivalent
+// to Intersects.
+func WithinDistance(eps float64) Predicate { return multistep.WithinDistance(eps) }
+
+// ParsePredicate parses "intersects", "contains" or "within" (with the
+// distance bound supplied separately).
+func ParsePredicate(name string, eps float64) (Predicate, error) {
+	return multistep.ParsePredicate(name, eps)
 }
 
-// JoinParallel is Join spread over a worker pool (workers ≤ 0 selects
-// GOMAXPROCS). The response set and statistics are identical to Join's.
-func JoinParallel(r, s *Relation, cfg Config, workers int) ([]Pair, Stats) {
-	return multistep.JoinParallel(r, s, cfg, workers)
+// Options of the unified query API.
+
+// WithPredicate selects the spatial predicate (default Intersects).
+func WithPredicate(p Predicate) Option { return multistep.WithPredicate(p) }
+
+// WithConfig overrides the processor configuration (default: the
+// relations' build configuration).
+func WithConfig(cfg Config) Option { return multistep.WithConfig(cfg) }
+
+// WithWorkers sets the join pipeline's worker count (≤ 0: GOMAXPROCS).
+func WithWorkers(n int) Option { return multistep.WithWorkers(n) }
+
+// WithBatch sets the candidate batch size of the join pipeline.
+func WithBatch(n int) Option { return multistep.WithBatch(n) }
+
+// WithQueue sets the bounded queue depth of the join pipeline.
+func WithQueue(n int) Option { return multistep.WithQueue(n) }
+
+// WithStream streams response pairs to emit as they are decided instead
+// of collecting them; memory stays bounded by the pipeline depth.
+func WithStream(emit func(Pair)) Option { return multistep.WithStream(emit) }
+
+// WithBufferless discards the response set and returns statistics only.
+func WithBufferless() Option { return multistep.WithBufferless() }
+
+// WithSessions routes each side's page visits through explicit
+// per-query access contexts (Relation.NewSession), making the call safe
+// to run concurrently with other queries on the same relations.
+func WithSessions(axR, axS Accessor) Option { return multistep.WithSessions(axR, axS) }
+
+// WithSession is WithSessions for the single-relation Query entry point.
+func WithSession(ax Accessor) Option { return multistep.WithSession(ax) }
+
+// WithLimit caps the number of response pairs Join returns (the sorted
+// (A, B)-prefix; statistics always reflect the complete join).
+func WithLimit(n int) Option { return multistep.WithLimit(n) }
+
+// ForWindow targets Query at a window.
+func ForWindow(w Rect) Option { return multistep.ForWindow(w) }
+
+// ForPoint targets Query at a point.
+func ForPoint(p Point) Option { return multistep.ForPoint(p) }
+
+// ForNearest targets Query at the k objects closest to p by exact
+// region distance.
+func ForNearest(p Point, k int) Option { return multistep.ForNearest(p, k) }
+
+// Join runs the multi-step spatial join of r and s under the configured
+// predicate (default Intersects) and returns the response set sorted by
+// (A, B) with per-step statistics. Cancelling ctx stops the pipeline —
+// traversal workers, filter/exact pool and collector — and surfaces
+// ctx.Err(). Without WithSessions the page accounting runs on the shared
+// tree buffers (the paper's sequential mode, one query at a time); with
+// per-query sessions on both sides any number of joins and queries run
+// concurrently on the same relations.
+func Join(ctx context.Context, r, s *Relation, opts ...Option) ([]Pair, Stats, error) {
+	return multistep.Join(ctx, r, s, opts...)
 }
 
-// JoinStream runs the join as a streaming, fully parallel pipeline: the
-// step 1 traversal is partitioned over workers, candidate pairs flow
-// through bounded channels into a filter/exact worker pool, and emit
-// receives every response pair from a single collector goroutine. Memory
-// stays bounded by the pipeline depth instead of the candidate count; the
-// emitted pair set and the statistics equal Join's exactly. A nil emit
-// discards the pairs and returns only statistics. With per-query sessions
-// in StreamOptions.AccessR/AccessS the join runs concurrently-safe
-// against any other queries on the same relations.
-func JoinStream(r, s *Relation, cfg Config, opts StreamOptions, emit func(Pair)) Stats {
-	return multistep.JoinStream(r, s, cfg, opts, emit)
-}
-
-// DefaultStreamOptions returns the resolved default pipeline shape of
-// JoinStream (GOMAXPROCS workers, 256-pair batches, 4×Workers queue).
-func DefaultStreamOptions() StreamOptions { return multistep.DefaultStreamOptions() }
-
-// JoinContains computes the inclusion join: all pairs (a, b) with the
-// region of a containing the region of b.
-func JoinContains(r, s *Relation, cfg Config) ([]Pair, Stats) {
-	return multistep.JoinContains(r, s, cfg)
-}
-
-// JoinContainsAccess is JoinContains with each side's page visits routed
-// through an explicit per-query access context (Relation.NewSession),
-// making it safe to run concurrently with other queries on the same
-// relations.
-func JoinContainsAccess(r, s *Relation, axR, axS Accessor, cfg Config) ([]Pair, Stats) {
-	return multistep.JoinContainsAccess(r, s, axR, axS, cfg)
-}
-
-// WindowQuery returns the IDs of the objects of r intersecting the
-// window, processed with the same multi-step architecture as the join.
-// It accounts on the relation's shared buffer — one query at a time; use
-// WindowQueryAccess with a per-query Session for concurrent queries.
-func WindowQuery(r *Relation, w Rect, cfg Config) ([]int32, WindowStats) {
-	return multistep.WindowQuery(r, w, cfg)
-}
-
-// WindowQueryAccess is WindowQuery with page visits routed through an
-// explicit per-query access context (Relation.NewSession). Any number of
-// *Access queries may run concurrently on the same relation, each with
-// isolated statistics.
-func WindowQueryAccess(r *Relation, ax Accessor, w Rect, cfg Config) ([]int32, WindowStats) {
-	return multistep.WindowQueryAccess(r, ax, w, cfg)
-}
-
-// PointQuery returns the IDs of the objects of r containing the point
-// (shared-buffer accounting; see WindowQuery).
-func PointQuery(r *Relation, p Point, cfg Config) ([]int32, WindowStats) {
-	return multistep.PointQuery(r, p, cfg)
-}
-
-// PointQueryAccess is PointQuery with an explicit per-query access
-// context (see WindowQueryAccess).
-func PointQueryAccess(r *Relation, ax Accessor, p Point, cfg Config) ([]int32, WindowStats) {
-	return multistep.PointQueryAccess(r, ax, p, cfg)
+// Query runs a multi-step query on one relation: a window query
+// (ForWindow), a point query (ForPoint), an ε-range query (either target
+// with WithinDistance), or a k-nearest-objects query (ForNearest).
+// Accounting and cancellation follow Join.
+func Query(ctx context.Context, r *Relation, opts ...Option) (QueryResult, error) {
+	return multistep.Query(ctx, r, opts...)
 }
 
 // Neighbor is one nearest-neighbour result: object ID and exact region
 // distance.
 type Neighbor = multistep.Neighbor
 
+// Deprecated pre-redesign entry points. Each is a thin wrapper over the
+// unified Join/Query surface with byte-identical outputs (response sets,
+// statistics, buffer accounting), kept for downstream users; the
+// repository itself no longer calls them outside their equivalence
+// tests.
+
+// JoinParallel is Join spread over a worker pool (workers ≤ 0 selects
+// GOMAXPROCS). The response set and statistics are identical to Join's.
+//
+// Deprecated: use Join(ctx, r, s, WithConfig(cfg), WithWorkers(workers)).
+func JoinParallel(r, s *Relation, cfg Config, workers int) ([]Pair, Stats) {
+	cfg.Step1 = multistep.Step1RStar
+	pairs, st, _ := multistep.Join(context.Background(), r, s,
+		multistep.WithConfig(cfg), multistep.WithWorkers(workers))
+	return pairs, st
+}
+
+// JoinStream runs the join as a streaming, fully parallel pipeline and
+// calls emit for every response pair (in no particular order); a nil
+// emit discards the pairs and returns only statistics.
+//
+// Deprecated: use Join(ctx, r, s, WithConfig(cfg), WithStream(emit),
+// WithWorkers/WithBatch/WithQueue/WithSessions as needed); pass
+// WithBufferless() for a nil emit.
+func JoinStream(r, s *Relation, cfg Config, opts StreamOptions, emit func(Pair)) Stats {
+	o := []Option{
+		multistep.WithConfig(cfg),
+		multistep.WithWorkers(opts.Workers),
+		multistep.WithBatch(opts.Batch),
+		multistep.WithQueue(opts.Queue),
+		multistep.WithSessions(opts.AccessR, opts.AccessS),
+	}
+	if emit != nil {
+		o = append(o, multistep.WithStream(emit))
+	} else {
+		o = append(o, multistep.WithBufferless())
+	}
+	_, st, _ := multistep.Join(context.Background(), r, s, o...)
+	return st
+}
+
+// DefaultStreamOptions returns the resolved default pipeline shape of
+// JoinStream (GOMAXPROCS workers, 256-pair batches, 4×Workers queue).
+//
+// Deprecated: the unified Join applies the same defaults.
+func DefaultStreamOptions() StreamOptions { return multistep.DefaultStreamOptions() }
+
+// JoinContains computes the inclusion join: all pairs (a, b) with the
+// region of a containing the region of b.
+//
+// Deprecated: use Join(ctx, r, s, WithConfig(cfg),
+// WithPredicate(Contains())).
+func JoinContains(r, s *Relation, cfg Config) ([]Pair, Stats) {
+	cfg.Step1 = multistep.Step1RStar
+	pairs, st, _ := multistep.Join(context.Background(), r, s,
+		multistep.WithConfig(cfg), multistep.WithPredicate(multistep.Contains()))
+	return pairs, st
+}
+
+// JoinContainsAccess is JoinContains with each side's page visits routed
+// through an explicit per-query access context (Relation.NewSession).
+//
+// Deprecated: use Join(ctx, r, s, WithConfig(cfg),
+// WithPredicate(Contains()), WithSessions(axR, axS)).
+func JoinContainsAccess(r, s *Relation, axR, axS Accessor, cfg Config) ([]Pair, Stats) {
+	cfg.Step1 = multistep.Step1RStar
+	pairs, st, _ := multistep.Join(context.Background(), r, s,
+		multistep.WithConfig(cfg), multistep.WithPredicate(multistep.Contains()),
+		multistep.WithSessions(axR, axS))
+	return pairs, st
+}
+
+// WindowQuery returns the IDs of the objects of r intersecting the
+// window (shared-buffer accounting, one query at a time).
+//
+// Deprecated: use Query(ctx, r, ForWindow(w), WithConfig(cfg)).
+func WindowQuery(r *Relation, w Rect, cfg Config) ([]int32, WindowStats) {
+	res, _ := multistep.Query(context.Background(), r,
+		multistep.ForWindow(w), multistep.WithConfig(cfg))
+	return res.IDs, res.Stats
+}
+
+// WindowQueryAccess is WindowQuery with an explicit per-query access
+// context (Relation.NewSession).
+//
+// Deprecated: use Query(ctx, r, ForWindow(w), WithConfig(cfg),
+// WithSession(ax)).
+func WindowQueryAccess(r *Relation, ax Accessor, w Rect, cfg Config) ([]int32, WindowStats) {
+	res, _ := multistep.Query(context.Background(), r,
+		multistep.ForWindow(w), multistep.WithConfig(cfg), multistep.WithSession(ax))
+	return res.IDs, res.Stats
+}
+
+// PointQuery returns the IDs of the objects of r containing the point
+// (shared-buffer accounting; see WindowQuery).
+//
+// Deprecated: use Query(ctx, r, ForPoint(p), WithConfig(cfg)).
+func PointQuery(r *Relation, p Point, cfg Config) ([]int32, WindowStats) {
+	res, _ := multistep.Query(context.Background(), r,
+		multistep.ForPoint(p), multistep.WithConfig(cfg))
+	return res.IDs, res.Stats
+}
+
+// PointQueryAccess is PointQuery with an explicit per-query access
+// context.
+//
+// Deprecated: use Query(ctx, r, ForPoint(p), WithConfig(cfg),
+// WithSession(ax)).
+func PointQueryAccess(r *Relation, ax Accessor, p Point, cfg Config) ([]int32, WindowStats) {
+	res, _ := multistep.Query(context.Background(), r,
+		multistep.ForPoint(p), multistep.WithConfig(cfg), multistep.WithSession(ax))
+	return res.IDs, res.Stats
+}
+
 // NearestObjects returns the k objects of r closest to p by exact region
-// distance, refined over R*-tree MBR-distance candidates (shared-buffer
-// accounting; see WindowQuery).
+// distance, refined over R*-tree MBR-distance candidates.
+//
+// Deprecated: use Query(ctx, r, ForNearest(p, k)).
 func NearestObjects(r *Relation, p Point, k int) []Neighbor {
-	return multistep.NearestObjects(r, p, k)
+	return NearestObjectsAccess(r, r.Tree.Buffer(), p, k)
 }
 
 // NearestObjectsAccess is NearestObjects with an explicit per-query
-// access context (see WindowQueryAccess).
+// access context.
+//
+// Deprecated: use Query(ctx, r, ForNearest(p, k), WithSession(ax)).
 func NearestObjectsAccess(r *Relation, ax Accessor, p Point, k int) []Neighbor {
-	return multistep.NearestObjectsAccess(r, ax, p, k)
+	res, _ := multistep.Query(context.Background(), r,
+		multistep.ForNearest(p, k), multistep.WithSession(ax))
+	return res.Neighbors
 }
 
 // GenerateMap produces a deterministic synthetic cartographic relation: a

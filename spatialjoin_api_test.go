@@ -2,6 +2,7 @@ package spatialjoin_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"path/filepath"
 	"testing"
@@ -19,16 +20,26 @@ func TestPublicAPI(t *testing.T) {
 	r := spatialjoin.NewRelation("R", base, cfg)
 	s := spatialjoin.NewRelation("S", shifted, cfg)
 
-	pairs, st := spatialjoin.Join(r, s, cfg)
+	ctx := context.Background()
+	pairs, st, err := spatialjoin.Join(ctx, r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pairs) == 0 || st.CandidatePairs == 0 {
 		t.Fatal("join produced nothing")
 	}
-	par, _ := spatialjoin.JoinParallel(r, s, cfg, 4)
+	par, _, err := spatialjoin.Join(ctx, r, s, spatialjoin.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(par) != len(pairs) {
 		t.Fatalf("parallel join %d pairs, sequential %d", len(par), len(pairs))
 	}
 
-	cont, _ := spatialjoin.JoinContains(r, r, cfg)
+	cont, _, err := spatialjoin.Join(ctx, r, r, spatialjoin.WithPredicate(spatialjoin.Contains()))
+	if err != nil {
+		t.Fatal(err)
+	}
 	selfCount := 0
 	for _, p := range cont {
 		if p.A == p.B {
@@ -39,13 +50,38 @@ func TestPublicAPI(t *testing.T) {
 		t.Errorf("inclusion join self pairs = %d, want %d", selfCount, len(base))
 	}
 
-	ids, wst := spatialjoin.WindowQuery(r, spatialjoin.Rect{MinX: 0.3, MinY: 0.3, MaxX: 0.6, MaxY: 0.6}, cfg)
-	if len(ids) == 0 || wst.Candidates == 0 {
+	win, err := spatialjoin.Query(ctx, r, spatialjoin.ForWindow(spatialjoin.Rect{MinX: 0.3, MinY: 0.3, MaxX: 0.6, MaxY: 0.6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(win.IDs) == 0 || win.Stats.Candidates == 0 {
 		t.Error("window query found nothing in the map center")
 	}
-	pt, _ := spatialjoin.PointQuery(r, spatialjoin.Point{X: 0.5, Y: 0.5}, cfg)
-	if len(pt) > 2 {
-		t.Errorf("point query in a tiling found %d covering objects", len(pt))
+	ptRes, err := spatialjoin.Query(ctx, r, spatialjoin.ForPoint(spatialjoin.Point{X: 0.5, Y: 0.5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ptRes.IDs) > 2 {
+		t.Errorf("point query in a tiling found %d covering objects", len(ptRes.IDs))
+	}
+
+	// The within-distance predicate supersets the intersection join and
+	// degenerates to it at ε = 0.
+	atZero, _, err := spatialjoin.Join(ctx, r, s,
+		spatialjoin.WithPredicate(spatialjoin.WithinDistance(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(atZero) != len(pairs) {
+		t.Errorf("WithinDistance(0) returned %d pairs, Intersects %d", len(atZero), len(pairs))
+	}
+	near, _, err := spatialjoin.Join(ctx, r, s,
+		spatialjoin.WithPredicate(spatialjoin.WithinDistance(0.02)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(near) < len(pairs) {
+		t.Errorf("ε-join returned fewer pairs (%d) than the intersection join (%d)", len(near), len(pairs))
 	}
 
 	randomized := spatialjoin.RandomizedCopy(base, 7)
@@ -67,7 +103,10 @@ func TestPublicAPI(t *testing.T) {
 	if err != nil {
 		t.Fatalf("OpenRelation: %v", err)
 	}
-	rePairs, _ := spatialjoin.Join(reopened, s, cfg)
+	rePairs, _, err := spatialjoin.Join(ctx, reopened, s)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rePairs) != len(pairs) {
 		t.Fatalf("reopened relation joined %d pairs, want %d", len(rePairs), len(pairs))
 	}
@@ -84,7 +123,10 @@ func TestPublicAPI(t *testing.T) {
 	if err != nil {
 		t.Fatalf("OpenRelationFile: %v", err)
 	}
-	filePairs, _ := spatialjoin.Join(fromFile, s, cfg)
+	filePairs, _, err := spatialjoin.Join(ctx, fromFile, s)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(filePairs) != len(pairs) {
 		t.Fatalf("file-store relation joined %d pairs, want %d", len(filePairs), len(pairs))
 	}
@@ -97,7 +139,10 @@ func TestPublicAPI(t *testing.T) {
 	altCfg.MECPrecision = 5e-3
 	r2 := spatialjoin.NewRelation("R", base, altCfg)
 	s2 := spatialjoin.NewRelation("S", shifted, altCfg)
-	alt, _ := spatialjoin.Join(r2, s2, altCfg)
+	alt, _, err := spatialjoin.Join(ctx, r2, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(alt) != len(pairs) {
 		t.Fatalf("alternative configuration changed the response set: %d vs %d", len(alt), len(pairs))
 	}

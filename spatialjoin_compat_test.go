@@ -1,0 +1,183 @@
+//lint:file-ignore SA1019 this file proves the deprecated wrappers equal the unified API
+package spatialjoin_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"spatialjoin"
+)
+
+// TestDeprecatedWrappersMatchUnifiedAPI pins every deprecated
+// pre-redesign facade name to the unified Join/Query surface: identical
+// response sets AND identical statistics (buffer hit/miss accounting
+// included), so downstream code migrating via the README table observes
+// no behaviour change. Together with the multistep golden tests (which
+// pin the unified API itself to the pre-refactor Stats) this proves
+// old wrapper ≡ new API ≡ pre-redesign behaviour.
+func TestDeprecatedWrappersMatchUnifiedAPI(t *testing.T) {
+	base := spatialjoin.GenerateMap(spatialjoin.MapConfig{Cells: 80, TargetVerts: 48, HoleFraction: 0.1, Seed: 211})
+	shifted := spatialjoin.ShiftedCopy(base, 0.45)
+	cfg := spatialjoin.DefaultConfig()
+	cfg.BufferBytes = 8192 // small buffer: non-trivial accounting
+	r := spatialjoin.NewRelation("R", base, cfg)
+	s := spatialjoin.NewRelation("S", shifted, cfg)
+	ctx := context.Background()
+
+	clear := func() {
+		r.Tree.Buffer().Clear()
+		s.Tree.Buffer().Clear()
+	}
+
+	// JoinParallel ≡ Join + WithWorkers.
+	clear()
+	wrapPairs, wrapSt := spatialjoin.JoinParallel(r, s, cfg, 3)
+	clear()
+	newPairs, newSt, err := spatialjoin.Join(ctx, r, s, spatialjoin.WithWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wrapPairs, newPairs) || !reflect.DeepEqual(wrapSt, newSt) {
+		t.Errorf("JoinParallel diverges from the unified Join:\n old %+v\n new %+v", wrapSt, newSt)
+	}
+
+	// JoinStream ≡ Join + WithStream (unordered emission; compare sorted).
+	clear()
+	var streamed []spatialjoin.Pair
+	streamSt := spatialjoin.JoinStream(r, s, cfg, spatialjoin.StreamOptions{Workers: 2},
+		func(p spatialjoin.Pair) { streamed = append(streamed, p) })
+	if !reflect.DeepEqual(streamSt, newSt) {
+		t.Errorf("JoinStream stats diverge:\n old %+v\n new %+v", streamSt, newSt)
+	}
+	if len(streamed) != len(newPairs) {
+		t.Errorf("JoinStream emitted %d pairs, unified Join %d", len(streamed), len(newPairs))
+	}
+
+	// JoinContains ≡ Join + Contains predicate.
+	clear()
+	contPairs, contSt := spatialjoin.JoinContains(r, r, cfg)
+	clear()
+	newCont, newContSt, err := spatialjoin.Join(ctx, r, r,
+		spatialjoin.WithPredicate(spatialjoin.Contains()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(contPairs, newCont) || !reflect.DeepEqual(contSt, newContSt) {
+		t.Errorf("JoinContains diverges:\n old %+v\n new %+v", contSt, newContSt)
+	}
+
+	// WindowQuery / PointQuery ≡ Query + ForWindow / ForPoint.
+	w := spatialjoin.Rect{MinX: 0.2, MinY: 0.2, MaxX: 0.45, MaxY: 0.4}
+	clear()
+	wrapIDs, wrapWSt := spatialjoin.WindowQuery(r, w, cfg)
+	clear()
+	res, err := spatialjoin.Query(ctx, r, spatialjoin.ForWindow(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wrapIDs, res.IDs) || wrapWSt != res.Stats {
+		t.Errorf("WindowQuery diverges:\n old %v %+v\n new %v %+v", wrapIDs, wrapWSt, res.IDs, res.Stats)
+	}
+	p := spatialjoin.Point{X: 0.31, Y: 0.47}
+	clear()
+	ptIDs, ptSt := spatialjoin.PointQuery(r, p, cfg)
+	clear()
+	ptRes, err := spatialjoin.Query(ctx, r, spatialjoin.ForPoint(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ptIDs, ptRes.IDs) || ptSt != ptRes.Stats {
+		t.Errorf("PointQuery diverges: old %v %+v, new %v %+v", ptIDs, ptSt, ptRes.IDs, ptRes.Stats)
+	}
+
+	// NearestObjects ≡ Query + ForNearest (session accounting).
+	nn := spatialjoin.NearestObjectsAccess(r, r.NewSession(), p, 4)
+	nnRes, err := spatialjoin.Query(ctx, r, spatialjoin.ForNearest(p, 4),
+		spatialjoin.WithSession(r.NewSession()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(nn, nnRes.Neighbors) {
+		t.Errorf("NearestObjects diverges: old %v, new %v", nn, nnRes.Neighbors)
+	}
+
+	// The *Access twins ≡ WithSessions.
+	clear()
+	axPairs, axSt := spatialjoin.JoinContainsAccess(r, s, r.NewSession(), s.NewSession(), cfg)
+	newAx, newAxSt, err := spatialjoin.Join(ctx, r, s,
+		spatialjoin.WithPredicate(spatialjoin.Contains()),
+		spatialjoin.WithSessions(r.NewSession(), s.NewSession()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(axPairs, newAx) || !reflect.DeepEqual(axSt, newAxSt) {
+		t.Errorf("JoinContainsAccess diverges:\n old %+v\n new %+v", axSt, newAxSt)
+	}
+}
+
+// TestUnifiedAPIErrors pins the error surface of the new entry points.
+func TestUnifiedAPIErrors(t *testing.T) {
+	base := spatialjoin.GenerateMap(spatialjoin.MapConfig{Cells: 20, TargetVerts: 24, Seed: 5})
+	cfgA := spatialjoin.DefaultConfig()
+	cfgB := spatialjoin.DefaultConfig()
+	cfgB.Engine = spatialjoin.EnginePlaneSweep
+	r := spatialjoin.NewRelation("R", base, cfgA)
+	s := spatialjoin.NewRelation("S", base, cfgB)
+	ctx := context.Background()
+
+	// Mismatched build configurations are rejected without an override…
+	if _, _, err := spatialjoin.Join(ctx, r, s); err == nil {
+		t.Error("mismatched build configs not rejected")
+	}
+	// …and accepted with one.
+	if _, _, err := spatialjoin.Join(ctx, r, s, spatialjoin.WithConfig(cfgA)); err != nil {
+		t.Errorf("explicit config override rejected: %v", err)
+	}
+	// Negative ε is invalid.
+	if _, _, err := spatialjoin.Join(ctx, r, r,
+		spatialjoin.WithPredicate(spatialjoin.WithinDistance(-1))); err == nil {
+		t.Error("negative epsilon not rejected")
+	}
+	// Query requires a target; nearest takes no predicate.
+	if _, err := spatialjoin.Query(ctx, r); err == nil {
+		t.Error("targetless query not rejected")
+	}
+	if _, err := spatialjoin.Query(ctx, r,
+		spatialjoin.ForNearest(spatialjoin.Point{}, 2),
+		spatialjoin.WithPredicate(spatialjoin.Contains())); err == nil {
+		t.Error("nearest with predicate not rejected")
+	}
+	// ForNearest with k ≤ 0 is an empty nearest result, not a point query.
+	if res, err := spatialjoin.Query(ctx, r,
+		spatialjoin.ForNearest(spatialjoin.Point{X: 0.5, Y: 0.5}, 0)); err != nil || len(res.Neighbors) != 0 || len(res.IDs) != 0 {
+		t.Errorf("ForNearest(p, 0) = %v neighbors, %v ids, err %v; want empty result", res.Neighbors, res.IDs, err)
+	}
+	// Conflicting targets are rejected in every combination.
+	if _, err := spatialjoin.Query(ctx, r,
+		spatialjoin.ForWindow(spatialjoin.Rect{MaxX: 1, MaxY: 1}),
+		spatialjoin.ForNearest(spatialjoin.Point{}, 2)); err == nil {
+		t.Error("window+nearest targets not rejected")
+	}
+	if _, err := spatialjoin.Query(ctx, r,
+		spatialjoin.ForWindow(spatialjoin.Rect{MaxX: 1, MaxY: 1}),
+		spatialjoin.ForPoint(spatialjoin.Point{})); err == nil {
+		t.Error("window+point targets not rejected")
+	}
+
+	// WithLimit returns the sorted prefix.
+	full, _, err := spatialjoin.Join(ctx, r, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limited, st, err := spatialjoin.Join(ctx, r, r, spatialjoin.WithLimit(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(limited) != 3 || !reflect.DeepEqual(limited, full[:3]) {
+		t.Errorf("WithLimit(3) returned %v, want prefix of %v", limited, full[:6])
+	}
+	if st.ResultPairs != int64(len(full)) {
+		t.Errorf("WithLimit changed the statistics: %d vs %d", st.ResultPairs, len(full))
+	}
+}

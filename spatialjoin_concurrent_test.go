@@ -1,3 +1,4 @@
+//lint:file-ignore SA1019 this file exercises the deprecated *Access wrappers under concurrency
 package spatialjoin_test
 
 import (

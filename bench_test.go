@@ -518,6 +518,51 @@ func BenchmarkJoinThroughput(b *testing.B) {
 		})
 	}
 
+	// Allocation sub-benchmarks (run with -benchmem): steady-state
+	// allocations per join op and per response pair for the sequential,
+	// parallel and streaming modes. The allocation-regression guards pin
+	// the hot kernels at zero; these benchmarks track the whole-pipeline
+	// residue (channels, batches at their high-water mark, goroutines).
+	allocModes := []struct {
+		name    string
+		workers int
+		stream  bool
+	}{
+		{"alloc/seq", 1, false},
+		{"alloc/parallel", runtime.GOMAXPROCS(0), false},
+		{"alloc/stream", runtime.GOMAXPROCS(0), true},
+	}
+	for _, m := range allocModes {
+		b.Run(m.name, func(b *testing.B) {
+			opts := []multistep.Option{multistep.WithConfig(cfg), multistep.WithWorkers(m.workers)}
+			var sink []multistep.Pair
+			if m.stream {
+				opts = append(opts, multistep.WithStream(func(p multistep.Pair) { sink = append(sink, p) }))
+			}
+			run := func() int64 {
+				sink = sink[:0]
+				_, st, err := multistep.Join(context.Background(), rr, ss, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return st.ResultPairs
+			}
+			pairs := run() // warm pools, lazy representations, sink capacity
+			b.ReportAllocs()
+			b.ResetTimer()
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			for i := 0; i < b.N; i++ {
+				pairs = run()
+			}
+			runtime.ReadMemStats(&ms1)
+			if pairs > 0 {
+				perOp := float64(ms1.Mallocs-ms0.Mallocs) / float64(b.N)
+				b.ReportMetric(perOp/float64(pairs), "allocs/pair")
+			}
+		})
+	}
+
 	// The within-distance (ε-)join enters the performance trajectory
 	// alongside the intersection join: same pipeline, ε-expanded step 1,
 	// distance-based filter and exact kernels.

@@ -1,0 +1,363 @@
+// Command bench runs the paper's join workloads end to end and emits a
+// versioned JSON measurement file — the performance trajectory of the
+// repository. Each invocation measures the current build and writes (or
+// updates) one labelled run in the output file, so successive PRs append
+// comparable before/after numbers measured on the same machine:
+//
+//	go run ./cmd/bench -label baseline  -out BENCH_PR5.json
+//	... optimize ...
+//	go run ./cmd/bench -label optimized -out BENCH_PR5.json
+//
+// The workload grid is the paper's: the intersection join, the inclusion
+// (contains) join and the within-distance (ε-)join, across the three
+// exact engines and a set of worker counts. Relations are generated once
+// (the section 5 style synthetic maps) and shared across workloads; every
+// workload is warmed up once (paying the lazy per-object exact
+// representations) and then measured over -reps repetitions with the
+// process-wide allocation counters sampled around the measured window.
+//
+// Reported per workload: wall ns/op, response pairs/sec, ns per candidate
+// pair (the unit the paper's per-step costs are expressed in), allocs/op
+// and bytes/op. Reported per run: Go version, GOMAXPROCS, and the peak
+// RSS of the process (VmHWM, Linux only).
+//
+// -check validates an existing measurement file (parse + schema) and
+// exits; CI uses it to keep the committed BENCH_*.json files honest.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"spatialjoin/internal/data"
+	"spatialjoin/internal/multistep"
+)
+
+// fileVersion is the schema version of the emitted JSON.
+const fileVersion = 1
+
+// File is the on-disk measurement file: one entry per labelled run.
+type File struct {
+	Version   int    `json:"version"`
+	Benchmark string `json:"benchmark"`
+	Runs      []Run  `json:"runs"`
+}
+
+// Run is one invocation of the harness on one build of the code.
+type Run struct {
+	Label        string   `json:"label"`
+	Commit       string   `json:"commit,omitempty"`
+	Date         string   `json:"date"`
+	GoVersion    string   `json:"go_version"`
+	GOMAXPROCS   int      `json:"gomaxprocs"`
+	CPU          string   `json:"cpu,omitempty"`
+	Workload     Workload `json:"workload"`
+	PeakRSSBytes int64    `json:"peak_rss_bytes,omitempty"`
+	Results      []Result `json:"results"`
+}
+
+// Workload records the generated relation parameters of a run.
+type Workload struct {
+	Objects  int     `json:"objects_per_relation"`
+	Verts    int     `json:"avg_vertices"`
+	Seed     int64   `json:"seed"`
+	Epsilon  float64 `json:"epsilon"`
+	Reps     int     `json:"reps"`
+	Shifted  float64 `json:"strategy_a_shift"`
+	PageSize int     `json:"page_size"`
+}
+
+// Result is one measured workload cell.
+type Result struct {
+	Name           string  `json:"name"`
+	Predicate      string  `json:"predicate"`
+	Engine         string  `json:"engine"`
+	Workers        int     `json:"workers"`
+	WallNsPerOp    float64 `json:"wall_ns_per_op"`
+	ResultPairs    int64   `json:"result_pairs"`
+	CandidatePairs int64   `json:"candidate_pairs"`
+	PairsPerSec    float64 `json:"pairs_per_sec"`
+	NsPerCandidate float64 `json:"ns_per_candidate"`
+	AllocsPerOp    float64 `json:"allocs_per_op"`
+	BytesPerOp     float64 `json:"bytes_per_op"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR5.json", "measurement file to write or update")
+	label := flag.String("label", "current", "label of this run (an existing run with the same label is replaced)")
+	commit := flag.String("commit", "", "commit identifier recorded with the run")
+	n := flag.Int("n", 1200, "objects per relation")
+	verts := flag.Int("verts", 48, "average vertices per object")
+	seed := flag.Int64("seed", 4242, "data seed")
+	reps := flag.Int("reps", 5, "measured repetitions per workload")
+	epsilon := flag.Float64("epsilon", 0.005, "distance bound of the within workloads")
+	workersFlag := flag.String("workers", "1,4", "comma-separated worker counts for the intersects workloads")
+	check := flag.String("check", "", "validate an existing measurement file and exit")
+	flag.Parse()
+
+	if *check != "" {
+		if err := validate(*check); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid measurement file\n", *check)
+		return
+	}
+
+	workers, err := parseWorkers(*workersFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("generating 2×%d objects (~%d vertices, seed %d)...\n", *n, *verts, *seed)
+	base := data.GenerateMap(data.MapConfig{Cells: *n, TargetVerts: *verts, Seed: *seed})
+	shifted := data.StrategyA(base, 0.45)
+	cfg := multistep.DefaultConfig()
+	t0 := time.Now()
+	rr := multistep.NewRelation("R", base, cfg)
+	ss := multistep.NewRelation("S", shifted, cfg)
+	fmt.Printf("preprocessing: %.2fs\n", time.Since(t0).Seconds())
+
+	run := Run{
+		Label:      *label,
+		Commit:     *commit,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPU:        cpuModel(),
+		Workload: Workload{
+			Objects: *n, Verts: *verts, Seed: *seed, Epsilon: *epsilon,
+			Reps: *reps, Shifted: 0.45, PageSize: cfg.PageSize,
+		},
+	}
+
+	engines := []multistep.Engine{multistep.EngineTRStar, multistep.EnginePlaneSweep, multistep.EngineQuadratic}
+
+	// The intersection join: every engine at every worker count.
+	for _, eng := range engines {
+		for _, w := range workers {
+			run.Results = append(run.Results,
+				measure(rr, ss, cfg, multistep.Intersects(), eng, w, *reps))
+		}
+	}
+	// The within-distance join: every engine, sequential (the distance
+	// kernels are the variable under test, not the fan-out).
+	for _, eng := range engines {
+		run.Results = append(run.Results,
+			measure(rr, ss, cfg, multistep.WithinDistance(*epsilon), eng, 1, *reps))
+	}
+	// The inclusion join: the exact inclusion test is engine-independent.
+	run.Results = append(run.Results,
+		measure(rr, ss, cfg, multistep.Contains(), multistep.EngineTRStar, 1, *reps))
+
+	run.PeakRSSBytes = peakRSS()
+
+	if err := writeRun(*out, run); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote run %q (%d workloads) to %s\n", run.Label, len(run.Results), *out)
+}
+
+// measure runs one workload cell: a warm-up join (paying the lazy exact
+// representations), then reps measured joins with the allocation counters
+// sampled around the whole window.
+func measure(r, s *multistep.Relation, cfg multistep.Config, pred multistep.Predicate, eng multistep.Engine, workers, reps int) Result {
+	cfg.Engine = eng
+	opts := []multistep.Option{
+		multistep.WithConfig(cfg),
+		multistep.WithPredicate(pred),
+		multistep.WithWorkers(workers),
+		multistep.WithBufferless(),
+	}
+	join := func() multistep.Stats {
+		_, st, err := multistep.Join(context.Background(), r, s, opts...)
+		if err != nil {
+			fatal(err)
+		}
+		return st
+	}
+	st := join() // warm-up
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	for i := 0; i < reps; i++ {
+		st = join()
+	}
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&after)
+
+	res := Result{
+		Name:           fmt.Sprintf("%s/%s/w%d", predName(pred), engineName(eng), workers),
+		Predicate:      predName(pred),
+		Engine:         engineName(eng),
+		Workers:        workers,
+		WallNsPerOp:    float64(wall.Nanoseconds()) / float64(reps),
+		ResultPairs:    st.ResultPairs,
+		CandidatePairs: st.CandidatePairs,
+		AllocsPerOp:    float64(after.Mallocs-before.Mallocs) / float64(reps),
+		BytesPerOp:     float64(after.TotalAlloc-before.TotalAlloc) / float64(reps),
+	}
+	if res.WallNsPerOp > 0 {
+		res.PairsPerSec = float64(st.ResultPairs) * 1e9 / res.WallNsPerOp
+	}
+	if st.CandidatePairs > 0 {
+		res.NsPerCandidate = res.WallNsPerOp / float64(st.CandidatePairs)
+	}
+	fmt.Printf("  %-28s %10.1f ms/op %12.0f pairs/sec %10.0f allocs/op\n",
+		res.Name, res.WallNsPerOp/1e6, res.PairsPerSec, res.AllocsPerOp)
+	return res
+}
+
+// writeRun loads the measurement file if it exists, replaces or appends
+// the run by label, and writes the file back.
+func writeRun(path string, run Run) error {
+	f := File{Version: fileVersion, Benchmark: "spatialjoin multi-step join workloads"}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &f); err != nil {
+			return fmt.Errorf("existing %s is not a measurement file: %w", path, err)
+		}
+	}
+	replaced := false
+	for i := range f.Runs {
+		if f.Runs[i].Label == run.Label {
+			f.Runs[i] = run
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		f.Runs = append(f.Runs, run)
+	}
+	f.Version = fileVersion
+	raw, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// validate parses a measurement file and checks the schema invariants CI
+// relies on: a known version, at least one run, and non-empty results
+// with positive wall times.
+func validate(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Version != fileVersion {
+		return fmt.Errorf("%s: version %d, want %d", path, f.Version, fileVersion)
+	}
+	if len(f.Runs) == 0 {
+		return fmt.Errorf("%s: no runs", path)
+	}
+	for _, r := range f.Runs {
+		if r.Label == "" {
+			return fmt.Errorf("%s: run without a label", path)
+		}
+		if len(r.Results) == 0 {
+			return fmt.Errorf("%s: run %q has no results", path, r.Label)
+		}
+		for _, res := range r.Results {
+			if res.Name == "" || res.WallNsPerOp <= 0 {
+				return fmt.Errorf("%s: run %q has a malformed result %+v", path, r.Label, res)
+			}
+		}
+	}
+	return nil
+}
+
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad worker count %q", part)
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+func predName(p multistep.Predicate) string {
+	name := p.String()
+	if i := strings.IndexByte(name, '('); i >= 0 {
+		name = name[:i]
+	}
+	return name
+}
+
+func engineName(e multistep.Engine) string {
+	switch e {
+	case multistep.EngineTRStar:
+		return "trstar"
+	case multistep.EnginePlaneSweep:
+		return "planesweep"
+	case multistep.EngineQuadratic:
+		return "quadratic"
+	}
+	return "engine?"
+}
+
+// peakRSS returns the peak resident set size of the process (Linux VmHWM,
+// in bytes), or 0 where /proc is unavailable.
+func peakRSS() int64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}
+
+// cpuModel returns the CPU model name (Linux /proc/cpuinfo), or "".
+func cpuModel() string {
+	f, err := os.Open("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "model name") {
+			if i := strings.IndexByte(line, ':'); i >= 0 {
+				return strings.TrimSpace(line[i+1:])
+			}
+		}
+	}
+	return ""
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

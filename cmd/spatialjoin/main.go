@@ -13,6 +13,13 @@
 //	            [-predicate intersects|contains|within] [-epsilon ε]
 //	            [-parallel N] [-stream]
 //	            [-rstore R.store -sstore S.store]
+//	            [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// -cpuprofile and -memprofile write pprof profiles of the join phase
+// (preprocessing excluded — CPU profiling starts after the relations are
+// built, and the heap profile snapshots the live data right after the
+// join), so performance work starts from evidence: see README
+// "Profiling the hot path".
 //
 // Joins run through the unified multistep.Join entry point: -predicate
 // selects the spatial predicate (-epsilon is the distance bound of the
@@ -29,6 +36,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -57,6 +66,8 @@ func main() {
 	stream := flag.Bool("stream", false, "use the streaming pipeline (JoinStream): bounded memory, -parallel workers")
 	rstorePath := flag.String("rstore", "", "open relation R from this prebuilt store instead of generating it")
 	sstorePath := flag.String("sstore", "", "open relation S from this prebuilt store instead of generating it")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the join phase to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the join to this file")
 	flag.Parse()
 
 	cfg := multistep.DefaultConfig()
@@ -150,6 +161,20 @@ func main() {
 		// the summary line.
 		opts = append(opts, multistep.WithStream(func(p multistep.Pair) { pairs = append(pairs, p) }))
 	}
+	// Profiling brackets the join phase only: preprocessing (approximation
+	// computation, tree construction) is excluded, exactly as the paper
+	// excludes it from the measured cost.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	t1 := time.Now()
 	collected, st, err := multistep.Join(context.Background(), r, s, opts...)
 	if err != nil {
@@ -159,6 +184,20 @@ func main() {
 		pairs = collected
 	}
 	joinTime := time.Since(t1)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile() // idempotent with the deferred stop
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // flush build garbage so the profile shows live join state
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
 
 	fmt.Printf("\njoin wall time: %.3fs (predicate %s, buffer policy %s)\n\n",
 		joinTime.Seconds(), pred, cfg.BufferPolicy)

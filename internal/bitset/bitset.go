@@ -1,0 +1,66 @@
+// Package bitset implements a fixed-size dense bitset over small integer
+// keys. The streaming join uses it for the per-worker fetched-object sets
+// and their deterministic union: object identifiers are dense indexes
+// into a relation's object table, so a bitset replaces a hash set with
+// one bit per object — no per-insert allocation, no hashing, and a union
+// that is a word-wise OR.
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-capacity bitset. The zero value is an empty set of
+// capacity 0; use New to size one.
+type Set struct {
+	words []uint64
+}
+
+// New returns an empty set capable of holding the keys [0, n).
+func New(n int) *Set {
+	return &Set{words: make([]uint64, (n+63)/64)}
+}
+
+// Set adds key i to the set. Keys beyond the capacity grow the set (the
+// join pipeline never exceeds the relation size it allocated for; the
+// growth path keeps the type safe for other callers).
+func (s *Set) Set(i int) {
+	w := i >> 6
+	for w >= len(s.words) {
+		s.words = append(s.words, 0)
+	}
+	s.words[w] |= 1 << (uint(i) & 63)
+}
+
+// Has reports whether key i is in the set.
+func (s *Set) Has(i int) bool {
+	w := i >> 6
+	return w < len(s.words) && s.words[w]&(1<<(uint(i)&63)) != 0
+}
+
+// Or adds every key of o to s (s |= o), growing s if o is larger.
+func (s *Set) Or(o *Set) {
+	if o == nil {
+		return
+	}
+	for len(s.words) < len(o.words) {
+		s.words = append(s.words, 0)
+	}
+	for i, w := range o.words {
+		s.words[i] |= w
+	}
+}
+
+// Count returns the number of keys in the set.
+func (s *Set) Count() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Reset empties the set, keeping its capacity.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}

@@ -1,0 +1,83 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSetHasCount(t *testing.T) {
+	s := New(200)
+	keys := []int{0, 1, 63, 64, 65, 127, 128, 199}
+	for _, k := range keys {
+		if s.Has(k) {
+			t.Fatalf("fresh set contains %d", k)
+		}
+		s.Set(k)
+		s.Set(k) // idempotent
+	}
+	for _, k := range keys {
+		if !s.Has(k) {
+			t.Fatalf("set lost key %d", k)
+		}
+	}
+	if got := s.Count(); got != len(keys) {
+		t.Fatalf("Count = %d, want %d", got, len(keys))
+	}
+	s.Reset()
+	if got := s.Count(); got != 0 {
+		t.Fatalf("Count after Reset = %d, want 0", got)
+	}
+	for _, k := range keys {
+		if s.Has(k) {
+			t.Fatalf("Reset kept key %d", k)
+		}
+	}
+}
+
+func TestGrowBeyondCapacity(t *testing.T) {
+	s := New(1)
+	s.Set(1000)
+	if !s.Has(1000) || s.Has(999) || s.Count() != 1 {
+		t.Fatalf("growth path broken: Has(1000)=%v Has(999)=%v Count=%d",
+			s.Has(1000), s.Has(999), s.Count())
+	}
+}
+
+// TestOrMatchesMapUnion cross-checks the word-wise union against the map
+// semantics it replaces in the streaming join's statistics merge.
+func TestOrMatchesMapUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 2000
+	union := make(map[int]struct{})
+	acc := New(n)
+	for w := 0; w < 5; w++ {
+		part := New(n)
+		for i := 0; i < 300; i++ {
+			k := rng.Intn(n)
+			part.Set(k)
+			union[k] = struct{}{}
+		}
+		acc.Or(part)
+	}
+	if got := acc.Count(); got != len(union) {
+		t.Fatalf("union Count = %d, want %d", got, len(union))
+	}
+	for k := range union {
+		if !acc.Has(k) {
+			t.Fatalf("union lost key %d", k)
+		}
+	}
+	acc.Or(nil) // no-op
+	if got := acc.Count(); got != len(union) {
+		t.Fatalf("Or(nil) changed Count to %d", got)
+	}
+}
+
+func TestOrGrows(t *testing.T) {
+	small, big := New(1), New(500)
+	big.Set(400)
+	small.Or(big)
+	if !small.Has(400) {
+		t.Fatal("Or did not grow the receiver")
+	}
+}

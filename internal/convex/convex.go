@@ -11,6 +11,7 @@ package convex
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"spatialjoin/internal/geom"
 )
@@ -245,7 +246,13 @@ func Clip(subject, clip geom.Ring) geom.Ring {
 // clipHalfPlane keeps the part of ring on the left of the directed line
 // a→b (inclusive).
 func clipHalfPlane(ring geom.Ring, a, b geom.Point) geom.Ring {
-	var out geom.Ring
+	return clipHalfPlaneInto(nil, ring, a, b)
+}
+
+// clipHalfPlaneInto is clipHalfPlane appending into dst (which must not
+// alias ring).
+func clipHalfPlaneInto(dst geom.Ring, ring geom.Ring, a, b geom.Point) geom.Ring {
+	out := dst
 	n := len(ring)
 	for i := 0; i < n; i++ {
 		cur := ring[i]
@@ -269,14 +276,33 @@ func clipHalfPlane(ring geom.Ring, a, b geom.Point) geom.Ring {
 	return out
 }
 
+// clipScratch is the ping-pong buffer pair of one pooled clipping run;
+// IntersectionArea runs once per candidate pair under the false-area
+// test, so its working memory is recycled.
+type clipScratch struct{ a, b geom.Ring }
+
+var clipPool = sync.Pool{New: func() any { return new(clipScratch) }}
+
 // IntersectionArea returns the area of the intersection of two convex
-// counterclockwise rings.
+// counterclockwise rings. Unlike Clip it retains no result: the
+// intersection is built in pooled scratch buffers and only its area
+// escapes, so the per-pair false-area test allocates nothing in steady
+// state.
 func IntersectionArea(a, b geom.Ring) float64 {
-	c := Clip(a, b)
-	if len(c) < 3 {
+	sc := clipPool.Get().(*clipScratch)
+	defer clipPool.Put(sc)
+	cur := append(sc.a[:0], a...)
+	out := sc.b[:0]
+	n := len(b)
+	for i := 0; i < n && len(cur) > 0; i++ {
+		out = clipHalfPlaneInto(out[:0], cur, b[i], b[(i+1)%n])
+		cur, out = out, cur
+	}
+	sc.a, sc.b = cur, out // store back the grown capacities
+	if len(cur) < 3 {
 		return 0
 	}
-	return c.Area()
+	return cur.Area()
 }
 
 // SATIntersects reports whether two convex counterclockwise rings share at

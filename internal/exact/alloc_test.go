@@ -1,0 +1,50 @@
+package exact
+
+import (
+	"testing"
+
+	"spatialjoin/internal/data"
+	"spatialjoin/internal/ops"
+)
+
+// TestExactKernelsAllocFree guards the step 3 kernels: once the pooled
+// scratch buffers are warm, deciding a candidate pair — quadratic, plane
+// sweep (restricted and not) or within-distance — performs zero heap
+// allocations. The kernels run once per pair the filter could not
+// decide, so any allocation here multiplies across the join.
+func TestExactKernelsAllocFree(t *testing.T) {
+	polys := data.GenerateMap(data.MapConfig{Cells: 16, TargetVerts: 48, Seed: 7})
+	a, b := Prepare(polys[0]), Prepare(polys[1])
+	c, d := Prepare(polys[2]), Prepare(polys[3])
+	var ctr ops.Counters
+
+	cases := []struct {
+		name string
+		run  func()
+	}{
+		{"quadratic", func() {
+			QuadraticIntersects(a, b, &ctr)
+			QuadraticIntersects(c, d, &ctr)
+		}},
+		{"planesweep-restricted", func() {
+			PlaneSweepIntersects(a, b, true, &ctr)
+			PlaneSweepIntersects(c, d, true, &ctr)
+		}},
+		{"planesweep-unrestricted", func() {
+			PlaneSweepIntersects(a, b, false, &ctr)
+			PlaneSweepIntersects(c, d, false, &ctr)
+		}},
+		{"within-restricted", func() {
+			WithinDistance(a, b, 0.01, true, &ctr)
+			WithinDistance(c, d, 0.01, true, &ctr)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.run() // warm the scratch pools
+			if allocs := testing.AllocsPerRun(100, tc.run); allocs != 0 {
+				t.Fatalf("exact kernel allocates %.1f objects per run, want 0", allocs)
+			}
+		})
+	}
+}

@@ -14,7 +14,7 @@
 package exact
 
 import (
-	"sort"
+	"slices"
 
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/ops"
@@ -58,7 +58,16 @@ func Prepare(p *geom.Polygon) *PreparedPolygon {
 			event{x: rx, left: false, edge: int32(i)},
 		)
 	}
-	sort.Slice(pp.events, func(i, j int) bool { return less(pp.events[i], pp.events[j]) })
+	slices.SortFunc(pp.events, func(a, b event) int {
+		switch {
+		case less(a, b):
+			return -1
+		case less(b, a):
+			return 1
+		default:
+			return 0
+		}
+	})
 	return pp
 }
 

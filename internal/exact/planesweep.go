@@ -2,10 +2,25 @@ package exact
 
 import (
 	"math"
+	"sync"
 
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/ops"
 )
+
+// sweepScratch holds the per-pair working memory of one plane sweep: the
+// merged event schedule, the restriction bitmaps, the sweep-line status
+// and the vertical-edge staging area. The join evaluates the sweep once
+// per remaining candidate pair, so these buffers are recycled through a
+// pool — in steady state a sweep allocates nothing.
+type sweepScratch struct {
+	events       []event
+	keepA, keepB []bool
+	status       []event
+	verticals    []event
+}
+
+var sweepPool = sync.Pool{New: func() any { return new(sweepScratch) }}
 
 // PlaneSweepIntersects decides the intersection predicate with the
 // Shamos–Hoey plane-sweep algorithm of section 4.1: a vertical line sweeps
@@ -36,11 +51,18 @@ func PlaneSweepIntersects(a, b *PreparedPolygon, restrict bool, c *ops.Counters)
 		}
 	}
 
+	sc := sweepPool.Get().(*sweepScratch)
+	defer sweepPool.Put(sc)
+
 	// Merge the two per-polygon event schedules, optionally dropping edges
-	// outside the clip rectangle.
-	events := make([]event, 0, len(a.events)+len(b.events))
-	keepA := filterEdges(a, restrict, clip, c)
-	keepB := filterEdges(b, restrict, clip, c)
+	// outside the clip rectangle. A nil keep bitmap means "keep all".
+	events := sc.events[:0]
+	var keepA, keepB []bool
+	if restrict {
+		sc.keepA = filterEdges(a, clip, sc.keepA, c)
+		sc.keepB = filterEdges(b, clip, sc.keepB, c)
+		keepA, keepB = sc.keepA, sc.keepB
+	}
 	for _, ev := range a.events {
 		if keepA == nil || keepA[ev.edge] {
 			ev.owner = 0
@@ -53,10 +75,13 @@ func PlaneSweepIntersects(a, b *PreparedPolygon, restrict bool, c *ops.Counters)
 			events = append(events, ev)
 		}
 	}
+	sc.events = events
 	mergeSortEvents(events)
 
-	status := sweepStatus{a: a, b: b}
-	var verticals []event // vertical edges seen at the current x
+	status := sweepStatus{a: a, b: b, items: sc.status[:0]}
+	defer func() { sc.status = status.items }()
+	verticals := sc.verticals[:0] // vertical edges seen at the current x
+	defer func() { sc.verticals = verticals }()
 	curX := math.Inf(-1)
 	for _, ev := range events {
 		if ev.x != curX {
@@ -105,19 +130,14 @@ func PlaneSweepIntersects(a, b *PreparedPolygon, restrict bool, c *ops.Counters)
 	return containmentFallback(a, b, c)
 }
 
-// filterEdges returns the set of edges intersecting the clip rectangle
-// (nil when no restriction applies), counting one edge–rectangle test per
-// edge as in Table 6.
-func filterEdges(pp *PreparedPolygon, restrict bool, clip geom.Rect, c *ops.Counters) map[int32]bool {
-	if !restrict {
-		return nil
-	}
-	keep := make(map[int32]bool, len(pp.Edges))
-	for i, e := range pp.Edges {
+// filterEdges marks the edges intersecting the clip rectangle in a dense
+// bitmap indexed by edge number (reusing buf), counting one
+// edge–rectangle test per edge as in Table 6.
+func filterEdges(pp *PreparedPolygon, clip geom.Rect, buf []bool, c *ops.Counters) []bool {
+	keep := buf[:0]
+	for i := range pp.Edges {
 		c.EdgeRect++
-		if e.IntersectsRect(clip) {
-			keep[int32(i)] = true
-		}
+		keep = append(keep, pp.Edges[i].IntersectsRect(clip))
 	}
 	return keep
 }

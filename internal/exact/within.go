@@ -1,9 +1,20 @@
 package exact
 
 import (
+	"sync"
+
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/ops"
 )
+
+// withinScratch holds the per-pair restricted edge sets of the
+// within-distance kernel; recycled through a pool so the restriction
+// allocates nothing in steady state.
+type withinScratch struct {
+	ea, eb []geom.Segment
+}
+
+var withinPool = sync.Pool{New: func() any { return new(withinScratch) }}
 
 // WithinDistance decides the within-distance predicate on exact geometry:
 // whether the closed polygonal regions of a and b lie within Euclidean
@@ -37,8 +48,11 @@ func WithinDistance(a, b *PreparedPolygon, eps float64, restrict bool, c *ops.Co
 	}
 	ea, eb := a.Edges, b.Edges
 	if restrict {
-		ea = edgesNear(a.Edges, b.MBR, eps, c)
-		eb = edgesNear(b.Edges, a.MBR, eps, c)
+		sc := withinPool.Get().(*withinScratch)
+		defer withinPool.Put(sc)
+		sc.ea = edgesNear(a.Edges, b.MBR, eps, sc.ea[:0], c)
+		sc.eb = edgesNear(b.Edges, a.MBR, eps, sc.eb[:0], c)
+		ea, eb = sc.ea, sc.eb
 	}
 	for _, sa := range ea {
 		for _, sb := range eb {
@@ -51,11 +65,11 @@ func WithinDistance(a, b *PreparedPolygon, eps float64, restrict bool, c *ops.Co
 	return false
 }
 
-// edgesNear returns the edges within eps of the rectangle — the only
-// edges that can realize a boundary distance of at most eps to an object
-// bounded by r. Every candidate edge is one edge–rectangle test.
-func edgesNear(edges []geom.Segment, r geom.Rect, eps float64, c *ops.Counters) []geom.Segment {
-	out := make([]geom.Segment, 0, len(edges))
+// edgesNear appends the edges within eps of the rectangle to buf — the
+// only edges that can realize a boundary distance of at most eps to an
+// object bounded by r. Every candidate edge is one edge–rectangle test.
+func edgesNear(edges []geom.Segment, r geom.Rect, eps float64, buf []geom.Segment, c *ops.Counters) []geom.Segment {
+	out := buf
 	for _, e := range edges {
 		c.EdgeRect++
 		if e.Bounds().Dist(r) <= eps {

@@ -4,7 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"spatialjoin/internal/approx"
 	"spatialjoin/internal/ctxpoll"
@@ -79,8 +79,9 @@ func WithConfig(cfg Config) Option {
 
 // WithWorkers sets the worker count of the join pipeline: the step 1
 // traversal fan-out and the step 2+3 pool size alike. n ≤ 0 selects
-// GOMAXPROCS (the default). Statistics are independent of the worker
-// count by construction.
+// GOMAXPROCS (the default); values above 4×GOMAXPROCS are clamped —
+// beyond that, extra workers only cost memory and scheduling overhead.
+// Statistics are independent of the worker count by construction.
 func WithWorkers(n int) Option {
 	return func(o *queryOptions) { o.workers = n }
 }
@@ -227,13 +228,17 @@ func Join(ctx context.Context, r, s *Relation, opts ...Option) ([]Pair, Stats, e
 }
 
 // sortResponse orders a response set by (A, B) — the canonical order of
-// the collected join result.
+// the collected join result. Pairs are unique, so the (A, B) comparison
+// is a total order and the typed sort returns the identical sequence the
+// reflection-based sort did.
 func sortResponse(ps []Pair) {
-	sort.Slice(ps, func(i, j int) bool {
-		if ps[i].A != ps[j].A {
-			return ps[i].A < ps[j].A
+	slices.SortFunc(ps, func(p, q Pair) int {
+		switch {
+		case p.A != q.A:
+			return int(p.A - q.A)
+		default:
+			return int(p.B - q.B)
 		}
-		return ps[i].B < ps[j].B
 	})
 }
 
@@ -387,11 +392,15 @@ func nearestQuery(ctx context.Context, r *Relation, ax storage.Accessor, p geom.
 			})
 		}
 		res.Stats.ExactTested += int64(len(cands))
-		sort.Slice(out, func(i, j int) bool {
-			if out[i].Dist != out[j].Dist {
-				return out[i].Dist < out[j].Dist
+		slices.SortFunc(out, func(a, b Neighbor) int {
+			switch {
+			case a.Dist < b.Dist:
+				return -1
+			case a.Dist > b.Dist:
+				return 1
+			default:
+				return int(a.ID - b.ID)
 			}
-			return out[i].ID < out[j].ID
 		})
 		done := fetch == len(r.Objects)
 		if !done {

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"spatialjoin/internal/approx"
+	"spatialjoin/internal/bitset"
 	"spatialjoin/internal/ctxpoll"
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/ops"
@@ -50,10 +51,17 @@ func DefaultStreamOptions() StreamOptions {
 	return o
 }
 
-// withDefaults resolves the pipeline shape of one join call.
+// withDefaults resolves the pipeline shape of one join call. The worker
+// count is clamped to 4×GOMAXPROCS: beyond that, extra workers only cost
+// memory and scheduling (the serving layer applies the same guard to its
+// unauthenticated workers parameter; the library enforces it for every
+// caller rather than trusting them).
 func (o queryOptions) withDefaults() queryOptions {
 	if o.workers <= 0 {
 		o.workers = runtime.GOMAXPROCS(0)
+	}
+	if maxWorkers := 4 * runtime.GOMAXPROCS(0); o.workers > maxWorkers {
+		o.workers = maxWorkers
 	}
 	if o.batch <= 0 {
 		o.batch = 256
@@ -67,14 +75,26 @@ func (o queryOptions) withDefaults() queryOptions {
 // streamCand is one candidate pair in flight between step 1 and step 2.
 type streamCand struct{ a, b int32 }
 
+// candBatchPool and pairBatchPool recycle the pipeline's batch buffers:
+// the channels carry *[]T so a drained batch returns to the pool with its
+// backing array AND its box, making the steady-state batch traffic
+// allocation-free. Batches abandoned on cancellation simply fall to the
+// garbage collector.
+var (
+	candBatchPool = sync.Pool{New: func() any { return new([]streamCand) }}
+	pairBatchPool = sync.Pool{New: func() any { return new([]Pair) }}
+)
+
 // streamWorker accumulates one worker's share of the steps 2+3 statistics;
-// the shares are merged deterministically after the pipeline drains.
+// the shares are merged deterministically after the pipeline drains. The
+// fetched-object sets are bitsets over the dense object indexes — one bit
+// per object instead of a hash-set entry per fetch.
 type streamWorker struct {
 	hits, falseHits    int64
 	exactTested        int64
 	exactHits          int64
 	ops                ops.Counters
-	fetchedR, fetchedS map[int32]struct{}
+	fetchedR, fetchedS *bitset.Set
 }
 
 // joinStream runs the multi-step spatial join as a streaming, fully
@@ -124,12 +144,12 @@ func joinStream(ctx context.Context, r, s *Relation, cfg Config, pred Predicate,
 	defer release()
 	stopCh := ctx.Done()
 
-	candCh := make(chan []streamCand, o.queue)
-	resCh := make(chan []Pair, o.queue)
+	candCh := make(chan *[]streamCand, o.queue)
+	resCh := make(chan *[]Pair, o.queue)
 
 	// send enqueues one candidate batch, abandoning it when the context
 	// is cancelled (the workers are draining by then).
-	send := func(buf []streamCand) {
+	send := func(buf *[]streamCand) {
 		select {
 		case candCh <- buf:
 		case <-stopCh: // nil for uncancellable contexts: select blocks on the send alone
@@ -143,11 +163,12 @@ func joinStream(ctx context.Context, r, s *Relation, cfg Config, pred Predicate,
 		wg.Add(1)
 		go func(ws *streamWorker) {
 			defer wg.Done()
-			ws.fetchedR = make(map[int32]struct{})
-			ws.fetchedS = make(map[int32]struct{})
-			for batch := range candCh {
-				var out []Pair
-				for _, c := range batch {
+			ws.fetchedR = bitset.New(len(r.Objects))
+			ws.fetchedS = bitset.New(len(s.Objects))
+			for bp := range candCh {
+				op := pairBatchPool.Get().(*[]Pair)
+				out := (*op)[:0]
+				for _, c := range *bp {
 					if stop != nil && stop() {
 						break
 					}
@@ -167,18 +188,23 @@ func joinStream(ctx context.Context, r, s *Relation, cfg Config, pred Predicate,
 					}
 					// Step 3: the predicate's exact geometry test.
 					ws.exactTested++
-					ws.fetchedR[c.a] = struct{}{}
-					ws.fetchedS[c.b] = struct{}{}
+					ws.fetchedR.Set(int(c.a))
+					ws.fetchedS.Set(int(c.b))
 					if pred.exactDecide(cfg, oa, ob, &ws.ops) {
 						ws.exactHits++
 						out = append(out, Pair{A: c.a, B: c.b})
 					}
 				}
+				*bp = (*bp)[:0]
+				candBatchPool.Put(bp)
+				*op = out
 				if len(out) > 0 {
 					select {
-					case resCh <- out:
+					case resCh <- op:
 					case <-stopCh:
 					}
+				} else {
+					pairBatchPool.Put(op)
 				}
 			}
 		}(&workers[w])
@@ -189,13 +215,15 @@ func joinStream(ctx context.Context, r, s *Relation, cfg Config, pred Predicate,
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		for batch := range resCh {
-			resultPairs += int64(len(batch))
+		for op := range resCh {
+			resultPairs += int64(len(*op))
 			if emit != nil {
-				for _, p := range batch {
+				for _, p := range *op {
 					emit(p)
 				}
 			}
+			*op = (*op)[:0]
+			pairBatchPool.Put(op)
 		}
 	}()
 
@@ -206,28 +234,39 @@ func joinStream(ctx context.Context, r, s *Relation, cfg Config, pred Predicate,
 	// inclusion joins) refines the rectangle-test survivors into
 	// candidates.
 	eps := pred.step1Eps()
+	// newBatch takes a recycled candidate buffer from the pool.
+	newBatch := func() *[]streamCand {
+		bp := candBatchPool.Get().(*[]streamCand)
+		*bp = (*bp)[:0]
+		return bp
+	}
 	switch cfg.Step1 {
 	case Step1RStar:
 		// Per-traversal-worker batch buffers and candidate counters:
 		// rstar.JoinParallelAccess serializes calls with the same worker
 		// index, so no locks are needed.
-		batches := make([][]streamCand, o.workers)
+		batches := make([]*[]streamCand, o.workers)
+		for w := range batches {
+			batches[w] = newBatch()
+		}
 		cands := make([]int64, o.workers)
 		st.MBRJoin = rstar.JoinParallelAccess(ctx, r.Tree, s.Tree, axR, axS, eps, o.workers, func(w int, a, b rstar.Item) {
 			if !pred.pretest(r.Objects[a.ID], s.Objects[b.ID]) {
 				return
 			}
 			cands[w]++
-			buf := append(batches[w], streamCand{a.ID, b.ID})
-			if len(buf) >= o.batch {
-				send(buf)
-				buf = nil
+			bp := batches[w]
+			*bp = append(*bp, streamCand{a.ID, b.ID})
+			if len(*bp) >= o.batch {
+				send(bp)
+				batches[w] = newBatch()
 			}
-			batches[w] = buf
 		})
-		for _, buf := range batches {
-			if len(buf) > 0 {
-				send(buf)
+		for _, bp := range batches {
+			if len(*bp) > 0 {
+				send(bp)
+			} else {
+				candBatchPool.Put(bp)
 			}
 		}
 		for _, c := range cands {
@@ -251,7 +290,7 @@ func joinStream(ctx context.Context, r, s *Relation, cfg Config, pred Predicate,
 		}
 		zcfg := zorder.DefaultCoverConfig()
 		zcfg.DataSpace = space // both relations must be fully covered
-		var buf []streamCand
+		bp := newBatch()
 		zorder.Join(mbrsR, mbrsS, zcfg, func(i, j int) {
 			if stop != nil && stop() {
 				return
@@ -259,18 +298,20 @@ func joinStream(ctx context.Context, r, s *Relation, cfg Config, pred Predicate,
 			st.ZOrderCandidates++
 			if mbrsR[i].Intersects(mbrsS[j]) && pred.pretest(r.Objects[i], s.Objects[j]) {
 				st.CandidatePairs++
-				buf = append(buf, streamCand{int32(i), int32(j)})
-				if len(buf) >= o.batch {
-					send(buf)
-					buf = nil
+				*bp = append(*bp, streamCand{int32(i), int32(j)})
+				if len(*bp) >= o.batch {
+					send(bp)
+					bp = newBatch()
 				}
 			}
 		})
-		if len(buf) > 0 {
-			send(buf)
+		if len(*bp) > 0 {
+			send(bp)
+		} else {
+			candBatchPool.Put(bp)
 		}
 	case Step1NestedLoops:
-		var buf []streamCand
+		bp := newBatch()
 	nested:
 		for _, oa := range r.Objects {
 			if stop != nil && stop() {
@@ -279,16 +320,18 @@ func joinStream(ctx context.Context, r, s *Relation, cfg Config, pred Predicate,
 			for _, ob := range s.Objects {
 				if oa.Approx.MBR.Expand(eps).Intersects(ob.Approx.MBR) && pred.pretest(oa, ob) {
 					st.CandidatePairs++
-					buf = append(buf, streamCand{oa.ID, ob.ID})
-					if len(buf) >= o.batch {
-						send(buf)
-						buf = nil
+					*bp = append(*bp, streamCand{oa.ID, ob.ID})
+					if len(*bp) >= o.batch {
+						send(bp)
+						bp = newBatch()
 					}
 				}
 			}
 		}
-		if len(buf) > 0 {
-			send(buf)
+		if len(*bp) > 0 {
+			send(bp)
+		} else {
+			candBatchPool.Put(bp)
 		}
 	default:
 		panic("multistep: unknown step 1 generator")
@@ -303,10 +346,10 @@ func joinStream(ctx context.Context, r, s *Relation, cfg Config, pred Predicate,
 	}
 
 	// Deterministic merge: every counter is a sum and the fetch sets are
-	// unions, so the totals do not depend on how candidates were spread
-	// over the workers.
-	unionR := make(map[int32]struct{})
-	unionS := make(map[int32]struct{})
+	// unions (word-wise ORs of the per-worker bitsets), so the totals do
+	// not depend on how candidates were spread over the workers.
+	unionR := bitset.New(len(r.Objects))
+	unionS := bitset.New(len(s.Objects))
 	for w := range workers {
 		ws := &workers[w]
 		st.FilterHits += ws.hits
@@ -314,14 +357,10 @@ func joinStream(ctx context.Context, r, s *Relation, cfg Config, pred Predicate,
 		st.ExactTested += ws.exactTested
 		st.ExactHits += ws.exactHits
 		st.Ops.Add(ws.ops)
-		for id := range ws.fetchedR {
-			unionR[id] = struct{}{}
-		}
-		for id := range ws.fetchedS {
-			unionS[id] = struct{}{}
-		}
+		unionR.Or(ws.fetchedR)
+		unionS.Or(ws.fetchedS)
 	}
-	st.ObjectFetches = int64(len(unionR) + len(unionS))
+	st.ObjectFetches = int64(unionR.Count() + unionS.Count())
 	st.PageAccessesR = axR.Misses() - missesR
 	st.PageAccessesS = axS.Misses() - missesS
 	st.ResultPairs = resultPairs

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"spatialjoin/internal/ctxpoll"
+	"spatialjoin/internal/geom"
 	"spatialjoin/internal/storage"
 )
 
@@ -61,14 +62,9 @@ func JoinParallelAccess(ctx context.Context, t1, t2 *Tree, ax1, ax2 storage.Acce
 	stop, release := ctxpoll.Stop(ctx)
 	defer release()
 	if workers == 1 || t1.root.leaf || t2.root.leaf {
-		v := &joinVisit{
-			touch1: func(n *node) { ax1.Access(n.page) },
-			touch2: func(n *node) { ax2.Access(n.page) },
-			st:     &st,
-			eps:    eps,
-			stop:   stop,
-			fn:     func(a, b Item) { emit(0, a, b) }}
-		v.nodes(t1.root, t2.root)
+		v := newJoinVisit(t1, t2, &st, eps, stop, func(a, b Item) { emit(0, a, b) })
+		v.ax1, v.ax2 = ax1, ax2
+		v.nodes(t1.root, t2.root, t1.root.bounds(), t2.root.bounds())
 		return st
 	}
 
@@ -82,10 +78,14 @@ func JoinParallelAccess(ctx context.Context, t1, t2 *Tree, ax1, ax2 storage.Acce
 	if inter.IsEmpty() {
 		return st
 	}
-	type task struct{ n1, n2 *node }
+	type task struct {
+		n1, n2 *node
+		b1, b2 geom.Rect
+	}
 	var tasks []task
-	sweepPairs(t1.root.entries, t2.root.entries, inter, eps, &st, func(e1, e2 entry) {
-		tasks = append(tasks, task{e1.child, e2.child})
+	var rootScratch sweepScratch
+	sweepPairs(t1.root.entries, t2.root.entries, inter, eps, &st, &rootScratch, func(e1, e2 *entry) {
+		tasks = append(tasks, task{e1.child, e2.child, e1.rect, e2.rect})
 	})
 
 	type taskResult struct {
@@ -99,6 +99,9 @@ func JoinParallelAccess(ctx context.Context, t1, t2 *Tree, ax1, ax2 storage.Acce
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// One visitor per worker: the sweep scratch is reused across
+			// every task the worker processes.
+			v := newJoinVisit(t1, t2, nil, eps, stop, func(a, b Item) { emit(w, a, b) })
 			for {
 				if stop != nil && stop() {
 					return
@@ -108,15 +111,9 @@ func JoinParallelAccess(ctx context.Context, t1, t2 *Tree, ax1, ax2 storage.Acce
 					return
 				}
 				res := &results[i]
-				v := &joinVisit{
-					touch1: func(n *node) { res.trace1 = append(res.trace1, n.page) },
-					touch2: func(n *node) { res.trace2 = append(res.trace2, n.page) },
-					st:     &res.st,
-					eps:    eps,
-					stop:   stop,
-					fn:     func(a, b Item) { emit(w, a, b) },
-				}
-				v.nodes(tasks[i].n1, tasks[i].n2)
+				v.st = &res.st
+				v.trace1, v.trace2 = &res.trace1, &res.trace2
+				v.nodes(tasks[i].n1, tasks[i].n2, tasks[i].b1, tasks[i].b2)
 			}
 		}(w)
 	}

@@ -13,7 +13,7 @@ package rstar
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/rtreecore"
@@ -423,29 +423,74 @@ func JoinAccessEps(t1, t2 *Tree, ax1, ax2 storage.Accessor, eps float64, stop fu
 	if t1.size == 0 || t2.size == 0 {
 		return st
 	}
-	v := &joinVisit{
-		touch1: func(n *node) { ax1.Access(n.page) },
-		touch2: func(n *node) { ax2.Access(n.page) },
-		st:     &st, fn: fn, eps: eps, stop: stop,
-	}
-	v.nodes(t1.root, t2.root)
+	v := newJoinVisit(t1, t2, &st, eps, stop, fn)
+	v.ax1, v.ax2 = ax1, ax2
+	v.nodes(t1.root, t2.root, t1.root.bounds(), t2.root.bounds())
 	return st
 }
 
 // joinVisit parameterizes the synchronized traversal over how node visits
-// are recorded: the sequential Join routes them through the trees' buffer
-// managers, while the parallel traversal of JoinParallel records per-task
-// page traces and replays them afterwards (the buffer manager is not safe
-// for concurrent use, and replaying in canonical order keeps the miss
-// counts identical to the sequential traversal). eps widens every
-// rectangle predicate for the within-distance join (0 = plain
-// intersection); stop, when non-nil, aborts the traversal early.
+// are recorded: the sequential Join routes them through access contexts
+// (ax1/ax2), while the parallel traversal of JoinParallel records per-task
+// page traces (trace1/trace2) and replays them afterwards (the buffer
+// manager is not safe for concurrent use, and replaying in canonical
+// order keeps the miss counts identical to the sequential traversal). eps
+// widens every rectangle predicate for the within-distance join (0 =
+// plain intersection); stop, when non-nil, aborts the traversal early.
+//
+// The visitor owns one sweep scratch per traversal depth, so the restrict
+// and plane-sweep buffers of every node-pair expansion are reused across
+// sibling pairs at the same depth: in steady state the expansion performs
+// zero heap allocations (guarded by TestNodePairSweepAllocFree).
 type joinVisit struct {
-	touch1, touch2 func(*node)
+	ax1, ax2       storage.Accessor // nil: record into the traces instead
+	trace1, trace2 *[]storage.PageID
 	st             *JoinStats
 	fn             func(a, b Item)
 	eps            float64
 	stop           func() bool
+	depth          int
+	scratch        []sweepScratch
+}
+
+// sweepScratch holds the reusable restrict buffers of one traversal
+// depth. The slices are stored back after every use so their capacity
+// survives to the next node pair at that depth.
+type sweepScratch struct{ r1, r2 []entry }
+
+// newJoinVisit sizes a visitor for a traversal of the two trees: the
+// recursion descends at least one tree per level, so the depth never
+// exceeds the height sum.
+func newJoinVisit(t1, t2 *Tree, st *JoinStats, eps float64, stop func() bool, fn func(a, b Item)) *joinVisit {
+	return &joinVisit{
+		st: st, fn: fn, eps: eps, stop: stop,
+		scratch: make([]sweepScratch, t1.height+t2.height+1),
+	}
+}
+
+// scratchAt returns the sweep scratch of one traversal depth, growing the
+// ladder if a caller exceeds the sizing estimate.
+func (v *joinVisit) scratchAt(d int) *sweepScratch {
+	for d >= len(v.scratch) {
+		v.scratch = append(v.scratch, sweepScratch{})
+	}
+	return &v.scratch[d]
+}
+
+func (v *joinVisit) touch1(n *node) {
+	if v.ax1 != nil {
+		v.ax1.Access(n.page)
+		return
+	}
+	*v.trace1 = append(*v.trace1, n.page)
+}
+
+func (v *joinVisit) touch2(n *node) {
+	if v.ax2 != nil {
+		v.ax2.Access(n.page)
+		return
+	}
+	*v.trace2 = append(*v.trace2, n.page)
 }
 
 // within reports whether the per-axis gap between two rectangles is at
@@ -459,7 +504,11 @@ func within(a, b geom.Rect, eps float64) bool {
 		a.MinY <= b.MaxY+eps && b.MinY <= a.MaxY+eps
 }
 
-func (v *joinVisit) nodes(n1, n2 *node) {
+// nodes expands one node pair. b1 and b2 are the node regions, threaded
+// down from the parent entries (the directory invariant makes the entry
+// rectangle exactly the child's bounds), so the traversal never recomputes
+// a bounds union.
+func (v *joinVisit) nodes(n1, n2 *node, b1, b2 geom.Rect) {
 	if v.stop != nil && v.stop() {
 		return
 	}
@@ -469,40 +518,41 @@ func (v *joinVisit) nodes(n1, n2 *node) {
 	// node regions: every entry pair within eps of each other has both
 	// entries intersecting it (each rectangle lies in its own expanded
 	// region and meets the expansion of the other side's).
-	inter := n1.bounds().Expand(v.eps).Intersection(n2.bounds().Expand(v.eps))
+	inter := b1.Expand(v.eps).Intersection(b2.Expand(v.eps))
 	if inter.IsEmpty() {
 		return
 	}
+	sc := v.scratchAt(v.depth)
+	v.depth++
 	switch {
 	case n1.leaf && n2.leaf:
 		before := v.st.RectTests
-		sweepPairs(n1.entries, n2.entries, inter, v.eps, v.st, func(e1, e2 entry) {
+		sweepPairs(n1.entries, n2.entries, inter, v.eps, v.st, sc, func(e1, e2 *entry) {
 			v.st.Pairs++
 			v.fn(e1.item, e2.item)
 		})
 		v.st.LeafTests += v.st.RectTests - before
 	case !n1.leaf && !n2.leaf:
-		sweepPairs(n1.entries, n2.entries, inter, v.eps, v.st, func(e1, e2 entry) {
-			v.nodes(e1.child, e2.child)
+		sweepPairs(n1.entries, n2.entries, inter, v.eps, v.st, sc, func(e1, e2 *entry) {
+			v.nodes(e1.child, e2.child, e1.rect, e2.rect)
 		})
 	case n1.leaf:
 		// Different heights: descend the deeper tree only.
-		b1 := n1.bounds()
 		for i := range n2.entries {
 			v.st.RectTests++
 			if within(n2.entries[i].rect, b1, v.eps) {
-				v.nodes(n1, n2.entries[i].child)
+				v.nodes(n1, n2.entries[i].child, b1, n2.entries[i].rect)
 			}
 		}
 	default:
-		b2 := n2.bounds()
 		for i := range n1.entries {
 			v.st.RectTests++
 			if within(n1.entries[i].rect, b2, v.eps) {
-				v.nodes(n1.entries[i].child, n2)
+				v.nodes(n1.entries[i].child, n2, n1.entries[i].rect, b2)
 			}
 		}
 	}
+	v.depth--
 }
 
 // sweepPairs enumerates the pairs of entries whose rectangles satisfy the
@@ -510,46 +560,65 @@ func (v *joinVisit) nodes(n1, n2 *node) {
 // entries intersecting the (ε-expanded) common intersection rectangle
 // participate. Plane-sweep order: both restricted sequences are sorted by
 // MinX and swept, so an entry is only tested against entries whose x
-// ranges come within eps of its own [BKS 93a].
-func sweepPairs(e1, e2 []entry, inter geom.Rect, eps float64, st *JoinStats, emit func(a, b entry)) {
-	r1 := restrict(e1, inter, st)
-	r2 := restrict(e2, inter, st)
+// ranges come within eps of its own [BKS 93a]. The restricted sequences
+// live in sc's reusable buffers, so a warmed traversal allocates nothing
+// here.
+func sweepPairs(e1, e2 []entry, inter geom.Rect, eps float64, st *JoinStats, sc *sweepScratch, emit func(a, b *entry)) {
+	r1 := restrict(e1, inter, st, sc.r1[:0])
+	sc.r1 = r1
+	r2 := restrict(e2, inter, st, sc.r2[:0])
+	sc.r2 = r2
 	if len(r1) == 0 || len(r2) == 0 {
 		return
 	}
-	sort.Slice(r1, func(a, b int) bool { return r1[a].rect.MinX < r1[b].rect.MinX })
-	sort.Slice(r2, func(a, b int) bool { return r2[a].rect.MinX < r2[b].rect.MinX })
+	slices.SortFunc(r1, compareMinX)
+	slices.SortFunc(r2, compareMinX)
 	i, j := 0, 0
 	for i < len(r1) && j < len(r2) {
 		if r1[i].rect.MinX <= r2[j].rect.MinX {
-			sweepInternal(r1[i], r2, j, eps, st, emit, false)
+			sweepInternal(&r1[i], r2, j, eps, st, emit, false)
 			i++
 		} else {
-			sweepInternal(r2[j], r1, i, eps, st, emit, true)
+			sweepInternal(&r2[j], r1, i, eps, st, emit, true)
 			j++
 		}
 	}
 }
 
+// compareMinX orders entries by their lower x bound — the plane-sweep
+// order of [BKS 93a]. A typed comparison: sort.Slice's reflection-based
+// swapper allocated on every node pair and dominated the join's
+// allocation profile.
+func compareMinX(a, b entry) int {
+	switch {
+	case a.rect.MinX < b.rect.MinX:
+		return -1
+	case b.rect.MinX < a.rect.MinX:
+		return 1
+	default:
+		return 0
+	}
+}
+
 // sweepInternal tests pivot against others[from:] while their x ranges
 // come within eps of the pivot's.
-func sweepInternal(pivot entry, others []entry, from int, eps float64, st *JoinStats, emit func(a, b entry), swapped bool) {
+func sweepInternal(pivot *entry, others []entry, from int, eps float64, st *JoinStats, emit func(a, b *entry), swapped bool) {
 	for k := from; k < len(others) && others[k].rect.MinX <= pivot.rect.MaxX+eps; k++ {
 		st.RectTests++
 		if pivot.rect.MinY <= others[k].rect.MaxY+eps && others[k].rect.MinY <= pivot.rect.MaxY+eps {
 			if swapped {
-				emit(others[k], pivot)
+				emit(&others[k], pivot)
 			} else {
-				emit(pivot, others[k])
+				emit(pivot, &others[k])
 			}
 		}
 	}
 }
 
 // restrict filters entries to those intersecting the search-space
-// rectangle.
-func restrict(es []entry, inter geom.Rect, st *JoinStats) []entry {
-	out := make([]entry, 0, len(es))
+// rectangle, appending to buf (the caller's reusable scratch).
+func restrict(es []entry, inter geom.Rect, st *JoinStats, buf []entry) []entry {
+	out := buf
 	for i := range es {
 		st.RectTests++
 		if es[i].rect.Intersects(inter) {

@@ -35,7 +35,13 @@ type FileStore struct {
 	f    *os.File
 	slot int
 
-	mu       sync.Mutex
+	// mu is a read-write lock: the shared-mode accounting path and every
+	// cache mutation hold it exclusively, while the session read path
+	// (ReadShared) serves resident pages under the read lock — concurrent
+	// queries reading buffered pages never serialize on each other. The
+	// hit/miss counters live in the BufferManager's atomics, so the
+	// statistics accessors take no lock at all.
+	mu       sync.RWMutex
 	pages    int // page slots physically present in the file
 	bm       *BufferManager
 	cache    map[PageID][]byte
@@ -156,16 +162,16 @@ func (s *FileStore) SlotBytes() int { return s.slot }
 
 // Pages returns the number of page slots present in the file.
 func (s *FileStore) Pages() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.pages
 }
 
 // Err returns the first I/O error Access swallowed, if any. ReadPage and
 // the write path report their errors directly.
 func (s *FileStore) Err() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.err
 }
 
@@ -235,8 +241,16 @@ func (s *FileStore) ReadShared(id PageID) ([]byte, error) {
 	if id < 0 {
 		return nil, fmt.Errorf("storage: read of invalid page %d", id)
 	}
+	// Fast path: a resident page needs only the read lock, so concurrent
+	// sessions reading buffered pages proceed in parallel.
+	s.mu.RLock()
+	data := s.cache[id]
+	s.mu.RUnlock()
+	if data != nil {
+		return data, nil
+	}
 	s.mu.Lock()
-	if data := s.cache[id]; data != nil {
+	if data := s.cache[id]; data != nil { // re-check: raced with a fill
 		s.mu.Unlock()
 		return data, nil
 	}
@@ -328,26 +342,15 @@ func (s *FileStore) Close() error {
 	return s.f.Close()
 }
 
-// Hits returns the number of buffered accesses.
-func (s *FileStore) Hits() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.bm.Hits()
-}
+// Hits returns the number of buffered accesses. The counters are
+// atomics, so the statistics accessors never contend with readers.
+func (s *FileStore) Hits() int64 { return s.bm.Hits() }
 
 // Misses returns the number of accesses that read from disk.
-func (s *FileStore) Misses() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.bm.Misses()
-}
+func (s *FileStore) Misses() int64 { return s.bm.Misses() }
 
 // Accesses returns the total number of page touches.
-func (s *FileStore) Accesses() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.bm.Accesses()
-}
+func (s *FileStore) Accesses() int64 { return s.bm.Accesses() }
 
 // ResetCounters zeroes the statistics without dropping buffer contents.
 func (s *FileStore) ResetCounters() {

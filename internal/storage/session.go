@@ -70,9 +70,9 @@ func NewSession(store PageStore) *Session {
 // over a byte-serving store the page is read from the shared cache or
 // disk.
 func (s *Session) Access(id PageID) {
-	before := s.sim.misses
+	before := s.sim.misses.Load()
 	s.sim.Access(id)
-	if s.src != nil && s.sim.misses != before {
+	if s.src != nil && s.sim.misses.Load() != before {
 		if _, err := s.src.ReadShared(id); err != nil && s.err == nil {
 			s.err = err
 		}

@@ -18,6 +18,7 @@ package storage
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // PageID identifies one page of the store.
@@ -117,6 +118,13 @@ func (p Policy) String() string {
 
 // BufferManager is a page buffer with hit/miss accounting. A miss models
 // one disk access.
+//
+// The replacement structures are single-writer (one query at a time in
+// shared mode, or one private simulation per Session), but the hit/miss
+// counters are atomics: readers (statistics endpoints, concurrent
+// sessions polling the shared store's totals) never need the owner's
+// lock, which removes the main mutex contention from FileStore's shared
+// read path while reporting exactly the same totals.
 type BufferManager struct {
 	frames int
 	policy Policy
@@ -125,8 +133,8 @@ type BufferManager struct {
 	tail   *frameNode // least recently used / oldest
 	hand   *frameNode // clock hand (Clock policy)
 
-	hits   int64
-	misses int64
+	hits   atomic.Int64
+	misses atomic.Int64
 
 	// onEvict, when set, observes every eviction — FileStore uses it to
 	// drop the evicted page's cached bytes. It must not call back into
@@ -175,7 +183,7 @@ func (b *BufferManager) Frames() int { return b.frames }
 // full (miss).
 func (b *BufferManager) Access(id PageID) {
 	if n, ok := b.table[id]; ok {
-		b.hits++
+		b.hits.Add(1)
 		switch b.policy {
 		case LRU:
 			b.moveToFront(n)
@@ -184,7 +192,7 @@ func (b *BufferManager) Access(id PageID) {
 		}
 		return
 	}
-	b.misses++
+	b.misses.Add(1)
 	n := &frameNode{id: id}
 	b.table[id] = n
 	b.pushFront(n)
@@ -234,26 +242,28 @@ func (b *BufferManager) evict() {
 }
 
 // Hits returns the number of buffered accesses.
-func (b *BufferManager) Hits() int64 { return b.hits }
+func (b *BufferManager) Hits() int64 { return b.hits.Load() }
 
 // Misses returns the number of accesses that went to disk — the paper's
 // page-access count.
-func (b *BufferManager) Misses() int64 { return b.misses }
+func (b *BufferManager) Misses() int64 { return b.misses.Load() }
 
 // Accesses returns the total number of page touches.
-func (b *BufferManager) Accesses() int64 { return b.hits + b.misses }
+func (b *BufferManager) Accesses() int64 { return b.hits.Load() + b.misses.Load() }
 
 // ResetCounters zeroes the statistics without dropping buffer contents,
 // so a measurement can exclude index construction.
 func (b *BufferManager) ResetCounters() {
-	b.hits, b.misses = 0, 0
+	b.hits.Store(0)
+	b.misses.Store(0)
 }
 
 // Clear drops all buffered pages and zeroes the statistics.
 func (b *BufferManager) Clear() {
 	b.table = make(map[PageID]*frameNode, b.frames)
 	b.head, b.tail, b.hand = nil, nil, nil
-	b.hits, b.misses = 0, 0
+	b.hits.Store(0)
+	b.misses.Store(0)
 }
 
 // FrameState is the persisted state of one buffered page.
@@ -291,9 +301,10 @@ func (b *BufferManager) State() BufferState {
 // The counters are left untouched; frames beyond the buffer capacity are
 // ignored (newest kept).
 func (b *BufferManager) Restore(st BufferState) {
-	hits, misses := b.hits, b.misses
+	hits, misses := b.hits.Load(), b.misses.Load()
 	b.Clear()
-	b.hits, b.misses = hits, misses
+	b.hits.Store(hits)
+	b.misses.Store(misses)
 	drop := len(st.Frames) - b.frames // oldest frames beyond capacity
 	for i, f := range st.Frames {
 		if i < drop {

@@ -254,18 +254,27 @@ func Intersects(t1, t2 *Tree, c *ops.Counters) bool {
 	if t1.numTraps == 0 || t2.numTraps == 0 {
 		return false
 	}
+	b1, b2 := t1.root.bounds(), t2.root.bounds()
 	c.RectIntersection++
-	if !t1.root.bounds().Intersects(t2.root.bounds()) {
+	if !b1.Intersects(b2) {
 		return false
 	}
-	return nodesIntersect(t1.root, t2.root, c)
+	return nodesIntersect(t1.root, t2.root, b1, b2, c)
 }
 
-func nodesIntersect(n1, n2 *node, c *ops.Counters) bool {
+// nodesIntersect expands one node pair; b1 and b2 are the node regions,
+// threaded down from the parent entry rectangles so the traversal (which
+// runs once per remaining candidate pair of the join) never recomputes a
+// bounds union. Entries are addressed by index — the entry struct embeds
+// a whole trapezoid, and copying it per comparison dominated the
+// traversal's CPU profile.
+func nodesIntersect(n1, n2 *node, b1, b2 geom.Rect, c *ops.Counters) bool {
 	switch {
 	case n1.leaf && n2.leaf:
-		for _, e1 := range n1.entries {
-			for _, e2 := range n2.entries {
+		for i := range n1.entries {
+			e1 := &n1.entries[i]
+			for j := range n2.entries {
+				e2 := &n2.entries[j]
 				c.RectIntersection++
 				if !e1.rect.Intersects(e2.rect) {
 					continue
@@ -278,10 +287,12 @@ func nodesIntersect(n1, n2 *node, c *ops.Counters) bool {
 		}
 		return false
 	case !n1.leaf && !n2.leaf:
-		for _, e1 := range n1.entries {
-			for _, e2 := range n2.entries {
+		for i := range n1.entries {
+			e1 := &n1.entries[i]
+			for j := range n2.entries {
+				e2 := &n2.entries[j]
 				c.RectIntersection++
-				if e1.rect.Intersects(e2.rect) && nodesIntersect(e1.child, e2.child, c) {
+				if e1.rect.Intersects(e2.rect) && nodesIntersect(e1.child, e2.child, e1.rect, e2.rect, c) {
 					return true
 				}
 			}
@@ -289,19 +300,19 @@ func nodesIntersect(n1, n2 *node, c *ops.Counters) bool {
 		return false
 	case n1.leaf:
 		// Descend the taller tree only.
-		b := n1.bounds()
-		for _, e2 := range n2.entries {
+		for j := range n2.entries {
+			e2 := &n2.entries[j]
 			c.RectIntersection++
-			if e2.rect.Intersects(b) && nodesIntersect(n1, e2.child, c) {
+			if e2.rect.Intersects(b1) && nodesIntersect(n1, e2.child, b1, e2.rect, c) {
 				return true
 			}
 		}
 		return false
 	default:
-		b := n2.bounds()
-		for _, e1 := range n1.entries {
+		for i := range n1.entries {
+			e1 := &n1.entries[i]
 			c.RectIntersection++
-			if e1.rect.Intersects(b) && nodesIntersect(e1.child, n2, c) {
+			if e1.rect.Intersects(b2) && nodesIntersect(e1.child, n2, e1.rect, b2, c) {
 				return true
 			}
 		}
@@ -322,18 +333,23 @@ func WithinDistance(t1, t2 *Tree, eps float64, c *ops.Counters) bool {
 	if t1.numTraps == 0 || t2.numTraps == 0 {
 		return false
 	}
+	b1, b2 := t1.root.bounds(), t2.root.bounds()
 	c.RectIntersection++
-	if t1.root.bounds().Dist(t2.root.bounds()) > eps {
+	if b1.Dist(b2) > eps {
 		return false
 	}
-	return nodesWithin(t1.root, t2.root, eps, c)
+	return nodesWithin(t1.root, t2.root, b1, b2, eps, c)
 }
 
-func nodesWithin(n1, n2 *node, eps float64, c *ops.Counters) bool {
+// nodesWithin mirrors nodesIntersect (threaded bounds, index-addressed
+// entries) with distance tests in place of intersection tests.
+func nodesWithin(n1, n2 *node, b1, b2 geom.Rect, eps float64, c *ops.Counters) bool {
 	switch {
 	case n1.leaf && n2.leaf:
-		for _, e1 := range n1.entries {
-			for _, e2 := range n2.entries {
+		for i := range n1.entries {
+			e1 := &n1.entries[i]
+			for j := range n2.entries {
+				e2 := &n2.entries[j]
 				c.RectIntersection++
 				if e1.rect.Dist(e2.rect) > eps {
 					continue
@@ -346,10 +362,12 @@ func nodesWithin(n1, n2 *node, eps float64, c *ops.Counters) bool {
 		}
 		return false
 	case !n1.leaf && !n2.leaf:
-		for _, e1 := range n1.entries {
-			for _, e2 := range n2.entries {
+		for i := range n1.entries {
+			e1 := &n1.entries[i]
+			for j := range n2.entries {
+				e2 := &n2.entries[j]
 				c.RectIntersection++
-				if e1.rect.Dist(e2.rect) <= eps && nodesWithin(e1.child, e2.child, eps, c) {
+				if e1.rect.Dist(e2.rect) <= eps && nodesWithin(e1.child, e2.child, e1.rect, e2.rect, eps, c) {
 					return true
 				}
 			}
@@ -357,19 +375,19 @@ func nodesWithin(n1, n2 *node, eps float64, c *ops.Counters) bool {
 		return false
 	case n1.leaf:
 		// Descend the taller tree only.
-		b := n1.bounds()
-		for _, e2 := range n2.entries {
+		for j := range n2.entries {
+			e2 := &n2.entries[j]
 			c.RectIntersection++
-			if e2.rect.Dist(b) <= eps && nodesWithin(n1, e2.child, eps, c) {
+			if e2.rect.Dist(b1) <= eps && nodesWithin(n1, e2.child, b1, e2.rect, eps, c) {
 				return true
 			}
 		}
 		return false
 	default:
-		b := n2.bounds()
-		for _, e1 := range n1.entries {
+		for i := range n1.entries {
+			e1 := &n1.entries[i]
 			c.RectIntersection++
-			if e1.rect.Dist(b) <= eps && nodesWithin(e1.child, n2, eps, c) {
+			if e1.rect.Dist(b2) <= eps && nodesWithin(e1.child, n2, e1.rect, b2, eps, c) {
 				return true
 			}
 		}

@@ -27,6 +27,7 @@ import (
 	"spatialjoin/internal/multistep"
 	"spatialjoin/internal/ops"
 	"spatialjoin/internal/rstar"
+	"spatialjoin/internal/shard"
 	"spatialjoin/internal/trstar"
 )
 
@@ -560,6 +561,27 @@ func BenchmarkJoinThroughput(b *testing.B) {
 				perOp := float64(ms1.Mallocs-ms0.Mallocs) / float64(b.N)
 				b.ReportMetric(perOp/float64(pairs), "allocs/pair")
 			}
+		})
+	}
+
+	// Tile-sharded scatter-gather join (internal/shard) at 1, 2 and 4
+	// tiles per side, same workload and contract as collect (globally
+	// sorted response set). t1 prices the pure coordinator overhead over
+	// the monolithic join; t2/t4 add the tile-pair fan-out.
+	for _, tiles := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("sharded/t%d", tiles), func(b *testing.B) {
+			shR := shard.Build("R", r, tiles, cfg)
+			shS := shard.Build("S", s, tiles, cfg)
+			b.ResetTimer()
+			var pairs int64
+			for i := 0; i < b.N; i++ {
+				_, st, err := shard.Join(context.Background(), shR, shS, multistep.WithConfig(cfg))
+				if err != nil {
+					b.Fatal(err)
+				}
+				pairs = st.ResultPairs
+			}
+			reportPairs(b, pairs)
 		})
 	}
 

@@ -10,7 +10,8 @@
 //
 // The workload grid is the paper's: the intersection join, the inclusion
 // (contains) join and the within-distance (ε-)join, across the three
-// exact engines and a set of worker counts. Relations are generated once
+// exact engines and a set of worker counts, plus the tile-sharded
+// scatter-gather join at the -shards tile counts. Relations are generated once
 // (the section 5 style synthetic maps) and shared across workloads; every
 // workload is warmed up once (paying the lazy per-object exact
 // representations) and then measured over -reps repetitions with the
@@ -39,6 +40,7 @@ import (
 
 	"spatialjoin/internal/data"
 	"spatialjoin/internal/multistep"
+	"spatialjoin/internal/shard"
 )
 
 // fileVersion is the schema version of the emitted JSON.
@@ -81,6 +83,7 @@ type Result struct {
 	Predicate      string  `json:"predicate"`
 	Engine         string  `json:"engine"`
 	Workers        int     `json:"workers"`
+	Shards         int     `json:"shards,omitempty"`
 	WallNsPerOp    float64 `json:"wall_ns_per_op"`
 	ResultPairs    int64   `json:"result_pairs"`
 	CandidatePairs int64   `json:"candidate_pairs"`
@@ -100,6 +103,7 @@ func main() {
 	reps := flag.Int("reps", 5, "measured repetitions per workload")
 	epsilon := flag.Float64("epsilon", 0.005, "distance bound of the within workloads")
 	workersFlag := flag.String("workers", "1,4", "comma-separated worker counts for the intersects workloads")
+	shardsFlag := flag.String("shards", "1,2,4", "comma-separated tile counts for the sharded workloads (empty: skip)")
 	check := flag.String("check", "", "validate an existing measurement file and exit")
 	flag.Parse()
 
@@ -115,6 +119,12 @@ func main() {
 	workers, err := parseWorkers(*workersFlag)
 	if err != nil {
 		fatal(err)
+	}
+	var shardCounts []int
+	if *shardsFlag != "" {
+		if shardCounts, err = parseWorkers(*shardsFlag); err != nil {
+			fatal(err)
+		}
 	}
 
 	fmt.Printf("generating 2×%d objects (~%d vertices, seed %d)...\n", *n, *verts, *seed)
@@ -157,6 +167,14 @@ func main() {
 	// The inclusion join: the exact inclusion test is engine-independent.
 	run.Results = append(run.Results,
 		measure(rr, ss, cfg, multistep.Contains(), multistep.EngineTRStar, 1, *reps))
+	// The tile-sharded scatter-gather join (internal/shard): the
+	// intersection workload at each tile count, default engine. One tile
+	// prices the coordinator overhead over the monolithic join.
+	for _, tiles := range shardCounts {
+		shR := shard.Build("R", base, tiles, cfg)
+		shS := shard.Build("S", shifted, tiles, cfg)
+		run.Results = append(run.Results, measureSharded(shR, shS, cfg, tiles, *reps))
+	}
 
 	run.PeakRSSBytes = peakRSS()
 
@@ -200,6 +218,54 @@ func measure(r, s *multistep.Relation, cfg multistep.Config, pred multistep.Pred
 		Predicate:      predName(pred),
 		Engine:         engineName(eng),
 		Workers:        workers,
+		WallNsPerOp:    float64(wall.Nanoseconds()) / float64(reps),
+		ResultPairs:    st.ResultPairs,
+		CandidatePairs: st.CandidatePairs,
+		AllocsPerOp:    float64(after.Mallocs-before.Mallocs) / float64(reps),
+		BytesPerOp:     float64(after.TotalAlloc-before.TotalAlloc) / float64(reps),
+	}
+	if res.WallNsPerOp > 0 {
+		res.PairsPerSec = float64(st.ResultPairs) * 1e9 / res.WallNsPerOp
+	}
+	if st.CandidatePairs > 0 {
+		res.NsPerCandidate = res.WallNsPerOp / float64(st.CandidatePairs)
+	}
+	fmt.Printf("  %-28s %10.1f ms/op %12.0f pairs/sec %10.0f allocs/op\n",
+		res.Name, res.WallNsPerOp/1e6, res.PairsPerSec, res.AllocsPerOp)
+	return res
+}
+
+// measureSharded is measure for the scatter-gather join of two sharded
+// relations (tile-pair sub-joins, merged response).
+func measureSharded(r, s *shard.Sharded, cfg multistep.Config, tiles, reps int) Result {
+	opts := []multistep.Option{
+		multistep.WithConfig(cfg),
+		multistep.WithBufferless(),
+	}
+	join := func() shard.JoinStats {
+		_, st, err := shard.Join(context.Background(), r, s, opts...)
+		if err != nil {
+			fatal(err)
+		}
+		return st
+	}
+	st := join() // warm-up
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	for i := 0; i < reps; i++ {
+		st = join()
+	}
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&after)
+
+	res := Result{
+		Name:           fmt.Sprintf("sharded/%s/t%d", engineName(cfg.Engine), tiles),
+		Predicate:      "intersects",
+		Engine:         engineName(cfg.Engine),
+		Workers:        runtime.GOMAXPROCS(0),
+		Shards:         tiles,
 		WallNsPerOp:    float64(wall.Nanoseconds()) / float64(reps),
 		ResultPairs:    st.ResultPairs,
 		CandidatePairs: st.CandidatePairs,

@@ -8,17 +8,20 @@
 //
 //	datagen [-n 810] [-verts 84] [-holes 0.06] [-seed 9401] [-stats]
 //	        [-bin out.sjr]
-//	        [-store out.store] [-strategy ""|A|B|B2] [-name NAME]
+//	        [-store out.store] [-shards N] [-strategy ""|A|B|B2] [-name NAME]
 //	        [-engine trstar] [-conservative 5C] [-progressive MER]
 //	        [-no-filter] [-page 4096] [-policy lru]
 //
 // With -store, the configuration flags select the preprocessing
 // (approximations, exact engine, page geometry, buffer policy) and are
 // fingerprinted into the store; opening it later requires the same
-// configuration. -strategy transforms the generated map into the
-// paper's test-series counterpart before preprocessing: A is the
-// shifted copy, and B/B2 are the two randomized placements
-// cmd/spatialjoin joins as R and S under its -strategy B.
+// configuration. -shards N partitions the relation into N Z-order tiles
+// and writes a sharded store directory (shard.Save layout) instead of a
+// single file; cmd/spatialjoinserve opens either form. -strategy
+// transforms the generated map into the paper's test-series counterpart
+// before preprocessing: A is the shifted copy, and B/B2 are the two
+// randomized placements cmd/spatialjoin joins as R and S under its
+// -strategy B.
 package main
 
 import (
@@ -32,6 +35,7 @@ import (
 	"spatialjoin/internal/data"
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/multistep"
+	"spatialjoin/internal/shard"
 	"spatialjoin/internal/storage"
 )
 
@@ -51,6 +55,7 @@ func main() {
 	noFilter := flag.Bool("no-filter", false, "with -store: disable the geometric filter (step 2)")
 	pageSize := flag.Int("page", 4096, "with -store: R*-tree page size in bytes")
 	policy := flag.String("policy", "lru", "with -store: buffer replacement policy: lru, fifo, clock")
+	shards := flag.Int("shards", 0, "with -store: partition into this many Z-order tiles and write a sharded store directory")
 	flag.Parse()
 
 	rel := data.GenerateMap(data.MapConfig{
@@ -109,6 +114,16 @@ func main() {
 		relName := *name
 		if relName == "" {
 			relName = *storeOut
+		}
+		if *shards > 0 {
+			sh := shard.Build(relName, rel, *shards, cfg)
+			if err := shard.Save(*storeOut, sh); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s: %d objects preprocessed into %d tile(s) (engine %s, filter %s+%s, page %d, policy %s)\n",
+				*storeOut, sh.Objects(), sh.Shards(), cfg.Engine, cfg.Filter.Conservative, cfg.Filter.Progressive,
+				cfg.PageSize, cfg.BufferPolicy)
+			return
 		}
 		r := multistep.NewRelation(relName, rel, cfg)
 		if err := multistep.SaveRelationFile(*storeOut, r, cfg); err != nil {

@@ -14,9 +14,12 @@
 //	                 [-no-filter] [-page 4096] [-buffer 131072] [-policy lru|fifo|clock]
 //	spatialjoinserve [-addr :8080] -demo 810
 //
-// The configuration flags must match the ones the stores were built
-// with (cmd/datagen -store); a mismatch is rejected at startup via the
-// stores' config fingerprint. -demo skips the stores and serves a
+// A -rel path may be a single relation store file (cmd/datagen -store)
+// or a sharded store directory (cmd/datagen -store -shards N); sharded
+// relations are served through the scatter-gather coordinator. The
+// configuration flags must match the ones the stores were built with; a
+// mismatch is rejected at startup via the stores' config fingerprint
+// (for sharded stores, per tile). -demo skips the stores and serves a
 // generated relation pair (demo-r, demo-s) instead — handy for a
 // first run:
 //
@@ -37,6 +40,7 @@ import (
 	"spatialjoin/internal/data"
 	"spatialjoin/internal/multistep"
 	"spatialjoin/internal/serve"
+	"spatialjoin/internal/shard"
 	"spatialjoin/internal/storage"
 )
 
@@ -101,12 +105,22 @@ func main() {
 
 	cat := serve.NewCatalog()
 	for _, e := range rels {
-		if err := cat.LoadFile(e.name, e.path, cfg); err != nil {
+		// A directory with a manifest is a sharded store (shard.Save);
+		// anything else is a single-relation SJRL file.
+		if shard.IsStoreDir(e.path) {
+			if err := cat.LoadDir(e.name, e.path, cfg); err != nil {
+				fatal(err)
+			}
+		} else if err := cat.LoadFile(e.name, e.path, cfg); err != nil {
 			fatal(err)
 		}
 		entry, _ := cat.Get(e.name)
-		log.Printf("opened %s: relation %q, %d objects, R*-tree height %d (%d pages)",
-			e.path, e.name, len(entry.Rel.Objects), entry.Rel.Tree.Height(), entry.Rel.Tree.Pages())
+		pages := 0
+		for _, t := range entry.Sh.Tiles {
+			pages += t.Rel.Tree.Pages()
+		}
+		log.Printf("opened %s: relation %q, %d objects in %d tile(s), %d tree pages",
+			e.path, e.name, entry.Sh.Objects(), entry.Sh.Shards(), pages)
 	}
 	if *demo > 0 {
 		log.Printf("generating demo relations (%d objects each)...", *demo)

@@ -168,6 +168,70 @@ func resolve(opts []Option) queryOptions {
 	return o
 }
 
+// Resolved is the read-only resolved view of an option list. It exists
+// for coordinators that route one logical query across several
+// relations (internal/shard's scatter-gather layer): they need the
+// predicate for tile routing, the limit for global truncation, and the
+// target to pick the merge shape, while the remaining options pass
+// through to the per-tile Join/Query calls verbatim.
+type Resolved struct {
+	// Pred is the configured predicate (the zero value is Intersects).
+	Pred Predicate
+	// Cfg is the WithConfig override, nil without one.
+	Cfg *Config
+	// Limit is the WithLimit cap; < 0 means unlimited.
+	Limit int
+	// Stream is the WithStream emitter, nil without one.
+	Stream func(Pair)
+	// Bufferless reports WithBufferless.
+	Bufferless bool
+	// Window, Point, Nearest and NearestK mirror the ForWindow, ForPoint
+	// and ForNearest targets.
+	Window   *geom.Rect
+	Point    *geom.Point
+	Nearest  bool
+	NearestK int
+}
+
+// ResolveOptions applies an option list and returns the resolved view.
+func ResolveOptions(opts []Option) Resolved {
+	o := resolve(opts)
+	return Resolved{
+		Pred: o.pred, Cfg: o.cfg, Limit: o.limit,
+		Stream: o.emit, Bufferless: o.bufferless,
+		Window: o.window, Point: o.point,
+		Nearest: o.nearest, NearestK: o.nearestK,
+	}
+}
+
+// Validate rejects predicates no join or query can evaluate (a negative
+// distance bound) — the same check the Join and Query entry points run.
+func (p Predicate) Validate() error { return p.validate() }
+
+// ValidateQueryTarget checks the target/predicate combination exactly as
+// the single-relation Query entry point would, so a routing layer can
+// reject a malformed query before fanning it out to any tile.
+func (o Resolved) ValidateQueryTarget() error {
+	switch {
+	case o.Nearest:
+		if o.Window != nil {
+			return errors.New("multistep: query has more than one target")
+		}
+		if o.Pred.kind != predIntersects {
+			return fmt.Errorf("%w: nearest-objects queries take no predicate", ErrBadPredicate)
+		}
+	case o.Window != nil && o.Point != nil:
+		return errors.New("multistep: query has more than one target")
+	case o.Window == nil && o.Point == nil:
+		return ErrNoTarget
+	default:
+		if o.Pred.kind == predContains {
+			return fmt.Errorf("%w: containment of a window is not a query predicate", ErrBadPredicate)
+		}
+	}
+	return nil
+}
+
 // joinConfig picks the effective configuration of a join and rejects
 // mismatched build configurations without an explicit override.
 func joinConfig(r, s *Relation, o *queryOptions) (Config, error) {

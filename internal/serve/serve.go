@@ -1,16 +1,17 @@
 // Package serve is the concurrent query-serving layer on top of the
-// multi-step processor: an HTTP service over a catalog of opened
-// relations. It exists to prove — and exploit — the per-query access
-// contexts of the storage refactor: every request runs on its own
-// storage.Session, so one opened Relation serves any number of
-// simultaneous join, window, point and nearest-neighbour queries, each
-// reporting exactly the isolated statistics a solo run would (the
-// paper's metrics, per request).
+// multi-step processor: an HTTP service over a catalog of sharded
+// relations, answered by the internal/shard scatter-gather coordinator.
+// Every relation — monolithic or tile-partitioned — is served through
+// the same path: requests fan out to the owning tiles on per-tile
+// storage.Sessions (one opened relation serves any number of
+// simultaneous join, window, point and nearest-neighbour queries) and
+// the merge layer reassembles one paper-faithful response per request.
 //
 // The intended deployment is "build once, serve many": preprocess
-// relations offline (cmd/datagen -store), open the persisted stores at
-// startup (multistep.OpenRelationFile), and serve queries from the
-// immutable in-memory relations. cmd/spatialjoinserve is the binary.
+// relations offline (cmd/datagen -store, optionally -shards N), open
+// the persisted stores at startup (multistep.OpenRelationFile or
+// shard.Open), and serve queries from the immutable in-memory tiles.
+// cmd/spatialjoinserve is the binary.
 package serve
 
 import (
@@ -25,13 +26,15 @@ import (
 
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/multistep"
+	"spatialjoin/internal/shard"
 )
 
-// Entry is one served relation with the configuration it was built
-// under. Queries against the entry use exactly this configuration;
-// joining two entries requires equal preprocessing fingerprints.
+// Entry is one served relation — a sharded facade (possibly a single
+// tile) with the configuration it was built under. Queries against the
+// entry use exactly this configuration; joining two entries requires
+// equal preprocessing fingerprints.
 type Entry struct {
-	Rel *multistep.Relation
+	Sh  *shard.Sharded
 	Cfg multistep.Config
 }
 
@@ -48,11 +51,19 @@ func NewCatalog() *Catalog {
 	return &Catalog{rels: make(map[string]*Entry)}
 }
 
-// Add registers a relation under a name, replacing any previous entry.
+// Add registers a monolithic relation under a name, replacing any
+// previous entry. The relation is wrapped as a single-tile shard so it
+// serves through the same scatter-gather path as partitioned stores.
 func (c *Catalog) Add(name string, rel *multistep.Relation, cfg multistep.Config) {
+	c.AddSharded(name, shard.FromRelation(rel), cfg)
+}
+
+// AddSharded registers a sharded relation under a name, replacing any
+// previous entry.
+func (c *Catalog) AddSharded(name string, sh *shard.Sharded, cfg multistep.Config) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.rels[name] = &Entry{Rel: rel, Cfg: cfg}
+	c.rels[name] = &Entry{Sh: sh, Cfg: cfg}
 }
 
 // LoadFile opens a persisted relation store (multistep.SaveRelationFile
@@ -63,6 +74,17 @@ func (c *Catalog) LoadFile(name, path string, cfg multistep.Config) error {
 		return fmt.Errorf("serve: open %s: %w", path, err)
 	}
 	c.Add(name, rel, cfg)
+	return nil
+}
+
+// LoadDir opens a sharded store directory (shard.Save layout) and
+// registers it under the given name.
+func (c *Catalog) LoadDir(name, dir string, cfg multistep.Config) error {
+	sh, err := shard.Open(dir, cfg)
+	if err != nil {
+		return fmt.Errorf("serve: open %s: %w", dir, err)
+	}
+	c.AddSharded(name, sh, cfg)
 	return nil
 }
 
@@ -148,6 +170,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 type errorBody struct {
 	Error string `json:"error"`
+	// RFingerprint and SFingerprint carry the two preprocessing
+	// fingerprints of a /join configuration-mismatch conflict, so the
+	// caller can see which side to rebuild.
+	RFingerprint string `json:"rFingerprint,omitempty"`
+	SFingerprint string `json:"sFingerprint,omitempty"`
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -203,14 +230,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "relations": len(s.cat.Names())})
 }
 
-// relationInfo is one catalog listing row.
-type relationInfo struct {
-	Name    string `json:"name"`
-	Objects int    `json:"objects"`
-	Height  int    `json:"treeHeight"`
-	Pages   int    `json:"treePages"`
-	Engine  string `json:"engine"`
+// tileInfo is one shard row of a relation listing.
+type tileInfo struct {
+	Index   int       `json:"index"`
+	Objects int       `json:"objects"`
+	MBR     geom.Rect `json:"mbr"`
 }
+
+// relationInfo is one catalog listing row. Height is the tallest tile
+// tree, Pages the total across tiles.
+type relationInfo struct {
+	Name        string     `json:"name"`
+	Objects     int        `json:"objects"`
+	MBR         geom.Rect  `json:"mbr"`
+	Fingerprint string     `json:"fingerprint"`
+	Shards      int        `json:"shards"`
+	Height      int        `json:"treeHeight"`
+	Pages       int        `json:"treePages"`
+	Engine      string     `json:"engine"`
+	Tiles       []tileInfo `json:"tiles"`
+}
+
+// fingerprintString renders a preprocessing fingerprint the way the
+// listing and error bodies report it.
+func fingerprintString(fp uint64) string { return fmt.Sprintf("%016x", fp) }
 
 func (s *Server) handleRelations(w http.ResponseWriter, r *http.Request) {
 	var out []relationInfo
@@ -219,22 +262,33 @@ func (s *Server) handleRelations(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			continue
 		}
-		out = append(out, relationInfo{
-			Name:    name,
-			Objects: len(e.Rel.Objects),
-			Height:  e.Rel.Tree.Height(),
-			Pages:   e.Rel.Tree.Pages(),
-			Engine:  e.Cfg.Engine.String(),
-		})
+		info := relationInfo{
+			Name:        name,
+			Objects:     e.Sh.Objects(),
+			MBR:         e.Sh.MBR(),
+			Fingerprint: fingerprintString(e.Sh.Fingerprint()),
+			Shards:      e.Sh.Shards(),
+			Engine:      e.Cfg.Engine.String(),
+		}
+		for _, t := range e.Sh.Tiles {
+			if h := t.Rel.Tree.Height(); h > info.Height {
+				info.Height = h
+			}
+			info.Pages += t.Rel.Tree.Pages()
+			info.Tiles = append(info.Tiles, tileInfo{Index: t.Index, Objects: len(t.Rel.Objects), MBR: t.MBR})
+		}
+		out = append(out, info)
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
-// windowResponse answers /window and /point.
+// windowResponse answers /window and /point. IDs are ascending global
+// object IDs (the scatter-gather merge order); Stats aggregates the
+// routed tiles, with the per-tile breakdown alongside.
 type windowResponse struct {
-	Relation string                `json:"relation"`
-	IDs      []int32               `json:"ids"`
-	Stats    multistep.WindowStats `json:"stats"`
+	Relation string           `json:"relation"`
+	IDs      []int32          `json:"ids"`
+	Stats    shard.QueryStats `json:"stats"`
 }
 
 func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
@@ -263,9 +317,9 @@ func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	res, err := multistep.Query(r.Context(), e.Rel,
+	res, err := shard.Query(r.Context(), e.Sh,
 		multistep.ForWindow(win), multistep.WithConfig(e.Cfg),
-		multistep.WithSession(e.Rel.NewSession()), multistep.WithPredicate(pred))
+		multistep.WithPredicate(pred))
 	if !finishQuery(w, r, err) {
 		return
 	}
@@ -342,9 +396,9 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	res, err := multistep.Query(r.Context(), e.Rel,
+	res, err := shard.Query(r.Context(), e.Sh,
 		multistep.ForPoint(geom.Point{X: x, Y: y}), multistep.WithConfig(e.Cfg),
-		multistep.WithSession(e.Rel.NewSession()), multistep.WithPredicate(pred))
+		multistep.WithPredicate(pred))
 	if !finishQuery(w, r, err) {
 		return
 	}
@@ -394,9 +448,8 @@ func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "parameter %q must be positive", "k")
 		return
 	}
-	sess := e.Rel.NewSession()
-	res, err := multistep.Query(r.Context(), e.Rel,
-		multistep.ForNearest(geom.Point{X: x, Y: y}, k), multistep.WithSession(sess))
+	res, err := shard.Query(r.Context(), e.Sh,
+		multistep.ForNearest(geom.Point{X: x, Y: y}, k))
 	if !finishQuery(w, r, err) {
 		return
 	}
@@ -407,18 +460,20 @@ func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, nearestResponse{
 		Relation:  name,
 		Neighbors: nn,
-		Stats:     nearestStats{PageAccesses: sess.Misses(), PageTouches: sess.Accesses()},
+		Stats:     nearestStats{PageAccesses: res.Stats.PageAccesses, PageTouches: res.Stats.PageTouches},
 	})
 }
 
 // joinResponse answers /join. Pairs is truncated to the limit; the full
-// response-set size is Stats.ResultPairs.
+// response-set size is Stats.ResultPairs. Stats aggregates the tile-pair
+// sub-joins (SubJoins of them) as shard.Join documents.
 type joinResponse struct {
 	R         string           `json:"r"`
 	S         string           `json:"s"`
 	Predicate string           `json:"predicate"`
 	Pairs     []multistep.Pair `json:"pairs"`
 	Truncated bool             `json:"truncated"`
+	SubJoins  int              `json:"subJoins"`
 	Stats     multistep.Stats  `json:"stats"`
 }
 
@@ -431,9 +486,13 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if multistep.ConfigFingerprint(eR.Cfg) != multistep.ConfigFingerprint(eS.Cfg) {
-		writeError(w, http.StatusConflict,
-			"relations %q and %q were preprocessed under different configurations", nameR, nameS)
+	if eR.Sh.Fingerprint() != eS.Sh.Fingerprint() {
+		writeJSON(w, http.StatusConflict, errorBody{
+			Error: fmt.Sprintf(
+				"relations %q and %q were preprocessed under different configurations", nameR, nameS),
+			RFingerprint: fingerprintString(eR.Sh.Fingerprint()),
+			SFingerprint: fingerprintString(eS.Sh.Fingerprint()),
+		})
 		return
 	}
 	pred, ok := predicateParam(w, r)
@@ -457,17 +516,17 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		workers = maxWorkers
 	}
 
-	// Join collects the full response set and sorts before truncating
-	// (WithLimit): the streaming emission order depends on worker
-	// scheduling, so keeping "the first limit pairs" would return a
-	// different subset per request on multi-core hosts. The request
-	// context rides along, so a disconnected client stops the pipeline.
-	pairs, st, err := multistep.Join(r.Context(), eR.Rel, eS.Rel,
+	// The scatter-gather join collects the full response set and sorts
+	// before truncating (WithLimit): both sub-join emission order and
+	// tile completion order depend on scheduling, so keeping "the first
+	// limit pairs" would return a different subset per request on
+	// multi-core hosts. The request context rides along and fans out to
+	// every tile, so a disconnected client stops all sub-joins.
+	pairs, st, err := shard.Join(r.Context(), eR.Sh, eS.Sh,
 		multistep.WithConfig(eR.Cfg),
 		multistep.WithPredicate(pred),
 		multistep.WithWorkers(workers),
-		multistep.WithLimit(limit),
-		multistep.WithSessions(eR.Rel.NewSession(), eS.Rel.NewSession()))
+		multistep.WithLimit(limit))
 	if !finishQuery(w, r, err) {
 		return
 	}
@@ -479,6 +538,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		Predicate: pred.String(),
 		Pairs:     pairs,
 		Truncated: st.ResultPairs > int64(len(pairs)),
-		Stats:     st,
+		SubJoins:  st.SubJoins,
+		Stats:     st.Stats,
 	})
 }

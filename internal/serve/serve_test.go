@@ -15,6 +15,7 @@ import (
 
 	"spatialjoin/internal/data"
 	"spatialjoin/internal/multistep"
+	"spatialjoin/internal/shard"
 )
 
 // testCatalog builds a small two-relation catalog (R and its shifted
@@ -63,6 +64,26 @@ func TestEndpoints(t *testing.T) {
 	get(t, h, "/relations", http.StatusOK, &rels)
 	if len(rels) != 2 || rels[0].Name != "R" || rels[1].Name != "S" || rels[0].Objects == 0 {
 		t.Errorf("relations = %+v", rels)
+	}
+	// The catalog listing is the introspection surface: fingerprint,
+	// shard count, relation MBR and per-tile bounds.
+	for _, ri := range rels {
+		if len(ri.Fingerprint) != 16 {
+			t.Errorf("relation %q: fingerprint %q, want 16 hex digits", ri.Name, ri.Fingerprint)
+		}
+		if ri.Shards != 1 || len(ri.Tiles) != 1 {
+			t.Errorf("relation %q: %d shards, %d tiles, want 1/1 for a monolithic entry", ri.Name, ri.Shards, len(ri.Tiles))
+		}
+		if ri.MBR.IsEmpty() || !ri.MBR.Contains(ri.Tiles[0].MBR) {
+			t.Errorf("relation %q: MBR %+v does not cover tile MBR %+v", ri.Name, ri.MBR, ri.Tiles[0].MBR)
+		}
+		if ri.Tiles[0].Objects != ri.Objects {
+			t.Errorf("relation %q: tile holds %d of %d objects", ri.Name, ri.Tiles[0].Objects, ri.Objects)
+		}
+	}
+	if rels[0].Fingerprint != rels[1].Fingerprint {
+		t.Errorf("same-config relations report different fingerprints: %q vs %q",
+			rels[0].Fingerprint, rels[1].Fingerprint)
 	}
 
 	var win windowResponse
@@ -130,7 +151,27 @@ func TestEndpointErrors(t *testing.T) {
 	get(t, h, "/point?rel=R&x=0.5", http.StatusBadRequest, nil)
 	get(t, h, "/nearest?rel=R&x=0.5&y=0.5&k=0", http.StatusBadRequest, nil)
 	get(t, h, "/join?r=R", http.StatusBadRequest, nil)
-	get(t, h, "/join?r=R&s=T", http.StatusConflict, nil)
+
+	// A fingerprint-mismatched pair conflicts, and the body names both
+	// fingerprints so the caller can see which side to rebuild.
+	var conflict errorBody
+	get(t, h, "/join?r=R&s=T", http.StatusConflict, &conflict)
+	if conflict.Error == "" {
+		t.Error("conflict body has no error message")
+	}
+	if len(conflict.RFingerprint) != 16 || len(conflict.SFingerprint) != 16 {
+		t.Errorf("conflict fingerprints = %q / %q, want 16 hex digits each",
+			conflict.RFingerprint, conflict.SFingerprint)
+	}
+	if conflict.RFingerprint == conflict.SFingerprint {
+		t.Error("conflicting relations report the same fingerprint")
+	}
+	// Matching pairs never carry the conflict fingerprints.
+	var okBody map[string]any
+	get(t, h, "/join?r=R&s=S&limit=1", http.StatusOK, &okBody)
+	if _, present := okBody["rFingerprint"]; present {
+		t.Error("successful join leaked the conflict fingerprint fields")
+	}
 }
 
 func TestCatalogLoadFile(t *testing.T) {
@@ -146,11 +187,70 @@ func TestCatalogLoadFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	e, ok := cat.Get("stored")
-	if !ok || len(e.Rel.Objects) != len(rel.Objects) {
+	if !ok || e.Sh.Objects() != len(rel.Objects) {
 		t.Fatal("loaded relation missing or truncated")
 	}
 	if err := cat.LoadFile("bad", filepath.Join(t.TempDir(), "absent.store"), cfg); err == nil {
 		t.Fatal("loading a missing file must fail")
+	}
+}
+
+// TestServeShardedStore is the end-to-end sharded path: a 4-shard store
+// saved to disk, reopened through the manifest (Catalog.LoadDir — the
+// same route cmd/spatialjoinserve takes for a store directory), and
+// served; every endpoint must answer exactly as the monolithic catalog
+// does.
+func TestServeShardedStore(t *testing.T) {
+	cfg := multistep.DefaultConfig()
+	cfg.BufferBytes = 8192
+	rp := data.GenerateMap(data.MapConfig{Cells: 80, TargetVerts: 48, HoleFraction: 0.1, Seed: 211})
+	sp := data.StrategyA(rp, 0.45)
+
+	dir := t.TempDir()
+	rDir, sDir := filepath.Join(dir, "R"), filepath.Join(dir, "S")
+	if err := shard.Save(rDir, shard.Build("R", rp, 4, cfg)); err != nil {
+		t.Fatal(err)
+	}
+	if err := shard.Save(sDir, shard.Build("S", sp, 4, cfg)); err != nil {
+		t.Fatal(err)
+	}
+	cat := NewCatalog()
+	if err := cat.LoadDir("R", rDir, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.LoadDir("S", sDir, cfg); err != nil {
+		t.Fatal(err)
+	}
+	sharded := NewServer(cat).Handler()
+	mono, _ := testCatalog(t)
+	monoH := NewServer(mono).Handler()
+
+	var rels []relationInfo
+	get(t, sharded, "/relations", http.StatusOK, &rels)
+	if len(rels) != 2 || rels[0].Shards != 4 || len(rels[0].Tiles) != 4 {
+		t.Fatalf("sharded listing = %+v", rels)
+	}
+
+	// Joins and queries agree with the monolithic catalog pair for pair
+	// and ID for ID (the stats differ in page accounting only, so the
+	// comparison is on results).
+	var jm, js joinResponse
+	get(t, monoH, "/join?r=R&s=S", http.StatusOK, &jm)
+	get(t, sharded, "/join?r=R&s=S", http.StatusOK, &js)
+	if jm.Stats.ResultPairs == 0 || !reflect.DeepEqual(js.Pairs, jm.Pairs) {
+		t.Errorf("sharded /join returned %d pairs, monolithic %d", len(js.Pairs), len(jm.Pairs))
+	}
+	var wm, ws windowResponse
+	get(t, monoH, "/window?rel=R&minx=0.2&miny=0.2&maxx=0.45&maxy=0.4", http.StatusOK, &wm)
+	get(t, sharded, "/window?rel=R&minx=0.2&miny=0.2&maxx=0.45&maxy=0.4", http.StatusOK, &ws)
+	if len(wm.IDs) == 0 || !reflect.DeepEqual(ws.IDs, wm.IDs) {
+		t.Errorf("sharded /window IDs %v, monolithic %v", ws.IDs, wm.IDs)
+	}
+	var nm, ns nearestResponse
+	get(t, monoH, "/nearest?rel=R&x=0.31&y=0.47&k=3", http.StatusOK, &nm)
+	get(t, sharded, "/nearest?rel=R&x=0.31&y=0.47&k=3", http.StatusOK, &ns)
+	if !reflect.DeepEqual(ns.Neighbors, nm.Neighbors) {
+		t.Errorf("sharded /nearest %v, monolithic %v", ns.Neighbors, nm.Neighbors)
 	}
 }
 

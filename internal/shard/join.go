@@ -1,0 +1,200 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+
+	"spatialjoin/internal/multistep"
+)
+
+// SubJoinStats is the accounting of one tile-pair sub-join.
+type SubJoinStats struct {
+	// RTile and STile are the tile indices of the pair.
+	RTile, STile int
+	// Stats is the sub-join's own multi-step accounting; page accesses
+	// are real per-tile buffer misses (each sub-join runs on fresh
+	// per-tile sessions).
+	Stats multistep.Stats
+}
+
+// JoinStats aggregates a scatter-gather join. The embedded Stats sums
+// the sub-joins field by field: the partition is disjoint, so every
+// qualifying pair arises in exactly one sub-join and the candidate,
+// filter, exact and result counters equal the unsharded run's. Page
+// accesses and object fetches are honest per-tile totals — a tile
+// joined against several peer tiles pays for its pages in each
+// sub-join, so those fields exceed the monolithic run's; read PerTile
+// for the breakdown.
+type JoinStats struct {
+	multistep.Stats
+	// SubJoins counts the tile pairs whose MBRs passed the routing test
+	// and actually ran.
+	SubJoins int
+	// PerTile lists each executed sub-join, sorted by (RTile, STile).
+	PerTile []SubJoinStats
+}
+
+// addStats accumulates src into dst field by field.
+func addStats(dst *multistep.Stats, src multistep.Stats) {
+	dst.CandidatePairs += src.CandidatePairs
+	dst.MBRJoin.Pairs += src.MBRJoin.Pairs
+	dst.MBRJoin.RectTests += src.MBRJoin.RectTests
+	dst.MBRJoin.LeafTests += src.MBRJoin.LeafTests
+	dst.ZOrderCandidates += src.ZOrderCandidates
+	dst.PageAccessesR += src.PageAccessesR
+	dst.PageAccessesS += src.PageAccessesS
+	dst.FilterHits += src.FilterHits
+	dst.FilterFalseHits += src.FilterFalseHits
+	dst.ExactTested += src.ExactTested
+	dst.ExactHits += src.ExactHits
+	dst.ObjectFetches += src.ObjectFetches
+	dst.Ops.Add(src.Ops)
+	dst.ResultPairs += src.ResultPairs
+}
+
+// Join runs the multi-step join of two sharded relations as per-tile-pair
+// sub-joins and merges the responses back into the single-relation
+// contract: pairs carry global object IDs, the collected response is
+// (A, B)-sorted with adjacent duplicates removed, and a WithLimit cap is
+// the prefix of that global order. The limit is lifted to the merge
+// layer (sub-joins run uncapped): tiles sort by local IDs, a permutation
+// of the global order, so a local prefix need not contain the global
+// one. A WithStream emitter receives globally-translated pairs in
+// arrival order, interleaved across sub-joins.
+//
+// Routing: sub-join (i, j) runs iff r.Tiles[i].MBR expanded by the
+// predicate's ε intersects s.Tiles[j].MBR — tile MBRs are true object
+// bounds, so no qualifying pair can be routed away.
+//
+// Cancellation fans out: the first sub-join error (including ctx
+// cancellation) cancels every other sub-join, and Join returns only
+// after all of them have stopped — no goroutine outlives the call.
+func Join(ctx context.Context, r, s *Sharded, opts ...multistep.Option) ([]multistep.Pair, JoinStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res := multistep.ResolveOptions(opts)
+	if err := res.Pred.Validate(); err != nil {
+		return nil, JoinStats{}, err
+	}
+	if res.Cfg == nil && r.Fingerprint() != s.Fingerprint() {
+		return nil, JoinStats{}, fmt.Errorf("shard: relations %q and %q were built under different configurations: %w",
+			r.Name, s.Name, multistep.ErrConfigMismatch)
+	}
+
+	eps := res.Pred.Epsilon()
+	type pair struct{ ri, si int }
+	var eligible []pair
+	for _, rt := range r.Tiles {
+		grown := rt.MBR.Expand(eps)
+		for _, st := range s.Tiles {
+			if grown.Intersects(st.MBR) {
+				eligible = append(eligible, pair{rt.Index, st.Index})
+			}
+		}
+	}
+
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		out      []multistep.Pair
+		firstErr error
+		stats    = JoinStats{SubJoins: len(eligible)}
+	)
+	collect := res.Stream == nil && !res.Bufferless
+	emit := res.Stream
+	if emit != nil {
+		inner := emit
+		emit = func(p multistep.Pair) {
+			mu.Lock()
+			inner(p)
+			mu.Unlock()
+		}
+	}
+
+	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
+	var wg sync.WaitGroup
+	for _, e := range eligible {
+		wg.Add(1)
+		go func(e pair) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				return
+			}
+			rt, st := r.Tiles[e.ri], s.Tiles[e.si]
+			// Fresh option slice per sub-join: appending to the shared
+			// opts would race on its backing array.
+			sub := make([]multistep.Option, 0, len(opts)+3)
+			sub = append(sub, opts...)
+			sub = append(sub, multistep.WithSessions(rt.Rel.NewSession(), st.Rel.NewSession()),
+				multistep.WithLimit(-1))
+			if emit != nil {
+				local := emit
+				sub = append(sub, multistep.WithStream(func(p multistep.Pair) {
+					local(multistep.Pair{A: rt.Global[p.A], B: st.Global[p.B]})
+				}))
+			}
+			ps, sst, err := multistep.Join(ctx, rt.Rel, st.Rel, sub...)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+					cancel()
+				}
+				return
+			}
+			stats.PerTile = append(stats.PerTile, SubJoinStats{RTile: e.ri, STile: e.si, Stats: sst})
+			addStats(&stats.Stats, sst)
+			if collect {
+				for _, p := range ps {
+					out = append(out, multistep.Pair{A: rt.Global[p.A], B: st.Global[p.B]})
+				}
+			}
+		}(e)
+	}
+	wg.Wait()
+
+	if firstErr == nil {
+		// Every sub-join may have skipped work on a context that was
+		// cancelled before it started; surface the caller's error.
+		firstErr = parent.Err()
+	}
+	if firstErr != nil {
+		return nil, JoinStats{}, firstErr
+	}
+	slices.SortFunc(stats.PerTile, func(a, b SubJoinStats) int {
+		switch {
+		case a.RTile != b.RTile:
+			return a.RTile - b.RTile
+		default:
+			return a.STile - b.STile
+		}
+	})
+	if collect {
+		slices.SortFunc(out, func(p, q multistep.Pair) int {
+			switch {
+			case p.A != q.A:
+				return int(p.A - q.A)
+			default:
+				return int(p.B - q.B)
+			}
+		})
+		// The partition is disjoint, so duplicates cannot arise; the
+		// compaction is the cheap invariant that keeps the merge correct
+		// should a replicating partitioner ever be plugged in.
+		out = slices.Compact(out)
+		if res.Limit >= 0 && len(out) > res.Limit {
+			out = out[:res.Limit]
+		}
+	}
+	return out, stats, nil
+}

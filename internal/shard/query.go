@@ -1,0 +1,184 @@
+package shard
+
+import (
+	"context"
+	"runtime"
+	"slices"
+	"sync"
+
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/multistep"
+)
+
+// TileQueryStats is the accounting of one tile's sub-query.
+type TileQueryStats struct {
+	// Tile is the tile index.
+	Tile int
+	// Stats is the sub-query's own accounting on the tile's session.
+	Stats multistep.WindowStats
+	// PageTouches counts all page touches (hits and misses) of the
+	// tile's session — Stats.PageAccesses counts only the misses.
+	PageTouches int64
+}
+
+// QueryStats aggregates a scatter-gather query. The embedded
+// WindowStats sums the sub-queries: the partition is disjoint, so the
+// candidate, filter and exact counters equal the unsharded run's, and
+// PageAccesses is the total of real per-tile buffer misses.
+// ResultObjects counts the merged (deduplicated, limit-truncated)
+// response, not the per-tile sum.
+type QueryStats struct {
+	multistep.WindowStats
+	// PageTouches totals all page touches (hits and misses) across the
+	// routed tiles.
+	PageTouches int64
+	// Tiles lists each routed sub-query, sorted by tile index.
+	Tiles []TileQueryStats
+}
+
+// QueryResult is the merged answer of a scatter-gather query. IDs are
+// global object IDs in ascending order (the canonical merged order — the
+// single-relation path reports tree-delivery order instead); a WithLimit
+// cap is the prefix of that order. Neighbors are sorted by (distance,
+// global ID) as in the single-relation path.
+type QueryResult struct {
+	IDs       []int32
+	Neighbors []multistep.Neighbor
+	Stats     QueryStats
+}
+
+// Query runs a window, point, ε-range or k-nearest-objects query against
+// a sharded relation. Window and point targets route to the tiles whose
+// MBR intersects the (ε-expanded) target; nearest targets fan out to
+// every tile and merge the per-tile top-k — each tile's top-k is a
+// superset of its members of the global top-k, so the merge is exact.
+//
+// The caller's WithLimit is lifted to the merge layer (sub-queries run
+// uncapped): per-tile truncation happens in tree-delivery order, which
+// cannot be reconciled with the global sorted-prefix contract.
+//
+// Cancellation fans out exactly as in Join.
+func Query(ctx context.Context, r *Sharded, opts ...multistep.Option) (QueryResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res := multistep.ResolveOptions(opts)
+	if err := res.Pred.Validate(); err != nil {
+		return QueryResult{}, err
+	}
+	if err := res.ValidateQueryTarget(); err != nil {
+		return QueryResult{}, err
+	}
+
+	var tiles []*Tile
+	if res.Nearest {
+		tiles = r.Tiles
+	} else {
+		var target geom.Rect
+		if res.Window != nil {
+			target = *res.Window
+		} else {
+			target = geom.Rect{MinX: res.Point.X, MinY: res.Point.Y, MaxX: res.Point.X, MaxY: res.Point.Y}
+		}
+		grown := target.Expand(res.Pred.Epsilon())
+		for _, t := range r.Tiles {
+			if t.MBR.Intersects(grown) {
+				tiles = append(tiles, t)
+			}
+		}
+	}
+
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu        sync.Mutex
+		firstErr  error
+		ids       []int32
+		neighbors []multistep.Neighbor
+		stats     QueryStats
+	)
+	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
+	var wg sync.WaitGroup
+	for _, t := range tiles {
+		wg.Add(1)
+		go func(t *Tile) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				return
+			}
+			sess := t.Rel.NewSession()
+			sub := make([]multistep.Option, 0, len(opts)+2)
+			sub = append(sub, opts...)
+			sub = append(sub, multistep.WithSession(sess), multistep.WithLimit(-1))
+			qr, err := multistep.Query(ctx, t.Rel, sub...)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+					cancel()
+				}
+				return
+			}
+			for _, id := range qr.IDs {
+				ids = append(ids, t.Global[id])
+			}
+			for _, n := range qr.Neighbors {
+				neighbors = append(neighbors, multistep.Neighbor{ID: t.Global[n.ID], Dist: n.Dist})
+			}
+			stats.Tiles = append(stats.Tiles, TileQueryStats{Tile: t.Index, Stats: qr.Stats, PageTouches: sess.Accesses()})
+			stats.Candidates += qr.Stats.Candidates
+			stats.FilterHits += qr.Stats.FilterHits
+			stats.FilterFalseHits += qr.Stats.FilterFalseHits
+			stats.ExactTested += qr.Stats.ExactTested
+			stats.PageAccesses += qr.Stats.PageAccesses
+			stats.PageTouches += sess.Accesses()
+		}(t)
+	}
+	wg.Wait()
+
+	if firstErr == nil {
+		firstErr = parent.Err()
+	}
+	if firstErr != nil {
+		return QueryResult{}, firstErr
+	}
+	slices.SortFunc(stats.Tiles, func(a, b TileQueryStats) int { return a.Tile - b.Tile })
+
+	var out QueryResult
+	out.Stats = stats
+	if res.Nearest {
+		slices.SortFunc(neighbors, func(a, b multistep.Neighbor) int {
+			switch {
+			case a.Dist < b.Dist:
+				return -1
+			case a.Dist > b.Dist:
+				return 1
+			default:
+				return int(a.ID - b.ID)
+			}
+		})
+		k := res.NearestK
+		if k > len(neighbors) {
+			k = len(neighbors)
+		}
+		if k < 0 {
+			k = 0
+		}
+		out.Neighbors = neighbors[:k]
+		out.Stats.ResultObjects = int64(len(out.Neighbors))
+		return out, nil
+	}
+	slices.Sort(ids)
+	ids = slices.Compact(ids)
+	if res.Limit >= 0 && len(ids) > res.Limit {
+		ids = ids[:res.Limit]
+	}
+	out.IDs = ids
+	out.Stats.ResultObjects = int64(len(ids))
+	return out, nil
+}

@@ -1,0 +1,103 @@
+package shard
+
+import (
+	"testing"
+
+	"spatialjoin/internal/data"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/multistep"
+)
+
+// testWorkload is the shared map/overlay pair of the equivalence suite:
+// small enough to build per-test, large enough that every tile of a
+// four-way split holds work on both sides of the join.
+func testWorkload(t testing.TB) ([]*geom.Polygon, []*geom.Polygon, multistep.Config) {
+	t.Helper()
+	rp := data.GenerateMap(data.MapConfig{Cells: 150, TargetVerts: 24, HoleFraction: 0.1, Seed: 907})
+	sp := data.StrategyA(rp, 0.5)
+	return rp, sp, multistep.DefaultConfig()
+}
+
+func TestBuildPartitionInvariants(t *testing.T) {
+	rp, _, cfg := testWorkload(t)
+	for _, n := range []int{1, 2, 4, 7} {
+		sh := Build("R", rp, n, cfg)
+		if sh.Shards() != n {
+			t.Fatalf("Build(n=%d) made %d tiles", n, sh.Shards())
+		}
+		if sh.Objects() != len(rp) {
+			t.Fatalf("n=%d: %d objects, want %d", n, sh.Objects(), len(rp))
+		}
+		// Every global ID assigned exactly once; tile MBRs cover their
+		// members; tile sizes balanced to within one object.
+		seen := make([]bool, len(rp))
+		lo, hi := len(rp), 0
+		for _, tile := range sh.Tiles {
+			if len(tile.Global) != len(tile.Rel.Objects) {
+				t.Fatalf("n=%d tile %d: %d global IDs for %d objects", n, tile.Index, len(tile.Global), len(tile.Rel.Objects))
+			}
+			if len(tile.Global) < lo {
+				lo = len(tile.Global)
+			}
+			if len(tile.Global) > hi {
+				hi = len(tile.Global)
+			}
+			for i, g := range tile.Global {
+				if seen[g] {
+					t.Fatalf("n=%d: global ID %d in two tiles", n, g)
+				}
+				seen[g] = true
+				b := tile.Rel.Objects[i].Poly.Bounds()
+				if !tile.MBR.Contains(b) {
+					t.Fatalf("n=%d tile %d: MBR %v misses member %v", n, tile.Index, tile.MBR, b)
+				}
+			}
+			if !sh.MBR().Contains(tile.MBR) {
+				t.Fatalf("n=%d: facade MBR misses tile %d", n, tile.Index)
+			}
+		}
+		for g, ok := range seen {
+			if !ok {
+				t.Fatalf("n=%d: global ID %d unassigned", n, g)
+			}
+		}
+		if hi-lo > 1 {
+			t.Errorf("n=%d: tile sizes unbalanced: min %d, max %d", n, lo, hi)
+		}
+	}
+}
+
+func TestBuildClampsShardCount(t *testing.T) {
+	_, _, cfg := testWorkload(t)
+	rp := data.GenerateMap(data.MapConfig{Cells: 4, TargetVerts: 12, Seed: 11})
+	if got := Build("R", rp, 0, cfg).Shards(); got != 1 {
+		t.Errorf("shards=0 clamps to %d, want 1", got)
+	}
+	if got := Build("R", rp, 100, cfg).Shards(); got != len(rp) {
+		t.Errorf("shards=100 over %d objects clamps to %d", len(rp), got)
+	}
+	empty := Build("E", nil, 4, cfg)
+	if empty.Shards() != 1 || empty.Objects() != 0 {
+		t.Errorf("empty relation: %d tiles, %d objects, want one empty tile", empty.Shards(), empty.Objects())
+	}
+}
+
+func TestFromRelationWrapsIdentity(t *testing.T) {
+	rp, _, cfg := testWorkload(t)
+	rel := multistep.NewRelation("R", rp, cfg)
+	sh := FromRelation(rel)
+	if sh.Shards() != 1 || sh.Objects() != len(rp) {
+		t.Fatalf("FromRelation: %d tiles, %d objects", sh.Shards(), sh.Objects())
+	}
+	if sh.Tiles[0].Rel != rel {
+		t.Error("FromRelation must share the relation, not copy it")
+	}
+	for i, g := range sh.Tiles[0].Global {
+		if int(g) != i {
+			t.Fatalf("global IDs not the identity: [%d] = %d", i, g)
+		}
+	}
+	if sh.Fingerprint() != multistep.ConfigFingerprint(cfg) {
+		t.Error("fingerprint disagrees with the relation's configuration")
+	}
+}

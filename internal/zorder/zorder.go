@@ -45,6 +45,24 @@ func Encode(x, y uint32) uint64 {
 	return interleave(x) | interleave(y)<<1
 }
 
+// deinterleave collects the even bit positions of z into the low 20 bits
+// — the inverse of interleave.
+func deinterleave(z uint64) uint32 {
+	x := z & 0x5555555555555555
+	x = (x | x>>1) & 0x3333333333333333
+	x = (x | x>>2) & 0x0F0F0F0F0F0F0F0F
+	x = (x | x>>4) & 0x00FF00FF00FF00FF
+	x = (x | x>>8) & 0x0000FFFF0000FFFF
+	x = (x | x>>16) & 0x00000000FFFFFFFF
+	return uint32(x)
+}
+
+// Decode returns the cell (x, y) of a Z value on the full-resolution
+// grid — the inverse of Encode for any z below 1<<(2·MaxLevel).
+func Decode(z uint64) (x, y uint32) {
+	return deinterleave(z), deinterleave(z >> 1)
+}
+
 // CoverConfig bounds the cover computation.
 type CoverConfig struct {
 	// Level is the quadtree depth used for quantization (1..MaxLevel).

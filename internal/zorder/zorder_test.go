@@ -69,6 +69,113 @@ func TestCoverContainsRectCells(t *testing.T) {
 	}
 }
 
+// TestDecodeInvertsEncode is the round-trip property test: Decode is the
+// exact inverse of Encode over the full 20-bit coordinate range, and
+// Encode inverts Decode over the full 40-bit curve — the invariant the
+// tile partitioner (internal/shard) leans on.
+func TestDecodeInvertsEncode(t *testing.T) {
+	// Exhaustive corners and boundaries of the coordinate range.
+	edge := []uint32{0, 1, 2, 3, (1 << 10) - 1, 1 << 10, (1 << 20) - 2, (1 << 20) - 1}
+	for _, x := range edge {
+		for _, y := range edge {
+			gx, gy := Decode(Encode(x, y))
+			if gx != x || gy != y {
+				t.Fatalf("Decode(Encode(%d, %d)) = (%d, %d)", x, y, gx, gy)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(499))
+	for trial := 0; trial < 10000; trial++ {
+		x := rng.Uint32() & ((1 << 20) - 1)
+		y := rng.Uint32() & ((1 << 20) - 1)
+		gx, gy := Decode(Encode(x, y))
+		if gx != x || gy != y {
+			t.Fatalf("Decode(Encode(%d, %d)) = (%d, %d)", x, y, gx, gy)
+		}
+		z := rng.Uint64() & ((1 << 40) - 1)
+		if got := Encode(Decode(z)); got != z {
+			t.Fatalf("Encode(Decode(%d)) = %d", z, got)
+		}
+	}
+}
+
+// TestCoverTileBoundaries pins the quantization at block boundaries: a
+// rectangle whose edges lie exactly on quadtree cell boundaries must
+// still cover the cells it touches, including the boundary cells on both
+// sides of the cut when the rectangle spans it.
+func TestCoverTileBoundaries(t *testing.T) {
+	cfg := DefaultCoverConfig()
+	n := uint32(1) << uint(cfg.Level)
+	covers := func(r geom.Rect, x, y uint32) bool {
+		z := Encode(x, y)
+		for _, reg := range Cover(r, cfg) {
+			if z >= reg.Lo && z <= reg.Hi {
+				return true
+			}
+		}
+		return false
+	}
+	// A rectangle ending exactly at the midline: quantizing MaxX = 0.5
+	// lands in cell n/2, so the cover includes the first cell right of
+	// the cut (the closed-boundary convention) and everything left of it.
+	onCut := geom.Rect{MinX: 0.25, MinY: 0.25, MaxX: 0.5, MaxY: 0.5}
+	for _, cell := range [][2]uint32{
+		{n / 4, n / 4},     // lower-left corner cell
+		{n / 2, n / 2},     // the boundary cell itself
+		{n/2 - 1, n/2 - 1}, // last cell strictly inside
+		{n / 4, n / 2},     // boundary cell on one axis only
+	} {
+		if !covers(onCut, cell[0], cell[1]) {
+			t.Errorf("boundary-aligned rect misses cell %v", cell)
+		}
+	}
+	// A rectangle starting exactly on a boundary must not leak into the
+	// cell below it.
+	if covers(geom.Rect{MinX: 0.5, MinY: 0.5, MaxX: 0.75, MaxY: 0.75}, n/2-1, n/2-1) {
+		t.Error("cover leaks below the aligned lower boundary")
+	}
+	// Coordinates at the far data-space edge clamp into the last cell.
+	if !covers(geom.Rect{MinX: 1, MinY: 1, MaxX: 1, MaxY: 1}, n-1, n-1) {
+		t.Error("far-corner point not clamped into the last cell")
+	}
+}
+
+// TestCoverPointMBR: degenerate (zero-extent) rectangles — point objects
+// — cover exactly one cell.
+func TestCoverPointMBR(t *testing.T) {
+	cfg := DefaultCoverConfig()
+	rng := rand.New(rand.NewSource(503))
+	for trial := 0; trial < 200; trial++ {
+		x, y := rng.Float64(), rng.Float64()
+		regions := Cover(geom.Rect{MinX: x, MinY: y, MaxX: x, MaxY: y}, cfg)
+		if len(regions) != 1 {
+			t.Fatalf("point MBR (%g, %g) covered by %d regions, want 1", x, y, len(regions))
+		}
+		if regions[0].Lo != regions[0].Hi {
+			t.Fatalf("point MBR (%g, %g) covered by interval [%d, %d], want a single cell",
+				x, y, regions[0].Lo, regions[0].Hi)
+		}
+	}
+}
+
+// TestCoverFullExtent: an object spanning the whole data space collapses
+// to the single root region covering the entire curve, at every level.
+func TestCoverFullExtent(t *testing.T) {
+	for _, level := range []int{1, 5, 10, MaxLevel} {
+		cfg := DefaultCoverConfig()
+		cfg.Level = level
+		whole := Cover(geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, cfg)
+		if len(whole) != 1 {
+			t.Fatalf("level %d: full-extent cover = %v, want one region", level, whole)
+		}
+		wantHi := uint64(1)<<(2*uint(level)) - 1
+		if whole[0].Lo != 0 || whole[0].Hi != wantHi {
+			t.Errorf("level %d: full-extent region [%d, %d], want [0, %d]",
+				level, whole[0].Lo, whole[0].Hi, wantHi)
+		}
+	}
+}
+
 func TestCoverDegenerate(t *testing.T) {
 	cfg := DefaultCoverConfig()
 	if got := Cover(geom.EmptyRect(), cfg); got != nil {

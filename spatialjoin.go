@@ -46,6 +46,7 @@ import (
 	"spatialjoin/internal/data"
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/multistep"
+	"spatialjoin/internal/shard"
 	"spatialjoin/internal/storage"
 )
 
@@ -434,6 +435,79 @@ func SaveRelationFile(path string, rel *Relation, cfg Config) error {
 func OpenRelationFile(path string, cfg Config) (*Relation, error) {
 	return multistep.OpenRelationFile(path, cfg)
 }
+
+// Sharded relations: one logical relation partitioned into N Z-order
+// tiles behind a scatter-gather layer (internal/shard). The sharded
+// entry points preserve the single-relation contracts — globally
+// (A, B)-sorted join responses, limit as the global sorted prefix,
+// cancellation fanned out to every tile, and candidate/filter/exact
+// statistics summing exactly to the unsharded run. See DESIGN.md §10.
+type (
+	// Sharded is a relation partitioned into Z-order tiles behind one
+	// facade; build with BuildSharded or wrap an existing relation with
+	// ShardedFromRelation.
+	Sharded = shard.Sharded
+	// Tile is one shard of a partitioned relation: a complete Relation
+	// over the tile's objects plus the mapping back to global IDs.
+	Tile = shard.Tile
+	// ShardedJoinStats aggregates a scatter-gather join: summed Stats
+	// plus the per-tile-pair breakdown.
+	ShardedJoinStats = shard.JoinStats
+	// SubJoinStats is the accounting of one tile-pair sub-join.
+	SubJoinStats = shard.SubJoinStats
+	// ShardedQueryStats aggregates a scatter-gather query: summed
+	// WindowStats plus the per-tile breakdown.
+	ShardedQueryStats = shard.QueryStats
+	// TileQueryStats is the accounting of one tile's sub-query.
+	TileQueryStats = shard.TileQueryStats
+	// ShardedQueryResult is the merged answer of QuerySharded; IDs are
+	// global object IDs in ascending order.
+	ShardedQueryResult = shard.QueryResult
+)
+
+// ErrBadShardManifest reports a corrupt sharded-store manifest.
+var ErrBadShardManifest = shard.ErrBadManifest
+
+// BuildSharded partitions polys into at most shards Z-order tiles and
+// preprocesses each tile as its own relation under cfg (the shard count
+// clamps to [1, len(polys)]).
+func BuildSharded(name string, polys []*Polygon, shards int, cfg Config) *Sharded {
+	return shard.Build(name, polys, shards, cfg)
+}
+
+// ShardedFromRelation wraps an existing relation as a one-tile Sharded,
+// so monolithic and partitioned relations share one query path.
+func ShardedFromRelation(rel *Relation) *Sharded { return shard.FromRelation(rel) }
+
+// JoinSharded runs the multi-step join of two sharded relations as
+// tile-pair sub-joins and merges the results; response set, ordering,
+// limit semantics and per-step statistics match Join on the unsharded
+// relations.
+func JoinSharded(ctx context.Context, r, s *Sharded, opts ...Option) ([]Pair, ShardedJoinStats, error) {
+	return shard.Join(ctx, r, s, opts...)
+}
+
+// QuerySharded runs a window, point, ε-range or nearest query against a
+// sharded relation, routing to the tiles that can contribute and merging
+// their answers.
+func QuerySharded(ctx context.Context, r *Sharded, opts ...Option) (ShardedQueryResult, error) {
+	return shard.Query(ctx, r, opts...)
+}
+
+// SaveShardedStore persists a sharded relation as a store directory:
+// one relation store file per tile plus a manifest with the tile MBRs,
+// object counts, global ID mapping and the config fingerprint.
+func SaveShardedStore(dir string, sh *Sharded) error { return shard.Save(dir, sh) }
+
+// OpenShardedStore reopens a store directory written by
+// SaveShardedStore under the same cfg; the manifest and every tile's
+// own fingerprint must match or opening fails with ErrConfigMismatch.
+func OpenShardedStore(dir string, cfg Config) (*Sharded, error) { return shard.Open(dir, cfg) }
+
+// IsShardedStore reports whether path is a sharded store directory (a
+// directory containing a manifest), as opposed to a single relation
+// store file.
+func IsShardedStore(path string) bool { return shard.IsStoreDir(path) }
 
 // WritePolygons persists a relation in the compact binary format of
 // cmd/datagen.

@@ -131,6 +131,59 @@ func TestPublicAPI(t *testing.T) {
 		t.Fatalf("file-store relation joined %d pairs, want %d", len(filePairs), len(pairs))
 	}
 
+	// Sharded facade: build, join, query, persist, reopen — the sharded
+	// response sets match the unsharded ones (the scatter-gather
+	// equivalence itself is proven exhaustively in internal/shard).
+	shR := spatialjoin.BuildSharded("R", base, 4, cfg)
+	shS := spatialjoin.BuildSharded("S", shifted, 4, cfg)
+	if shR.Shards() != 4 || shR.Objects() != len(base) {
+		t.Fatalf("BuildSharded: %d shards, %d objects", shR.Shards(), shR.Objects())
+	}
+	shPairs, shSt, err := spatialjoin.JoinSharded(ctx, shR, shS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shPairs) != len(pairs) {
+		t.Fatalf("sharded join %d pairs, unsharded %d", len(shPairs), len(pairs))
+	}
+	if shSt.CandidatePairs != st.CandidatePairs || shSt.ExactHits != st.ExactHits {
+		t.Errorf("sharded stats diverge: candidates %d vs %d, exact hits %d vs %d",
+			shSt.CandidatePairs, st.CandidatePairs, shSt.ExactHits, st.ExactHits)
+	}
+	shWin, err := spatialjoin.QuerySharded(ctx, shR,
+		spatialjoin.ForWindow(spatialjoin.Rect{MinX: 0.3, MinY: 0.3, MaxX: 0.6, MaxY: 0.6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shWin.IDs) != len(win.IDs) {
+		t.Errorf("sharded window query %d objects, unsharded %d", len(shWin.IDs), len(win.IDs))
+	}
+	wrapped := spatialjoin.ShardedFromRelation(r)
+	if wrapped.Shards() != 1 || wrapped.Objects() != len(base) {
+		t.Errorf("ShardedFromRelation: %d shards, %d objects", wrapped.Shards(), wrapped.Objects())
+	}
+	storeDir := filepath.Join(t.TempDir(), "r.shards")
+	if err := spatialjoin.SaveShardedStore(storeDir, shR); err != nil {
+		t.Fatalf("SaveShardedStore: %v", err)
+	}
+	if !spatialjoin.IsShardedStore(storeDir) || spatialjoin.IsShardedStore(storePath) {
+		t.Error("IsShardedStore misclassifies")
+	}
+	reShR, err := spatialjoin.OpenShardedStore(storeDir, cfg)
+	if err != nil {
+		t.Fatalf("OpenShardedStore: %v", err)
+	}
+	rePairsSh, _, err := spatialjoin.JoinSharded(ctx, reShR, shS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rePairsSh) != len(pairs) {
+		t.Fatalf("reopened sharded store joined %d pairs, want %d", len(rePairsSh), len(pairs))
+	}
+	if _, err := spatialjoin.OpenShardedStore(storeDir, otherCfg); !errors.Is(err, spatialjoin.ErrConfigMismatch) {
+		t.Errorf("sharded config mismatch not rejected: %v", err)
+	}
+
 	// Engine and kind constants are wired.
 	altCfg := cfg
 	altCfg.Engine = spatialjoin.EnginePlaneSweep

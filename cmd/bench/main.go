@@ -22,6 +22,14 @@
 // and bytes/op. Reported per run: Go version, GOMAXPROCS, and the peak
 // RSS of the process (VmHWM, Linux only).
 //
+// -planner switches to the adaptive-planning comparison grid: every
+// static configuration of the paper grid (engine × filter, sequential)
+// is measured next to the planner-chosen execution of the same join
+// (multistep.WithPlan, nothing pinned) for each predicate. The summary
+// line per predicate reports the planner's wall time as a multiple of
+// the best static cell — the committed BENCH_PR7.json pins the ≤ 1.5×
+// guarantee the regression tests enforce.
+//
 // -check validates an existing measurement file (parse + schema) and
 // exits; CI uses it to keep the committed BENCH_*.json files honest.
 package main
@@ -91,6 +99,12 @@ type Result struct {
 	NsPerCandidate float64 `json:"ns_per_candidate"`
 	AllocsPerOp    float64 `json:"allocs_per_op"`
 	BytesPerOp     float64 `json:"bytes_per_op"`
+	// Planned marks a planner-chosen cell (-planner mode): Engine and
+	// Workers then record the planner's choice, not a pinned setting.
+	Planned bool `json:"planned,omitempty"`
+	// NoFilter marks a static cell measured with the geometric filter
+	// switched off at query time.
+	NoFilter bool `json:"no_filter,omitempty"`
 }
 
 func main() {
@@ -104,6 +118,7 @@ func main() {
 	epsilon := flag.Float64("epsilon", 0.005, "distance bound of the within workloads")
 	workersFlag := flag.String("workers", "1,4", "comma-separated worker counts for the intersects workloads")
 	shardsFlag := flag.String("shards", "1,2,4", "comma-separated tile counts for the sharded workloads (empty: skip)")
+	plannerMode := flag.Bool("planner", false, "measure the planner-chosen execution against every static engine×filter cell per predicate")
 	check := flag.String("check", "", "validate an existing measurement file and exit")
 	flag.Parse()
 
@@ -151,29 +166,61 @@ func main() {
 
 	engines := []multistep.Engine{multistep.EngineTRStar, multistep.EnginePlaneSweep, multistep.EngineQuadratic}
 
-	// The intersection join: every engine at every worker count.
-	for _, eng := range engines {
-		for _, w := range workers {
-			run.Results = append(run.Results,
-				measure(rr, ss, cfg, multistep.Intersects(), eng, w, *reps))
+	if *plannerMode {
+		// The planner comparison: per predicate, every static engine ×
+		// filter cell (sequential — the planner may still choose more
+		// workers for itself), then the planner-chosen execution of the
+		// same join with nothing pinned.
+		preds := []multistep.Predicate{
+			multistep.Intersects(),
+			multistep.WithinDistance(*epsilon),
+			multistep.Contains(),
 		}
-	}
-	// The within-distance join: every engine, sequential (the distance
-	// kernels are the variable under test, not the fan-out).
-	for _, eng := range engines {
+		for _, pred := range preds {
+			var best, worst Result
+			for _, eng := range engines {
+				for _, filt := range []bool{true, false} {
+					res := measure(rr, ss, cfg, pred, eng, filt, 1, *reps)
+					if best.Name == "" || res.WallNsPerOp < best.WallNsPerOp {
+						best = res
+					}
+					if worst.Name == "" || res.WallNsPerOp > worst.WallNsPerOp {
+						worst = res
+					}
+					run.Results = append(run.Results, res)
+				}
+			}
+			pres := measurePlanned(rr, ss, pred, *reps)
+			run.Results = append(run.Results, pres)
+			fmt.Printf("  planner %-10s %8.1f ms/op = %.2fx best static (%s %.1f ms), worst %s %.1f ms\n",
+				predName(pred), pres.WallNsPerOp/1e6, pres.WallNsPerOp/best.WallNsPerOp,
+				best.Name, best.WallNsPerOp/1e6, worst.Name, worst.WallNsPerOp/1e6)
+		}
+	} else {
+		// The intersection join: every engine at every worker count.
+		for _, eng := range engines {
+			for _, w := range workers {
+				run.Results = append(run.Results,
+					measure(rr, ss, cfg, multistep.Intersects(), eng, true, w, *reps))
+			}
+		}
+		// The within-distance join: every engine, sequential (the distance
+		// kernels are the variable under test, not the fan-out).
+		for _, eng := range engines {
+			run.Results = append(run.Results,
+				measure(rr, ss, cfg, multistep.WithinDistance(*epsilon), eng, true, 1, *reps))
+		}
+		// The inclusion join: the exact inclusion test is engine-independent.
 		run.Results = append(run.Results,
-			measure(rr, ss, cfg, multistep.WithinDistance(*epsilon), eng, 1, *reps))
-	}
-	// The inclusion join: the exact inclusion test is engine-independent.
-	run.Results = append(run.Results,
-		measure(rr, ss, cfg, multistep.Contains(), multistep.EngineTRStar, 1, *reps))
-	// The tile-sharded scatter-gather join (internal/shard): the
-	// intersection workload at each tile count, default engine. One tile
-	// prices the coordinator overhead over the monolithic join.
-	for _, tiles := range shardCounts {
-		shR := shard.Build("R", base, tiles, cfg)
-		shS := shard.Build("S", shifted, tiles, cfg)
-		run.Results = append(run.Results, measureSharded(shR, shS, cfg, tiles, *reps))
+			measure(rr, ss, cfg, multistep.Contains(), multistep.EngineTRStar, true, 1, *reps))
+		// The tile-sharded scatter-gather join (internal/shard): the
+		// intersection workload at each tile count, default engine. One tile
+		// prices the coordinator overhead over the monolithic join.
+		for _, tiles := range shardCounts {
+			shR := shard.Build("R", base, tiles, cfg)
+			shS := shard.Build("S", shifted, tiles, cfg)
+			run.Results = append(run.Results, measureSharded(shR, shS, cfg, tiles, *reps))
+		}
 	}
 
 	run.PeakRSSBytes = peakRSS()
@@ -186,9 +233,12 @@ func main() {
 
 // measure runs one workload cell: a warm-up join (paying the lazy exact
 // representations), then reps measured joins with the allocation counters
-// sampled around the whole window.
-func measure(r, s *multistep.Relation, cfg multistep.Config, pred multistep.Predicate, eng multistep.Engine, workers, reps int) Result {
+// sampled around the whole window. useFilter false switches the
+// geometric filter off at query time (the static filter dimension of
+// the planner comparison).
+func measure(r, s *multistep.Relation, cfg multistep.Config, pred multistep.Predicate, eng multistep.Engine, useFilter bool, workers, reps int) Result {
 	cfg.Engine = eng
+	cfg.UseFilter = cfg.UseFilter && useFilter
 	opts := []multistep.Option{
 		multistep.WithConfig(cfg),
 		multistep.WithPredicate(pred),
@@ -213,11 +263,71 @@ func measure(r, s *multistep.Relation, cfg multistep.Config, pred multistep.Pred
 	wall := time.Since(t0)
 	runtime.ReadMemStats(&after)
 
+	name := fmt.Sprintf("%s/%s/w%d", predName(pred), engineName(eng), workers)
+	if !cfg.UseFilter {
+		name = fmt.Sprintf("%s/%s/nofilter/w%d", predName(pred), engineName(eng), workers)
+	}
 	res := Result{
-		Name:           fmt.Sprintf("%s/%s/w%d", predName(pred), engineName(eng), workers),
+		Name:           name,
 		Predicate:      predName(pred),
 		Engine:         engineName(eng),
 		Workers:        workers,
+		NoFilter:       !cfg.UseFilter,
+		WallNsPerOp:    float64(wall.Nanoseconds()) / float64(reps),
+		ResultPairs:    st.ResultPairs,
+		CandidatePairs: st.CandidatePairs,
+		AllocsPerOp:    float64(after.Mallocs-before.Mallocs) / float64(reps),
+		BytesPerOp:     float64(after.TotalAlloc-before.TotalAlloc) / float64(reps),
+	}
+	if res.WallNsPerOp > 0 {
+		res.PairsPerSec = float64(st.ResultPairs) * 1e9 / res.WallNsPerOp
+	}
+	if st.CandidatePairs > 0 {
+		res.NsPerCandidate = res.WallNsPerOp / float64(st.CandidatePairs)
+	}
+	fmt.Printf("  %-28s %10.1f ms/op %12.0f pairs/sec %10.0f allocs/op\n",
+		res.Name, res.WallNsPerOp/1e6, res.PairsPerSec, res.AllocsPerOp)
+	return res
+}
+
+// measurePlanned measures the planner-chosen execution of one join:
+// nothing pinned, multistep.WithPlan resolves engine, filter and worker
+// count from the relations' statistics (warm-up included, so the
+// measured window also benefits from one round of feedback, as a served
+// deployment would).
+func measurePlanned(r, s *multistep.Relation, pred multistep.Predicate, reps int) Result {
+	var ex multistep.Explain
+	opts := []multistep.Option{
+		multistep.WithPredicate(pred),
+		multistep.WithPlan(),
+		multistep.WithBufferless(),
+		multistep.WithExplain(&ex),
+	}
+	join := func() multistep.Stats {
+		_, st, err := multistep.Join(context.Background(), r, s, opts...)
+		if err != nil {
+			fatal(err)
+		}
+		return st
+	}
+	st := join() // warm-up
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	for i := 0; i < reps; i++ {
+		st = join()
+	}
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&after)
+
+	res := Result{
+		Name:           fmt.Sprintf("planner/%s", predName(pred)),
+		Predicate:      predName(pred),
+		Engine:         ex.Plan.Engine,
+		Workers:        ex.Plan.Workers,
+		Planned:        true,
+		NoFilter:       !ex.Plan.UseFilter,
 		WallNsPerOp:    float64(wall.Nanoseconds()) / float64(reps),
 		ResultPairs:    st.ResultPairs,
 		CandidatePairs: st.CandidatePairs,

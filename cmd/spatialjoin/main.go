@@ -11,7 +11,7 @@
 //	            [-conservative 5C|RMBR|CH|4C|MBC|MBE] [-progressive MER|MEC]
 //	            [-no-filter] [-page 4096] [-policy lru|fifo|clock] [-seed 9401]
 //	            [-predicate intersects|contains|within] [-epsilon ε]
-//	            [-parallel N] [-stream]
+//	            [-parallel N] [-stream] [-plan=false] [-explain]
 //	            [-rstore R.store -sstore S.store]
 //	            [-cpuprofile cpu.out] [-memprofile mem.out]
 //
@@ -29,6 +29,15 @@
 // stores (both must be given, and the configuration flags must match the
 // ones the stores were built with — a mismatch is rejected via the
 // stores' config fingerprint).
+//
+// The cost-based planner (internal/plan) resolves the options left at
+// their defaults: engine, filter and worker count are chosen from the
+// relations' statistics unless the corresponding flag was set explicitly
+// on the command line (an explicit -engine/-no-filter pins both, an
+// explicit -parallel pins the workers — exactly the WithConfig /
+// WithWorkers contract). -plan=false disables planning entirely;
+// -explain prints the chosen plan and its predicted cost before the
+// join, and the predicted-vs-actual error after it.
 package main
 
 import (
@@ -64,6 +73,8 @@ func main() {
 	step1 := flag.String("step1", "rstar", "step 1 candidate generator: rstar, zorder, nested")
 	parallel := flag.Int("parallel", 0, "filter/exact worker count (0 = sequential; with -stream, 0 = GOMAXPROCS)")
 	stream := flag.Bool("stream", false, "use the streaming pipeline (JoinStream): bounded memory, -parallel workers")
+	planOn := flag.Bool("plan", true, "resolve unset options (engine, filter, workers) through the cost-based planner; explicitly-set flags stay pinned")
+	explain := flag.Bool("explain", false, "print the chosen plan and predicted cost before the join, and the predicted-vs-actual error after (implies -plan)")
 	rstorePath := flag.String("rstore", "", "open relation R from this prebuilt store instead of generating it")
 	sstorePath := flag.String("sstore", "", "open relation S from this prebuilt store instead of generating it")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the join phase to this file")
@@ -145,21 +156,53 @@ func main() {
 
 	// One entry point for every variant: the predicate, the worker count
 	// and the emission mode are orthogonal options of the unified join.
-	opts := []multistep.Option{
-		multistep.WithConfig(cfg),
-		multistep.WithPredicate(pred),
+	// Explicitly-set flags pin their dimension for the planner: flag.Visit
+	// distinguishes "-engine trstar" (a decision) from the default value
+	// (an open choice).
+	set := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	// -explain without an explicit -plan=false still plans; an explicit
+	// -plan=false -explain echoes the static configuration instead.
+	usePlanner := *planOn || (*explain && !set["plan"])
+	opts := []multistep.Option{multistep.WithPredicate(pred)}
+	if !usePlanner || set["engine"] || set["no-filter"] {
+		opts = append(opts, multistep.WithConfig(cfg))
+	}
+	if usePlanner {
+		opts = append(opts, multistep.WithPlan())
 	}
 	workers := *parallel
-	if workers <= 0 && !*stream {
+	if workers <= 0 && !*stream && !usePlanner {
 		workers = 1 // sequential measurement mode, the paper's accounting
 	}
-	opts = append(opts, multistep.WithWorkers(workers))
+	if workers > 0 || !usePlanner {
+		opts = append(opts, multistep.WithWorkers(workers))
+	}
 	var pairs []multistep.Pair
 	if *stream {
 		// The streaming pipeline emits pairs as they are decided instead
 		// of materializing the candidate set; collect them here only for
 		// the summary line.
 		opts = append(opts, multistep.WithStream(func(p multistep.Pair) { pairs = append(pairs, p) }))
+	}
+	// The explain capture rides along on every run: it resolves the
+	// executed engine and filter for the report below, planned or not.
+	var ex multistep.Explain
+	opts = append(opts, multistep.WithExplain(&ex))
+	if *explain {
+		pre, err := multistep.ExplainJoin(r, s, opts...)
+		if err != nil {
+			fatal(err)
+		}
+		p := pre.Plan
+		fmt.Printf("\nplan: engine=%s filter=%v workers=%d planned=%v\n", p.Engine, p.UseFilter, p.Workers, p.Planned)
+		if p.Planned {
+			fmt.Printf("predicted: %.0f candidates, %.0f exact tests, %.0f result pairs, cost %.2fms\n",
+				p.PredictedCandidates, p.PredictedExactTested, p.PredictedResultPairs, p.PredictedCostNs/1e6)
+			if p.StreamRecommended && !*stream {
+				fmt.Println("planner recommends -stream: the predicted response set is large")
+			}
+		}
 	}
 	// Profiling brackets the join phase only: preprocessing (approximation
 	// computation, tree construction) is excluded, exactly as the paper
@@ -199,6 +242,13 @@ func main() {
 		f.Close()
 	}
 
+	// Report what actually executed: under the planner, cfg's engine and
+	// filter flags are only the search space, not the choice.
+	if e, err := multistep.ParseEngine(ex.Plan.Engine); err == nil {
+		cfg.Engine = e
+	}
+	cfg.UseFilter = ex.Plan.UseFilter
+
 	fmt.Printf("\njoin wall time: %.3fs (predicate %s, buffer policy %s)\n\n",
 		joinTime.Seconds(), pred, cfg.BufferPolicy)
 	fmt.Printf("step 1 (MBR-join):      %8d candidate pairs, %d page accesses\n",
@@ -211,6 +261,10 @@ func main() {
 	fmt.Printf("step 3 (%s):   %8d pairs tested, %d hits; ops: %s\n",
 		cfg.Engine, st.ExactTested, st.ExactHits, st.Ops.String())
 	fmt.Printf("\nresponse set: %d pairs (%s)\n", len(pairs), pred)
+	if *explain && ex.Plan.Planned {
+		fmt.Printf("plan accuracy: candidates %.2fx, cost %.2fx (predicted/actual; 1 is perfect)\n",
+			ex.CandidateError, ex.CostError)
+	}
 
 	b := costmodel.FromStats(st, cfg.Engine, costmodel.PaperParams())
 	fmt.Printf("modelled cost (section 5): MBR-join %.1fs + object access %.1fs + exact %.1fs = %.1fs\n",

@@ -12,6 +12,7 @@
 //	                 [-engine trstar|planesweep|quadratic]
 //	                 [-conservative 5C|RMBR|CH|4C|MBC|MBE] [-progressive MER|MEC]
 //	                 [-no-filter] [-page 4096] [-buffer 131072] [-policy lru|fifo|clock]
+//	                 [-no-plan]
 //	spatialjoinserve [-addr :8080] -demo 810
 //
 // A -rel path may be a single relation store file (cmd/datagen -store)
@@ -26,6 +27,12 @@
 //	datagen -n 810 -store r.store && datagen -n 810 -strategy A -store s.store
 //	spatialjoinserve -rel R=r.store -rel S=s.store &
 //	curl 'localhost:8080/join?r=R&s=S&limit=3'
+//
+// Requests plan through the cost-based planner by default (see
+// internal/serve); -no-plan pins the build configuration server-wide,
+// and a single request opts out with &plan=off. GET /explain reports
+// the per-tile-pair plans without (or with run=1, alongside) executing
+// the join.
 package main
 
 import (
@@ -77,7 +84,8 @@ func main() {
 	pageSize := flag.Int("page", 4096, "R*-tree page size in bytes")
 	bufferBytes := flag.Int("buffer", 128<<10, "R*-tree buffer size in bytes")
 	policy := flag.String("policy", "lru", "buffer replacement policy: lru, fifo, clock")
-	joinWorkers := flag.Int("join-workers", 0, "streaming-join workers per request (0 = GOMAXPROCS)")
+	joinWorkers := flag.Int("join-workers", 0, "streaming-join workers per request (0 = planner-chosen, or GOMAXPROCS with -no-plan)")
+	noPlan := flag.Bool("no-plan", false, "disable the cost-based planner: serve every request under the build configuration verbatim")
 	maxPairs := flag.Int("max-pairs", serve.DefaultMaxJoinPairs, "cap on join pairs returned inline per request")
 	flag.Parse()
 
@@ -134,7 +142,8 @@ func main() {
 	srv := serve.NewServer(cat)
 	srv.JoinWorkers = *joinWorkers
 	srv.MaxJoinPairs = *maxPairs
-	log.Printf("serving %d relation(s) on %s — try /healthz, /relations, /window, /point, /nearest, /join",
+	srv.NoPlan = *noPlan
+	log.Printf("serving %d relation(s) on %s — try /healthz, /relations, /window, /point, /nearest, /join, /explain",
 		len(cat.Names()), *addr)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		fatal(err)

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"spatialjoin/internal/multistep"
+	"spatialjoin/internal/plan"
 )
 
 func TestFromStatsVersions(t *testing.T) {
@@ -115,5 +116,43 @@ func TestQuadraticModeled(t *testing.T) {
 	b := FromStats(st, multistep.EngineQuadratic, p)
 	if b.ExactTest <= FromStats(st, multistep.EnginePlaneSweep, p).ExactTest {
 		t.Error("quadratic per-pair cost must exceed plane sweep")
+	}
+}
+
+// TestCalibratedParams pins the calibrated model's invariants: the
+// engine ordering the committed BENCH baselines measured (TR*-tree <
+// plane sweep < quadratic per pair) and agreement with the planner's
+// calibration (the same BENCH_PR6 decomposition feeds both, so the two
+// models must rank engines identically).
+func TestCalibratedParams(t *testing.T) {
+	c := CalibratedParams()
+	if !(c.TRStarPerPair < c.PlaneSweepPerPair && c.PlaneSweepPerPair < c.QuadraticPerPair) {
+		t.Fatalf("calibrated engine ordering wrong: %+v", c)
+	}
+	w := plan.DefaultWeights()
+	ratio := func(ns float64, s float64) float64 { return ns / (s * 1e9) }
+	// Each engine's planner weight and calibrated per-pair cost must be
+	// the same figure (weights are ns, Params are seconds).
+	for _, e := range []struct {
+		name string
+		ns   float64
+		sec  float64
+	}{
+		{"trstar", w.IntersectExactNs[2], c.TRStarPerPair},
+		{"planesweep", w.IntersectExactNs[1], c.PlaneSweepPerPair},
+		{"quadratic", w.IntersectExactNs[0], c.QuadraticPerPair},
+	} {
+		if r := ratio(e.ns, e.sec); math.Abs(r-1) > 1e-9 {
+			t.Errorf("%s: planner weight %v ns vs calibrated %v s (ratio %v)", e.name, e.ns, e.sec, r)
+		}
+	}
+	// The calibrated model must still order a measured run the same way
+	// the paper model does: quadratic worst for the same stats.
+	st := multistep.Stats{PageAccessesR: 100, PageAccessesS: 100, ExactTested: 10000}
+	tr := FromStats(st, multistep.EngineTRStar, c).Total()
+	ps := FromStats(st, multistep.EnginePlaneSweep, c).Total()
+	q := FromStats(st, multistep.EngineQuadratic, c).Total()
+	if !(tr < ps && ps < q) {
+		t.Fatalf("calibrated FromStats ordering wrong: tr=%v ps=%v q=%v", tr, ps, q)
 	}
 }

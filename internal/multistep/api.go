@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"slices"
+	"time"
 
 	"spatialjoin/internal/approx"
 	"spatialjoin/internal/ctxpoll"
@@ -55,6 +56,9 @@ type queryOptions struct {
 	point    *geom.Point
 	nearest  bool
 	nearestK int
+
+	planned bool     // WithPlan: resolve unset options via the planner
+	explain *Explain // WithExplain: capture plan + predicted-vs-actual
 }
 
 // Option configures one Join or Query call. Options are orthogonal: any
@@ -191,6 +195,12 @@ type Resolved struct {
 	Point    *geom.Point
 	Nearest  bool
 	NearestK int
+	// Plan reports WithPlan; Explain is the WithExplain capture target,
+	// nil without one. A coordinator fanning one logical join across
+	// tile pairs must give each sub-join its own Explain (appending a
+	// fresh WithExplain overrides this one) and aggregate afterwards.
+	Plan    bool
+	Explain *Explain
 }
 
 // ResolveOptions applies an option list and returns the resolved view.
@@ -201,6 +211,7 @@ func ResolveOptions(opts []Option) Resolved {
 		Stream: o.emit, Bufferless: o.bufferless,
 		Window: o.window, Point: o.point,
 		Nearest: o.nearest, NearestK: o.nearestK,
+		Plan: o.planned, Explain: o.explain,
 	}
 }
 
@@ -272,13 +283,34 @@ func Join(ctx context.Context, r, s *Relation, opts ...Option) ([]Pair, Stats, e
 		return nil, Stats{}, err
 	}
 
+	// Adaptive planning: WithPlan resolves the dimensions the caller
+	// left open (engine, filter, workers) through internal/plan; pinned
+	// dimensions pass through unchanged, so explicit options win.
+	var pl Plan
+	switch {
+	case o.planned:
+		cfg, o.workers, pl = planJoin(r, s, cfg, &o)
+	case o.explain != nil:
+		pl = echoPlan(cfg, &o)
+	}
+
 	emit := o.emit
 	var out []Pair
 	collect := emit == nil && !o.bufferless
 	if collect {
 		emit = func(p Pair) { out = append(out, p) }
 	}
+	var started time.Time
+	if o.explain != nil {
+		started = time.Now()
+	}
 	st, err := joinStream(ctx, r, s, cfg, o.pred, o, emit)
+	if err == nil {
+		observeJoin(r, s, cfg, o.pred, pl, st)
+	}
+	if o.explain != nil {
+		fillExplain(o.explain, pl, st, time.Since(started), err == nil)
+	}
 	if err != nil {
 		return nil, st, err
 	}
@@ -340,13 +372,38 @@ func Query(ctx context.Context, r *Relation, opts ...Option) (QueryResult, error
 	if o.cfg != nil {
 		cfg = *o.cfg
 	}
+	// Adaptive planning for single-relation queries: the only open
+	// dimension is the filter (queries are single-threaded and engine-
+	// free), pinned by an explicit WithConfig as usual.
+	var pl Plan
+	if o.planned || o.explain != nil {
+		cfg, pl = planQuery(r, cfg, &o)
+	}
 	ax := o.axR
 	if ax == nil {
 		buf := r.Tree.Buffer()
 		buf.ResetCounters()
 		ax = buf
 	}
+	if o.explain != nil {
+		started := time.Now()
+		res, err := queryDispatch(ctx, r, ax, cfg, &o)
+		ex := o.explain
+		ex.Plan = pl
+		ex.Executed = err == nil
+		if err == nil {
+			ex.ActualCandidates = res.Stats.Candidates
+			ex.ActualExactTested = res.Stats.ExactTested
+			ex.ActualResultPairs = res.Stats.ResultObjects
+			ex.ActualWallNs = time.Since(started).Nanoseconds()
+		}
+		return res, err
+	}
+	return queryDispatch(ctx, r, ax, cfg, &o)
+}
 
+// queryDispatch routes a resolved Query to its target implementation.
+func queryDispatch(ctx context.Context, r *Relation, ax storage.Accessor, cfg Config, o *queryOptions) (QueryResult, error) {
 	switch {
 	case o.nearest:
 		if o.window != nil {

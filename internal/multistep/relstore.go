@@ -10,6 +10,7 @@ import (
 	"spatialjoin/internal/approx"
 	"spatialjoin/internal/codec"
 	"spatialjoin/internal/data"
+	"spatialjoin/internal/plan"
 	"spatialjoin/internal/rstar"
 	"spatialjoin/internal/storage"
 	"spatialjoin/internal/trstar"
@@ -44,9 +45,22 @@ import (
 //	  polygon   data.AppendPolygon layout
 //	  approx    approx.Set layout
 //	  tr-tree   uint32 length + trstar.MarshalBinary (if hasTRTrees)
+//	stats       uint32 length + plan.AppendStats layout (version ≥ 2)
+//
+// Version 2 appended the planner-statistics trailer; version 1 stores
+// (no trailer) still open, with the statistics recomputed from the
+// decoded objects.
 const (
 	relstoreMagic   = 0x534A524C // "SJRL"
-	relstoreVersion = 1
+	relstoreVersion = 2
+
+	// fingerprintVersion seeds ConfigFingerprint. It is deliberately
+	// decoupled from relstoreVersion: the fingerprint identifies the
+	// *configuration* a relation was preprocessed under, not the codec
+	// revision, and fingerprints are persisted in every existing store
+	// and shard manifest. Bump it only when the meaning of a hashed
+	// configuration field changes.
+	fingerprintVersion = 1
 )
 
 var (
@@ -66,7 +80,7 @@ var (
 func ConfigFingerprint(cfg Config) uint64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "v%d|filter=%t|cons=%d|prog=%d|fa=%t|nocons=%t|noprog=%t|engine=%d|trcap=%d|page=%d|buffer=%d|policy=%d|mec=%g",
-		relstoreVersion, cfg.UseFilter,
+		fingerprintVersion, cfg.UseFilter,
 		cfg.Filter.Conservative, cfg.Filter.Progressive, cfg.Filter.UseFalseArea,
 		cfg.Filter.NoConservative, cfg.Filter.NoProgressive,
 		cfg.Engine, cfg.TRCapacity, cfg.PageSize, cfg.BufferBytes,
@@ -138,6 +152,17 @@ func appendRelation(buf []byte, rel *Relation, cfg Config) ([]byte, error) {
 			buf = append(buf, tr...)
 		}
 	}
+
+	// Planner-statistics trailer (version 2). A snapshot of the current
+	// feedback EWMAs is persisted with the structural statistics, so a
+	// reopened relation resumes from its run history.
+	pstats := rel.Stats
+	if pstats == nil {
+		pstats = rel.ComputeStats()
+	}
+	stats := plan.AppendStats(nil, pstats)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(stats)))
+	buf = append(buf, stats...)
 	return buf, nil
 }
 
@@ -159,8 +184,9 @@ func decodeRelation(blob []byte, cfg Config) (*Relation, error) {
 	if d.U32() != relstoreMagic {
 		return nil, fmt.Errorf("%w: bad magic", ErrBadRelationStore)
 	}
-	if v := d.U16(); d.Err() == nil && v != relstoreVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadRelationStore, v)
+	version := d.U16()
+	if d.Err() == nil && (version < 1 || version > relstoreVersion) {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadRelationStore, version)
 	}
 	if fp := d.U64(); d.Err() == nil && fp != ConfigFingerprint(cfg) {
 		return nil, fmt.Errorf("%w: fingerprint %#x, this configuration is %#x",
@@ -249,8 +275,30 @@ func decodeRelation(blob []byte, cfg Config) (*Relation, error) {
 	if d.Err() != nil {
 		return nil, d.Err()
 	}
+	if version >= 2 {
+		statsLen := int(d.U32())
+		if d.Err() == nil && d.Remaining() < statsLen {
+			return nil, fmt.Errorf("%w: stats trailer of %d bytes exceeds the remaining data", ErrBadRelationStore, statsLen)
+		}
+		statsBytes := d.Bytes(statsLen)
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		st, err := plan.DecodeStats(statsBytes)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRelationStore, err)
+		}
+		if st.Objects != int64(count) {
+			return nil, fmt.Errorf("%w: stats describe %d objects, store holds %d", ErrBadRelationStore, st.Objects, count)
+		}
+		rel.Stats = st
+	}
 	if d.Remaining() != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadRelationStore, d.Remaining())
+	}
+	if rel.Stats == nil {
+		// Pre-statistics store: derive what save time would have written.
+		rel.Stats = rel.ComputeStats()
 	}
 
 	// The tree items must index the object table: same cardinality, IDs

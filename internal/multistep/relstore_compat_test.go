@@ -1,0 +1,92 @@
+package multistep
+
+// Backward compatibility of the relation store: version 1 stores —
+// written before the planner-statistics trailer existed — must still
+// open, with the statistics recomputed from the decoded objects, and
+// must join identically to a version 2 store of the same relation.
+// The test derives a byte-exact v1 blob from the current encoder by
+// stripping the trailer and patching the version field: everything
+// before the trailer is unchanged between the versions.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"spatialjoin/internal/data"
+	"spatialjoin/internal/plan"
+)
+
+// toV1 converts a version 2 relation-store blob into the version 1
+// layout: the stats trailer (u32 length + blob at the very end) is
+// dropped and the version field rewritten.
+func toV1(t *testing.T, v2 []byte, st *plan.Stats) []byte {
+	t.Helper()
+	n := len(plan.AppendStats(nil, st))
+	if len(v2) < n+4 {
+		t.Fatalf("v2 blob of %d bytes cannot hold a %d-byte stats trailer", len(v2), n)
+	}
+	if got := binary.LittleEndian.Uint32(v2[len(v2)-n-4:]); got != uint32(n) {
+		t.Fatalf("trailer length prefix %d, want %d", got, n)
+	}
+	v1 := append([]byte(nil), v2[:len(v2)-n-4]...)
+	binary.LittleEndian.PutUint16(v1[4:], 1)
+	return v1
+}
+
+func TestRelationStoreV1Compat(t *testing.T) {
+	cfg := DefaultConfig()
+	base := data.GenerateMap(data.MapConfig{Cells: 120, TargetVerts: 24, Seed: 99})
+	shifted := data.StrategyA(base, 0.45)
+	rel := NewRelation("R", base, cfg)
+	s := NewRelation("S", shifted, cfg)
+
+	var buf bytes.Buffer
+	if err := SaveRelation(&buf, rel, cfg); err != nil {
+		t.Fatal(err)
+	}
+	v2 := buf.Bytes()
+	v1 := toV1(t, v2, rel.Stats)
+
+	fromV2, err := OpenRelation(bytes.NewReader(v2), cfg)
+	if err != nil {
+		t.Fatalf("open v2: %v", err)
+	}
+	fromV1, err := OpenRelation(bytes.NewReader(v1), cfg)
+	if err != nil {
+		t.Fatalf("open v1 (stats-less) store: %v", err)
+	}
+
+	// A v1 store has no persisted statistics; opening must recompute the
+	// structural part so the planner works on old stores too.
+	if fromV1.Stats == nil {
+		t.Fatal("v1 store opened without recomputed statistics")
+	}
+	if fromV1.Stats.Objects != int64(len(rel.Objects)) {
+		t.Fatalf("recomputed stats describe %d objects, want %d", fromV1.Stats.Objects, len(rel.Objects))
+	}
+	if fromV1.Stats.MBR != rel.Stats.MBR || fromV1.Stats.MeanVerts != rel.Stats.MeanVerts {
+		t.Errorf("recomputed structural stats diverge: %+v vs %+v", fromV1.Stats, rel.Stats)
+	}
+	if !reflect.DeepEqual(fromV1.Stats.Grid, rel.Stats.Grid) {
+		t.Error("recomputed density grid diverges from the saved one")
+	}
+
+	// Identical joins: response set and full statistics, including the
+	// restored buffer accounting.
+	p2, st2, err := Join(t.Context(), fromV2, s, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, st1, err := Join(t.Context(), fromV1, s, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Errorf("v1-opened relation joined differently: %d vs %d pairs", len(p1), len(p2))
+	}
+	if !reflect.DeepEqual(st1, st2) {
+		t.Errorf("v1-opened relation reported different statistics:\nv1 %+v\nv2 %+v", st1, st2)
+	}
+}

@@ -1,0 +1,167 @@
+package plan
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// The statistics blob is embedded (length-prefixed) inside the SJRL
+// relation store and the SJSM shard manifest. It carries its own magic
+// and version so the container formats can evolve independently; the
+// feedback EWMAs are persisted too, so a reopened relation resumes from
+// what its run history taught it.
+const (
+	statsMagic   = 0x534A5053 // "SJPS"
+	statsVersion = 1
+)
+
+// AppendStats serializes a snapshot of the statistics (including the
+// current feedback EWMAs) onto buf.
+func AppendStats(buf []byte, s *Stats) []byte {
+	var u64 [8]byte
+	pu64 := func(v uint64) {
+		binary.BigEndian.PutUint64(u64[:], v)
+		buf = append(buf, u64[:]...)
+	}
+	pf64 := func(v float64) { pu64(math.Float64bits(v)) }
+
+	var u32 [4]byte
+	binary.BigEndian.PutUint32(u32[:], statsMagic)
+	buf = append(buf, u32[:]...)
+	binary.BigEndian.PutUint16(u32[:2], statsVersion)
+	buf = append(buf, u32[:2]...)
+	pu64(uint64(s.Objects))
+	pf64(s.MBR.MinX)
+	pf64(s.MBR.MinY)
+	pf64(s.MBR.MaxX)
+	pf64(s.MBR.MaxY)
+	pf64(s.MeanW)
+	pf64(s.MeanH)
+	pf64(s.MeanVerts)
+	binary.BigEndian.PutUint16(u32[:2], GridDim)
+	buf = append(buf, u32[:2]...)
+	binary.BigEndian.PutUint16(u32[:2], GridDim)
+	buf = append(buf, u32[:2]...)
+	for _, v := range s.Grid {
+		pf64(v)
+	}
+	pu64(uint64(s.fb.runs.Load()))
+	for p := 0; p < int(numPreds); p++ {
+		pu64(s.fb.candRatio[p].Load())
+		pu64(s.fb.ident[p].Load())
+		pu64(s.fb.hitFrac[p].Load())
+	}
+	return buf
+}
+
+// DecodeStats parses a statistics blob. It validates the magic, version
+// and histogram dimensions before allocating, so corrupt input errors
+// without panicking or over-allocating; trailing bytes are an error
+// (the container frames the blob with an exact length).
+func DecodeStats(b []byte) (*Stats, error) {
+	gu64 := func() (uint64, error) {
+		if len(b) < 8 {
+			return 0, fmt.Errorf("plan: stats blob truncated")
+		}
+		v := binary.BigEndian.Uint64(b[:8])
+		b = b[8:]
+		return v, nil
+	}
+	gf64 := func() (float64, error) {
+		v, err := gu64()
+		return math.Float64frombits(v), err
+	}
+	gu16 := func() (uint16, error) {
+		if len(b) < 2 {
+			return 0, fmt.Errorf("plan: stats blob truncated")
+		}
+		v := binary.BigEndian.Uint16(b[:2])
+		b = b[2:]
+		return v, nil
+	}
+
+	if len(b) < 6 {
+		return nil, fmt.Errorf("plan: stats blob too short (%d bytes)", len(b))
+	}
+	if m := binary.BigEndian.Uint32(b[:4]); m != statsMagic {
+		return nil, fmt.Errorf("plan: bad stats magic %#x", m)
+	}
+	b = b[4:]
+	if v := binary.BigEndian.Uint16(b[:2]); v != statsVersion {
+		return nil, fmt.Errorf("plan: unsupported stats version %d", v)
+	}
+	b = b[2:]
+
+	s := &Stats{}
+	objects, err := gu64()
+	if err != nil {
+		return nil, err
+	}
+	if objects > math.MaxInt64 {
+		return nil, fmt.Errorf("plan: invalid object count %d", objects)
+	}
+	s.Objects = int64(objects)
+	fields := []*float64{
+		&s.MBR.MinX, &s.MBR.MinY, &s.MBR.MaxX, &s.MBR.MaxY,
+		&s.MeanW, &s.MeanH, &s.MeanVerts,
+	}
+	for _, f := range fields {
+		if *f, err = gf64(); err != nil {
+			return nil, err
+		}
+		if math.IsNaN(*f) || math.IsInf(*f, 0) {
+			return nil, fmt.Errorf("plan: non-finite statistic in blob")
+		}
+	}
+	gw, err := gu16()
+	if err != nil {
+		return nil, err
+	}
+	gh, err := gu16()
+	if err != nil {
+		return nil, err
+	}
+	if gw != GridDim || gh != GridDim {
+		return nil, fmt.Errorf("plan: unsupported histogram dimensions %d×%d", gw, gh)
+	}
+	// The remaining payload has a fixed size; check it up front so a
+	// lying header cannot trigger a large allocation before failing.
+	want := GridDim*GridDim*8 + 8 + int(numPreds)*3*8
+	if len(b) != want {
+		return nil, fmt.Errorf("plan: stats payload is %d bytes, want %d", len(b), want)
+	}
+	s.Grid = make([]float64, GridDim*GridDim)
+	for i := range s.Grid {
+		v, err := gf64()
+		if err != nil {
+			return nil, err
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return nil, fmt.Errorf("plan: invalid histogram count at cell %d", i)
+		}
+		s.Grid[i] = v
+	}
+	runs, err := gu64()
+	if err != nil {
+		return nil, err
+	}
+	if runs > math.MaxInt64 {
+		return nil, fmt.Errorf("plan: invalid run count %d", runs)
+	}
+	s.fb.runs.Store(int64(runs))
+	for p := 0; p < int(numPreds); p++ {
+		for _, slot := range [3]*atomic.Uint64{&s.fb.candRatio[p], &s.fb.ident[p], &s.fb.hitFrac[p]} {
+			bits, err := gu64()
+			if err != nil {
+				return nil, err
+			}
+			if f := math.Float64frombits(bits); bits != 0 && (math.IsNaN(f) || math.IsInf(f, 0) || f < 0) {
+				return nil, fmt.Errorf("plan: invalid feedback EWMA in blob")
+			}
+			slot.Store(bits)
+		}
+	}
+	return s, nil
+}

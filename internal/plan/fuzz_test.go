@@ -1,0 +1,30 @@
+package plan
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeStats feeds arbitrary bytes to the statistics codec:
+// corrupt input must error without panicking or over-allocating, and
+// every blob that decodes must re-encode byte-identically (the format
+// has a single canonical encoding).
+func FuzzDecodeStats(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendStats(nil, uniformStats(0, 1, 0, 0)))
+	f.Add(AppendStats(nil, uniformStats(50, 2, 0.05, 0.02)))
+	withFeedback := uniformStats(10, 3, 0.1, 0.1)
+	withFeedback.Observe(PredWithin, 100, 250, 0.7, 0.4)
+	f.Add(AppendStats(nil, withFeedback))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeStats(data)
+		if err != nil {
+			return
+		}
+		if got := AppendStats(nil, s); !bytes.Equal(got, data) {
+			t.Fatalf("decode→encode not canonical: %d bytes in, %d out", len(data), len(got))
+		}
+		// A decoded blob must be usable by the estimator without panics.
+		_ = EstimateCandidates(s, s, PredIntersects, 0, DefaultWeights())
+	})
+}

@@ -1,0 +1,244 @@
+package plan
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spatialjoin/internal/geom"
+)
+
+// TestProbWithinMonteCarlo checks the exact piecewise-linear integral
+// P(|X−Y| ≤ t) against brute-force sampling for a spread of interval
+// configurations, including degenerate (point) intervals.
+func TestProbWithinMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := []struct{ a1, a2, b1, b2, t float64 }{
+		{0, 1, 0, 1, 0.25},
+		{0, 1, 2, 3, 0.5},
+		{0, 1, 2, 3, 1.5},
+		{0, 4, 1, 2, 0.3},
+		{-1, 1, -3, 3, 0.1},
+		{0, 1, 0.5, 0.5, 0.2}, // degenerate B
+		{0.5, 0.5, 0, 1, 0.2}, // degenerate A
+		{2, 2, 2.1, 2.1, 0.2}, // both degenerate, within t
+		{2, 2, 5, 5, 0.2},     // both degenerate, beyond t
+		{0, 1, 0, 1, 0},       // zero threshold
+	}
+	const samples = 200000
+	for _, c := range cases {
+		got := probWithin(c.a1, c.a2, c.b1, c.b2, c.t)
+		hits := 0
+		for i := 0; i < samples; i++ {
+			x := c.a1 + rng.Float64()*(c.a2-c.a1)
+			y := c.b1 + rng.Float64()*(c.b2-c.b1)
+			if math.Abs(x-y) <= c.t {
+				hits++
+			}
+		}
+		want := float64(hits) / samples
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("probWithin(%v,%v,%v,%v,t=%v) = %v, Monte Carlo says %v",
+				c.a1, c.a2, c.b1, c.b2, c.t, got, want)
+		}
+	}
+}
+
+func uniformStats(n int, seed int64, w, h float64) *Stats {
+	rng := rand.New(rand.NewSource(seed))
+	rects := make([]geom.Rect, n)
+	for i := range rects {
+		cx, cy := rng.Float64(), rng.Float64()
+		rects[i] = geom.Rect{MinX: cx - w/2, MinY: cy - h/2, MaxX: cx + w/2, MaxY: cy + h/2}
+	}
+	// 48 mean vertices: the calibration point of DefaultWeights, so the
+	// engine-ordering assertions exercise the measured regime. (Below
+	// ~15 vertices the vertex scaling correctly makes the quadratic
+	// engine the cheapest — that is a feature, not the case pinned here.)
+	return ComputeStats(n, func(i int) geom.Rect { return rects[i] }, func(int) int { return 48 })
+}
+
+// TestEstimateCandidatesUniform pins the estimator against the
+// closed-form expectation for uniform data: for n×m boxes of extent w
+// in the unit square, E[pairs] ≈ n·m·(2w)·(2h) (Minkowski area).
+func TestEstimateCandidatesUniform(t *testing.T) {
+	r := uniformStats(500, 1, 0.02, 0.02)
+	s := uniformStats(400, 2, 0.02, 0.02)
+	got := EstimateCandidates(r, s, PredIntersects, 0, DefaultWeights())
+	want := 500.0 * 400.0 * 0.04 * 0.04 // ≈ 320
+	if got < want/2 || got > want*2 {
+		t.Fatalf("uniform estimate = %.1f, closed form ≈ %.1f (want within 2×)", got, want)
+	}
+	// Within-distance must predict strictly more candidates.
+	within := EstimateCandidates(r, s, PredWithin, 0.05, DefaultWeights())
+	if within <= got {
+		t.Fatalf("within(ε=0.05) estimate %.1f not greater than intersects estimate %.1f", within, got)
+	}
+	// Contains candidates pass the nesting pretest: far fewer.
+	contains := EstimateCandidates(r, s, PredContains, 0, DefaultWeights())
+	if contains >= got {
+		t.Fatalf("contains estimate %.1f not below intersects estimate %.1f", contains, got)
+	}
+}
+
+// TestEstimateCandidatesSkew: clustering the same objects into a corner
+// must raise the predicted candidate count (density drives selectivity).
+func TestEstimateCandidatesSkew(t *testing.T) {
+	uni := uniformStats(500, 3, 0.02, 0.02)
+	rng := rand.New(rand.NewSource(4))
+	rects := make([]geom.Rect, 500)
+	for i := range rects {
+		cx, cy := rng.Float64()*0.1, rng.Float64()*0.1
+		rects[i] = geom.Rect{MinX: cx - 0.01, MinY: cy - 0.01, MaxX: cx + 0.01, MaxY: cy + 0.01}
+	}
+	skew := ComputeStats(500, func(i int) geom.Rect { return rects[i] }, func(int) int { return 10 })
+	w := DefaultWeights()
+	if eu, es := EstimateCandidates(uni, uni, PredIntersects, 0, w), EstimateCandidates(skew, skew, PredIntersects, 0, w); es <= eu {
+		t.Fatalf("skewed self-join estimate %.1f not above uniform %.1f", es, eu)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	rects := []geom.Rect{
+		{MinX: 0, MinY: 0, MaxX: 2, MaxY: 1},
+		{MinX: 4, MinY: 3, MaxX: 6, MaxY: 7},
+	}
+	verts := []int{10, 30}
+	s := ComputeStats(2, func(i int) geom.Rect { return rects[i] }, func(i int) int { return verts[i] })
+	if s.Objects != 2 || s.MeanVerts != 20 || s.MeanW != 2 || s.MeanH != 2.5 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MBR != (geom.Rect{MinX: 0, MinY: 0, MaxX: 6, MaxY: 7}) {
+		t.Fatalf("MBR = %+v", s.MBR)
+	}
+	var total float64
+	for _, v := range s.Grid {
+		total += v
+	}
+	if total != 2 {
+		t.Fatalf("histogram mass = %v, want 2", total)
+	}
+	empty := ComputeStats(0, nil, nil)
+	if empty.Objects != 0 || empty.MBR != (geom.Rect{}) {
+		t.Fatalf("empty stats = %+v", empty)
+	}
+}
+
+// TestChooseOrdersEngines: with the calibrated defaults and a
+// non-trivial candidate load, the search must prefer the TR*-tree,
+// then plane sweep, then quadratic — the ordering every committed BENCH
+// baseline measured.
+func TestChooseOrdersEngines(t *testing.T) {
+	r := uniformStats(1000, 5, 0.03, 0.03)
+	s := uniformStats(1000, 6, 0.03, 0.03)
+	w := DefaultWeights()
+	costOf := func(e Engine) float64 {
+		c := Choose(r, s, w, Request{
+			Pred: PredIntersects, Engines: []Engine{e}, Filters: []bool{true},
+			Workers: []int{1}, MaxProcs: 1, Collect: true,
+		})
+		return c.PredCostNs
+	}
+	tr, ps, q := costOf(EngineTRStar), costOf(EnginePlaneSweep), costOf(EngineQuadratic)
+	if !(tr < ps && ps < q) {
+		t.Fatalf("engine cost ordering wrong: trstar=%v planesweep=%v quadratic=%v", tr, ps, q)
+	}
+	free := Choose(r, s, w, Request{Pred: PredIntersects, MaxProcs: 1, Collect: true})
+	if free.Engine != EngineTRStar || !free.UseFilter {
+		t.Fatalf("free search chose %v filter=%v, want trstar with filter", free.Engine, free.UseFilter)
+	}
+	if free.Evaluated != 6 {
+		t.Fatalf("evaluated %d plan points, want 6 (3 engines × 2 filters × 1 worker)", free.Evaluated)
+	}
+}
+
+// TestChooseRespectsPins: one-element dimension lists are obeyed.
+func TestChooseRespectsPins(t *testing.T) {
+	r := uniformStats(300, 7, 0.02, 0.02)
+	c := Choose(r, r, DefaultWeights(), Request{
+		Pred: PredIntersects, Engines: []Engine{EngineQuadratic},
+		Filters: []bool{false}, Workers: []int{3}, MaxProcs: 8,
+	})
+	if c.Engine != EngineQuadratic || c.UseFilter || c.Workers != 3 {
+		t.Fatalf("pinned choice = %+v", c)
+	}
+}
+
+// TestChooseWorkers: with many processors and a heavy predicted load,
+// more workers must win; with MaxProcs=1 the setup cost keeps it at 1.
+func TestChooseWorkers(t *testing.T) {
+	r := uniformStats(2000, 8, 0.05, 0.05)
+	w := DefaultWeights()
+	req := Request{Pred: PredIntersects, Workers: []int{1, 2, 4, 8}, MaxProcs: 8, Collect: true}
+	if c := Choose(r, r, w, req); c.Workers <= 1 {
+		t.Fatalf("8-way host with heavy load chose %d workers", c.Workers)
+	}
+	req.MaxProcs = 1
+	if c := Choose(r, r, w, req); c.Workers != 1 {
+		t.Fatalf("single-proc host chose %d workers", c.Workers)
+	}
+}
+
+// TestFeedbackCorrection: observing that real candidate counts run 3×
+// the prediction must pull future estimates up, and the EWMAs must
+// survive a codec round trip.
+func TestFeedbackCorrection(t *testing.T) {
+	r := uniformStats(500, 9, 0.02, 0.02)
+	s := uniformStats(500, 10, 0.02, 0.02)
+	w := DefaultWeights()
+	base := EstimateCandidates(r, s, PredIntersects, 0, w)
+	for i := 0; i < 8; i++ {
+		r.Observe(PredIntersects, base, 3*base, 0.9, 0.5)
+		s.Observe(PredIntersects, base, 3*base, 0.9, 0.5)
+	}
+	corrected := EstimateCandidates(r, s, PredIntersects, 0, w)
+	if corrected < 2*base {
+		t.Fatalf("after 3× feedback, estimate %.1f did not rise from %.1f", corrected, base)
+	}
+	if r.Runs() != 8 {
+		t.Fatalf("Runs() = %d, want 8", r.Runs())
+	}
+	if got := r.IdentRate(PredIntersects, 0); math.Abs(got-0.9) > 1e-9 {
+		t.Fatalf("IdentRate = %v, want 0.9", got)
+	}
+
+	blob := AppendStats(nil, r)
+	back, err := DecodeStats(blob)
+	if err != nil {
+		t.Fatalf("DecodeStats: %v", err)
+	}
+	if back.Objects != r.Objects || back.MBR != r.MBR || back.MeanVerts != r.MeanVerts ||
+		back.MeanW != r.MeanW || back.MeanH != r.MeanH {
+		t.Fatalf("round trip lost scalar stats: %+v vs %+v", back, r)
+	}
+	for i := range r.Grid {
+		if back.Grid[i] != r.Grid[i] {
+			t.Fatalf("round trip lost histogram cell %d", i)
+		}
+	}
+	if back.Runs() != r.Runs() || back.CandCorrection(PredIntersects) != r.CandCorrection(PredIntersects) ||
+		back.IdentRate(PredIntersects, 0) != r.IdentRate(PredIntersects, 0) ||
+		back.HitFrac(PredIntersects, 0) != r.HitFrac(PredIntersects, 0) {
+		t.Fatalf("round trip lost feedback EWMAs")
+	}
+}
+
+// TestDecodeStatsRejects: corrupted blobs error, never panic.
+func TestDecodeStatsRejects(t *testing.T) {
+	good := AppendStats(nil, uniformStats(10, 11, 0.1, 0.1))
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     good[:5],
+		"truncated": good[:len(good)-3],
+		"trailing":  append(append([]byte{}, good...), 0),
+		"badmagic":  append([]byte{0, 0, 0, 0}, good[4:]...),
+	}
+	badVersion := append([]byte{}, good...)
+	badVersion[5] = 99
+	cases["badversion"] = badVersion
+	for name, b := range cases {
+		if _, err := DecodeStats(b); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		}
+	}
+}

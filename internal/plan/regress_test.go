@@ -1,0 +1,158 @@
+package plan_test
+
+// The planner's headline guarantee, enforced here end to end: across
+// the experiment grid (three predicates × three exact engines × filter
+// on/off), the planner-chosen execution is never worse than 1.5× the
+// best static configuration, and strictly better than the worst one
+// whenever the grid has a meaningful spread. The bit-exactness test
+// pins the override contract: a fully pinned planned join executes
+// identically to the unplanned call.
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"spatialjoin/internal/data"
+	"spatialjoin/internal/multistep"
+)
+
+// buildPair builds the regression workload: the section 5 style
+// synthetic maps at the cost model's calibration vertex count.
+func buildPair(t testing.TB, n int) (*multistep.Relation, *multistep.Relation, multistep.Config) {
+	t.Helper()
+	cfg := multistep.DefaultConfig()
+	base := data.GenerateMap(data.MapConfig{Cells: n, TargetVerts: 48, Seed: 7321})
+	shifted := data.StrategyA(base, 0.45)
+	r := multistep.NewRelation("R", base, cfg)
+	s := multistep.NewRelation("S", shifted, cfg)
+	return r, s, cfg
+}
+
+// timeJoin returns the fastest of 1+reps runs of the join — the robust
+// wall-clock estimator under scheduler noise (the first run doubles as
+// the warm-up paying the lazy exact representations).
+func timeJoin(t *testing.T, r, s *multistep.Relation, reps int, opts ...multistep.Option) time.Duration {
+	t.Helper()
+	opts = append(opts, multistep.WithBufferless())
+	run := func() time.Duration {
+		t0 := time.Now()
+		if _, _, err := multistep.Join(context.Background(), r, s, opts...); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+	best := run()
+	for i := 0; i < reps; i++ {
+		if d := run(); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+var regressEngines = []multistep.Engine{
+	multistep.EngineTRStar, multistep.EnginePlaneSweep, multistep.EngineQuadratic,
+}
+
+func regressPreds() []struct {
+	name string
+	pred multistep.Predicate
+} {
+	return []struct {
+		name string
+		pred multistep.Predicate
+	}{
+		{"intersects", multistep.Intersects()},
+		{"within", multistep.WithinDistance(0.005)},
+		{"contains", multistep.Contains()},
+	}
+}
+
+// TestPlannerWithinBoundOfBestStatic is the 1.5× guarantee: for every
+// predicate, the planner-chosen execution must cost at most 1.5× the
+// best static engine×filter cell (plus a small absolute slack — at
+// sub-millisecond cell times the ratio alone is scheduler noise), and
+// must strictly beat the worst static cell whenever the grid spreads
+// by more than 2×.
+func TestPlannerWithinBoundOfBestStatic(t *testing.T) {
+	n, reps := 600, 3
+	if testing.Short() {
+		n, reps = 400, 2
+	}
+	r, s, cfg := buildPair(t, n)
+	const slack = 25 * time.Millisecond
+
+	for _, pc := range regressPreds() {
+		t.Run(pc.name, func(t *testing.T) {
+			var best, worst time.Duration
+			var bestName, worstName string
+			for _, eng := range regressEngines {
+				for _, filt := range []bool{true, false} {
+					c := cfg
+					c.Engine = eng
+					c.UseFilter = filt
+					d := timeJoin(t, r, s, reps,
+						multistep.WithConfig(c), multistep.WithPredicate(pc.pred), multistep.WithWorkers(1))
+					name := eng.String()
+					if !filt {
+						name += "/nofilter"
+					}
+					if best == 0 || d < best {
+						best, bestName = d, name
+					}
+					if d > worst {
+						worst, worstName = d, name
+					}
+				}
+			}
+			got := timeJoin(t, r, s, reps,
+				multistep.WithPlan(), multistep.WithPredicate(pc.pred))
+			t.Logf("planner %v vs best %v (%s), worst %v (%s)", got, best, bestName, worst, worstName)
+			if bound := best + best/2 + slack; got > bound {
+				t.Errorf("planner took %v, above the 1.5× bound %v of best static %v (%s)",
+					got, bound, best, bestName)
+			}
+			if worst > 2*best && got >= worst {
+				t.Errorf("planner took %v, not better than the worst static %v (%s) despite a %0.1f× grid spread",
+					got, worst, worstName, float64(worst)/float64(best))
+			}
+		})
+	}
+}
+
+// TestExplicitOptionsOverridePlannerBitExact pins the override
+// contract: WithConfig and WithWorkers reach the planner as one-element
+// candidate lists, so a fully pinned planned join returns exactly the
+// response set and statistics of the unplanned call — bit for bit,
+// including the page accounting.
+func TestExplicitOptionsOverridePlannerBitExact(t *testing.T) {
+	r, s, cfg := buildPair(t, 300)
+	ctx := context.Background()
+	for _, eng := range regressEngines {
+		for _, pc := range regressPreds() {
+			c := cfg
+			c.Engine = eng
+			base, bst, err := multistep.Join(ctx, r, s,
+				multistep.WithConfig(c), multistep.WithPredicate(pc.pred), multistep.WithWorkers(1))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", eng, pc.name, err)
+			}
+			planned, pst, err := multistep.Join(ctx, r, s,
+				multistep.WithPlan(),
+				multistep.WithConfig(c), multistep.WithPredicate(pc.pred), multistep.WithWorkers(1))
+			if err != nil {
+				t.Fatalf("%s/%s planned: %v", eng, pc.name, err)
+			}
+			if !reflect.DeepEqual(base, planned) {
+				t.Errorf("%s/%s: pinned planned join returned a different response set (%d vs %d pairs)",
+					eng, pc.name, len(planned), len(base))
+			}
+			if !reflect.DeepEqual(bst, pst) {
+				t.Errorf("%s/%s: pinned planned join returned different statistics:\nstatic  %+v\nplanned %+v",
+					eng, pc.name, bst, pst)
+			}
+		}
+	}
+}

@@ -151,6 +151,27 @@ func (t *Tree) Pages() int { return int(t.nextPage) }
 // the quantity the approximation storage of section 3.4 reduces.
 func (t *Tree) LeafCapacity() int { return t.leafCap }
 
+// PageBreakdown counts the live leaf and directory pages of the tree —
+// the statistics hook for the adaptive planner, whose traversal cost
+// term charges per page touched. It walks the current node structure,
+// so (unlike Pages, which reports the allocation high-water mark) the
+// counts reflect pages a traversal can actually reach.
+func (t *Tree) PageBreakdown() (leaves, dirs int) {
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf {
+			leaves++
+			return
+		}
+		dirs++
+		for _, e := range n.entries {
+			walk(e.child)
+		}
+	}
+	walk(t.root)
+	return leaves, dirs
+}
+
 // capacityOf returns the capacity of a node at the given level.
 func (t *Tree) capacityOf(leaf bool) int {
 	if leaf {

@@ -229,3 +229,34 @@ func TestSmallerPagesMoreAccesses(t *testing.T) {
 			counts[2048], counts[4096])
 	}
 }
+
+// TestPageBreakdownCountsLivePages: the planner's traversal cost charges
+// per reachable page, so the breakdown must account for every live node
+// exactly once — leaves + directories equal to a structural walk's count,
+// a single-page tree reported as one leaf and no directories, and the
+// total never exceeding the allocation high-water mark.
+func TestPageBreakdownCountsLivePages(t *testing.T) {
+	rng := rand.New(rand.NewSource(313))
+
+	small := New(DefaultConfig())
+	small.Insert(Item{Rect: randRect(rng, 100, 3), ID: 0})
+	if l, d := small.PageBreakdown(); l != 1 || d != 0 {
+		t.Fatalf("single-page tree reported %d leaves, %d directories", l, d)
+	}
+
+	tree, items := buildTree(t, rng, 3000, DefaultConfig())
+	leaves, dirs := tree.PageBreakdown()
+	if leaves < 2 || dirs < 1 {
+		t.Fatalf("3000 items must spread over several pages, got %d leaves, %d directories", leaves, dirs)
+	}
+	if tree.Height() >= 2 && dirs == 0 {
+		t.Errorf("height %d tree reported no directory pages", tree.Height())
+	}
+	if total := leaves + dirs; total > tree.Pages() {
+		t.Errorf("breakdown counts %d live pages, more than the %d ever allocated", total, tree.Pages())
+	}
+	// Leaves must be able to hold every item under the capacity bound.
+	if leaves*tree.LeafCapacity() < len(items) {
+		t.Errorf("%d leaves of capacity %d cannot hold %d items", leaves, tree.LeafCapacity(), len(items))
+	}
+}

@@ -110,6 +110,13 @@ func (c *Catalog) Names() []string {
 
 // Server serves the catalog over HTTP. Every query request creates
 // per-query sessions, so requests are handled fully concurrently.
+//
+// Joins and window/point queries run through the cost-based planner
+// (internal/plan) by default: the engine, filter setting and worker
+// count the request left open are chosen per tile pair from the
+// relations' statistics, and every response echoes the resolved plan.
+// A request opts out with plan=off (the build configuration verbatim),
+// the whole server with NoPlan.
 type Server struct {
 	cat *Catalog
 	// MaxJoinPairs caps the number of response pairs a /join request
@@ -117,8 +124,12 @@ type Server struct {
 	// statistics). Defaults to DefaultMaxJoinPairs.
 	MaxJoinPairs int
 	// JoinWorkers is the per-request worker count of the streaming join
-	// pipeline; ≤ 0 selects GOMAXPROCS.
+	// pipeline; ≤ 0 lets the planner choose (GOMAXPROCS when planning
+	// is off).
 	JoinWorkers int
+	// NoPlan disables adaptive planning server-wide: every request runs
+	// its relations' build configuration verbatim, as if plan=off.
+	NoPlan bool
 }
 
 // DefaultMaxJoinPairs bounds the /join response body.
@@ -139,10 +150,16 @@ func NewServer(cat *Catalog) *Server {
 //	GET /nearest?rel=R&x=&y=&k=5                     k nearest objects by region distance
 //	GET /join?r=R&s=S[&predicate=intersects|contains|within]
 //	         [&epsilon=ε][&limit=][&workers=]        multi-step spatial join
+//	GET /explain?r=R&s=S[&predicate=][&epsilon=]     EXPLAIN a join: per-tile-pair
+//	         [&run=1][&workers=][&plan=off]          plans, with run=1 executed with
+//	                                                 predicted-vs-actual errors
 //
 // All responses are JSON; query statistics (the paper's per-step
 // measures, including the per-query buffer page accesses) ride along
-// with every result.
+// with every result. /join, /window and /point plan through the
+// cost-based planner by default and echo the resolved plan (engine,
+// filter, workers) in the response; plan=off pins the build
+// configuration instead.
 //
 // Every handler threads the request context through the query pipeline:
 // when the client disconnects, the step 1 traversal workers, the
@@ -157,6 +174,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /point", s.handlePoint)
 	mux.HandleFunc("GET /nearest", s.handleNearest)
 	mux.HandleFunc("GET /join", s.handleJoin)
+	mux.HandleFunc("GET /explain", s.handleExplain)
 	return mux
 }
 
@@ -226,6 +244,20 @@ func intParam(w http.ResponseWriter, r *http.Request, key string, def int) (int,
 	return v, true
 }
 
+// planParam reports whether the request should resolve its open options
+// through the cost-based planner: on by default, switched off per
+// request with plan=off (or 0/false/no) and server-wide with NoPlan.
+func (s *Server) planParam(r *http.Request) bool {
+	if s.NoPlan {
+		return false
+	}
+	switch strings.ToLower(r.URL.Query().Get("plan")) {
+	case "off", "0", "false", "no":
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "relations": len(s.cat.Names())})
 }
@@ -282,12 +314,31 @@ func (s *Server) handleRelations(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// planEcho is the execution-plan echo of /join, /window and /point: the
+// resolved knobs only. The planner's predicted-cost figures are
+// deliberately left out — they evolve with the feedback EWMAs request
+// over request, so echoing them would make otherwise-identical
+// responses diverge; /explain reports them.
+type planEcho struct {
+	Planned bool   `json:"planned"`
+	Engine  string `json:"engine"`
+	Filter  bool   `json:"filter"`
+	Workers int    `json:"workers"`
+}
+
+func echoOf(p multistep.Plan) planEcho {
+	return planEcho{Planned: p.Planned, Engine: p.Engine, Filter: p.UseFilter, Workers: p.Workers}
+}
+
 // windowResponse answers /window and /point. IDs are ascending global
 // object IDs (the scatter-gather merge order); Stats aggregates the
-// routed tiles, with the per-tile breakdown alongside.
+// routed tiles, with the per-tile breakdown alongside. Plan echoes the
+// resolved execution plan aggregated over the routed tiles — the shard
+// fan-out is len(Stats.Tiles).
 type windowResponse struct {
 	Relation string           `json:"relation"`
 	IDs      []int32          `json:"ids"`
+	Plan     planEcho         `json:"plan"`
 	Stats    shard.QueryStats `json:"stats"`
 }
 
@@ -317,9 +368,17 @@ func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	res, err := shard.Query(r.Context(), e.Sh,
-		multistep.ForWindow(win), multistep.WithConfig(e.Cfg),
-		multistep.WithPredicate(pred))
+	var ex multistep.Explain
+	opts := []multistep.Option{multistep.ForWindow(win), multistep.WithPredicate(pred), multistep.WithExplain(&ex)}
+	if s.planParam(r) {
+		// WithConfig would pin the filter knob; the planner path runs on
+		// the tiles' build configuration (identical to e.Cfg — the entry
+		// was opened under it) and chooses the filter per tile.
+		opts = append(opts, multistep.WithPlan())
+	} else {
+		opts = append(opts, multistep.WithConfig(e.Cfg))
+	}
+	res, err := shard.Query(r.Context(), e.Sh, opts...)
 	if !finishQuery(w, r, err) {
 		return
 	}
@@ -327,7 +386,7 @@ func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 	if ids == nil {
 		ids = []int32{}
 	}
-	writeJSON(w, http.StatusOK, windowResponse{Relation: name, IDs: ids, Stats: res.Stats})
+	writeJSON(w, http.StatusOK, windowResponse{Relation: name, IDs: ids, Plan: echoOf(ex.Plan), Stats: res.Stats})
 }
 
 // predicateParam resolves the optional predicate of a request: the
@@ -396,9 +455,14 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	res, err := shard.Query(r.Context(), e.Sh,
-		multistep.ForPoint(geom.Point{X: x, Y: y}), multistep.WithConfig(e.Cfg),
-		multistep.WithPredicate(pred))
+	var ex multistep.Explain
+	opts := []multistep.Option{multistep.ForPoint(geom.Point{X: x, Y: y}), multistep.WithPredicate(pred), multistep.WithExplain(&ex)}
+	if s.planParam(r) {
+		opts = append(opts, multistep.WithPlan())
+	} else {
+		opts = append(opts, multistep.WithConfig(e.Cfg))
+	}
+	res, err := shard.Query(r.Context(), e.Sh, opts...)
 	if !finishQuery(w, r, err) {
 		return
 	}
@@ -406,7 +470,7 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 	if ids == nil {
 		ids = []int32{}
 	}
-	writeJSON(w, http.StatusOK, windowResponse{Relation: name, IDs: ids, Stats: res.Stats})
+	writeJSON(w, http.StatusOK, windowResponse{Relation: name, IDs: ids, Plan: echoOf(ex.Plan), Stats: res.Stats})
 }
 
 // nearestStats carries the per-query page accounting of a nearest
@@ -466,7 +530,10 @@ func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
 
 // joinResponse answers /join. Pairs is truncated to the limit; the full
 // response-set size is Stats.ResultPairs. Stats aggregates the tile-pair
-// sub-joins (SubJoins of them) as shard.Join documents.
+// sub-joins (SubJoins of them) as shard.Join documents. Plan echoes the
+// resolved execution plan aggregated over the sub-joins ("mixed" engine
+// when skewed tiles chose differently); /explain has the per-tile-pair
+// breakdown.
 type joinResponse struct {
 	R         string           `json:"r"`
 	S         string           `json:"s"`
@@ -474,6 +541,7 @@ type joinResponse struct {
 	Pairs     []multistep.Pair `json:"pairs"`
 	Truncated bool             `json:"truncated"`
 	SubJoins  int              `json:"subJoins"`
+	Plan      planEcho         `json:"plan"`
 	Stats     multistep.Stats  `json:"stats"`
 }
 
@@ -522,11 +590,23 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	// limit pairs" would return a different subset per request on
 	// multi-core hosts. The request context rides along and fans out to
 	// every tile, so a disconnected client stops all sub-joins.
-	pairs, st, err := shard.Join(r.Context(), eR.Sh, eS.Sh,
-		multistep.WithConfig(eR.Cfg),
+	var ex multistep.Explain
+	opts := []multistep.Option{
 		multistep.WithPredicate(pred),
 		multistep.WithWorkers(workers),
-		multistep.WithLimit(limit))
+		multistep.WithLimit(limit),
+		multistep.WithExplain(&ex),
+	}
+	if s.planParam(r) {
+		// WithPlan resolves engine, filter and workers per tile pair; an
+		// explicit workers parameter stays pinned (WithWorkers > 0 wins).
+		// WithConfig would pin engine and filter, so the planner path
+		// relies on the tiles' build configuration instead.
+		opts = append(opts, multistep.WithPlan())
+	} else {
+		opts = append(opts, multistep.WithConfig(eR.Cfg))
+	}
+	pairs, st, err := shard.Join(r.Context(), eR.Sh, eS.Sh, opts...)
 	if !finishQuery(w, r, err) {
 		return
 	}
@@ -539,6 +619,72 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		Pairs:     pairs,
 		Truncated: st.ResultPairs > int64(len(pairs)),
 		SubJoins:  st.SubJoins,
+		Plan:      echoOf(ex.Plan),
 		Stats:     st.Stats,
+	})
+}
+
+// explainResponse answers /explain: the aggregate EXPLAIN record plus
+// the per-tile-pair plans of the scatter-gather join.
+type explainResponse struct {
+	R         string `json:"r"`
+	S         string `json:"s"`
+	Predicate string `json:"predicate"`
+	Run       bool   `json:"run"`
+	shard.ExplainResult
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	eR, nameR, ok := s.relParam(w, r, "r")
+	if !ok {
+		return
+	}
+	eS, nameS, ok := s.relParam(w, r, "s")
+	if !ok {
+		return
+	}
+	if eR.Sh.Fingerprint() != eS.Sh.Fingerprint() {
+		writeJSON(w, http.StatusConflict, errorBody{
+			Error: fmt.Sprintf(
+				"relations %q and %q were preprocessed under different configurations", nameR, nameS),
+			RFingerprint: fingerprintString(eR.Sh.Fingerprint()),
+			SFingerprint: fingerprintString(eS.Sh.Fingerprint()),
+		})
+		return
+	}
+	pred, ok := predicateParam(w, r)
+	if !ok {
+		return
+	}
+	run := false
+	switch strings.ToLower(r.URL.Query().Get("run")) {
+	case "1", "true", "yes", "on":
+		run = true
+	}
+	workers, ok := intParam(w, r, "workers", 0)
+	if !ok {
+		return
+	}
+	if maxWorkers := 4 * runtime.GOMAXPROCS(0); workers > maxWorkers {
+		workers = maxWorkers
+	}
+	opts := []multistep.Option{multistep.WithPredicate(pred)}
+	if workers > 0 {
+		opts = append(opts, multistep.WithWorkers(workers))
+	}
+	if s.planParam(r) {
+		opts = append(opts, multistep.WithPlan())
+	} else {
+		opts = append(opts, multistep.WithConfig(eR.Cfg))
+	}
+	res, err := shard.Explain(r.Context(), eR.Sh, eS.Sh, run, opts...)
+	if !finishQuery(w, r, err) {
+		return
+	}
+	writeJSON(w, http.StatusOK, explainResponse{
+		R: nameR, S: nameS,
+		Predicate:     pred.String(),
+		Run:           run,
+		ExplainResult: res,
 	})
 }

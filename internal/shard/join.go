@@ -18,6 +18,11 @@ type SubJoinStats struct {
 	// are real per-tile buffer misses (each sub-join runs on fresh
 	// per-tile sessions).
 	Stats multistep.Stats
+	// Explain is the sub-join's plan record, captured when the caller
+	// passed WithExplain (each sub-join is planned independently from
+	// its own tiles' statistics, so skewed tiles run different plans).
+	// Nil otherwise.
+	Explain *multistep.Explain
 }
 
 // JoinStats aggregates a scatter-gather join. The embedded Stats sums
@@ -85,17 +90,7 @@ func Join(ctx context.Context, r, s *Sharded, opts ...multistep.Option) ([]multi
 			r.Name, s.Name, multistep.ErrConfigMismatch)
 	}
 
-	eps := res.Pred.Epsilon()
-	type pair struct{ ri, si int }
-	var eligible []pair
-	for _, rt := range r.Tiles {
-		grown := rt.MBR.Expand(eps)
-		for _, st := range s.Tiles {
-			if grown.Intersects(st.MBR) {
-				eligible = append(eligible, pair{rt.Index, st.Index})
-			}
-		}
-	}
+	eligible := eligiblePairs(r, s, res.Pred.Epsilon())
 
 	parent := ctx
 	ctx, cancel := context.WithCancel(ctx)
@@ -122,7 +117,7 @@ func Join(ctx context.Context, r, s *Sharded, opts ...multistep.Option) ([]multi
 	var wg sync.WaitGroup
 	for _, e := range eligible {
 		wg.Add(1)
-		go func(e pair) {
+		go func(e tilePair) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
@@ -132,10 +127,19 @@ func Join(ctx context.Context, r, s *Sharded, opts ...multistep.Option) ([]multi
 			rt, st := r.Tiles[e.ri], s.Tiles[e.si]
 			// Fresh option slice per sub-join: appending to the shared
 			// opts would race on its backing array.
-			sub := make([]multistep.Option, 0, len(opts)+3)
+			sub := make([]multistep.Option, 0, len(opts)+4)
 			sub = append(sub, opts...)
 			sub = append(sub, multistep.WithSessions(rt.Rel.NewSession(), st.Rel.NewSession()),
 				multistep.WithLimit(-1))
+			// Each sub-join gets its own Explain: the caller's capture
+			// target (if any) must not be written by N goroutines, and
+			// per-tile-pair plans are the point — appending a fresh
+			// WithExplain overrides the one inside opts.
+			var subEx *multistep.Explain
+			if res.Explain != nil {
+				subEx = new(multistep.Explain)
+				sub = append(sub, multistep.WithExplain(subEx))
+			}
 			if emit != nil {
 				local := emit
 				sub = append(sub, multistep.WithStream(func(p multistep.Pair) {
@@ -152,7 +156,7 @@ func Join(ctx context.Context, r, s *Sharded, opts ...multistep.Option) ([]multi
 				}
 				return
 			}
-			stats.PerTile = append(stats.PerTile, SubJoinStats{RTile: e.ri, STile: e.si, Stats: sst})
+			stats.PerTile = append(stats.PerTile, SubJoinStats{RTile: e.ri, STile: e.si, Stats: sst, Explain: subEx})
 			addStats(&stats.Stats, sst)
 			if collect {
 				for _, p := range ps {
@@ -179,6 +183,9 @@ func Join(ctx context.Context, r, s *Sharded, opts ...multistep.Option) ([]multi
 			return a.STile - b.STile
 		}
 	})
+	if res.Explain != nil {
+		*res.Explain = aggregateExplain(stats.PerTile, res.Stream != nil)
+	}
 	if collect {
 		slices.SortFunc(out, func(p, q multistep.Pair) int {
 			switch {

@@ -19,6 +19,11 @@ type TileQueryStats struct {
 	// PageTouches counts all page touches (hits and misses) of the
 	// tile's session — Stats.PageAccesses counts only the misses.
 	PageTouches int64
+	// Explain is the sub-query's plan record, captured when the caller
+	// passed WithExplain (each tile plans its filter setting from its
+	// own statistics). Nil otherwise. Excluded from JSON: the wall-time
+	// field would make otherwise-identical responses diverge.
+	Explain *multistep.Explain `json:"-"`
 }
 
 // QueryStats aggregates a scatter-gather query. The embedded
@@ -111,9 +116,17 @@ func Query(ctx context.Context, r *Sharded, opts ...multistep.Option) (QueryResu
 				return
 			}
 			sess := t.Rel.NewSession()
-			sub := make([]multistep.Option, 0, len(opts)+2)
+			sub := make([]multistep.Option, 0, len(opts)+3)
 			sub = append(sub, opts...)
 			sub = append(sub, multistep.WithSession(sess), multistep.WithLimit(-1))
+			// Each routed tile gets its own Explain: the caller's capture
+			// target must not be written by N goroutines — appending a
+			// fresh WithExplain overrides the one inside opts.
+			var subEx *multistep.Explain
+			if res.Explain != nil {
+				subEx = new(multistep.Explain)
+				sub = append(sub, multistep.WithExplain(subEx))
+			}
 			qr, err := multistep.Query(ctx, t.Rel, sub...)
 			mu.Lock()
 			defer mu.Unlock()
@@ -130,7 +143,7 @@ func Query(ctx context.Context, r *Sharded, opts ...multistep.Option) (QueryResu
 			for _, n := range qr.Neighbors {
 				neighbors = append(neighbors, multistep.Neighbor{ID: t.Global[n.ID], Dist: n.Dist})
 			}
-			stats.Tiles = append(stats.Tiles, TileQueryStats{Tile: t.Index, Stats: qr.Stats, PageTouches: sess.Accesses()})
+			stats.Tiles = append(stats.Tiles, TileQueryStats{Tile: t.Index, Stats: qr.Stats, PageTouches: sess.Accesses(), Explain: subEx})
 			stats.Candidates += qr.Stats.Candidates
 			stats.FilterHits += qr.Stats.FilterHits
 			stats.FilterFalseHits += qr.Stats.FilterFalseHits
@@ -148,6 +161,13 @@ func Query(ctx context.Context, r *Sharded, opts ...multistep.Option) (QueryResu
 		return QueryResult{}, firstErr
 	}
 	slices.SortFunc(stats.Tiles, func(a, b TileQueryStats) int { return a.Tile - b.Tile })
+	if res.Explain != nil {
+		subStats := make([]SubJoinStats, 0, len(stats.Tiles))
+		for _, t := range stats.Tiles {
+			subStats = append(subStats, SubJoinStats{Explain: t.Explain})
+		}
+		*res.Explain = aggregateExplain(subStats, false)
+	}
 
 	var out QueryResult
 	out.Stats = stats

@@ -11,6 +11,7 @@ import (
 	"spatialjoin/internal/codec"
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/multistep"
+	"spatialjoin/internal/plan"
 )
 
 // A sharded store is a directory: one SJRL relation store per tile
@@ -34,9 +35,15 @@ import (
 //	  mbr       4 × float64 bits (MinX, MinY, MaxX, MaxY)
 //	  count     uint32
 //	  global    count × uint32 global object IDs (local order)
+//	  stats     uint32 length + plan.AppendStats layout (version ≥ 2)
+//
+// Version 2 added the per-tile planner-statistics blob, so a
+// coordinator can plan tile-pair sub-joins from the manifest alone.
+// Version 1 manifests (no blobs) still open; the statistics then come
+// from the reopened tiles (recomputed there for version 1 tile files).
 const (
 	manifestMagic   = 0x534A534D // "SJSM"
-	manifestVersion = 1
+	manifestVersion = 2
 
 	// ManifestName is the manifest's file name inside a store directory.
 	ManifestName = "manifest.sjsm"
@@ -95,6 +102,13 @@ func Save(dir string, sh *Sharded) error {
 		for _, g := range t.Global {
 			buf = binary.LittleEndian.AppendUint32(buf, uint32(g))
 		}
+		st := t.Rel.Stats
+		if st == nil {
+			st = t.Rel.ComputeStats()
+		}
+		stats := plan.AppendStats(nil, st)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(stats)))
+		buf = append(buf, stats...)
 	}
 	return os.WriteFile(filepath.Join(dir, ManifestName), buf, 0o644)
 }
@@ -116,8 +130,9 @@ func Open(dir string, cfg multistep.Config) (*Sharded, error) {
 	if magic := d.U32(); d.Err() == nil && magic != manifestMagic {
 		return nil, fmt.Errorf("%w: bad magic %#x", ErrBadManifest, magic)
 	}
-	if v := d.U16(); d.Err() == nil && v != manifestVersion {
-		return nil, fmt.Errorf("%w: version %d, this build reads %d", ErrBadManifest, v, manifestVersion)
+	version := d.U16()
+	if d.Err() == nil && (version < 1 || version > manifestVersion) {
+		return nil, fmt.Errorf("%w: version %d, this build reads ≤ %d", ErrBadManifest, version, manifestVersion)
 	}
 	fp := d.U64()
 	if d.Err() == nil && fp != multistep.ConfigFingerprint(cfg) {
@@ -158,9 +173,36 @@ func Open(dir string, cfg multistep.Config) (*Sharded, error) {
 			seen[g] = true
 			global[i] = int32(g)
 		}
+		var manifestStats *plan.Stats
+		if version >= 2 {
+			statsLen := int(d.U32())
+			if d.Err() == nil && d.Remaining() < statsLen {
+				return nil, fmt.Errorf("%w: tile %d stats of %d bytes exceed the remaining data", ErrBadManifest, t, statsLen)
+			}
+			statsBytes := d.Bytes(statsLen)
+			if d.Err() != nil {
+				return nil, d.Err()
+			}
+			st, err := plan.DecodeStats(statsBytes)
+			if err != nil {
+				return nil, fmt.Errorf("%w: tile %d: %v", ErrBadManifest, t, err)
+			}
+			if st.Objects != int64(count) {
+				return nil, fmt.Errorf("%w: tile %d stats describe %d objects, manifest says %d",
+					ErrBadManifest, t, st.Objects, count)
+			}
+			manifestStats = st
+		}
 		rel, err := multistep.OpenRelationFile(tilePath(dir, t), cfg)
 		if err != nil {
 			return nil, fmt.Errorf("shard: tile %d of %q: %w", t, dir, err)
+		}
+		if manifestStats != nil {
+			// The manifest copy is authoritative for the routing layer; it
+			// was snapshotted from the same statistics the tile file holds,
+			// and keeping one instance means coordinator-level planning and
+			// sub-join feedback share the same EWMAs.
+			rel.Stats = manifestStats
 		}
 		if len(rel.Objects) != count {
 			return nil, fmt.Errorf("%w: tile %d holds %d objects, manifest says %d",

@@ -1,0 +1,140 @@
+package shard
+
+// Backward compatibility of the sharded store: version 1 manifests —
+// written before the per-tile planner-statistics blobs existed — must
+// still open and join identically. The test derives the v1 manifest
+// from the current encoder by re-walking the v2 bytes, copying every
+// field except the stats blobs, and patching the version, so it stays
+// byte-exact with what a pre-statistics build wrote.
+
+import (
+	"context"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// manifestToV1 rewrites a version 2 manifest blob into the version 1
+// layout: same header and tile records, no per-tile stats blobs.
+func manifestToV1(t *testing.T, v2 []byte) []byte {
+	t.Helper()
+	le := binary.LittleEndian
+	fail := func() {
+		t.Helper()
+		t.Fatalf("manifest of %d bytes too short for the v2 layout", len(v2))
+	}
+	need := func(off, n int) {
+		t.Helper()
+		if off+n > len(v2) {
+			fail()
+		}
+	}
+
+	need(0, 16)
+	if le.Uint16(v2[4:]) != manifestVersion {
+		t.Fatalf("saved manifest has version %d, want %d", le.Uint16(v2[4:]), manifestVersion)
+	}
+	nameLen := int(le.Uint16(v2[14:]))
+	need(16, nameLen+6)
+	off := 16 + nameLen + 4 // past header, name and object count
+	tiles := int(le.Uint16(v2[off:]))
+	off += 2
+
+	v1 := append([]byte(nil), v2[:off]...)
+	le.PutUint16(v1[4:], 1)
+	for i := 0; i < tiles; i++ {
+		need(off, 36)
+		count := int(le.Uint32(v2[off+32:]))
+		recLen := 36 + 4*count
+		need(off, recLen+4)
+		v1 = append(v1, v2[off:off+recLen]...)
+		statsLen := int(le.Uint32(v2[off+recLen:]))
+		off += recLen + 4 + statsLen
+	}
+	if off != len(v2) {
+		t.Fatalf("walked %d of %d manifest bytes", off, len(v2))
+	}
+	return v1
+}
+
+func TestManifestV1Compat(t *testing.T) {
+	rp, sp, cfg := testWorkload(t)
+	shR, shS := Build("R", rp, 3, cfg), Build("S", sp, 3, cfg)
+
+	dir := t.TempDir()
+	rDir, sDir := filepath.Join(dir, "R"), filepath.Join(dir, "S")
+	for d, sh := range map[string]*Sharded{rDir: shR, sDir: shS} {
+		if err := Save(d, sh); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	open := func() (*Sharded, *Sharded) {
+		t.Helper()
+		r, err := Open(rDir, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(sDir, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, s
+	}
+	r2, s2 := open()
+	golden, gst, err := Join(context.Background(), r2, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Downgrade both manifests in place and reopen.
+	for _, d := range []string{rDir, sDir} {
+		mf := filepath.Join(d, ManifestName)
+		blob, err := os.ReadFile(mf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(mf, manifestToV1(t, blob), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r1, s1 := open()
+
+	// Without manifest blobs the statistics come from the tile files;
+	// the structural part the planner routes on must be intact.
+	for _, tile := range r1.Tiles {
+		if tile.Rel.Stats == nil {
+			t.Fatalf("tile %d reopened from a v1 manifest without statistics", tile.Index)
+		}
+		if tile.Rel.Stats.Objects != int64(len(tile.Rel.Objects)) {
+			t.Fatalf("tile %d stats describe %d objects, tile holds %d",
+				tile.Index, tile.Rel.Stats.Objects, len(tile.Rel.Objects))
+		}
+	}
+
+	got, st, err := Join(context.Background(), r1, s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, golden) {
+		t.Errorf("v1-manifest store joined differently: %d vs %d pairs", len(got), len(golden))
+	}
+	if !reflect.DeepEqual(st, gst) {
+		t.Errorf("v1-manifest store reported different statistics:\nv1 %+v\nv2 %+v", st, gst)
+	}
+
+	// A truncated v1 manifest must still be rejected.
+	mf := filepath.Join(rDir, ManifestName)
+	blob, err := os.ReadFile(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mf, blob[:len(blob)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(rDir, cfg); err == nil {
+		t.Error("Open accepted a truncated v1 manifest")
+	}
+}

@@ -222,6 +222,35 @@ func ForPoint(p Point) Option { return multistep.ForPoint(p) }
 // region distance.
 func ForNearest(p Point, k int) Option { return multistep.ForNearest(p, k) }
 
+// Adaptive planning (internal/plan). Planning is opt-in: a bare Join
+// runs the relations' build configuration verbatim, WithPlan lets the
+// cost-based planner resolve the options the caller left unset.
+type (
+	// Plan describes the execution configuration one call ran (or would
+	// run) under, with the planner's predictions when planned.
+	Plan = multistep.Plan
+	// Explain is the EXPLAIN record of one join: the plan and, after
+	// execution, the measured counts and prediction errors.
+	Explain = multistep.Explain
+)
+
+// WithPlan resolves the options the caller left unset — exact engine,
+// filter setting, worker count — through the cost-based planner.
+// Explicit options always win: WithConfig pins the engine and filter,
+// WithWorkers pins the workers, and a fully pinned planned join
+// executes bit-identically to the unplanned call.
+func WithPlan() Option { return multistep.WithPlan() }
+
+// WithExplain records the resolved plan and, after execution, the
+// predicted-vs-actual error into *ex.
+func WithExplain(ex *Explain) Option { return multistep.WithExplain(ex) }
+
+// ExplainJoin resolves and plans a join exactly as Join with the same
+// options would, without executing it — the EXPLAIN verb.
+func ExplainJoin(r, s *Relation, opts ...Option) (Explain, error) {
+	return multistep.ExplainJoin(r, s, opts...)
+}
+
 // Join runs the multi-step spatial join of r and s under the configured
 // predicate (default Intersects) and returns the response set sorted by
 // (A, B) with per-step statistics. Cancelling ctx stops the pipeline —
@@ -492,6 +521,23 @@ func JoinSharded(ctx context.Context, r, s *Sharded, opts ...Option) ([]Pair, Sh
 // their answers.
 func QuerySharded(ctx context.Context, r *Sharded, opts ...Option) (ShardedQueryResult, error) {
 	return shard.Query(ctx, r, opts...)
+}
+
+// Sharded EXPLAIN types.
+type (
+	// ShardedExplain is the EXPLAIN record of a scatter-gather join:
+	// the aggregate plus the per-tile-pair plans.
+	ShardedExplain = shard.ExplainResult
+	// TileExplain is the plan record of one tile-pair sub-join.
+	TileExplain = shard.TileExplain
+)
+
+// ExplainSharded plans (and with run, executes) a scatter-gather join
+// and returns the aggregate plus per-tile-pair plan records. Each tile
+// pair is planned independently from its own tiles' statistics, so
+// skewed tiles legitimately show different engines or worker counts.
+func ExplainSharded(ctx context.Context, r, s *Sharded, run bool, opts ...Option) (ShardedExplain, error) {
+	return shard.Explain(ctx, r, s, run, opts...)
 }
 
 // SaveShardedStore persists a sharded relation as a store directory:

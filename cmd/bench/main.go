@@ -30,6 +30,14 @@
 // the best static cell — the committed BENCH_PR7.json pins the ≤ 1.5×
 // guarantee the regression tests enforce.
 //
+// -repeat N switches to the hot-query serving mode: N requests of a
+// Zipf-skewed query mix (joins, windows, points, nearest) replayed
+// against the HTTP serving layer twice — with the result cache disabled
+// and with the default multi-query execution layer (single-flight
+// coalescing, fingerprint-keyed LRU, batched traversals; DESIGN.md
+// §12). The two rows report qps and cache_hit_rate side by side; the
+// committed BENCH_PR8.json pins the hot-path speedup.
+//
 // -check validates an existing measurement file (parse + schema) and
 // exits; CI uses it to keep the committed BENCH_*.json files honest.
 package main
@@ -40,6 +48,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"strconv"
@@ -48,6 +57,7 @@ import (
 
 	"spatialjoin/internal/data"
 	"spatialjoin/internal/multistep"
+	"spatialjoin/internal/serve"
 	"spatialjoin/internal/shard"
 )
 
@@ -105,6 +115,11 @@ type Result struct {
 	// NoFilter marks a static cell measured with the geometric filter
 	// switched off at query time.
 	NoFilter bool `json:"no_filter,omitempty"`
+	// QPS and CacheHitRate report the serving-layer cells (-repeat
+	// mode): requests served per second over the hot query mix, and the
+	// fraction of them answered from the result cache.
+	QPS          float64 `json:"qps,omitempty"`
+	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
 }
 
 func main() {
@@ -119,6 +134,7 @@ func main() {
 	workersFlag := flag.String("workers", "1,4", "comma-separated worker counts for the intersects workloads")
 	shardsFlag := flag.String("shards", "1,2,4", "comma-separated tile counts for the sharded workloads (empty: skip)")
 	plannerMode := flag.Bool("planner", false, "measure the planner-chosen execution against every static engine×filter cell per predicate")
+	repeat := flag.Int("repeat", 0, "hot-query serving mode: replay this many requests of a Zipf-skewed query mix against the HTTP serving layer, cache off then on")
 	check := flag.String("check", "", "validate an existing measurement file and exit")
 	flag.Parse()
 
@@ -166,7 +182,9 @@ func main() {
 
 	engines := []multistep.Engine{multistep.EngineTRStar, multistep.EnginePlaneSweep, multistep.EngineQuadratic}
 
-	if *plannerMode {
+	if *repeat > 0 {
+		run.Results = append(run.Results, measureServing(rr, ss, cfg, *epsilon, *repeat)...)
+	} else if *plannerMode {
 		// The planner comparison: per predicate, every static engine ×
 		// filter cell (sequential — the planner may still choose more
 		// workers for itself), then the planner-chosen execution of the
@@ -343,6 +361,110 @@ func measurePlanned(r, s *multistep.Relation, pred multistep.Predicate, reps int
 	fmt.Printf("  %-28s %10.1f ms/op %12.0f pairs/sec %10.0f allocs/op\n",
 		res.Name, res.WallNsPerOp/1e6, res.PairsPerSec, res.AllocsPerOp)
 	return res
+}
+
+// measureServing is the -repeat hot-query mode: the same Zipf-skewed
+// request sequence replayed against the HTTP serving layer twice — once
+// with the result cache disabled (every request re-executes) and once
+// with the default multi-query execution (DESIGN.md §12). The reported
+// QPS pair prices the shared-work layer on a skewed, repetitive
+// workload; CacheHitRate is the fraction of requests the cache
+// answered.
+func measureServing(rr, ss *multistep.Relation, cfg multistep.Config, eps float64, total int) []Result {
+	cat := serve.NewCatalog()
+	cat.Add("R", rr, cfg)
+	cat.Add("S", ss, cfg)
+
+	// The distinct queries of the mix, hottest first. plan=off pins the
+	// configuration so both servers execute identical physical plans.
+	urls := []string{
+		"/join?r=R&s=S&limit=100&plan=off",
+		"/window?rel=R&minx=0.2&miny=0.2&maxx=0.45&maxy=0.4&plan=off",
+		fmt.Sprintf("/join?r=R&s=S&epsilon=%g&limit=100&plan=off", eps),
+		"/point?rel=R&x=0.31&y=0.47&plan=off",
+		"/nearest?rel=S&x=0.52&y=0.33&k=8",
+		"/join?r=R&s=S&predicate=contains&plan=off",
+		"/window?rel=S&minx=0.55&miny=0.1&maxx=0.8&maxy=0.3&plan=off",
+		"/point?rel=S&x=0.72&y=0.64&plan=off",
+		"/window?rel=R&minx=0.05&miny=0.6&maxx=0.3&maxy=0.9&epsilon=0.02&plan=off",
+		"/nearest?rel=R&x=0.12&y=0.81&k=4",
+	}
+	// Zipf-ish skew: rank k draws with weight 1/(k+1). A fixed LCG
+	// replays the identical sequence for both servers.
+	var table []int
+	for k := range urls {
+		for n := 0; n < 2*len(urls)/(k+1); n++ {
+			table = append(table, k)
+		}
+	}
+	seq := make([]int, total)
+	x := uint64(0x9E3779B97F4A7C15)
+	for i := range seq {
+		x = x*6364136223846793005 + 1442695040888963407
+		seq[i] = table[(x>>33)%uint64(len(table))]
+	}
+
+	var out []Result
+	for _, cached := range []bool{false, true} {
+		srv := serve.NewServer(cat)
+		if !cached {
+			srv.CacheBytes = -1
+		}
+		h := srv.Handler()
+		do := func(url string) {
+			req := httptest.NewRequest("GET", url, nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				fatal(fmt.Errorf("GET %s: status %d: %s", url, rec.Code, rec.Body))
+			}
+		}
+		// Warm-up: one pass over the distinct queries. It pays the lazy
+		// exact representations on both servers; on the cached server it
+		// also pre-fills the cache — the hot-serving scenario under test.
+		for _, u := range urls {
+			do(u)
+		}
+		t0 := time.Now()
+		for _, k := range seq {
+			do(urls[k])
+		}
+		wall := time.Since(t0)
+
+		name := "serve/hot/nocache"
+		if cached {
+			name = "serve/hot/cache"
+		}
+		res := Result{
+			Name:        name,
+			Predicate:   "mix",
+			Engine:      "serve",
+			Workers:     runtime.GOMAXPROCS(0),
+			WallNsPerOp: float64(wall.Nanoseconds()) / float64(total),
+			QPS:         float64(total) / wall.Seconds(),
+		}
+		if cached {
+			req := httptest.NewRequest("GET", "/stats", nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			var st struct {
+				Cache struct {
+					Hits   int64 `json:"hits"`
+					Misses int64 `json:"misses"`
+				} `json:"cache"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+				fatal(err)
+			}
+			if lookups := st.Cache.Hits + st.Cache.Misses; lookups > 0 {
+				res.CacheHitRate = float64(st.Cache.Hits) / float64(lookups)
+			}
+		}
+		fmt.Printf("  %-28s %10.2f ms/op %12.0f qps   hit rate %.3f\n",
+			res.Name, res.WallNsPerOp/1e6, res.QPS, res.CacheHitRate)
+		out = append(out, res)
+	}
+	return out
 }
 
 // measureSharded is measure for the scatter-gather join of two sharded

@@ -12,7 +12,7 @@
 //	                 [-engine trstar|planesweep|quadratic]
 //	                 [-conservative 5C|RMBR|CH|4C|MBC|MBE] [-progressive MER|MEC]
 //	                 [-no-filter] [-page 4096] [-buffer 131072] [-policy lru|fifo|clock]
-//	                 [-no-plan]
+//	                 [-no-plan] [-cache-bytes 67108864] [-batch-window 2ms]
 //	spatialjoinserve [-addr :8080] -demo 810
 //
 // A -rel path may be a single relation store file (cmd/datagen -store)
@@ -33,6 +33,14 @@
 // and a single request opts out with &plan=off. GET /explain reports
 // the per-tile-pair plans without (or with run=1, alongside) executing
 // the join.
+//
+// Responses are served through the multi-query execution layer
+// (DESIGN.md §12): repeated requests answer from a fingerprint-keyed
+// LRU cache (-cache-bytes budgets it; <=0 disables), identical
+// concurrent requests coalesce into one execution, and concurrent
+// joins over the same relation pair within -batch-window share one
+// synchronized traversal. GET /stats reports the cache, coalesce and
+// batch counters.
 package main
 
 import (
@@ -42,6 +50,7 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"spatialjoin/internal/approx"
 	"spatialjoin/internal/data"
@@ -87,6 +96,8 @@ func main() {
 	joinWorkers := flag.Int("join-workers", 0, "streaming-join workers per request (0 = planner-chosen, or GOMAXPROCS with -no-plan)")
 	noPlan := flag.Bool("no-plan", false, "disable the cost-based planner: serve every request under the build configuration verbatim")
 	maxPairs := flag.Int("max-pairs", serve.DefaultMaxJoinPairs, "cap on join pairs returned inline per request")
+	cacheBytes := flag.Int64("cache-bytes", serve.DefaultCacheBytes, "result/tile cache budget in bytes (<=0 disables caching)")
+	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "join batching window (0 disables shared-traversal batching)")
 	flag.Parse()
 
 	cfg := multistep.DefaultConfig()
@@ -143,7 +154,9 @@ func main() {
 	srv.JoinWorkers = *joinWorkers
 	srv.MaxJoinPairs = *maxPairs
 	srv.NoPlan = *noPlan
-	log.Printf("serving %d relation(s) on %s — try /healthz, /relations, /window, /point, /nearest, /join, /explain",
+	srv.CacheBytes = *cacheBytes
+	srv.BatchWindow = *batchWindow
+	log.Printf("serving %d relation(s) on %s — try /healthz, /relations, /stats, /window, /point, /nearest, /join, /explain",
 		len(cat.Names()), *addr)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		fatal(err)

@@ -1,0 +1,123 @@
+package mqe
+
+import (
+	"sync"
+	"time"
+)
+
+// Batcher groups concurrent Run calls that share a key into batches:
+// the first caller for a key opens a batch and waits for the batching
+// window to elapse; callers arriving within the window join the batch.
+// When the window closes the batch is sealed (later arrivals open a
+// new one) and the opener executes run once over every collected
+// request, then each caller receives its own result by position.
+//
+// Unlike Group, callers with *different* payloads share one execution —
+// this is the entry point for shared-work multi-query execution, where
+// run performs one synchronized traversal for all requests over the
+// same relation pair.
+//
+// A window <= 0 disables batching: Run executes immediately with a
+// single-request batch.
+type Batcher struct {
+	window time.Duration
+
+	mu      sync.Mutex
+	pending map[string]*batch
+
+	groups  int64 // batches executed
+	batched int64 // requests that shared a batch with at least one other
+}
+
+type batch struct {
+	reqs    []any
+	done    chan struct{}
+	results []any
+	err     error
+}
+
+// NewBatcher returns a Batcher with the given batching window.
+func NewBatcher(window time.Duration) *Batcher {
+	return &Batcher{window: window, pending: make(map[string]*batch)}
+}
+
+// Run submits req under key and returns this request's result from the
+// batched execution. run receives the batch's requests in arrival
+// order and must return one result per request, in the same order; if
+// it errors, every caller in the batch receives that error.
+func (b *Batcher) Run(key string, req any, run func(reqs []any) ([]any, error)) (any, error) {
+	if b == nil || b.window <= 0 {
+		res, err := run([]any{req})
+		if err != nil {
+			return nil, err
+		}
+		if b != nil {
+			b.mu.Lock()
+			b.groups++
+			b.mu.Unlock()
+		}
+		return res[0], nil
+	}
+
+	b.mu.Lock()
+	if bt, ok := b.pending[key]; ok {
+		idx := len(bt.reqs)
+		bt.reqs = append(bt.reqs, req)
+		b.mu.Unlock()
+		<-bt.done
+		if bt.err != nil {
+			return nil, bt.err
+		}
+		return bt.results[idx], nil
+	}
+	bt := &batch{reqs: []any{req}, done: make(chan struct{})}
+	b.pending[key] = bt
+	b.mu.Unlock()
+
+	time.Sleep(b.window)
+
+	// Seal: arrivals from here on open a fresh batch.
+	b.mu.Lock()
+	delete(b.pending, key)
+	reqs := bt.reqs
+	b.groups++
+	if len(reqs) > 1 {
+		b.batched += int64(len(reqs))
+	}
+	b.mu.Unlock()
+
+	bt.results, bt.err = run(reqs)
+	if bt.err == nil && len(bt.results) != len(reqs) {
+		bt.err = errBatchSize
+	}
+	close(bt.done)
+	if bt.err != nil {
+		return nil, bt.err
+	}
+	return bt.results[0], nil
+}
+
+// BatcherStats is a snapshot of the batching counters.
+type BatcherStats struct {
+	Groups  int64 `json:"groups"`
+	Batched int64 `json:"batchedRequests"`
+}
+
+// Stats returns a snapshot of the batching counters. Batched counts
+// only requests that actually shared a batch with another request.
+func (b *Batcher) Stats() BatcherStats {
+	if b == nil {
+		return BatcherStats{}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BatcherStats{Groups: b.groups, Batched: b.batched}
+}
+
+type batchSizeError struct{}
+
+func (batchSizeError) Error() string {
+	return "mqe: batch run returned wrong result count"
+}
+
+var errBatchSize = batchSizeError{}

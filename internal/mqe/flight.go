@@ -1,0 +1,58 @@
+package mqe
+
+import "sync"
+
+// Group coalesces concurrent calls with the same key into a single
+// execution (single flight): the first caller for a key becomes the
+// leader and runs fn; callers that arrive while the leader is in
+// flight block and receive the leader's value and error. Once the
+// leader finishes, the key is forgotten — a later call executes fresh,
+// so the group never serves stale results (that is the cache's job).
+//
+// The zero Group is ready to use.
+type Group struct {
+	mu        sync.Mutex
+	calls     map[string]*flightCall
+	coalesced int64
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Do executes fn under key with single-flight semantics. The second
+// result reports whether this caller was a follower (received a result
+// computed by a concurrent leader) rather than running fn itself.
+func (g *Group) Do(key string, fn func() (any, error)) (val any, coalesced bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.coalesced++
+		g.mu.Unlock()
+		<-c.done
+		return c.val, true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, false, c.err
+}
+
+// Coalesced returns how many calls were served as followers of another
+// caller's execution since the group was created.
+func (g *Group) Coalesced() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.coalesced
+}

@@ -201,6 +201,10 @@ type Resolved struct {
 	// fresh WithExplain overrides this one) and aggregate afterwards.
 	Plan    bool
 	Explain *Explain
+	// Workers is the WithWorkers value, 0 when unset. Caching
+	// coordinators need it: sub-result identity includes the requested
+	// worker count because the per-tile plan echo depends on it.
+	Workers int
 }
 
 // ResolveOptions applies an option list and returns the resolved view.
@@ -212,6 +216,7 @@ func ResolveOptions(opts []Option) Resolved {
 		Window: o.window, Point: o.point,
 		Nearest: o.nearest, NearestK: o.nearestK,
 		Plan: o.planned, Explain: o.explain,
+		Workers: o.workers,
 	}
 }
 

@@ -1,6 +1,7 @@
 package multistep
 
 import (
+	"math"
 	"runtime"
 	"time"
 
@@ -157,6 +158,10 @@ func planJoin(r, s *Relation, cfg Config, o *queryOptions) (Config, int, Plan) {
 		Eps:      o.pred.Epsilon(),
 		MaxProcs: runtime.GOMAXPROCS(0),
 		Collect:  o.emit == nil && !o.bufferless,
+		// Serving-layer cache pressure: when lookups against either side
+		// mostly hit, the plan rarely executes, and an open workers
+		// dimension collapses to 1 (see plan.Request.CacheHitRate).
+		CacheHitRate: math.Max(r.Stats.CacheHitRate(), s.Stats.CacheHitRate()),
 	}
 	if o.cfg != nil {
 		// An explicit configuration pins the engine and the filter.

@@ -174,6 +174,13 @@ type Request struct {
 	PagesR, PagesS int
 	// VertsR and VertsS override the stats' mean vertex counts when > 0.
 	VertsR, VertsS float64
+	// CacheHitRate is the serving layer's result-cache hit-rate EWMA
+	// for this traffic (0 when unknown or not serving). A likely hit
+	// means the plan almost never executes, so burning worker setup on
+	// it is waste: at a rate ≥ 0.5 an *open* workers dimension is
+	// restricted to a single worker. A pinned (one-element) workers
+	// list is respected regardless.
+	CacheHitRate float64
 	// Collect is true when the caller materializes the response set
 	// (Join without WithStream) — adds per-result collection cost and
 	// makes large results a reason to recommend streaming.
@@ -214,6 +221,9 @@ func Choose(r, s *Stats, w Weights, req Request) Choice {
 		req.Filters = []bool{true, false}
 	}
 	if len(req.Workers) == 0 {
+		req.Workers = []int{1}
+	}
+	if req.CacheHitRate >= 0.5 && len(req.Workers) > 1 {
 		req.Workers = []int{1}
 	}
 

@@ -81,6 +81,7 @@ type feedback struct {
 	candRatio [numPreds]atomic.Uint64 // observed/predicted candidate count
 	ident     [numPreds]atomic.Uint64 // fraction of candidates the filter decided
 	hitFrac   [numPreds]atomic.Uint64 // fraction of candidates in the response set
+	cacheHit  atomic.Uint64           // serving-layer result-cache hit rate
 }
 
 // ewmaAlpha weights a new observation against the running average. 0.3
@@ -156,6 +157,32 @@ func (s *Stats) IdentRate(p Pred, def float64) float64 {
 		return def
 	}
 	return ewmaLoad(&s.fb.ident[p], def)
+}
+
+// ObserveCacheLookup feeds one serving-layer result-cache lookup
+// against this relation into the cache-hit EWMA. Unlike the join
+// feedback EWMAs this one is not persisted in the relation stores: hit
+// rates describe the current serving session's traffic, not the data.
+func (s *Stats) ObserveCacheLookup(hit bool) {
+	if s == nil {
+		return
+	}
+	v := 0.0
+	if hit {
+		v = 1.0
+	}
+	ewmaStore(&s.fb.cacheHit, v)
+}
+
+// CacheHitRate returns the EWMA of serving-layer result-cache lookups
+// against this relation, or 0 with no history. Because ewmaStore treats
+// a zero word as "no observation", an all-miss history decays toward
+// but never reaches zero — which is fine: the rate only matters near 1.
+func (s *Stats) CacheHitRate() float64 {
+	if s == nil {
+		return 0
+	}
+	return ewmaLoad(&s.fb.cacheHit, 0)
 }
 
 // HitFrac returns the EWMA response-pairs-per-candidate rate, or def.

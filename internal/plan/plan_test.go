@@ -242,3 +242,60 @@ func TestDecodeStatsRejects(t *testing.T) {
 		}
 	}
 }
+
+// TestChooseCacheHitRate: a predicted cache hit plans workers=1 when
+// the workers dimension is open, but a pinned workers list still wins.
+func TestChooseCacheHitRate(t *testing.T) {
+	r := uniformStats(2000, 8, 0.05, 0.05)
+	w := DefaultWeights()
+	req := Request{Pred: PredIntersects, Workers: []int{1, 2, 4, 8}, MaxProcs: 8, Collect: true}
+	if c := Choose(r, r, w, req); c.Workers <= 1 {
+		t.Fatalf("heavy load without cache traffic chose %d workers", c.Workers)
+	}
+	req.CacheHitRate = 0.8
+	if c := Choose(r, r, w, req); c.Workers != 1 {
+		t.Fatalf("predicted cache hit chose %d workers, want 1", c.Workers)
+	}
+	pinned := Request{Pred: PredIntersects, Workers: []int{4}, MaxProcs: 8, CacheHitRate: 0.9}
+	if c := Choose(r, r, w, pinned); c.Workers != 4 {
+		t.Fatalf("pinned workers overridden to %d by cache hit rate", c.Workers)
+	}
+	req.CacheHitRate = 0.2
+	if c := Choose(r, r, w, req); c.Workers <= 1 {
+		t.Fatalf("low hit rate restricted workers to %d", c.Workers)
+	}
+}
+
+// TestCacheHitEWMA: the serving-session cache EWMA converges toward
+// the lookup mix and is not part of the persisted stats codec.
+func TestCacheHitEWMA(t *testing.T) {
+	r := uniformStats(100, 11, 0.02, 0.02)
+	if r.CacheHitRate() != 0 {
+		t.Fatalf("fresh CacheHitRate = %v, want 0", r.CacheHitRate())
+	}
+	for i := 0; i < 20; i++ {
+		r.ObserveCacheLookup(true)
+	}
+	if got := r.CacheHitRate(); got < 0.9 {
+		t.Fatalf("after 20 hits CacheHitRate = %v, want > 0.9", got)
+	}
+	for i := 0; i < 20; i++ {
+		r.ObserveCacheLookup(false)
+	}
+	if got := r.CacheHitRate(); got > 0.1 {
+		t.Fatalf("after 20 misses CacheHitRate = %v, want < 0.1", got)
+	}
+	blob := AppendStats(nil, r)
+	back, err := DecodeStats(blob)
+	if err != nil {
+		t.Fatalf("DecodeStats: %v", err)
+	}
+	if back.CacheHitRate() != 0 {
+		t.Fatalf("cache EWMA leaked into the store codec: %v", back.CacheHitRate())
+	}
+	var nilStats *Stats
+	nilStats.ObserveCacheLookup(true)
+	if nilStats.CacheHitRate() != 0 {
+		t.Fatal("nil stats CacheHitRate != 0")
+	}
+}

@@ -1,0 +1,301 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"spatialjoin/internal/data"
+	"spatialjoin/internal/multistep"
+	"spatialjoin/internal/shard"
+)
+
+// getBody fetches a URL from a handler and returns the raw body.
+func getBody(t *testing.T, h http.Handler, url string, wantStatus int) string {
+	t.Helper()
+	req := httptest.NewRequest("GET", url, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != wantStatus {
+		t.Fatalf("GET %s: status %d (want %d): %s", url, rec.Code, wantStatus, rec.Body)
+	}
+	return rec.Body.String()
+}
+
+// TestCachedResponsesByteIdentical is the whole-response cache
+// acceptance test: for every endpoint and predicate, a cache-served
+// response must be byte-identical to the uncached response except for
+// the "cached": true marker line. plan=off pins the configuration so
+// the planner's feedback EWMAs cannot legitimately change the plan
+// echo between runs; /nearest never plans.
+func TestCachedResponsesByteIdentical(t *testing.T) {
+	cat, _ := testCatalog(t)
+	withCache := NewServer(cat).Handler()
+	noCacheSrv := NewServer(cat)
+	noCacheSrv.CacheBytes = -1
+	noCache := noCacheSrv.Handler()
+
+	urls := []string{
+		"/join?r=R&s=S&plan=off",
+		"/join?r=R&s=S&predicate=contains&plan=off",
+		"/join?r=R&s=S&epsilon=0.01&plan=off",
+		"/join?r=R&s=S&limit=7&plan=off",
+		"/window?rel=R&minx=0.2&miny=0.2&maxx=0.45&maxy=0.4&plan=off",
+		"/window?rel=R&minx=0.2&miny=0.2&maxx=0.45&maxy=0.4&epsilon=0.03&plan=off",
+		"/point?rel=R&x=0.31&y=0.47&plan=off",
+		"/nearest?rel=R&x=0.31&y=0.47&k=4",
+	}
+	for _, u := range urls {
+		off := getBody(t, noCache, u, http.StatusOK)
+		cold := getBody(t, withCache, u, http.StatusOK)
+		warm := getBody(t, withCache, u, http.StatusOK)
+		if !strings.Contains(warm, `"cached": true`) {
+			t.Errorf("GET %s: repeated request not served from cache", u)
+		}
+		if stripMarkers(cold) != off {
+			t.Errorf("GET %s: cold cached-server response differs from uncached server", u)
+		}
+		if stripMarkers(warm) != off {
+			t.Errorf("GET %s: cached response (markers stripped) differs from uncached response:\ncached: %s\nsolo:   %s", u, warm, off)
+		}
+	}
+}
+
+// TestCachedShardedJoin runs the cache path over genuinely partitioned
+// relations: the second identical join is served from cache with an
+// identical body, and the per-tile-pair sub-results populate the same
+// shared LRU.
+func TestCachedShardedJoin(t *testing.T) {
+	cfg := multistep.DefaultConfig()
+	cfg.BufferBytes = 8192
+	rp := data.GenerateMap(data.MapConfig{Cells: 80, TargetVerts: 48, HoleFraction: 0.1, Seed: 211})
+	sp := data.StrategyA(rp, 0.45)
+	cat := NewCatalog()
+	cat.AddSharded("R", shard.Build("R", rp, 4, cfg), cfg)
+	cat.AddSharded("S", shard.Build("S", sp, 4, cfg), cfg)
+	h := NewServer(cat).Handler()
+
+	const u = "/join?r=R&s=S&epsilon=0.01&limit=5&plan=off"
+	first := getBody(t, h, u, http.StatusOK)
+	second := getBody(t, h, u, http.StatusOK)
+	if !strings.Contains(second, `"cached": true`) {
+		t.Fatal("repeated sharded join not served from cache")
+	}
+	if stripMarkers(second) != first {
+		t.Fatalf("cached sharded join differs from the cold run:\nfirst:  %s\nsecond: %s", first, second)
+	}
+
+	// A different limit misses the whole-response key but every
+	// tile-pair sub-join replays from the tile cache; the response must
+	// still be the canonical sorted prefix.
+	var full, limited joinResponse
+	get(t, h, "/join?r=R&s=S&plan=off", http.StatusOK, &full)
+	get(t, h, "/join?r=R&s=S&limit=2&plan=off", http.StatusOK, &limited)
+	if len(limited.Pairs) != 2 || !reflect.DeepEqual(limited.Pairs, full.Pairs[:2]) {
+		t.Fatalf("limit variant is not the sorted prefix: %v vs %v", limited.Pairs, full.Pairs[:2])
+	}
+	if !reflect.DeepEqual(limited.Stats, full.Stats) {
+		t.Fatal("limit variant reports different statistics")
+	}
+}
+
+// TestCacheInvalidationOnSwap: re-registering a name invalidates every
+// cached response involving the old entry — the catalog generation in
+// the key changes even though the configuration fingerprint may not.
+func TestCacheInvalidationOnSwap(t *testing.T) {
+	cfg := multistep.DefaultConfig()
+	cfg.BufferBytes = 8192
+	rp := data.GenerateMap(data.MapConfig{Cells: 80, TargetVerts: 48, HoleFraction: 0.1, Seed: 211})
+	sp := data.StrategyA(rp, 0.45)
+	cat := NewCatalog()
+	cat.Add("R", multistep.NewRelation("R", rp, cfg), cfg)
+	cat.Add("S", multistep.NewRelation("S", sp, cfg), cfg)
+	h := NewServer(cat).Handler()
+
+	const u = "/join?r=R&s=S&plan=off"
+	getBody(t, h, u, http.StatusOK)
+	warm := getBody(t, h, u, http.StatusOK)
+	if !strings.Contains(warm, `"cached": true`) {
+		t.Fatal("repeated join not served from cache")
+	}
+
+	// Swap R for a different dataset built under the SAME configuration:
+	// the fingerprint is unchanged, so only the generation can (and
+	// must) invalidate.
+	rp2 := data.GenerateMap(data.MapConfig{Cells: 60, TargetVerts: 40, Seed: 99})
+	cat.Add("R", multistep.NewRelation("R", rp2, cfg), cfg)
+	swapped := getBody(t, h, u, http.StatusOK)
+	if strings.Contains(swapped, `"cached": true`) {
+		t.Fatal("stale response served after the relation was swapped")
+	}
+	if stripMarkers(warm) == swapped {
+		t.Fatal("swapped relation returned the old dataset's response")
+	}
+	// And the swapped pair is itself cacheable again.
+	again := getBody(t, h, u, http.StatusOK)
+	if !strings.Contains(again, `"cached": true`) || stripMarkers(again) != swapped {
+		t.Fatal("swapped relation's responses do not cache")
+	}
+}
+
+// TestCoalescedJoinMatchesSolo: a request arriving while an identical
+// one is in flight receives the leader's result, marked coalesced and
+// otherwise byte-identical. The batch window holds the leader open so
+// the follower's arrival is deterministic.
+func TestCoalescedJoinMatchesSolo(t *testing.T) {
+	cat, _ := testCatalog(t)
+	srv := NewServer(cat)
+	srv.BatchWindow = 500 * time.Millisecond
+	h := srv.Handler()
+
+	const u = "/join?r=R&s=S&plan=off"
+	var leader, follower string
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		leader = getBody(t, h, u, http.StatusOK)
+	}()
+	time.Sleep(150 * time.Millisecond) // the leader is now inside its batch window
+	go func() {
+		defer wg.Done()
+		follower = getBody(t, h, u, http.StatusOK)
+	}()
+	wg.Wait()
+
+	if !strings.Contains(follower, `"coalesced": true`) {
+		t.Fatal("concurrent identical request was not coalesced")
+	}
+	if stripMarkers(follower) != stripMarkers(leader) {
+		t.Fatalf("coalesced response differs from the leader's:\nleader:   %s\nfollower: %s", leader, follower)
+	}
+}
+
+// TestBatchedJoinsMatchSolo: two concurrent joins with different
+// predicates over the same relation pair share one synchronized
+// traversal (the batch window groups them) and each still answers
+// byte-identically to its solo run on an unbatched, uncached server.
+func TestBatchedJoinsMatchSolo(t *testing.T) {
+	cat, _ := testCatalog(t)
+	srv := NewServer(cat)
+	srv.BatchWindow = 500 * time.Millisecond
+	h := srv.Handler()
+	soloSrv := NewServer(cat)
+	soloSrv.CacheBytes = -1
+	solo := soloSrv.Handler()
+
+	u1 := "/join?r=R&s=S&plan=off"
+	u2 := "/join?r=R&s=S&predicate=contains&plan=off"
+	var b1, b2 string
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		b1 = getBody(t, h, u1, http.StatusOK)
+	}()
+	time.Sleep(150 * time.Millisecond) // u1 opened the batch; u2 joins it
+	go func() {
+		defer wg.Done()
+		b2 = getBody(t, h, u2, http.StatusOK)
+	}()
+	wg.Wait()
+
+	var st serveStats
+	get(t, h, "/stats", http.StatusOK, &st)
+	if st.Batch.Batched < 2 {
+		t.Fatalf("batch stats report %d batched requests, want >= 2", st.Batch.Batched)
+	}
+	if got, want := stripMarkers(b1), getBody(t, solo, u1, http.StatusOK); got != want {
+		t.Errorf("batched intersects join differs from solo:\nbatched: %s\nsolo:    %s", got, want)
+	}
+	if got, want := stripMarkers(b2), getBody(t, solo, u2, http.StatusOK); got != want {
+		t.Errorf("batched contains join differs from solo:\nbatched: %s\nsolo:    %s", got, want)
+	}
+}
+
+// TestStatsEndpoint: /stats exposes the cache, coalesce and batch
+// counters, and the cache-lookup feedback reaches the relations'
+// planner statistics.
+func TestStatsEndpoint(t *testing.T) {
+	cat, _ := testCatalog(t)
+	h := NewServer(cat).Handler()
+
+	var st serveStats
+	get(t, h, "/stats", http.StatusOK, &st)
+	if st.Cache.MaxBytes != DefaultCacheBytes || st.Cache.Entries != 0 || st.Cache.Hits != 0 {
+		t.Fatalf("fresh stats = %+v", st)
+	}
+
+	const u = "/join?r=R&s=S&limit=3"
+	getBody(t, h, u, http.StatusOK)
+	get(t, h, "/stats", http.StatusOK, &st)
+	if st.Cache.Misses == 0 || st.Cache.Entries == 0 || st.Cache.Bytes == 0 {
+		t.Fatalf("stats after a cold join = %+v", st)
+	}
+	getBody(t, h, u, http.StatusOK)
+	get(t, h, "/stats", http.StatusOK, &st)
+	if st.Cache.Hits == 0 {
+		t.Fatalf("stats after a warm join = %+v", st)
+	}
+
+	// The lookup feedback drives the planner's cache-hit EWMA on every
+	// tile of the involved relations.
+	e, _ := cat.Get("R")
+	if e.Sh.Tiles[0].Rel.Stats.CacheHitRate() <= 0 {
+		t.Fatal("cache lookups did not reach the planner feedback EWMA")
+	}
+}
+
+// TestCacheEvictionBudget: a tiny byte budget stays respected under a
+// stream of distinct queries — entries are evicted, never over-filled.
+func TestCacheEvictionBudget(t *testing.T) {
+	cat, _ := testCatalog(t)
+	srv := NewServer(cat)
+	srv.CacheBytes = 1500
+	h := srv.Handler()
+
+	for i := 0; i < 12; i++ {
+		x := 0.05 + float64(i)*0.07
+		getBody(t, h, "/point?rel=R&x="+trimFloat(x)+"&y=0.5&plan=off", http.StatusOK)
+	}
+	var st serveStats
+	get(t, h, "/stats", http.StatusOK, &st)
+	if st.Cache.Bytes > st.Cache.MaxBytes {
+		t.Fatalf("cache over budget: %d > %d", st.Cache.Bytes, st.Cache.MaxBytes)
+	}
+	if st.Cache.Evictions == 0 {
+		t.Fatalf("no evictions under a %d-byte budget: %+v", srv.CacheBytes, st)
+	}
+}
+
+func trimFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmtFloat(v), "0"), ".")
+}
+
+// TestWindowLimit: the new limit parameter of /window and /point is
+// the sorted prefix of the unlimited response, with the result count
+// and truncation marker derived per request.
+func TestWindowLimit(t *testing.T) {
+	cat, _ := testCatalog(t)
+	h := NewServer(cat).Handler()
+
+	var full, limited windowResponse
+	get(t, h, "/window?rel=R&minx=0.2&miny=0.2&maxx=0.45&maxy=0.4&plan=off", http.StatusOK, &full)
+	if len(full.IDs) < 4 || full.Truncated {
+		t.Fatalf("full window = %+v", full)
+	}
+	get(t, h, "/window?rel=R&minx=0.2&miny=0.2&maxx=0.45&maxy=0.4&limit=3&plan=off", http.StatusOK, &limited)
+	if !limited.Cached {
+		t.Fatal("limit variant missed the limit-insensitive cache key")
+	}
+	if !reflect.DeepEqual(limited.IDs, full.IDs[:3]) || !limited.Truncated {
+		t.Fatalf("limited window = %+v", limited)
+	}
+	if limited.Stats.ResultObjects != 3 || limited.Stats.Candidates != full.Stats.Candidates {
+		t.Fatalf("limited window stats = %+v", limited.Stats)
+	}
+}

@@ -1,0 +1,317 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"spatialjoin/internal/mqe"
+	"spatialjoin/internal/multistep"
+	"spatialjoin/internal/shard"
+)
+
+// Multi-query execution (DESIGN.md §12). Every query request runs
+// through a canonical execution path: the validated parameters build a
+// normalized, limit-insensitive key; identical concurrent requests
+// coalesce into a single execution (mqe.Group); completed canonical
+// results live in one byte-bounded LRU (mqe.Cache) shared between
+// whole responses and per-tile sub-results; and concurrent join
+// requests over the same relation pair within the batching window run
+// one synchronized traversal (mqe.Batcher → shard.JoinBatch). Each
+// response is then derived from the canonical result per request —
+// sorted-prefix limit, recomputed truncation — so cached, coalesced
+// and solo runs are byte-identical up to the cached/coalesced markers.
+
+// queryCanonical is the cached canonical result of a single-relation
+// request: the uncapped merged answer plus the plan echo. Derivations
+// only read it (slices are shared between concurrent responses).
+type queryCanonical struct {
+	IDs       []int32
+	Neighbors []multistep.Neighbor
+	Stats     shard.QueryStats
+	Plan      planEcho
+}
+
+// joinCanonical is the cached canonical result of a join request: the
+// sorted response-set prefix at the server's MaxJoinPairs cap (every
+// request limit is a prefix of it) plus aggregated stats and the plan
+// echo.
+type joinCanonical struct {
+	Pairs []multistep.Pair
+	Stats shard.JoinStats
+	Plan  planEcho
+}
+
+// entryOverhead is the assumed fixed footprint of one cache entry
+// (key, struct headers, LRU bookkeeping) on top of its slices.
+const entryOverhead = 256
+
+func (c *queryCanonical) size() int64 {
+	return entryOverhead + 4*int64(len(c.IDs)) + 16*int64(len(c.Neighbors)) + 96*int64(len(c.Stats.Tiles))
+}
+
+func (c *joinCanonical) size() int64 {
+	return entryOverhead + 8*int64(len(c.Pairs)) + 160*int64(len(c.Stats.PerTile))
+}
+
+func queryTileSize(r shard.QueryTileResult) int64 {
+	return entryOverhead + 4*int64(len(r.IDs)) + 16*int64(len(r.Neighbors))
+}
+
+func joinTileSize(r shard.JoinTileResult) int64 {
+	return entryOverhead + 8*int64(len(r.Pairs))
+}
+
+// init lazily builds the multi-query execution state from the
+// configuration fields; Handler calls it before serving.
+func (s *Server) init() {
+	s.initOnce.Do(func() {
+		s.cache = mqe.NewCache(s.CacheBytes)
+		s.batcher = mqe.NewBatcher(s.BatchWindow)
+	})
+}
+
+// observeLookup feeds one whole-response cache lookup into the planner
+// feedback of every tile of the involved relations, driving the
+// cache-aware worker collapse (plan.Request.CacheHitRate).
+func (s *Server) observeLookup(hit bool, entries ...*Entry) {
+	for _, e := range entries {
+		for _, t := range e.Sh.Tiles {
+			t.Rel.Stats.ObserveCacheLookup(hit)
+		}
+	}
+}
+
+// queryTileAdapter scopes the shared LRU to one entry's per-tile
+// sub-query results.
+type queryTileAdapter struct {
+	c     *mqe.Cache
+	scope string
+}
+
+func (a queryTileAdapter) key(k shard.QueryTileKey) string {
+	return a.scope + fmt.Sprintf("|%v", k)
+}
+
+func (a queryTileAdapter) GetQueryTile(k shard.QueryTileKey) (shard.QueryTileResult, bool) {
+	v, ok := a.c.Get(a.key(k))
+	if !ok {
+		return shard.QueryTileResult{}, false
+	}
+	return v.(shard.QueryTileResult), true
+}
+
+func (a queryTileAdapter) PutQueryTile(k shard.QueryTileKey, r shard.QueryTileResult) {
+	a.c.Put(a.key(k), r, queryTileSize(r))
+}
+
+// joinTileAdapter scopes the shared LRU to one entry pair's
+// tile-pair sub-join results.
+type joinTileAdapter struct {
+	c     *mqe.Cache
+	scope string
+}
+
+func (a joinTileAdapter) key(k shard.JoinTileKey) string {
+	return a.scope + fmt.Sprintf("|%v", k)
+}
+
+func (a joinTileAdapter) GetJoinTile(k shard.JoinTileKey) (shard.JoinTileResult, bool) {
+	v, ok := a.c.Get(a.key(k))
+	if !ok {
+		return shard.JoinTileResult{}, false
+	}
+	return v.(shard.JoinTileResult), true
+}
+
+func (a joinTileAdapter) PutJoinTile(k shard.JoinTileKey, r shard.JoinTileResult) {
+	a.c.Put(a.key(k), r, joinTileSize(r))
+}
+
+// queryTileCache returns the per-tile sub-result cache for one entry,
+// or nil (cache disabled). The typed-nil trap is why this returns the
+// interface only when a real adapter backs it.
+func (s *Server) queryTileCache(p *queryParams) shard.QueryTileCache {
+	if s.cache == nil {
+		return nil
+	}
+	return queryTileAdapter{c: s.cache, scope: "tq|" + entryScope(p.name, p.e)}
+}
+
+// joinTileCache returns the tile-pair sub-result cache for one entry
+// pair, or nil (cache disabled).
+func (s *Server) joinTileCache(p *joinParams) shard.JoinTileCache {
+	if s.cache == nil {
+		return nil
+	}
+	return joinTileAdapter{c: s.cache, scope: "tj|" + entryScope(p.nameR, p.eR) + "|" + entryScope(p.nameS, p.eS)}
+}
+
+// runQuery serves a single-relation request through the canonical
+// path: LRU lookup, single-flight coalescing, canonical (uncapped)
+// execution. cached and coalesced report how the result was obtained.
+func (s *Server) runQuery(ctx context.Context, p *queryParams) (qc *queryCanonical, cached, coalesced bool, err error) {
+	key := p.cacheKey()
+	if v, ok := s.cache.Get(key); ok {
+		s.observeLookup(true, p.e)
+		return v.(*queryCanonical), true, false, nil
+	}
+	if s.cache != nil {
+		s.observeLookup(false, p.e)
+	}
+	v, coalesced, err := s.flight.Do(key, func() (any, error) {
+		c, err := s.execQuery(ctx, p)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.Put(key, c, c.size())
+		return c, nil
+	})
+	if err != nil {
+		// A coalesced leader's client may disconnect while this request
+		// is still live: rerun solo on our own context.
+		if coalesced && errors.Is(err, context.Canceled) && ctx.Err() == nil {
+			c, err := s.execQuery(ctx, p)
+			if err != nil {
+				return nil, false, false, err
+			}
+			s.cache.Put(key, c, c.size())
+			return c, false, true, nil
+		}
+		return nil, false, false, err
+	}
+	return v.(*queryCanonical), false, coalesced, nil
+}
+
+// execQuery is the canonical single-relation execution: uncapped (the
+// limit is applied per response as a sorted prefix), per-tile cached.
+func (s *Server) execQuery(ctx context.Context, p *queryParams) (*queryCanonical, error) {
+	var ex multistep.Explain
+	var opts []multistep.Option
+	switch p.kind {
+	case kindWindow:
+		opts = append(opts, multistep.ForWindow(p.win))
+	case kindPoint:
+		opts = append(opts, multistep.ForPoint(p.pt))
+	case kindNearest:
+		opts = append(opts, multistep.ForNearest(p.pt, p.k))
+	}
+	if p.kind != kindNearest {
+		opts = append(opts, multistep.WithPredicate(p.pred), multistep.WithExplain(&ex))
+		if p.plan {
+			// WithConfig would pin the filter knob; the planner path runs on
+			// the tiles' build configuration (identical to e.Cfg — the entry
+			// was opened under it) and chooses the filter per tile.
+			opts = append(opts, multistep.WithPlan())
+		} else {
+			opts = append(opts, multistep.WithConfig(p.e.Cfg))
+		}
+	}
+	res, err := shard.QueryCached(ctx, p.e.Sh, s.queryTileCache(p), opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &queryCanonical{IDs: res.IDs, Neighbors: res.Neighbors, Stats: res.Stats, Plan: echoOf(ex.Plan)}, nil
+}
+
+// joinBatchReq is one member of a batched join execution.
+type joinBatchReq struct {
+	p *joinParams
+}
+
+// runJoin serves a join request through the canonical path: LRU
+// lookup, single-flight coalescing, then the batching window — all
+// misses over the same relation pair and step-1 ε within the window
+// run ONE synchronized traversal (shard.JoinBatch).
+func (s *Server) runJoin(ctx context.Context, p *joinParams) (jc *joinCanonical, cached, coalesced bool, err error) {
+	key := p.cacheKey()
+	if v, ok := s.cache.Get(key); ok {
+		s.observeLookup(true, p.eR, p.eS)
+		return v.(*joinCanonical), true, false, nil
+	}
+	if s.cache != nil {
+		s.observeLookup(false, p.eR, p.eS)
+	}
+	v, coalesced, err := s.flight.Do(key, func() (any, error) {
+		out, err := s.batcher.Run(p.batchKey(), &joinBatchReq{p: p}, func(reqs []any) ([]any, error) {
+			return s.execJoinBatch(ctx, reqs)
+		})
+		if err != nil {
+			return nil, err
+		}
+		c := out.(*joinCanonical)
+		s.cache.Put(key, c, c.size())
+		return c, nil
+	})
+	if err != nil {
+		// The executing leader (single-flight or batch opener) may have
+		// been cancelled by its own client while this request is still
+		// live: rerun solo on our own context.
+		if errors.Is(err, context.Canceled) && ctx.Err() == nil {
+			out, err := s.execJoinBatch(ctx, []any{&joinBatchReq{p: p}})
+			if err != nil {
+				return nil, false, false, err
+			}
+			c := out[0].(*joinCanonical)
+			s.cache.Put(key, c, c.size())
+			return c, false, true, nil
+		}
+		return nil, false, false, err
+	}
+	return v.(*joinCanonical), false, coalesced, nil
+}
+
+// execJoinBatch runs one batch of join requests — all over the same
+// relation pair and step-1 ε, by batchKey construction — as a single
+// shard.JoinBatch call and builds each member's canonical result.
+func (s *Server) execJoinBatch(ctx context.Context, reqs []any) ([]any, error) {
+	first := reqs[0].(*joinBatchReq).p
+	items := make([][]multistep.Option, len(reqs))
+	exs := make([]multistep.Explain, len(reqs))
+	for i, rq := range reqs {
+		p := rq.(*joinBatchReq).p
+		opts := []multistep.Option{
+			multistep.WithPredicate(p.pred),
+			multistep.WithWorkers(p.workers),
+			// Canonical cap: the largest limit any request can ask for.
+			multistep.WithLimit(s.MaxJoinPairs),
+			multistep.WithExplain(&exs[i]),
+		}
+		if p.plan {
+			// WithPlan resolves engine, filter and workers per tile pair; an
+			// explicit workers parameter stays pinned (WithWorkers > 0 wins).
+			// WithConfig would pin engine and filter, so the planner path
+			// relies on the tiles' build configuration instead.
+			opts = append(opts, multistep.WithPlan())
+		} else {
+			opts = append(opts, multistep.WithConfig(p.eR.Cfg))
+		}
+		items[i] = opts
+	}
+	outs, err := shard.JoinBatch(ctx, first.eR.Sh, first.eS.Sh, s.joinTileCache(first), items)
+	if err != nil {
+		return nil, err
+	}
+	res := make([]any, len(reqs))
+	for i := range outs {
+		res[i] = &joinCanonical{Pairs: outs[i].Pairs, Stats: outs[i].Stats, Plan: echoOf(exs[i].Plan)}
+	}
+	return res, nil
+}
+
+// serveStats answers GET /stats: the shared cache counters, the
+// single-flight coalesce count and the batching counters.
+type serveStats struct {
+	Cache     mqe.CacheStats   `json:"cache"`
+	Coalesced int64            `json:"coalesced"`
+	Batch     mqe.BatcherStats `json:"batch"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, serveStats{
+		Cache:     s.cache.Stats(),
+		Coalesced: s.flight.Coalesced(),
+		Batch:     s.batcher.Stats(),
+	})
+}

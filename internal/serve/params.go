@@ -1,0 +1,317 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/multistep"
+)
+
+// Request parameter parsing. Every query endpoint funnels through
+// parseQuery or parseJoin: one validated parse producing the typed
+// parameter set that is also the canonical cache identity — the same
+// struct builds the normalized cache key (cacheKey), so a request can
+// never be cached under parameters other than the ones it validated.
+
+// relParam resolves the relation named by the query parameter key,
+// returning the entry and its catalog name.
+func (s *Server) relParam(w http.ResponseWriter, r *http.Request, key string) (*Entry, string, bool) {
+	name := r.URL.Query().Get(key)
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "missing relation parameter %q", key)
+		return nil, "", false
+	}
+	e, ok := s.cat.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown relation %q", name)
+		return nil, "", false
+	}
+	return e, name, true
+}
+
+// floatParam parses a required float query parameter.
+func floatParam(w http.ResponseWriter, r *http.Request, key string) (float64, bool) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		writeError(w, http.StatusBadRequest, "missing parameter %q", key)
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parameter %q: %v", key, err)
+		return 0, false
+	}
+	return v, true
+}
+
+// intParam parses an optional int query parameter with a default.
+func intParam(w http.ResponseWriter, r *http.Request, key string, def int) (int, bool) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return def, true
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parameter %q: %v", key, err)
+		return 0, false
+	}
+	return v, true
+}
+
+// predicateParam resolves the optional predicate of a request: the
+// plain intersection query without parameters, the ε-range
+// (within-distance) query with epsilon (or predicate=within&epsilon=ε).
+// As in cmd/spatialjoin, an epsilon promotes the (default or explicit)
+// intersects predicate to within; an epsilon on a predicate that takes
+// none (contains) is rejected rather than silently dropped.
+func predicateParam(w http.ResponseWriter, r *http.Request) (multistep.Predicate, bool) {
+	name := r.URL.Query().Get("predicate")
+	rawEps := r.URL.Query().Get("epsilon")
+	eps := 0.0
+	if rawEps != "" {
+		v, err := strconv.ParseFloat(rawEps, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "parameter %q: %v", "epsilon", err)
+			return multistep.Predicate{}, false
+		}
+		eps = v
+		switch strings.ToLower(name) {
+		case "", "intersects", "intersect":
+			name = "within"
+		case "within", "within-distance", "distance", "epsilon":
+		default:
+			writeError(w, http.StatusBadRequest,
+				"parameter %q is only valid with the within predicate, not %q", "epsilon", name)
+			return multistep.Predicate{}, false
+		}
+	}
+	pred, err := multistep.ParsePredicate(name, eps)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return multistep.Predicate{}, false
+	}
+	return pred, true
+}
+
+// planParam reports whether the request should resolve its open options
+// through the cost-based planner: on by default, switched off per
+// request with plan=off (or 0/false/no) and server-wide with NoPlan.
+func (s *Server) planParam(r *http.Request) bool {
+	if s.NoPlan {
+		return false
+	}
+	switch strings.ToLower(r.URL.Query().Get("plan")) {
+	case "off", "0", "false", "no":
+		return false
+	}
+	return true
+}
+
+// queryKind selects the target shape of a single-relation request.
+type queryKind int
+
+const (
+	kindWindow queryKind = iota
+	kindPoint
+	kindNearest
+)
+
+// queryParams is the validated parameter set of a /window, /point or
+// /nearest request — the canonical form behind its cache key.
+type queryParams struct {
+	e    *Entry
+	name string
+	kind queryKind
+	win  geom.Rect
+	pt   geom.Point
+	k    int
+	pred multistep.Predicate
+	plan bool
+	// limit caps the response IDs (window/point only); -1 is uncapped.
+	// Deliberately NOT part of the cache key: the canonical result is
+	// computed uncapped and every limit is a sorted prefix of it.
+	limit int
+}
+
+// parseQuery validates a single-relation request of the given kind.
+func (s *Server) parseQuery(w http.ResponseWriter, r *http.Request, kind queryKind) (*queryParams, bool) {
+	p := &queryParams{kind: kind, limit: -1}
+	var ok bool
+	if p.e, p.name, ok = s.relParam(w, r, "rel"); !ok {
+		return nil, false
+	}
+	switch kind {
+	case kindWindow:
+		minx, ok := floatParam(w, r, "minx")
+		if !ok {
+			return nil, false
+		}
+		miny, ok := floatParam(w, r, "miny")
+		if !ok {
+			return nil, false
+		}
+		maxx, ok := floatParam(w, r, "maxx")
+		if !ok {
+			return nil, false
+		}
+		maxy, ok := floatParam(w, r, "maxy")
+		if !ok {
+			return nil, false
+		}
+		p.win = geom.Rect{MinX: minx, MinY: miny, MaxX: maxx, MaxY: maxy}
+	case kindPoint, kindNearest:
+		x, ok := floatParam(w, r, "x")
+		if !ok {
+			return nil, false
+		}
+		y, ok := floatParam(w, r, "y")
+		if !ok {
+			return nil, false
+		}
+		p.pt = geom.Point{X: x, Y: y}
+	}
+	if kind == kindNearest {
+		k, ok := intParam(w, r, "k", 5)
+		if !ok {
+			return nil, false
+		}
+		if k < 1 {
+			writeError(w, http.StatusBadRequest, "parameter %q must be positive", "k")
+			return nil, false
+		}
+		p.k = k
+		return p, true
+	}
+	var ok2 bool
+	if p.pred, ok2 = predicateParam(w, r); !ok2 {
+		return nil, false
+	}
+	limit, ok2 := intParam(w, r, "limit", -1)
+	if !ok2 {
+		return nil, false
+	}
+	if limit < 0 {
+		limit = -1
+	}
+	p.limit = limit
+	p.plan = s.planParam(r)
+	return p, true
+}
+
+// joinParams is the validated parameter set of a /join or /explain
+// request — the canonical form behind the join cache key.
+type joinParams struct {
+	eR, eS       *Entry
+	nameR, nameS string
+	pred         multistep.Predicate
+	workers      int
+	plan         bool
+	// limit caps the response pairs; excluded from the cache key (the
+	// canonical result is computed at the server's MaxJoinPairs cap and
+	// every smaller limit is its sorted prefix).
+	limit int
+}
+
+// parseJoin validates a relation-pair request. workersDef is the
+// default worker count (/join passes the server's JoinWorkers, /explain
+// 0); withLimit selects whether the limit parameter applies.
+func (s *Server) parseJoin(w http.ResponseWriter, r *http.Request, workersDef int, withLimit bool) (*joinParams, bool) {
+	p := &joinParams{limit: -1}
+	var ok bool
+	if p.eR, p.nameR, ok = s.relParam(w, r, "r"); !ok {
+		return nil, false
+	}
+	if p.eS, p.nameS, ok = s.relParam(w, r, "s"); !ok {
+		return nil, false
+	}
+	if p.eR.Sh.Fingerprint() != p.eS.Sh.Fingerprint() {
+		writeJSON(w, http.StatusConflict, errorBody{
+			Error: fmt.Sprintf(
+				"relations %q and %q were preprocessed under different configurations", p.nameR, p.nameS),
+			RFingerprint: fingerprintString(p.eR.Sh.Fingerprint()),
+			SFingerprint: fingerprintString(p.eS.Sh.Fingerprint()),
+		})
+		return nil, false
+	}
+	if p.pred, ok = predicateParam(w, r); !ok {
+		return nil, false
+	}
+	if withLimit {
+		limit, ok := intParam(w, r, "limit", s.MaxJoinPairs)
+		if !ok {
+			return nil, false
+		}
+		if limit < 0 || limit > s.MaxJoinPairs {
+			limit = s.MaxJoinPairs
+		}
+		p.limit = limit
+	}
+	workers, ok := intParam(w, r, "workers", workersDef)
+	if !ok {
+		return nil, false
+	}
+	// Clamp the per-request worker count: an unauthenticated parameter
+	// must not be able to allocate per-worker state without bound.
+	if maxWorkers := 4 * runtime.GOMAXPROCS(0); workers > maxWorkers {
+		workers = maxWorkers
+	}
+	p.workers = workers
+	p.plan = s.planParam(r)
+	return p, true
+}
+
+// fmtFloat renders a float for a cache key in shortest round-trip
+// notation (injective over float64).
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// entryScope is the cache-key scope of one catalog entry: name,
+// generation and preprocessing fingerprint. The generation makes
+// swapping a relation (re-Add under the same name) invalidate every
+// cached response involving the old entry even when the new build has
+// the same configuration fingerprint; the fingerprint documents the
+// configuration identity that joins additionally require.
+func entryScope(name string, e *Entry) string {
+	return fmt.Sprintf("%s#%d@%016x", name, e.Gen, e.Sh.Fingerprint())
+}
+
+// cacheKey is the normalized whole-response key of a single-relation
+// request: entry scope, target geometry, predicate and plan mode. The
+// limit is excluded by design (limit-insensitive canonical form).
+func (p *queryParams) cacheKey() string {
+	var b strings.Builder
+	b.WriteString("q|")
+	b.WriteString(entryScope(p.name, p.e))
+	switch p.kind {
+	case kindWindow:
+		fmt.Fprintf(&b, "|w|%s,%s,%s,%s", fmtFloat(p.win.MinX), fmtFloat(p.win.MinY), fmtFloat(p.win.MaxX), fmtFloat(p.win.MaxY))
+	case kindPoint:
+		fmt.Fprintf(&b, "|p|%s,%s", fmtFloat(p.pt.X), fmtFloat(p.pt.Y))
+	case kindNearest:
+		fmt.Fprintf(&b, "|n|%s,%s|k%d", fmtFloat(p.pt.X), fmtFloat(p.pt.Y), p.k)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "|%s|pl%t", p.pred.String(), p.plan)
+	return b.String()
+}
+
+// cacheKey is the normalized whole-response key of a join request:
+// both entry scopes, predicate, requested workers and plan mode. The
+// limit is excluded (limit-insensitive canonical form); the workers
+// parameter is included because the plan echo depends on it.
+func (p *joinParams) cacheKey() string {
+	return fmt.Sprintf("j|%s|%s|%s|w%d|pl%t",
+		entryScope(p.nameR, p.eR), entryScope(p.nameS, p.eS), p.pred.String(), p.workers, p.plan)
+}
+
+// batchKey groups join requests that can share one synchronized
+// traversal: the same relation pair (by generation) and the same
+// step-1 ε. Predicate kind, workers and plan mode legitimately differ
+// within a batch — the batched traversal demultiplexes per request.
+func (p *joinParams) batchKey() string {
+	return fmt.Sprintf("b|%s|%s|e%s",
+		entryScope(p.nameR, p.eR), entryScope(p.nameS, p.eS), fmtFloat(p.pred.Epsilon()))
+}

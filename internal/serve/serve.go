@@ -7,6 +7,13 @@
 // simultaneous join, window, point and nearest-neighbour queries) and
 // the merge layer reassembles one paper-faithful response per request.
 //
+// On top of that path sits the multi-query execution layer (DESIGN.md
+// §12): a fingerprint-keyed, byte-bounded result cache, single-flight
+// coalescing of identical concurrent requests, and a batching window
+// under which concurrent joins over the same relation pair share one
+// synchronized R*-tree traversal. All three preserve byte-identical
+// responses up to the cached/coalesced markers.
+//
 // The intended deployment is "build once, serve many": preprocess
 // relations offline (cmd/datagen -store, optionally -shards N), open
 // the persisted stores at startup (multistep.OpenRelationFile or
@@ -18,13 +25,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"runtime"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"spatialjoin/internal/geom"
+	"spatialjoin/internal/mqe"
 	"spatialjoin/internal/multistep"
 	"spatialjoin/internal/shard"
 )
@@ -36,6 +43,13 @@ import (
 type Entry struct {
 	Sh  *shard.Sharded
 	Cfg multistep.Config
+	// Gen is the catalog generation of this entry: a counter bumped on
+	// every registration. Cache keys include it, so re-registering a
+	// name (a data swap) invalidates every cached response involving
+	// the old entry even when the new build shares the configuration
+	// fingerprint — the fingerprint identifies the preprocessing
+	// configuration, not the data.
+	Gen uint64
 }
 
 // Catalog is the named set of relations a server exposes. Relations are
@@ -43,6 +57,7 @@ type Entry struct {
 // concurrency-safe); the relations themselves are immutable once added.
 type Catalog struct {
 	mu   sync.RWMutex
+	gen  uint64
 	rels map[string]*Entry
 }
 
@@ -59,11 +74,14 @@ func (c *Catalog) Add(name string, rel *multistep.Relation, cfg multistep.Config
 }
 
 // AddSharded registers a sharded relation under a name, replacing any
-// previous entry.
+// previous entry. Replacement is how serving-layer caches invalidate:
+// the new entry carries a fresh generation, so no stale response can be
+// served for the name.
 func (c *Catalog) AddSharded(name string, sh *shard.Sharded, cfg multistep.Config) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.rels[name] = &Entry{Sh: sh, Cfg: cfg}
+	c.gen++
+	c.rels[name] = &Entry{Sh: sh, Cfg: cfg, Gen: c.gen}
 }
 
 // LoadFile opens a persisted relation store (multistep.SaveRelationFile
@@ -117,6 +135,13 @@ func (c *Catalog) Names() []string {
 // relations' statistics, and every response echoes the resolved plan.
 // A request opts out with plan=off (the build configuration verbatim),
 // the whole server with NoPlan.
+//
+// Responses are served through the multi-query execution layer: a
+// byte-bounded LRU result cache (CacheBytes), single-flight coalescing
+// of identical in-flight requests, and an optional batching window
+// (BatchWindow) under which concurrent joins over the same relation
+// pair share one synchronized traversal. Configure the fields before
+// the first Handler call; they are latched when serving starts.
 type Server struct {
 	cat *Catalog
 	// MaxJoinPairs caps the number of response pairs a /join request
@@ -130,23 +155,40 @@ type Server struct {
 	// NoPlan disables adaptive planning server-wide: every request runs
 	// its relations' build configuration verbatim, as if plan=off.
 	NoPlan bool
+	// CacheBytes bounds the shared result/tile cache in bytes; ≤ 0
+	// disables caching. NewServer sets DefaultCacheBytes.
+	CacheBytes int64
+	// BatchWindow is how long the first join request of a batch group
+	// waits for concurrent requests over the same relation pair to
+	// join its synchronized traversal; 0 (the default) disables
+	// batching — each request runs its own traversal immediately.
+	BatchWindow time.Duration
+
+	initOnce sync.Once
+	cache    *mqe.Cache
+	flight   mqe.Group
+	batcher  *mqe.Batcher
 }
 
 // DefaultMaxJoinPairs bounds the /join response body.
 const DefaultMaxJoinPairs = 10000
 
+// DefaultCacheBytes is the default result/tile cache budget (64 MiB).
+const DefaultCacheBytes int64 = 64 << 20
+
 // NewServer returns a Server over the catalog.
 func NewServer(cat *Catalog) *Server {
-	return &Server{cat: cat, MaxJoinPairs: DefaultMaxJoinPairs}
+	return &Server{cat: cat, MaxJoinPairs: DefaultMaxJoinPairs, CacheBytes: DefaultCacheBytes}
 }
 
 // Handler returns the HTTP handler tree:
 //
 //	GET /healthz                                     liveness + relation count
 //	GET /relations                                   catalog listing
+//	GET /stats                                       cache / coalesce / batch counters
 //	GET /window?rel=R&minx=&miny=&maxx=&maxy=        multi-step window query
-//	         [&epsilon=ε]                            (ε-range: within ε of the window)
-//	GET /point?rel=R&x=&y=[&epsilon=ε]               multi-step point / ε-range query
+//	         [&epsilon=ε][&limit=]                   (ε-range: within ε of the window)
+//	GET /point?rel=R&x=&y=[&epsilon=ε][&limit=]      multi-step point / ε-range query
 //	GET /nearest?rel=R&x=&y=&k=5                     k nearest objects by region distance
 //	GET /join?r=R&s=S[&predicate=intersects|contains|within]
 //	         [&epsilon=ε][&limit=][&workers=]        multi-step spatial join
@@ -161,15 +203,23 @@ func NewServer(cat *Catalog) *Server {
 // filter, workers) in the response; plan=off pins the build
 // configuration instead.
 //
+// A response served from the result cache carries "cached": true; one
+// that received a concurrent identical request's result carries
+// "coalesced": true. Apart from those markers, cached and coalesced
+// responses are byte-identical to solo runs — same sort order, same
+// statistics (the original run's, as DESIGN.md §12 specifies).
+//
 // Every handler threads the request context through the query pipeline:
 // when the client disconnects, the step 1 traversal workers, the
 // filter/exact pool and the collector all stop at their next check, so a
 // cancelled request releases its workers instead of running the join to
 // completion.
 func (s *Server) Handler() http.Handler {
+	s.init()
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /relations", s.handleRelations)
+	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /window", s.handleWindow)
 	mux.HandleFunc("GET /point", s.handlePoint)
 	mux.HandleFunc("GET /nearest", s.handleNearest)
@@ -197,65 +247,6 @@ type errorBody struct {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
-}
-
-// relParam resolves the relation named by the query parameter key,
-// returning the entry and its catalog name.
-func (s *Server) relParam(w http.ResponseWriter, r *http.Request, key string) (*Entry, string, bool) {
-	name := r.URL.Query().Get(key)
-	if name == "" {
-		writeError(w, http.StatusBadRequest, "missing relation parameter %q", key)
-		return nil, "", false
-	}
-	e, ok := s.cat.Get(name)
-	if !ok {
-		writeError(w, http.StatusNotFound, "unknown relation %q", name)
-		return nil, "", false
-	}
-	return e, name, true
-}
-
-// floatParam parses a required float query parameter.
-func floatParam(w http.ResponseWriter, r *http.Request, key string) (float64, bool) {
-	raw := r.URL.Query().Get(key)
-	if raw == "" {
-		writeError(w, http.StatusBadRequest, "missing parameter %q", key)
-		return 0, false
-	}
-	v, err := strconv.ParseFloat(raw, 64)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "parameter %q: %v", key, err)
-		return 0, false
-	}
-	return v, true
-}
-
-// intParam parses an optional int query parameter with a default.
-func intParam(w http.ResponseWriter, r *http.Request, key string, def int) (int, bool) {
-	raw := r.URL.Query().Get(key)
-	if raw == "" {
-		return def, true
-	}
-	v, err := strconv.Atoi(raw)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "parameter %q: %v", key, err)
-		return 0, false
-	}
-	return v, true
-}
-
-// planParam reports whether the request should resolve its open options
-// through the cost-based planner: on by default, switched off per
-// request with plan=off (or 0/false/no) and server-wide with NoPlan.
-func (s *Server) planParam(r *http.Request) bool {
-	if s.NoPlan {
-		return false
-	}
-	switch strings.ToLower(r.URL.Query().Get("plan")) {
-	case "off", "0", "false", "no":
-		return false
-	}
-	return true
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -331,97 +322,63 @@ func echoOf(p multistep.Plan) planEcho {
 }
 
 // windowResponse answers /window and /point. IDs are ascending global
-// object IDs (the scatter-gather merge order); Stats aggregates the
-// routed tiles, with the per-tile breakdown alongside. Plan echoes the
-// resolved execution plan aggregated over the routed tiles — the shard
-// fan-out is len(Stats.Tiles).
+// object IDs (the scatter-gather merge order), truncated to the limit
+// when one was given; Stats aggregates the routed tiles, with the
+// per-tile breakdown alongside. Plan echoes the resolved execution
+// plan aggregated over the routed tiles — the shard fan-out is
+// len(Stats.Tiles). Cached and Coalesced are the multi-query execution
+// markers; they lead the struct so stripping their lines from the JSON
+// body yields the solo-run response.
 type windowResponse struct {
-	Relation string           `json:"relation"`
-	IDs      []int32          `json:"ids"`
-	Plan     planEcho         `json:"plan"`
-	Stats    shard.QueryStats `json:"stats"`
+	Cached    bool             `json:"cached,omitempty"`
+	Coalesced bool             `json:"coalesced,omitempty"`
+	Relation  string           `json:"relation"`
+	IDs       []int32          `json:"ids"`
+	Truncated bool             `json:"truncated"`
+	Plan      planEcho         `json:"plan"`
+	Stats     shard.QueryStats `json:"stats"`
 }
 
 func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
-	e, name, ok := s.relParam(w, r, "rel")
+	s.serveQuery(w, r, kindWindow)
+}
+
+func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
+	s.serveQuery(w, r, kindPoint)
+}
+
+// serveQuery is the shared /window and /point handler: canonical
+// execution through the multi-query layer, then per-request derivation
+// (sorted-prefix limit, recomputed result count).
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kind queryKind) {
+	p, ok := s.parseQuery(w, r, kind)
 	if !ok {
 		return
 	}
-	minx, ok := floatParam(w, r, "minx")
-	if !ok {
-		return
-	}
-	miny, ok := floatParam(w, r, "miny")
-	if !ok {
-		return
-	}
-	maxx, ok := floatParam(w, r, "maxx")
-	if !ok {
-		return
-	}
-	maxy, ok := floatParam(w, r, "maxy")
-	if !ok {
-		return
-	}
-	win := geom.Rect{MinX: minx, MinY: miny, MaxX: maxx, MaxY: maxy}
-	pred, ok := predicateParam(w, r)
-	if !ok {
-		return
-	}
-	var ex multistep.Explain
-	opts := []multistep.Option{multistep.ForWindow(win), multistep.WithPredicate(pred), multistep.WithExplain(&ex)}
-	if s.planParam(r) {
-		// WithConfig would pin the filter knob; the planner path runs on
-		// the tiles' build configuration (identical to e.Cfg — the entry
-		// was opened under it) and chooses the filter per tile.
-		opts = append(opts, multistep.WithPlan())
-	} else {
-		opts = append(opts, multistep.WithConfig(e.Cfg))
-	}
-	res, err := shard.Query(r.Context(), e.Sh, opts...)
+	qc, cached, coalesced, err := s.runQuery(r.Context(), p)
 	if !finishQuery(w, r, err) {
 		return
 	}
-	ids := res.IDs
+	ids := qc.IDs
+	truncated := false
+	if p.limit >= 0 && len(ids) > p.limit {
+		ids = ids[:p.limit]
+		truncated = true
+	}
 	if ids == nil {
 		ids = []int32{}
 	}
-	writeJSON(w, http.StatusOK, windowResponse{Relation: name, IDs: ids, Plan: echoOf(ex.Plan), Stats: res.Stats})
-}
-
-// predicateParam resolves the optional predicate of a request: the
-// plain intersection query without parameters, the ε-range
-// (within-distance) query with epsilon (or predicate=within&epsilon=ε).
-// As in cmd/spatialjoin, an epsilon promotes the (default or explicit)
-// intersects predicate to within; an epsilon on a predicate that takes
-// none (contains) is rejected rather than silently dropped.
-func predicateParam(w http.ResponseWriter, r *http.Request) (multistep.Predicate, bool) {
-	name := r.URL.Query().Get("predicate")
-	rawEps := r.URL.Query().Get("epsilon")
-	eps := 0.0
-	if rawEps != "" {
-		v, err := strconv.ParseFloat(rawEps, 64)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "parameter %q: %v", "epsilon", err)
-			return multistep.Predicate{}, false
-		}
-		eps = v
-		switch strings.ToLower(name) {
-		case "", "intersects", "intersect":
-			name = "within"
-		case "within", "within-distance", "distance", "epsilon":
-		default:
-			writeError(w, http.StatusBadRequest,
-				"parameter %q is only valid with the within predicate, not %q", "epsilon", name)
-			return multistep.Predicate{}, false
-		}
-	}
-	pred, err := multistep.ParsePredicate(name, eps)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return multistep.Predicate{}, false
-	}
-	return pred, true
+	stats := qc.Stats
+	stats.ResultObjects = int64(len(ids))
+	writeJSON(w, http.StatusOK, windowResponse{
+		Cached:    cached,
+		Coalesced: coalesced,
+		Relation:  p.name,
+		IDs:       ids,
+		Truncated: truncated,
+		Plan:      qc.Plan,
+		Stats:     stats,
+	})
 }
 
 // finishQuery maps a query error onto the response: a cancelled request
@@ -438,41 +395,6 @@ func finishQuery(w http.ResponseWriter, r *http.Request, err error) bool {
 	return false
 }
 
-func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
-	e, name, ok := s.relParam(w, r, "rel")
-	if !ok {
-		return
-	}
-	x, ok := floatParam(w, r, "x")
-	if !ok {
-		return
-	}
-	y, ok := floatParam(w, r, "y")
-	if !ok {
-		return
-	}
-	pred, ok := predicateParam(w, r)
-	if !ok {
-		return
-	}
-	var ex multistep.Explain
-	opts := []multistep.Option{multistep.ForPoint(geom.Point{X: x, Y: y}), multistep.WithPredicate(pred), multistep.WithExplain(&ex)}
-	if s.planParam(r) {
-		opts = append(opts, multistep.WithPlan())
-	} else {
-		opts = append(opts, multistep.WithConfig(e.Cfg))
-	}
-	res, err := shard.Query(r.Context(), e.Sh, opts...)
-	if !finishQuery(w, r, err) {
-		return
-	}
-	ids := res.IDs
-	if ids == nil {
-		ids = []int32{}
-	}
-	writeJSON(w, http.StatusOK, windowResponse{Relation: name, IDs: ids, Plan: echoOf(ex.Plan), Stats: res.Stats})
-}
-
 // nearestStats carries the per-query page accounting of a nearest
 // query (the multi-step WindowStats do not apply to the best-first
 // search, but the paper's page-access metric does).
@@ -486,45 +408,32 @@ type nearestStats struct {
 
 // nearestResponse answers /nearest.
 type nearestResponse struct {
+	Cached    bool                 `json:"cached,omitempty"`
+	Coalesced bool                 `json:"coalesced,omitempty"`
 	Relation  string               `json:"relation"`
 	Neighbors []multistep.Neighbor `json:"neighbors"`
 	Stats     nearestStats         `json:"stats"`
 }
 
 func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
-	e, name, ok := s.relParam(w, r, "rel")
+	p, ok := s.parseQuery(w, r, kindNearest)
 	if !ok {
 		return
 	}
-	x, ok := floatParam(w, r, "x")
-	if !ok {
-		return
-	}
-	y, ok := floatParam(w, r, "y")
-	if !ok {
-		return
-	}
-	k, ok := intParam(w, r, "k", 5)
-	if !ok {
-		return
-	}
-	if k < 1 {
-		writeError(w, http.StatusBadRequest, "parameter %q must be positive", "k")
-		return
-	}
-	res, err := shard.Query(r.Context(), e.Sh,
-		multistep.ForNearest(geom.Point{X: x, Y: y}, k))
+	qc, cached, coalesced, err := s.runQuery(r.Context(), p)
 	if !finishQuery(w, r, err) {
 		return
 	}
-	nn := res.Neighbors
+	nn := qc.Neighbors
 	if nn == nil {
 		nn = []multistep.Neighbor{}
 	}
 	writeJSON(w, http.StatusOK, nearestResponse{
-		Relation:  name,
+		Cached:    cached,
+		Coalesced: coalesced,
+		Relation:  p.name,
 		Neighbors: nn,
-		Stats:     nearestStats{PageAccesses: res.Stats.PageAccesses, PageTouches: res.Stats.PageTouches},
+		Stats:     nearestStats{PageAccesses: qc.Stats.PageAccesses, PageTouches: qc.Stats.PageTouches},
 	})
 }
 
@@ -533,8 +442,11 @@ func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
 // sub-joins (SubJoins of them) as shard.Join documents. Plan echoes the
 // resolved execution plan aggregated over the sub-joins ("mixed" engine
 // when skewed tiles chose differently); /explain has the per-tile-pair
-// breakdown.
+// breakdown. Cached and Coalesced lead the struct so stripping their
+// lines from the JSON body yields the solo-run response.
 type joinResponse struct {
+	Cached    bool             `json:"cached,omitempty"`
+	Coalesced bool             `json:"coalesced,omitempty"`
 	R         string           `json:"r"`
 	S         string           `json:"s"`
 	Predicate string           `json:"predicate"`
@@ -546,81 +458,40 @@ type joinResponse struct {
 }
 
 func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
-	eR, nameR, ok := s.relParam(w, r, "r")
+	p, ok := s.parseJoin(w, r, s.JoinWorkers, true)
 	if !ok {
 		return
 	}
-	eS, nameS, ok := s.relParam(w, r, "s")
-	if !ok {
-		return
-	}
-	if eR.Sh.Fingerprint() != eS.Sh.Fingerprint() {
-		writeJSON(w, http.StatusConflict, errorBody{
-			Error: fmt.Sprintf(
-				"relations %q and %q were preprocessed under different configurations", nameR, nameS),
-			RFingerprint: fingerprintString(eR.Sh.Fingerprint()),
-			SFingerprint: fingerprintString(eS.Sh.Fingerprint()),
-		})
-		return
-	}
-	pred, ok := predicateParam(w, r)
-	if !ok {
-		return
-	}
-	limit, ok := intParam(w, r, "limit", s.MaxJoinPairs)
-	if !ok {
-		return
-	}
-	if limit < 0 || limit > s.MaxJoinPairs {
-		limit = s.MaxJoinPairs
-	}
-	workers, ok := intParam(w, r, "workers", s.JoinWorkers)
-	if !ok {
-		return
-	}
-	// Clamp the per-request worker count: an unauthenticated parameter
-	// must not be able to allocate per-worker state without bound.
-	if maxWorkers := 4 * runtime.GOMAXPROCS(0); workers > maxWorkers {
-		workers = maxWorkers
-	}
-
 	// The scatter-gather join collects the full response set and sorts
-	// before truncating (WithLimit): both sub-join emission order and
-	// tile completion order depend on scheduling, so keeping "the first
+	// before truncating: both sub-join emission order and tile
+	// completion order depend on scheduling, so keeping "the first
 	// limit pairs" would return a different subset per request on
-	// multi-core hosts. The request context rides along and fans out to
-	// every tile, so a disconnected client stops all sub-joins.
-	var ex multistep.Explain
-	opts := []multistep.Option{
-		multistep.WithPredicate(pred),
-		multistep.WithWorkers(workers),
-		multistep.WithLimit(limit),
-		multistep.WithExplain(&ex),
-	}
-	if s.planParam(r) {
-		// WithPlan resolves engine, filter and workers per tile pair; an
-		// explicit workers parameter stays pinned (WithWorkers > 0 wins).
-		// WithConfig would pin engine and filter, so the planner path
-		// relies on the tiles' build configuration instead.
-		opts = append(opts, multistep.WithPlan())
-	} else {
-		opts = append(opts, multistep.WithConfig(eR.Cfg))
-	}
-	pairs, st, err := shard.Join(r.Context(), eR.Sh, eS.Sh, opts...)
+	// multi-core hosts. The canonical result is capped at MaxJoinPairs;
+	// this request's limit is a sorted prefix of it. The request
+	// context rides along and fans out to every tile, so a disconnected
+	// client stops all sub-joins.
+	jc, cached, coalesced, err := s.runJoin(r.Context(), p)
 	if !finishQuery(w, r, err) {
 		return
+	}
+	pairs := jc.Pairs
+	if len(pairs) > p.limit {
+		pairs = pairs[:p.limit]
 	}
 	if pairs == nil {
 		pairs = []multistep.Pair{}
 	}
 	writeJSON(w, http.StatusOK, joinResponse{
-		R: nameR, S: nameS,
-		Predicate: pred.String(),
+		Cached:    cached,
+		Coalesced: coalesced,
+		R:         p.nameR,
+		S:         p.nameS,
+		Predicate: p.pred.String(),
 		Pairs:     pairs,
-		Truncated: st.ResultPairs > int64(len(pairs)),
-		SubJoins:  st.SubJoins,
-		Plan:      echoOf(ex.Plan),
-		Stats:     st.Stats,
+		Truncated: jc.Stats.ResultPairs > int64(len(pairs)),
+		SubJoins:  jc.Stats.SubJoins,
+		Plan:      jc.Plan,
+		Stats:     jc.Stats.Stats,
 	})
 }
 
@@ -635,24 +506,7 @@ type explainResponse struct {
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	eR, nameR, ok := s.relParam(w, r, "r")
-	if !ok {
-		return
-	}
-	eS, nameS, ok := s.relParam(w, r, "s")
-	if !ok {
-		return
-	}
-	if eR.Sh.Fingerprint() != eS.Sh.Fingerprint() {
-		writeJSON(w, http.StatusConflict, errorBody{
-			Error: fmt.Sprintf(
-				"relations %q and %q were preprocessed under different configurations", nameR, nameS),
-			RFingerprint: fingerprintString(eR.Sh.Fingerprint()),
-			SFingerprint: fingerprintString(eS.Sh.Fingerprint()),
-		})
-		return
-	}
-	pred, ok := predicateParam(w, r)
+	p, ok := s.parseJoin(w, r, 0, false)
 	if !ok {
 		return
 	}
@@ -661,29 +515,22 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	case "1", "true", "yes", "on":
 		run = true
 	}
-	workers, ok := intParam(w, r, "workers", 0)
-	if !ok {
-		return
+	opts := []multistep.Option{multistep.WithPredicate(p.pred)}
+	if p.workers > 0 {
+		opts = append(opts, multistep.WithWorkers(p.workers))
 	}
-	if maxWorkers := 4 * runtime.GOMAXPROCS(0); workers > maxWorkers {
-		workers = maxWorkers
-	}
-	opts := []multistep.Option{multistep.WithPredicate(pred)}
-	if workers > 0 {
-		opts = append(opts, multistep.WithWorkers(workers))
-	}
-	if s.planParam(r) {
+	if p.plan {
 		opts = append(opts, multistep.WithPlan())
 	} else {
-		opts = append(opts, multistep.WithConfig(eR.Cfg))
+		opts = append(opts, multistep.WithConfig(p.eR.Cfg))
 	}
-	res, err := shard.Explain(r.Context(), eR.Sh, eS.Sh, run, opts...)
+	res, err := shard.Explain(r.Context(), p.eR.Sh, p.eS.Sh, run, opts...)
 	if !finishQuery(w, r, err) {
 		return
 	}
 	writeJSON(w, http.StatusOK, explainResponse{
-		R: nameR, S: nameS,
-		Predicate:     pred.String(),
+		R: p.nameR, S: p.nameS,
+		Predicate:     p.pred.String(),
 		Run:           run,
 		ExplainResult: res,
 	})

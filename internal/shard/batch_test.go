@@ -1,0 +1,218 @@
+package shard
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"spatialjoin/internal/multistep"
+)
+
+// memTileCache is an in-memory implementation of both tile-cache
+// interfaces for the shard-layer tests.
+type memTileCache struct {
+	mu        sync.Mutex
+	joins     map[JoinTileKey]JoinTileResult
+	queries   map[QueryTileKey]QueryTileResult
+	joinHits  int
+	queryHits int
+}
+
+func newMemTileCache() *memTileCache {
+	return &memTileCache{
+		joins:   make(map[JoinTileKey]JoinTileResult),
+		queries: make(map[QueryTileKey]QueryTileResult),
+	}
+}
+
+func (c *memTileCache) GetJoinTile(k JoinTileKey) (JoinTileResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.joins[k]
+	if ok {
+		c.joinHits++
+	}
+	return r, ok
+}
+
+func (c *memTileCache) PutJoinTile(k JoinTileKey, r JoinTileResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.joins[k] = r
+}
+
+func (c *memTileCache) GetQueryTile(k QueryTileKey) (QueryTileResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.queries[k]
+	if ok {
+		c.queryHits++
+	}
+	return r, ok
+}
+
+func (c *memTileCache) PutQueryTile(k QueryTileKey, r QueryTileResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.queries[k] = r
+}
+
+// stripPerTileExplains nulls the per-tile Explain pointers so JoinStats
+// can be compared structurally between runs that captured explains and
+// runs that did not.
+func stripPerTileExplains(st *JoinStats) {
+	for i := range st.PerTile {
+		st.PerTile[i].Explain = nil
+	}
+}
+
+// TestShardJoinBatchMatchesSolo: each request of a mixed batch over a
+// sharded pair must return exactly its solo shard.Join result — pairs,
+// aggregated stats, and per-tile breakdown — at several shard counts.
+func TestShardJoinBatchMatchesSolo(t *testing.T) {
+	rp, sp, cfg := testWorkload(t)
+	noFilter := cfg
+	noFilter.UseFilter = false
+	items := [][]multistep.Option{
+		{multistep.WithPredicate(multistep.Intersects())},
+		{multistep.WithPredicate(multistep.Contains())},
+		{multistep.WithPredicate(multistep.Intersects()), multistep.WithConfig(noFilter)},
+		{multistep.WithPredicate(multistep.Intersects()), multistep.WithLimit(9)},
+		{multistep.WithPredicate(multistep.Contains()), multistep.WithWorkers(2)},
+	}
+	for _, n := range []int{1, 3} {
+		r := Build("R", rp, n, cfg)
+		s := Build("S", sp, n, cfg)
+		outs, err := JoinBatch(context.Background(), r, s, nil, items)
+		if err != nil {
+			t.Fatalf("n=%d JoinBatch: %v", n, err)
+		}
+		for i, opts := range items {
+			pairs, st, err := Join(context.Background(), r, s, opts...)
+			if err != nil {
+				t.Fatalf("n=%d solo Join: %v", n, err)
+			}
+			if !reflect.DeepEqual(outs[i].Pairs, pairs) {
+				t.Errorf("n=%d item %d: batched pairs (%d) != solo pairs (%d)", n, i, len(outs[i].Pairs), len(pairs))
+			}
+			if !reflect.DeepEqual(outs[i].Stats, st) {
+				t.Errorf("n=%d item %d: batched JoinStats differ\nbatch %+v\nsolo  %+v", n, i, outs[i].Stats.Stats, st.Stats)
+			}
+		}
+	}
+}
+
+// TestShardJoinBatchTileCache: a second batch over the same requests is
+// served entirely from the tile-pair cache with identical results, and
+// a request variant that misses the whole batch identity still hits the
+// per-tile-pair entries it shares.
+func TestShardJoinBatchTileCache(t *testing.T) {
+	rp, sp, cfg := testWorkload(t)
+	r := Build("R", rp, 3, cfg)
+	s := Build("S", sp, 3, cfg)
+	tc := newMemTileCache()
+	items := [][]multistep.Option{
+		{multistep.WithPredicate(multistep.Intersects())},
+		{multistep.WithPredicate(multistep.Contains())},
+	}
+
+	first, err := JoinBatch(context.Background(), r, s, tc, items)
+	if err != nil {
+		t.Fatalf("JoinBatch: %v", err)
+	}
+	if tc.joinHits != 0 {
+		t.Fatalf("cold batch hit the cache %d times", tc.joinHits)
+	}
+	entries := len(tc.joins)
+	if entries == 0 {
+		t.Fatal("cold batch cached nothing")
+	}
+
+	second, err := JoinBatch(context.Background(), r, s, tc, items)
+	if err != nil {
+		t.Fatalf("second JoinBatch: %v", err)
+	}
+	if tc.joinHits != entries {
+		t.Fatalf("warm batch hit %d tile entries, want %d", tc.joinHits, entries)
+	}
+	for i := range items {
+		sf, ss := first[i], second[i]
+		stripPerTileExplains(&sf.Stats)
+		stripPerTileExplains(&ss.Stats)
+		if !reflect.DeepEqual(sf, ss) {
+			t.Errorf("item %d: cached batch differs from cold batch", i)
+		}
+	}
+
+	// A different limit is a different full request but the same
+	// tile-pair identity: everything replays from cache.
+	hitsBefore := tc.joinHits
+	third, err := JoinBatch(context.Background(), r, s, tc, [][]multistep.Option{
+		{multistep.WithPredicate(multistep.Intersects()), multistep.WithLimit(3)},
+	})
+	if err != nil {
+		t.Fatalf("third JoinBatch: %v", err)
+	}
+	if tc.joinHits == hitsBefore {
+		t.Fatal("limit variant did not reuse tile-pair entries")
+	}
+	if len(third[0].Pairs) != 3 {
+		t.Fatalf("limit variant returned %d pairs, want 3", len(third[0].Pairs))
+	}
+	if !reflect.DeepEqual(third[0].Pairs, first[0].Pairs[:3]) {
+		t.Fatal("limit variant is not the global sorted prefix of the full result")
+	}
+}
+
+// TestShardQueryTileCache: QueryCached serves repeated window, point
+// and nearest queries from the per-tile cache with identical results.
+func TestShardQueryTileCache(t *testing.T) {
+	rp, _, cfg := testWorkload(t)
+	r := Build("R", rp, 4, cfg)
+	tc := newMemTileCache()
+
+	queries := [][]multistep.Option{
+		{multistep.ForWindow(r.MBR())},
+		{multistep.ForPoint(r.MBR().Center())},
+		{multistep.ForNearest(r.MBR().Center(), 5)},
+	}
+	var first []QueryResult
+	for _, q := range queries {
+		qr, err := QueryCached(context.Background(), r, tc, q...)
+		if err != nil {
+			t.Fatalf("cold QueryCached: %v", err)
+		}
+		first = append(first, qr)
+	}
+	if tc.queryHits != 0 {
+		t.Fatalf("cold queries hit the cache %d times", tc.queryHits)
+	}
+	entries := len(tc.queries)
+	if entries == 0 {
+		t.Fatal("cold queries cached nothing")
+	}
+	for i, q := range queries {
+		qr, err := QueryCached(context.Background(), r, tc, q...)
+		if err != nil {
+			t.Fatalf("warm QueryCached: %v", err)
+		}
+		if !reflect.DeepEqual(qr, first[i]) {
+			t.Errorf("query %d: cached result differs from cold result", i)
+		}
+	}
+	if tc.queryHits != entries {
+		t.Fatalf("warm queries hit %d tile entries, want %d", tc.queryHits, entries)
+	}
+
+	// The uncached entry point must match the cached results too.
+	for i, q := range queries {
+		qr, err := Query(context.Background(), r, q...)
+		if err != nil {
+			t.Fatalf("Query: %v", err)
+		}
+		if !reflect.DeepEqual(qr, first[i]) {
+			t.Errorf("query %d: plain Query differs from QueryCached", i)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package shard
+
+import (
+	"spatialjoin/internal/multistep"
+)
+
+// Per-tile(-pair) sub-result caching hooks. A sharded relation's
+// scatter-gather layer runs every request as independent sub-joins and
+// sub-queries on deterministic per-tile session snapshots, which makes
+// those sub-results cacheable: requests that differ in their full
+// normalized key can still reach identical per-tile sub-problems and
+// share that work. Concretely, a join request with a different worker
+// count misses the whole-response cache, but every tile-pair sub-join
+// it needs may replay from the tile cache; and because tile entries
+// live independently in the byte-bounded LRU, a hot tile's sub-result
+// can survive eviction of the (larger) whole-response entries that
+// produced it, so the next full-key miss still skips that tile's work.
+//
+// The interfaces are implemented by the serving layer over its shared
+// byte-bounded LRU (internal/mqe); shard itself stays storage-agnostic.
+// Keys deliberately exclude the relation identity: the implementation
+// scopes them (internal/serve prefixes the catalog entry's generation
+// and config fingerprint), because only the layer that swaps relations
+// can know when two *Sharded values are the same data.
+//
+// Cached sub-results carry the ORIGINAL run's statistics and plan
+// record — the same policy as whole-response caching (see DESIGN.md
+// §12) — and a cache hit skips the planner feedback EWMAs for that
+// sub-problem, since no execution happened.
+
+// QueryTileKey identifies one tile's sub-query result within one
+// sharded relation. The target geometry is spelled out (not hashed) so
+// implementations can stringify it exactly.
+type QueryTileKey struct {
+	// Tile is the tile index within the sharded relation.
+	Tile int
+	// Nearest and K describe a nearest-neighbour sub-query; window and
+	// point targets leave them zero.
+	Nearest bool
+	K       int
+	// MinX..MaxY is the window (degenerate for point targets; the query
+	// point for nearest targets, MinX=MaxX=X, MinY=MaxY=Y).
+	MinX, MinY, MaxX, MaxY float64
+	// Pred is the predicate's canonical string form ("intersects",
+	// "contains", "within(ε)" with ε in shortest round-trip notation).
+	Pred string
+	// CfgFP fingerprints a WithConfig override; 0 without one (the
+	// tile's build configuration, already pinned by the caller's scoped
+	// prefix).
+	CfgFP uint64
+	// Planned reports WithPlan: planned and pinned sub-queries may
+	// resolve different filter settings.
+	Planned bool
+}
+
+// QueryTileResult is one tile's cached sub-query outcome. IDs and
+// neighbour IDs are tile-local (the merge layer translates through the
+// tile's Global table on every use).
+type QueryTileResult struct {
+	IDs         []int32
+	Neighbors   []multistep.Neighbor
+	Stats       multistep.WindowStats
+	PageTouches int64
+	// Explain is the sub-query's plan record from the original run;
+	// always captured on the caching path so a later request that wants
+	// the plan echo can be served from cache.
+	Explain *multistep.Explain
+}
+
+// QueryTileCache caches per-tile sub-query results. Implementations
+// must be safe for concurrent use; Get must return a result whose
+// slices the caller may read but not write.
+type QueryTileCache interface {
+	GetQueryTile(QueryTileKey) (QueryTileResult, bool)
+	PutQueryTile(QueryTileKey, QueryTileResult)
+}
+
+// JoinTileKey identifies one tile-pair sub-join within one sharded
+// relation pair.
+type JoinTileKey struct {
+	// RTile and STile are the pair's tile indices.
+	RTile, STile int
+	// Pred is the predicate's canonical string form.
+	Pred string
+	// CfgFP fingerprints a WithConfig override; 0 without one.
+	CfgFP uint64
+	// Planned reports WithPlan.
+	Planned bool
+	// Workers is the *requested* worker count (0 when unset). It is part
+	// of the identity because the sub-join's plan record — which feeds
+	// the aggregated plan echo — depends on it, even though the pairs
+	// and statistics do not.
+	Workers int
+}
+
+// JoinTileResult is one tile pair's cached sub-join outcome. Pairs are
+// tile-local.
+type JoinTileResult struct {
+	Pairs   []multistep.Pair
+	Stats   multistep.Stats
+	Explain *multistep.Explain
+}
+
+// JoinTileCache caches per-tile-pair sub-join results, with the same
+// contract as QueryTileCache.
+type JoinTileCache interface {
+	GetJoinTile(JoinTileKey) (JoinTileResult, bool)
+	PutJoinTile(JoinTileKey, JoinTileResult)
+}
+
+// queryTileKey builds the cache key of one tile's sub-query under the
+// resolved options.
+func queryTileKey(tile int, res multistep.Resolved) QueryTileKey {
+	k := QueryTileKey{
+		Tile:    tile,
+		Pred:    res.Pred.String(),
+		Planned: res.Plan,
+	}
+	if res.Cfg != nil {
+		k.CfgFP = multistep.ConfigFingerprint(*res.Cfg)
+	}
+	switch {
+	case res.Nearest:
+		k.Nearest = true
+		k.K = res.NearestK
+		k.MinX, k.MaxX = res.Point.X, res.Point.X
+		k.MinY, k.MaxY = res.Point.Y, res.Point.Y
+	case res.Window != nil:
+		k.MinX, k.MinY = res.Window.MinX, res.Window.MinY
+		k.MaxX, k.MaxY = res.Window.MaxX, res.Window.MaxY
+	case res.Point != nil:
+		k.MinX, k.MaxX = res.Point.X, res.Point.X
+		k.MinY, k.MaxY = res.Point.Y, res.Point.Y
+	}
+	return k
+}
+
+// joinTileKey builds the cache key of one tile pair's sub-join under
+// the resolved options.
+func joinTileKey(ri, si int, res multistep.Resolved) JoinTileKey {
+	k := JoinTileKey{
+		RTile:   ri,
+		STile:   si,
+		Pred:    res.Pred.String(),
+		Planned: res.Plan,
+		Workers: res.Workers,
+	}
+	if res.Cfg != nil {
+		k.CfgFP = multistep.ConfigFingerprint(*res.Cfg)
+	}
+	return k
+}

@@ -64,6 +64,17 @@ type QueryResult struct {
 //
 // Cancellation fans out exactly as in Join.
 func Query(ctx context.Context, r *Sharded, opts ...multistep.Option) (QueryResult, error) {
+	return QueryCached(ctx, r, nil, opts...)
+}
+
+// QueryCached is Query with a per-tile sub-result cache: each routed
+// tile's sub-query is looked up in tc before running, and fresh
+// sub-results are stored after. A nil tc is exactly Query. Cached tiles
+// contribute their original run's statistics and plan record, so the
+// merged result is identical to an uncached run; the caller (the
+// serving layer) must scope tc to this exact relation instance — see
+// QueryTileCache.
+func QueryCached(ctx context.Context, r *Sharded, tc QueryTileCache, opts ...multistep.Option) (QueryResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -115,41 +126,43 @@ func Query(ctx context.Context, r *Sharded, opts ...multistep.Option) (QueryResu
 			if ctx.Err() != nil {
 				return
 			}
+			var key QueryTileKey
+			if tc != nil {
+				key = queryTileKey(t.Index, res)
+				if cr, ok := tc.GetQueryTile(key); ok {
+					mergeTileResult(&mu, t, cr, res.Explain != nil, &ids, &neighbors, &stats)
+					return
+				}
+			}
 			sess := t.Rel.NewSession()
 			sub := make([]multistep.Option, 0, len(opts)+3)
 			sub = append(sub, opts...)
 			sub = append(sub, multistep.WithSession(sess), multistep.WithLimit(-1))
 			// Each routed tile gets its own Explain: the caller's capture
 			// target must not be written by N goroutines — appending a
-			// fresh WithExplain overrides the one inside opts.
+			// fresh WithExplain overrides the one inside opts. The caching
+			// path always captures one, so a cached sub-result can serve a
+			// later request that wants the plan echo.
 			var subEx *multistep.Explain
-			if res.Explain != nil {
+			if res.Explain != nil || tc != nil {
 				subEx = new(multistep.Explain)
 				sub = append(sub, multistep.WithExplain(subEx))
 			}
 			qr, err := multistep.Query(ctx, t.Rel, sub...)
-			mu.Lock()
-			defer mu.Unlock()
 			if err != nil {
+				mu.Lock()
+				defer mu.Unlock()
 				if firstErr == nil {
 					firstErr = err
 					cancel()
 				}
 				return
 			}
-			for _, id := range qr.IDs {
-				ids = append(ids, t.Global[id])
+			tr := QueryTileResult{IDs: qr.IDs, Neighbors: qr.Neighbors, Stats: qr.Stats, PageTouches: sess.Accesses(), Explain: subEx}
+			if tc != nil {
+				tc.PutQueryTile(key, tr)
 			}
-			for _, n := range qr.Neighbors {
-				neighbors = append(neighbors, multistep.Neighbor{ID: t.Global[n.ID], Dist: n.Dist})
-			}
-			stats.Tiles = append(stats.Tiles, TileQueryStats{Tile: t.Index, Stats: qr.Stats, PageTouches: sess.Accesses(), Explain: subEx})
-			stats.Candidates += qr.Stats.Candidates
-			stats.FilterHits += qr.Stats.FilterHits
-			stats.FilterFalseHits += qr.Stats.FilterFalseHits
-			stats.ExactTested += qr.Stats.ExactTested
-			stats.PageAccesses += qr.Stats.PageAccesses
-			stats.PageTouches += sess.Accesses()
+			mergeTileResult(&mu, t, tr, res.Explain != nil, &ids, &neighbors, &stats)
 		}(t)
 	}
 	wg.Wait()
@@ -201,4 +214,32 @@ func Query(ctx context.Context, r *Sharded, opts ...multistep.Option) (QueryResu
 	out.IDs = ids
 	out.Stats.ResultObjects = int64(len(ids))
 	return out, nil
+}
+
+// mergeTileResult folds one tile's sub-result — fresh or cached — into
+// the merge state under mu. The sub-result's local IDs are translated
+// through the tile's Global table on every use (the cached slices are
+// only ever read), and its Explain is surfaced only when the caller
+// asked for one, so cached and uncached merges build identical state.
+func mergeTileResult(mu *sync.Mutex, t *Tile, tr QueryTileResult, wantExplain bool,
+	ids *[]int32, neighbors *[]multistep.Neighbor, stats *QueryStats) {
+	mu.Lock()
+	defer mu.Unlock()
+	for _, id := range tr.IDs {
+		*ids = append(*ids, t.Global[id])
+	}
+	for _, n := range tr.Neighbors {
+		*neighbors = append(*neighbors, multistep.Neighbor{ID: t.Global[n.ID], Dist: n.Dist})
+	}
+	ex := tr.Explain
+	if !wantExplain {
+		ex = nil
+	}
+	stats.Tiles = append(stats.Tiles, TileQueryStats{Tile: t.Index, Stats: tr.Stats, PageTouches: tr.PageTouches, Explain: ex})
+	stats.Candidates += tr.Stats.Candidates
+	stats.FilterHits += tr.Stats.FilterHits
+	stats.FilterFalseHits += tr.Stats.FilterFalseHits
+	stats.ExactTested += tr.Stats.ExactTested
+	stats.PageAccesses += tr.Stats.PageAccesses
+	stats.PageTouches += tr.PageTouches
 }

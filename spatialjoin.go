@@ -523,6 +523,50 @@ func QuerySharded(ctx context.Context, r *Sharded, opts ...Option) (ShardedQuery
 	return shard.Query(ctx, r, opts...)
 }
 
+// Batched joins: several join requests over the same relation pair run
+// ONE synchronized R*-tree traversal, with every request's predicate
+// evaluated per candidate pair and the results demultiplexed. Each
+// request's response set, ordering, limit semantics and candidate-level
+// statistics match its solo run exactly. See DESIGN.md §12.
+type (
+	// BatchResult is one request's outcome from JoinBatch: its pairs and
+	// its per-step statistics, as if it had run alone.
+	BatchResult = multistep.BatchResult
+	// ShardedBatchOutcome is one request's outcome from
+	// JoinShardedBatch: globally merged pairs plus aggregated stats.
+	ShardedBatchOutcome = shard.BatchOutcome
+)
+
+// MaxBatchItems is the cap on requests per batched traversal; JoinBatch
+// rejects larger batches with ErrBatchMismatch's sibling
+// ErrBatchTooLarge, while JoinShardedBatch chunks transparently.
+const MaxBatchItems = multistep.MaxBatchItems
+
+// Batch errors.
+var (
+	// ErrBatchMismatch reports batched requests that cannot share one
+	// traversal (different step-1 ε).
+	ErrBatchMismatch = multistep.ErrBatchMismatch
+	// ErrBatchTooLarge reports a JoinBatch of more than MaxBatchItems.
+	ErrBatchTooLarge = multistep.ErrBatchTooLarge
+)
+
+// JoinBatch runs up to MaxBatchItems join requests over one relation
+// pair as a single synchronized traversal. items[i] holds the i-th
+// request's options (predicate, workers, limit, explain...); the i-th
+// result corresponds to it.
+func JoinBatch(ctx context.Context, r, s *Relation, items [][]Option) ([]BatchResult, error) {
+	return multistep.JoinBatch(ctx, r, s, nil, nil, items)
+}
+
+// JoinShardedBatch is JoinBatch over sharded relations: each tile pair
+// is traversed once for all requests, and every request's pairs are
+// merged and sorted globally as in JoinSharded. Batches larger than
+// MaxBatchItems are chunked transparently.
+func JoinShardedBatch(ctx context.Context, r, s *Sharded, items [][]Option) ([]ShardedBatchOutcome, error) {
+	return shard.JoinBatch(ctx, r, s, nil, items)
+}
+
 // Sharded EXPLAIN types.
 type (
 	// ShardedExplain is the EXPLAIN record of a scatter-gather join:

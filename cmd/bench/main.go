@@ -43,7 +43,6 @@
 package main
 
 import (
-	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
@@ -55,72 +54,21 @@ import (
 	"strings"
 	"time"
 
+	"spatialjoin/internal/benchfmt"
 	"spatialjoin/internal/data"
 	"spatialjoin/internal/multistep"
 	"spatialjoin/internal/serve"
 	"spatialjoin/internal/shard"
 )
 
-// fileVersion is the schema version of the emitted JSON.
-const fileVersion = 1
-
-// File is the on-disk measurement file: one entry per labelled run.
-type File struct {
-	Version   int    `json:"version"`
-	Benchmark string `json:"benchmark"`
-	Runs      []Run  `json:"runs"`
-}
-
-// Run is one invocation of the harness on one build of the code.
-type Run struct {
-	Label        string   `json:"label"`
-	Commit       string   `json:"commit,omitempty"`
-	Date         string   `json:"date"`
-	GoVersion    string   `json:"go_version"`
-	GOMAXPROCS   int      `json:"gomaxprocs"`
-	CPU          string   `json:"cpu,omitempty"`
-	Workload     Workload `json:"workload"`
-	PeakRSSBytes int64    `json:"peak_rss_bytes,omitempty"`
-	Results      []Result `json:"results"`
-}
-
-// Workload records the generated relation parameters of a run.
-type Workload struct {
-	Objects  int     `json:"objects_per_relation"`
-	Verts    int     `json:"avg_vertices"`
-	Seed     int64   `json:"seed"`
-	Epsilon  float64 `json:"epsilon"`
-	Reps     int     `json:"reps"`
-	Shifted  float64 `json:"strategy_a_shift"`
-	PageSize int     `json:"page_size"`
-}
-
-// Result is one measured workload cell.
-type Result struct {
-	Name           string  `json:"name"`
-	Predicate      string  `json:"predicate"`
-	Engine         string  `json:"engine"`
-	Workers        int     `json:"workers"`
-	Shards         int     `json:"shards,omitempty"`
-	WallNsPerOp    float64 `json:"wall_ns_per_op"`
-	ResultPairs    int64   `json:"result_pairs"`
-	CandidatePairs int64   `json:"candidate_pairs"`
-	PairsPerSec    float64 `json:"pairs_per_sec"`
-	NsPerCandidate float64 `json:"ns_per_candidate"`
-	AllocsPerOp    float64 `json:"allocs_per_op"`
-	BytesPerOp     float64 `json:"bytes_per_op"`
-	// Planned marks a planner-chosen cell (-planner mode): Engine and
-	// Workers then record the planner's choice, not a pinned setting.
-	Planned bool `json:"planned,omitempty"`
-	// NoFilter marks a static cell measured with the geometric filter
-	// switched off at query time.
-	NoFilter bool `json:"no_filter,omitempty"`
-	// QPS and CacheHitRate report the serving-layer cells (-repeat
-	// mode): requests served per second over the hot query mix, and the
-	// fraction of them answered from the result cache.
-	QPS          float64 `json:"qps,omitempty"`
-	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
-}
+// The measurement-file schema lives in internal/benchfmt, shared with
+// cmd/loadtest (the service-level load harness appends its closed-loop
+// runs to the same trajectory files this command validates).
+type (
+	Run      = benchfmt.Run
+	Workload = benchfmt.Workload
+	Result   = benchfmt.Result
+)
 
 func main() {
 	out := flag.String("out", "BENCH_PR5.json", "measurement file to write or update")
@@ -139,7 +87,7 @@ func main() {
 	flag.Parse()
 
 	if *check != "" {
-		if err := validate(*check); err != nil {
+		if err := benchfmt.Validate(*check); err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}
@@ -173,7 +121,7 @@ func main() {
 		Date:       time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		CPU:        cpuModel(),
+		CPU:        benchfmt.CPUModel(),
 		Workload: Workload{
 			Objects: *n, Verts: *verts, Seed: *seed, Epsilon: *epsilon,
 			Reps: *reps, Shifted: 0.45, PageSize: cfg.PageSize,
@@ -241,9 +189,9 @@ func main() {
 		}
 	}
 
-	run.PeakRSSBytes = peakRSS()
+	run.PeakRSSBytes = benchfmt.PeakRSS()
 
-	if err := writeRun(*out, run); err != nil {
+	if err := benchfmt.WriteRun(*out, run); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote run %q (%d workloads) to %s\n", run.Label, len(run.Results), *out)
@@ -515,68 +463,6 @@ func measureSharded(r, s *shard.Sharded, cfg multistep.Config, tiles, reps int) 
 	return res
 }
 
-// writeRun loads the measurement file if it exists, replaces or appends
-// the run by label, and writes the file back.
-func writeRun(path string, run Run) error {
-	f := File{Version: fileVersion, Benchmark: "spatialjoin multi-step join workloads"}
-	if raw, err := os.ReadFile(path); err == nil {
-		if err := json.Unmarshal(raw, &f); err != nil {
-			return fmt.Errorf("existing %s is not a measurement file: %w", path, err)
-		}
-	}
-	replaced := false
-	for i := range f.Runs {
-		if f.Runs[i].Label == run.Label {
-			f.Runs[i] = run
-			replaced = true
-			break
-		}
-	}
-	if !replaced {
-		f.Runs = append(f.Runs, run)
-	}
-	f.Version = fileVersion
-	raw, err := json.MarshalIndent(f, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(raw, '\n'), 0o644)
-}
-
-// validate parses a measurement file and checks the schema invariants CI
-// relies on: a known version, at least one run, and non-empty results
-// with positive wall times.
-func validate(path string) error {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
-	var f File
-	if err := json.Unmarshal(raw, &f); err != nil {
-		return fmt.Errorf("%s: %w", path, err)
-	}
-	if f.Version != fileVersion {
-		return fmt.Errorf("%s: version %d, want %d", path, f.Version, fileVersion)
-	}
-	if len(f.Runs) == 0 {
-		return fmt.Errorf("%s: no runs", path)
-	}
-	for _, r := range f.Runs {
-		if r.Label == "" {
-			return fmt.Errorf("%s: run without a label", path)
-		}
-		if len(r.Results) == 0 {
-			return fmt.Errorf("%s: run %q has no results", path, r.Label)
-		}
-		for _, res := range r.Results {
-			if res.Name == "" || res.WallNsPerOp <= 0 {
-				return fmt.Errorf("%s: run %q has a malformed result %+v", path, r.Label, res)
-			}
-		}
-	}
-	return nil
-}
-
 func parseWorkers(s string) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
@@ -607,52 +493,6 @@ func engineName(e multistep.Engine) string {
 		return "quadratic"
 	}
 	return "engine?"
-}
-
-// peakRSS returns the peak resident set size of the process (Linux VmHWM,
-// in bytes), or 0 where /proc is unavailable.
-func peakRSS() int64 {
-	f, err := os.Open("/proc/self/status")
-	if err != nil {
-		return 0
-	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	for sc.Scan() {
-		line := sc.Text()
-		if !strings.HasPrefix(line, "VmHWM:") {
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) < 2 {
-			return 0
-		}
-		kb, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			return 0
-		}
-		return kb << 10
-	}
-	return 0
-}
-
-// cpuModel returns the CPU model name (Linux /proc/cpuinfo), or "".
-func cpuModel() string {
-	f, err := os.Open("/proc/cpuinfo")
-	if err != nil {
-		return ""
-	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	for sc.Scan() {
-		line := sc.Text()
-		if strings.HasPrefix(line, "model name") {
-			if i := strings.IndexByte(line, ':'); i >= 0 {
-				return strings.TrimSpace(line[i+1:])
-			}
-		}
-	}
-	return ""
 }
 
 func fatal(err error) {

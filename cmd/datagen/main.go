@@ -11,6 +11,18 @@
 //	        [-store out.store] [-shards N] [-strategy ""|A|B|B2] [-name NAME]
 //	        [-engine trstar] [-conservative 5C] [-progressive MER]
 //	        [-no-filter] [-page 4096] [-policy lru]
+//	        [-stream] [-sf F] [-side R|S]
+//
+// -stream switches to the bounded-memory streaming generator
+// (data.StreamMap): polygons are emitted one at a time and never
+// materialized, so -n in the millions builds in constant memory. With
+// -store the relation streams through a spill file into a sharded store
+// directory (-shards, default 1) whose bytes are identical to the
+// materialized shard.Build path; with -bin the binary relation streams
+// straight to disk. -sf F builds one side of the scale-factor dataset
+// pair of internal/loadgen instead — object count, extent and seeds
+// derive from F, -side picks the R or S relation, and the store name
+// defaults to the spec's (sf1-R style) so cmd/loadtest finds it.
 //
 // With -store, the configuration flags select the preprocessing
 // (approximations, exact engine, page geometry, buffer policy) and are
@@ -34,6 +46,7 @@ import (
 	"spatialjoin/internal/approx"
 	"spatialjoin/internal/data"
 	"spatialjoin/internal/geom"
+	"spatialjoin/internal/loadgen"
 	"spatialjoin/internal/multistep"
 	"spatialjoin/internal/shard"
 	"spatialjoin/internal/storage"
@@ -56,11 +69,33 @@ func main() {
 	pageSize := flag.Int("page", 4096, "with -store: R*-tree page size in bytes")
 	policy := flag.String("policy", "lru", "with -store: buffer replacement policy: lru, fifo, clock")
 	shards := flag.Int("shards", 0, "with -store: partition into this many Z-order tiles and write a sharded store directory")
+	sf := flag.Float64("sf", 0, "build a scale-factor dataset side instead of -n/-verts/-holes/-seed (implies -stream; see -side)")
+	side := flag.String("side", "R", "with -sf: which relation of the dataset pair to build: R or S")
+	stream := flag.Bool("stream", false, "generate with the bounded-memory streaming generator (for very large -n; a different — equally valid — polygon sequence than the default generator)")
 	flag.Parse()
 
-	rel := data.GenerateMap(data.MapConfig{
-		Cells: *n, TargetVerts: *verts, HoleFraction: *holes, Seed: *seed,
-	})
+	mc := data.MapConfig{Cells: *n, TargetVerts: *verts, HoleFraction: *holes, Seed: *seed}
+	sfName := ""
+	if *sf > 0 {
+		spec, err := loadgen.For(*sf)
+		if err != nil {
+			fatal(err)
+		}
+		if mc, err = spec.MapConfig(strings.ToUpper(*side)); err != nil {
+			fatal(err)
+		}
+		sfName = spec.RelationName(strings.ToUpper(*side))
+		*stream = true
+		fmt.Fprintf(os.Stderr, "datagen: SF=%g side %s: %d objects over [0, %.3f]²\n",
+			*sf, strings.ToUpper(*side), mc.Cells, mc.Extent)
+	}
+	if *stream {
+		streamMain(mc, sfName, *statsOnly, *binOut, *storeOut, *shards, *strategy, *name,
+			*engine, *conservative, *progressive, *noFilter, *pageSize, *policy)
+		return
+	}
+
+	rel := data.GenerateMap(mc)
 	if *statsOnly {
 		st := data.Stats(rel)
 		fmt.Printf("objects=%d m_avg=%.1f m_min=%d m_max=%d with_holes=%d\n",
@@ -79,22 +114,7 @@ func main() {
 		return
 	}
 	if *storeOut != "" {
-		cfg := multistep.DefaultConfig()
-		cfg.PageSize = *pageSize
-		cfg.UseFilter = !*noFilter
-		var err error
-		if cfg.Engine, err = multistep.ParseEngine(*engine); err != nil {
-			fatal(err)
-		}
-		if cfg.Filter.Conservative, err = approx.ParseKind(*conservative); err != nil {
-			fatal(err)
-		}
-		if cfg.Filter.Progressive, err = approx.ParseKind(*progressive); err != nil {
-			fatal(err)
-		}
-		if cfg.BufferPolicy, err = storage.ParsePolicy(*policy); err != nil {
-			fatal(err)
-		}
+		cfg := parseCfg(*engine, *conservative, *progressive, *noFilter, *pageSize, *policy)
 		// The seed offsets mirror cmd/spatialjoin's test-series pairs:
 		// its strategy B joins StrategyB(base, seed+1) with
 		// StrategyB(base, seed+2), so B emits the R side and B2 the S
@@ -138,6 +158,109 @@ func main() {
 	defer w.Flush()
 	for i, p := range rel {
 		fmt.Fprintf(w, "%d\t%s\n", i, wkt(p))
+	}
+}
+
+// parseCfg resolves the preprocessing flags into a configuration.
+func parseCfg(engine, conservative, progressive string, noFilter bool, pageSize int, policy string) multistep.Config {
+	cfg := multistep.DefaultConfig()
+	cfg.PageSize = pageSize
+	cfg.UseFilter = !noFilter
+	var err error
+	if cfg.Engine, err = multistep.ParseEngine(engine); err != nil {
+		fatal(err)
+	}
+	if cfg.Filter.Conservative, err = approx.ParseKind(conservative); err != nil {
+		fatal(err)
+	}
+	if cfg.Filter.Progressive, err = approx.ParseKind(progressive); err != nil {
+		fatal(err)
+	}
+	if cfg.BufferPolicy, err = storage.ParsePolicy(policy); err != nil {
+		fatal(err)
+	}
+	return cfg
+}
+
+// streamMain is the bounded-memory path (-stream, and always -sf): the
+// relation is generated by data.StreamMap and never materialized.
+// -store writes a sharded store directory via the spill-and-partition
+// builder (a plain -store file would need the whole relation in memory
+// to preprocess — use -shards, 1 is fine); -bin streams the binary
+// relation; the default streams WKT rows.
+func streamMain(mc data.MapConfig, sfName string, statsOnly bool, binOut, storeOut string,
+	shards int, strategy, name, engine, conservative, progressive string,
+	noFilter bool, pageSize int, policy string) {
+	if strategy != "" {
+		fatal(fmt.Errorf("-strategy is not available with -stream/-sf: the test-series transforms need the materialized map"))
+	}
+	switch {
+	case statsOnly:
+		var count, withHoles, vmin, vmax, vsum int
+		_, err := data.StreamMap(mc, func(_ int32, p *geom.Polygon) error {
+			v := p.NumVertices()
+			if count == 0 || v < vmin {
+				vmin = v
+			}
+			if v > vmax {
+				vmax = v
+			}
+			vsum += v
+			if len(p.Holes) > 0 {
+				withHoles++
+			}
+			count++
+			return nil
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("objects=%d m_avg=%.1f m_min=%d m_max=%d with_holes=%d\n",
+			count, float64(vsum)/float64(max(count, 1)), vmin, vmax, withHoles)
+	case binOut != "":
+		f, err := os.Create(binOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		rw, err := data.NewRelationWriter(f, mc.Cells)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := data.StreamMap(mc, func(_ int32, p *geom.Polygon) error { return rw.Append(p) }); err != nil {
+			fatal(err)
+		}
+		if err := rw.Close(); err != nil {
+			fatal(err)
+		}
+	case storeOut != "":
+		cfg := parseCfg(engine, conservative, progressive, noFilter, pageSize, policy)
+		relName := name
+		if relName == "" {
+			relName = sfName
+		}
+		if relName == "" {
+			relName = storeOut
+		}
+		if shards < 1 {
+			shards = 1
+		}
+		bs, err := loadgen.BuildStore(storeOut, relName, mc, shards, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: relation %q, %d objects streamed into %d tile(s) (%.1f MB spill, %d seams, %d quad fallbacks; engine %s, filter %s+%s, page %d, policy %s)\n",
+			storeOut, relName, bs.Objects, bs.Tiles, float64(bs.SpillBytes)/(1<<20), bs.Seams, bs.QuadFallbacks,
+			cfg.Engine, cfg.Filter.Conservative, cfg.Filter.Progressive, cfg.PageSize, cfg.BufferPolicy)
+	default:
+		w := bufio.NewWriter(os.Stdout)
+		defer w.Flush()
+		if _, err := data.StreamMap(mc, func(id int32, p *geom.Polygon) error {
+			_, err := fmt.Fprintf(w, "%d\t%s\n", id, wkt(p))
+			return err
+		}); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -13,6 +13,7 @@
 //	                 [-conservative 5C|RMBR|CH|4C|MBC|MBE] [-progressive MER|MEC]
 //	                 [-no-filter] [-page 4096] [-buffer 131072] [-policy lru|fifo|clock]
 //	                 [-no-plan] [-cache-bytes 67108864] [-batch-window 2ms]
+//	                 [-drain 15s]
 //	spatialjoinserve [-addr :8080] -demo 810
 //
 // A -rel path may be a single relation store file (cmd/datagen -store)
@@ -40,16 +41,25 @@
 // concurrent requests coalesce into one execution, and concurrent
 // joins over the same relation pair within -batch-window share one
 // synchronized traversal. GET /stats reports the cache, coalesce and
-// batch counters.
+// batch counters, per-endpoint request counts with latency percentiles,
+// and the process RSS.
+//
+// The server shuts down gracefully: SIGINT or SIGTERM stops accepting
+// new connections and lets in-flight queries finish (bounded by
+// -drain) before exiting, so a load balancer rotating instances never
+// sees mid-response resets.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"spatialjoin/internal/approx"
@@ -98,6 +108,7 @@ func main() {
 	maxPairs := flag.Int("max-pairs", serve.DefaultMaxJoinPairs, "cap on join pairs returned inline per request")
 	cacheBytes := flag.Int64("cache-bytes", serve.DefaultCacheBytes, "result/tile cache budget in bytes (<=0 disables caching)")
 	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "join batching window (0 disables shared-traversal batching)")
+	drain := flag.Duration("drain", 15*time.Second, "how long to let in-flight requests drain on SIGINT/SIGTERM before closing connections")
 	flag.Parse()
 
 	cfg := multistep.DefaultConfig()
@@ -156,10 +167,36 @@ func main() {
 	srv.NoPlan = *noPlan
 	srv.CacheBytes = *cacheBytes
 	srv.BatchWindow = *batchWindow
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting connections,
+	// let in-flight queries drain up to -drain, then exit. A second
+	// signal aborts immediately (signal.NotifyContext restores the
+	// default handler once the context fires).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
 	log.Printf("serving %d relation(s) on %s — try /healthz, /relations, /stats, /window, /point, /nearest, /join, /explain",
 		len(cat.Names()), *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+
+	select {
+	case err := <-errCh:
 		fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("shutdown signal received; draining in-flight requests (up to %s)...", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("drain incomplete: %v; closing remaining connections", err)
+			_ = httpSrv.Close()
+			os.Exit(1)
+		}
+		log.Printf("shutdown complete")
 	}
 }
 

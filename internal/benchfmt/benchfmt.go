@@ -1,0 +1,191 @@
+// Package benchfmt is the schema of the repository's versioned
+// measurement files (BENCH_*.json) — the performance trajectory every
+// PR appends comparable numbers to. It started life inside cmd/bench;
+// it lives here so the service-level load harness (cmd/loadtest) can
+// append its closed-loop runs to the same trajectory and `cmd/bench
+// -check` can validate every producer's output with one schema.
+//
+// A file holds one entry per labelled run; WriteRun replaces a run by
+// label, so re-measuring on the same machine updates in place. Two row
+// shapes share the Result struct: the single-process join workloads of
+// cmd/bench (wall ns/op, pairs/sec, allocs) and the service-level rows
+// of cmd/loadtest (QPS and latency percentiles per query class at a
+// scale factor). Fields not applicable to a row are zero and omitted.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"spatialjoin/internal/procinfo"
+)
+
+// Version is the schema version of the emitted JSON.
+const Version = 1
+
+// File is the on-disk measurement file: one entry per labelled run.
+type File struct {
+	Version   int    `json:"version"`
+	Benchmark string `json:"benchmark"`
+	Runs      []Run  `json:"runs"`
+}
+
+// Run is one invocation of a measurement harness on one build.
+type Run struct {
+	Label        string   `json:"label"`
+	Commit       string   `json:"commit,omitempty"`
+	Date         string   `json:"date"`
+	GoVersion    string   `json:"go_version"`
+	GOMAXPROCS   int      `json:"gomaxprocs"`
+	CPU          string   `json:"cpu,omitempty"`
+	Workload     Workload `json:"workload"`
+	PeakRSSBytes int64    `json:"peak_rss_bytes,omitempty"`
+	Results      []Result `json:"results"`
+}
+
+// Workload records the dataset parameters of a run. The join grid
+// fills Objects/Verts/Seed; load-harness runs additionally record the
+// scale factor and loop shape that produced the rows.
+type Workload struct {
+	Objects  int     `json:"objects_per_relation"`
+	Verts    int     `json:"avg_vertices"`
+	Seed     int64   `json:"seed"`
+	Epsilon  float64 `json:"epsilon"`
+	Reps     int     `json:"reps"`
+	Shifted  float64 `json:"strategy_a_shift"`
+	PageSize int     `json:"page_size"`
+	// ScaleFactor is the loadgen SF of a service-level run (0 for the
+	// single-process join grid).
+	ScaleFactor float64 `json:"scale_factor,omitempty"`
+	// Mode is the load-loop shape of a service-level run: "closed" or
+	// "open".
+	Mode string `json:"mode,omitempty"`
+	// Workers is the client worker count of a service-level run.
+	Workers int `json:"load_workers,omitempty"`
+	// DurationSec is the measured window of a service-level run.
+	DurationSec float64 `json:"duration_sec,omitempty"`
+}
+
+// Result is one measured workload cell.
+type Result struct {
+	Name           string  `json:"name"`
+	Predicate      string  `json:"predicate"`
+	Engine         string  `json:"engine"`
+	Workers        int     `json:"workers"`
+	Shards         int     `json:"shards,omitempty"`
+	WallNsPerOp    float64 `json:"wall_ns_per_op"`
+	ResultPairs    int64   `json:"result_pairs"`
+	CandidatePairs int64   `json:"candidate_pairs"`
+	PairsPerSec    float64 `json:"pairs_per_sec"`
+	NsPerCandidate float64 `json:"ns_per_candidate"`
+	AllocsPerOp    float64 `json:"allocs_per_op"`
+	BytesPerOp     float64 `json:"bytes_per_op"`
+	// Planned marks a planner-chosen cell (-planner mode): Engine and
+	// Workers then record the planner's choice, not a pinned setting.
+	Planned bool `json:"planned,omitempty"`
+	// NoFilter marks a static cell measured with the geometric filter
+	// switched off at query time.
+	NoFilter bool `json:"no_filter,omitempty"`
+	// QPS and CacheHitRate report serving-layer cells: requests served
+	// per second, and the fraction answered from the result cache.
+	QPS          float64 `json:"qps,omitempty"`
+	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
+
+	// The service-level fields of a cmd/loadtest row: one row per query
+	// class (join/window/point/nearest, or "all"), latencies from the
+	// harness-side histogram.
+	Class    string  `json:"class,omitempty"`
+	Requests int64   `json:"requests,omitempty"`
+	Errors   int64   `json:"errors,omitempty"`
+	P50Ms    float64 `json:"p50_ms,omitempty"`
+	P95Ms    float64 `json:"p95_ms,omitempty"`
+	P99Ms    float64 `json:"p99_ms,omitempty"`
+	MaxMs    float64 `json:"max_ms,omitempty"`
+	// CacheOn records whether the serving layer's result cache was
+	// enabled for this row.
+	CacheOn bool `json:"cache_on,omitempty"`
+	// ServerRSSBytes is the peak server RSS sampled over the run.
+	ServerRSSBytes int64 `json:"server_rss_bytes,omitempty"`
+}
+
+// WriteRun loads the measurement file if it exists, replaces or appends
+// the run by label, and writes the file back.
+func WriteRun(path string, run Run) error {
+	f := File{Version: Version, Benchmark: "spatialjoin multi-step join workloads"}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &f); err != nil {
+			return fmt.Errorf("existing %s is not a measurement file: %w", path, err)
+		}
+	}
+	replaced := false
+	for i := range f.Runs {
+		if f.Runs[i].Label == run.Label {
+			f.Runs[i] = run
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		f.Runs = append(f.Runs, run)
+	}
+	f.Version = Version
+	raw, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// Validate parses a measurement file and checks the schema invariants
+// CI relies on: a known version, at least one run, and non-empty
+// results each carrying a name and either a positive wall time (join
+// grid rows) or a positive request count (service-level rows).
+func Validate(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Version != Version {
+		return fmt.Errorf("%s: version %d, want %d", path, f.Version, Version)
+	}
+	if len(f.Runs) == 0 {
+		return fmt.Errorf("%s: no runs", path)
+	}
+	for _, r := range f.Runs {
+		if r.Label == "" {
+			return fmt.Errorf("%s: run without a label", path)
+		}
+		if len(r.Results) == 0 {
+			return fmt.Errorf("%s: run %q has no results", path, r.Label)
+		}
+		for _, res := range r.Results {
+			if res.Name == "" {
+				return fmt.Errorf("%s: run %q has a result without a name", path, r.Label)
+			}
+			if res.WallNsPerOp <= 0 && res.Requests <= 0 {
+				return fmt.Errorf("%s: run %q result %q has neither a wall time nor a request count",
+					path, r.Label, res.Name)
+			}
+			if res.Requests > 0 && res.Errors == res.Requests {
+				return fmt.Errorf("%s: run %q result %q: every request errored", path, r.Label, res.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// PeakRSS returns the peak resident set size of this process (Linux
+// VmHWM, in bytes), or 0 where /proc is unavailable.
+func PeakRSS() int64 { return procinfo.PeakRSS() }
+
+// CurrentRSS returns the current resident set size of this process
+// (Linux VmRSS, in bytes), or 0 where /proc is unavailable.
+func CurrentRSS() int64 { return procinfo.CurrentRSS() }
+
+// CPUModel returns the CPU model name (Linux /proc/cpuinfo), or "".
+func CPUModel() string { return procinfo.CPUModel() }

@@ -46,6 +46,11 @@ type MapConfig struct {
 	// approximations toward the paper's regime. Defaults to 0.7 when 0;
 	// negative disables fjords.
 	FjordProb float64
+	// Extent scales the data space to [0, Extent]²; 0 means the unit
+	// square. The scale-factor datasets (internal/loadgen) grow the
+	// territory with √SF so object sizes and densities stay constant
+	// across scale factors. Honoured by StreamMap and GenerateMap alike.
+	Extent float64
 	// Seed makes generation reproducible.
 	Seed int64
 }
@@ -231,6 +236,15 @@ func GenerateMap(cfg MapConfig) []*geom.Polygon {
 
 	center := geom.Point{X: 0.5, Y: 0.5}
 	rot := func(p geom.Point) geom.Point { return p.RotateAround(cfg.Rotation, center) }
+	if cfg.Extent > 0 && cfg.Extent != 1 {
+		// Scale after rotation so Extent purely grows the territory; the
+		// default 0 leaves the historical unit-square output untouched.
+		ext := cfg.Extent
+		rot = func(p geom.Point) geom.Point {
+			q := p.RotateAround(cfg.Rotation, center)
+			return geom.Point{X: q.X * ext, Y: q.Y * ext}
+		}
+	}
 
 	polys := make([]*geom.Polygon, 0, cfg.Cells)
 	for j := 0; j < ky && len(polys) < cfg.Cells; j++ {

@@ -30,41 +30,61 @@ var ErrBadRelation = errors.New("data: corrupt relation stream")
 
 // WriteRelation serializes a relation to w.
 func WriteRelation(w io.Writer, rel []*geom.Polygon) error {
-	bw := bufio.NewWriter(w)
-	if err := binary.Write(bw, binary.LittleEndian, uint32(relationMagic)); err != nil {
+	rw, err := NewRelationWriter(w, len(rel))
+	if err != nil {
 		return err
-	}
-	if err := binary.Write(bw, binary.LittleEndian, uint32(len(rel))); err != nil {
-		return err
-	}
-	writeRing := func(r geom.Ring) error {
-		if err := binary.Write(bw, binary.LittleEndian, uint32(len(r))); err != nil {
-			return err
-		}
-		for _, p := range r {
-			if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(p.X)); err != nil {
-				return err
-			}
-			if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(p.Y)); err != nil {
-				return err
-			}
-		}
-		return nil
 	}
 	for _, p := range rel {
-		if err := binary.Write(bw, binary.LittleEndian, uint32(1+len(p.Holes))); err != nil {
+		if err := rw.Append(p); err != nil {
 			return err
-		}
-		if err := writeRing(p.Outer); err != nil {
-			return err
-		}
-		for _, h := range p.Holes {
-			if err := writeRing(h); err != nil {
-				return err
-			}
 		}
 	}
-	return bw.Flush()
+	return rw.Close()
+}
+
+// RelationWriter streams a relation to the WriteRelation format one
+// polygon at a time — the bounded-memory path of cmd/datagen for very
+// large -n: the polygon count is declared up front, so the header can
+// be written before any geometry exists.
+type RelationWriter struct {
+	bw        *bufio.Writer
+	remaining int
+	scratch   []byte
+}
+
+// NewRelationWriter writes the header for a relation of count polygons.
+// Exactly count Append calls must follow before Close.
+func NewRelationWriter(w io.Writer, count int) (*RelationWriter, error) {
+	if count < 0 || count > maxRelationPolys {
+		return nil, fmt.Errorf("data: relation of %d polygons out of range", count)
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if err := binary.Write(bw, binary.LittleEndian, uint32(relationMagic)); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(count)); err != nil {
+		return nil, err
+	}
+	return &RelationWriter{bw: bw, remaining: count}, nil
+}
+
+// Append writes the next polygon.
+func (rw *RelationWriter) Append(p *geom.Polygon) error {
+	if rw.remaining <= 0 {
+		return fmt.Errorf("data: more polygons than the declared count")
+	}
+	rw.remaining--
+	rw.scratch = AppendPolygon(rw.scratch[:0], p)
+	_, err := rw.bw.Write(rw.scratch)
+	return err
+}
+
+// Close flushes the stream and verifies the declared count was met.
+func (rw *RelationWriter) Close() error {
+	if rw.remaining != 0 {
+		return fmt.Errorf("data: %d polygons short of the declared count", rw.remaining)
+	}
+	return rw.bw.Flush()
 }
 
 // maxRelationPolys bounds ReadRelation against absurd headers.

@@ -1,0 +1,147 @@
+package data
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"spatialjoin/internal/geom"
+)
+
+// streamCfg is the shared test configuration: big enough to exercise
+// multiple rows and the repair paths, small enough for -short.
+func streamCfg(cells int) MapConfig {
+	return MapConfig{Cells: cells, TargetVerts: 28, HoleFraction: 0.05, Seed: 1207}
+}
+
+// TestStreamMapDeterministic proves the same configuration yields the
+// identical polygon sequence across runs.
+func TestStreamMapDeterministic(t *testing.T) {
+	collect := func() []*geom.Polygon {
+		var out []*geom.Polygon
+		_, err := StreamMap(streamCfg(500), func(id int32, p *geom.Polygon) error {
+			if int(id) != len(out) {
+				t.Fatalf("id %d out of order (have %d)", id, len(out))
+			}
+			out = append(out, p)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := collect(), collect()
+	if len(a) != 500 || len(b) != 500 {
+		t.Fatalf("emitted %d / %d polygons, want 500", len(a), len(b))
+	}
+	for i := range a {
+		av, bv := a[i].Vertices(nil), b[i].Vertices(nil)
+		if len(av) != len(bv) {
+			t.Fatalf("polygon %d: %d vs %d vertices", i, len(av), len(bv))
+		}
+		for k := range av {
+			if av[k] != bv[k] {
+				t.Fatalf("polygon %d vertex %d: %v vs %v", i, k, av[k], bv[k])
+			}
+		}
+	}
+}
+
+// TestStreamMapSimplePolygons asserts every emitted polygon is simple —
+// the contract the exact geometry engines rely on — including under the
+// aggressive default roughness/fjord parameters that exercise repair.
+func TestStreamMapSimplePolygons(t *testing.T) {
+	for _, cells := range []int{1, 13, 400, 1500} {
+		cfg := streamCfg(cells)
+		st, err := StreamMap(cfg, func(id int32, p *geom.Polygon) error {
+			if err := p.ValidateSimple(); err != nil {
+				return fmt.Errorf("cell %d: %w", id, err)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("cells=%d: %v", cells, err)
+		}
+		if st.Objects != cells {
+			t.Fatalf("cells=%d: emitted %d", cells, st.Objects)
+		}
+		if st.QuadFallbacks > cells/50 {
+			t.Fatalf("cells=%d: %d quad fallbacks — repair is failing too often", cells, st.QuadFallbacks)
+		}
+	}
+}
+
+// TestStreamMapExtent checks the data space scales with Extent while
+// object sizes stay put (the constant-density scale-factor design).
+func TestStreamMapExtent(t *testing.T) {
+	avgExtent := func(cells int, extent float64) (float64, geom.Rect) {
+		cfg := streamCfg(cells)
+		cfg.Extent = extent
+		var sum float64
+		var n int
+		ds := geom.EmptyRect()
+		_, err := StreamMap(cfg, func(_ int32, p *geom.Polygon) error {
+			b := p.Bounds()
+			sum += (b.Width() + b.Height()) / 2
+			n++
+			ds = ds.Union(b)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum / float64(n), ds
+	}
+	// 4× the cells at 2× the extent: same cell size, 2× the territory.
+	small, dsSmall := avgExtent(400, 1)
+	big, dsBig := avgExtent(1600, 2)
+	if ratio := big / small; ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("object extent changed with SF: %.4f vs %.4f (ratio %.2f)", small, big, ratio)
+	}
+	if ratio := dsBig.Width() / dsSmall.Width(); ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("data space should double: %.3f vs %.3f", dsSmall.Width(), dsBig.Width())
+	}
+}
+
+// TestStreamMapBoundedMemory is the satellite's bounded-memory
+// assertion: streaming a relation must keep the live heap near the
+// row-window size, far below the materialized slice. The generator runs
+// with a discarding callback; live-heap checkpoints along the way must
+// stay under a bound sized at a small multiple of the row window.
+func TestStreamMapBoundedMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bounded-memory assertion allocates a 60k-cell stream; skipped with -short")
+	}
+	cfg := streamCfg(60000)
+	cfg.TargetVerts = 84 // materialized: ≥ 60000·84·16 B ≈ 80 MB of vertices alone
+
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+
+	const budget = 24 << 20 // bound: a small multiple of the ~1 MB row window
+	var peak uint64
+	count := 0
+	_, err := StreamMap(cfg, func(id int32, p *geom.Polygon) error {
+		count++
+		if count%10000 == 0 {
+			runtime.GC()
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			if m.HeapAlloc > base.HeapAlloc && m.HeapAlloc-base.HeapAlloc > peak {
+				peak = m.HeapAlloc - base.HeapAlloc
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != cfg.Cells {
+		t.Fatalf("emitted %d, want %d", count, cfg.Cells)
+	}
+	if peak > budget {
+		t.Fatalf("streaming generation held %d bytes live (budget %d) — the window is not bounded", peak, budget)
+	}
+}

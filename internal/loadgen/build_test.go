@@ -1,0 +1,118 @@
+package loadgen
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spatialjoin/internal/data"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/multistep"
+	"spatialjoin/internal/shard"
+)
+
+func TestSpecFor(t *testing.T) {
+	s, err := For(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Objects != SFObjects || s.Extent != 1 || s.Verts != SFVerts {
+		t.Fatalf("SF=1 spec: %+v", s)
+	}
+	s, err = For(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Objects != 1300 {
+		t.Fatalf("SF=0.01 objects = %d, want 1300", s.Objects)
+	}
+	if s.RelationName("R") != "sf0.01-R" || s.RelationName("S") != "sf0.01-S" {
+		t.Fatalf("names: %q %q", s.RelationName("R"), s.RelationName("S"))
+	}
+	if _, err := For(0); err == nil {
+		t.Fatal("SF=0 accepted")
+	}
+	r, _ := s.MapConfig("R")
+	sS, _ := s.MapConfig("S")
+	if r.Seed == sS.Seed {
+		t.Fatal("R and S share a seed")
+	}
+	if _, err := s.MapConfig("Q"); err == nil {
+		t.Fatal("unknown side accepted")
+	}
+}
+
+// TestBuildStoreMatchesShardBuild is the interchangeability contract:
+// the bounded-memory streaming build must produce a store directory
+// byte-identical to materializing the same polygon sequence and running
+// shard.Build + shard.Save — same partition, same tile files, same
+// manifest.
+func TestBuildStoreMatchesShardBuild(t *testing.T) {
+	mc := data.MapConfig{Cells: 400, TargetVerts: 28, HoleFraction: 0.06, Seed: 42}
+	cfg := multistep.DefaultConfig()
+	const shards = 4
+
+	var polys []*geom.Polygon
+	if _, err := data.StreamMap(mc, func(_ int32, p *geom.Polygon) error {
+		polys = append(polys, p)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dirA := filepath.Join(t.TempDir(), "materialized")
+	if err := shard.Save(dirA, shard.Build("rel", polys, shards, cfg)); err != nil {
+		t.Fatal(err)
+	}
+
+	dirB := filepath.Join(t.TempDir(), "streamed")
+	bs, err := BuildStore(dirB, "rel", mc, shards, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Objects != 400 || bs.Tiles != shards {
+		t.Fatalf("build stats: %+v", bs)
+	}
+
+	entriesA, err := os.ReadDir(dirA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entriesB, err := os.ReadDir(dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entriesA) != len(entriesB) {
+		t.Fatalf("file counts differ: %d vs %d", len(entriesA), len(entriesB))
+	}
+	for i, ea := range entriesA {
+		if entriesB[i].Name() != ea.Name() {
+			t.Fatalf("file %d: %q vs %q", i, ea.Name(), entriesB[i].Name())
+		}
+		a, err := os.ReadFile(filepath.Join(dirA, ea.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirB, ea.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s differs between materialized and streamed builds", ea.Name())
+		}
+	}
+
+	// And the streamed store must round-trip through the normal opener.
+	sh, err := shard.Open(dirB, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Objects() != 400 || sh.Shards() != shards || sh.Name != "rel" {
+		t.Fatalf("reopened store: objects=%d shards=%d name=%q", sh.Objects(), sh.Shards(), sh.Name)
+	}
+	// No spill file may remain beside the store.
+	leftovers, _ := filepath.Glob(filepath.Join(filepath.Dir(dirB), ".spill-*"))
+	if len(leftovers) != 0 {
+		t.Fatalf("spill files left behind: %v", leftovers)
+	}
+}

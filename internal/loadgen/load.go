@@ -1,0 +1,359 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spatialjoin/internal/hist"
+)
+
+// Options shapes a load run.
+type Options struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Workers is the client count in closed mode (each runs one request
+	// at a time, back to back — classic closed-loop think-time-zero);
+	// open mode uses it only as a hint and launches by schedule.
+	Workers int
+	// Mode is "closed" (default) or "open". Open mode fires requests on
+	// a fixed arrival schedule of RateQPS and measures each latency from
+	// its INTENDED start, so a slow server inflates the percentiles
+	// instead of silently thinning the arrival stream (no coordinated
+	// omission).
+	Mode string
+	// RateQPS is the open-mode arrival rate; ignored in closed mode.
+	RateQPS float64
+	// Mix picks queries per request: "uniform" (default) over the
+	// flight, or "zipf" (rank-skewed toward the cheap head of the
+	// flight order).
+	Mix string
+	// Warmup runs the load without recording before the measured window
+	// starts — JIT-free steady state, caches primed (or deliberately
+	// not: the server decides).
+	Warmup time.Duration
+	// Duration is the measured window.
+	Duration time.Duration
+	// Seed makes the request sequence reproducible.
+	Seed int64
+	// Client overrides the HTTP client (defaults to one with sane
+	// keep-alive limits for Workers connections).
+	Client *http.Client
+}
+
+// ClassReport is the measured outcome of one query class (or "all").
+type ClassReport struct {
+	Class    string        `json:"class"`
+	Requests int64         `json:"requests"`
+	Errors   int64         `json:"errors"`
+	QPS      float64       `json:"qps"`
+	Latency  hist.Snapshot `json:"latency_ms"`
+}
+
+// Report is the outcome of a load run.
+type Report struct {
+	SF          float64       `json:"scale_factor"`
+	Mode        string        `json:"mode"`
+	Mix         string        `json:"mix"`
+	Workers     int           `json:"workers"`
+	RateQPS     float64       `json:"rate_qps,omitempty"`
+	WarmupSec   float64       `json:"warmup_sec"`
+	DurationSec float64       `json:"duration_sec"`
+	Overall     ClassReport   `json:"overall"`
+	Classes     []ClassReport `json:"classes"`
+	// ServerRSSBytes is the highest server RSS observed via /stats
+	// during the run (0 if the server does not report it).
+	ServerRSSBytes int64 `json:"server_rss_bytes,omitempty"`
+	// ErrorSamples holds the first few distinct error strings, for
+	// diagnosis; Errors counts them all.
+	ErrorSamples []string `json:"error_samples,omitempty"`
+}
+
+// classTally accumulates one class's measurements.
+type classTally struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	hist     hist.Histogram
+}
+
+// recorder collects measurements across workers.
+type recorder struct {
+	classes map[string]*classTally
+	overall classTally
+
+	mu      sync.Mutex
+	samples []string
+}
+
+func newRecorder(f *Flight) *recorder {
+	r := &recorder{classes: make(map[string]*classTally)}
+	for _, q := range f.Queries {
+		if _, ok := r.classes[q.Class]; !ok {
+			r.classes[q.Class] = &classTally{}
+		}
+	}
+	return r
+}
+
+func (r *recorder) record(class string, d time.Duration, err error) {
+	t := r.classes[class]
+	t.requests.Add(1)
+	r.overall.requests.Add(1)
+	if err != nil {
+		t.errors.Add(1)
+		r.overall.errors.Add(1)
+		r.mu.Lock()
+		if len(r.samples) < 8 {
+			s := err.Error()
+			dup := false
+			for _, have := range r.samples {
+				if have == s {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				r.samples = append(r.samples, s)
+			}
+		}
+		r.mu.Unlock()
+		return
+	}
+	t.hist.RecordDuration(d)
+	r.overall.hist.RecordDuration(d)
+}
+
+// Run drives the flight against the server and reports QPS and latency
+// percentiles per query class. The flight should be calibrated first so
+// every response is cardinality-checked; uncalibrated queries are only
+// checked for well-formedness.
+func Run(ctx context.Context, f *Flight, opts Options) (*Report, error) {
+	if len(f.Queries) == 0 {
+		return nil, fmt.Errorf("loadgen: empty flight")
+	}
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = 10 * time.Second
+	}
+	switch opts.Mode {
+	case "", "closed":
+		opts.Mode = "closed"
+	case "open":
+		if opts.RateQPS <= 0 {
+			return nil, fmt.Errorf("loadgen: open mode needs a positive rate")
+		}
+	default:
+		return nil, fmt.Errorf("loadgen: unknown mode %q", opts.Mode)
+	}
+	switch opts.Mix {
+	case "", "uniform":
+		opts.Mix = "uniform"
+	case "zipf":
+	default:
+		return nil, fmt.Errorf("loadgen: unknown mix %q", opts.Mix)
+	}
+	client := opts.Client
+	if client == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConnsPerHost = opts.Workers + 4
+		client = &http.Client{Transport: tr}
+	}
+
+	rec := newRecorder(f)
+	var peakRSS atomic.Int64
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Sample the server's self-reported RSS through /stats while the
+	// load runs.
+	var rssWG sync.WaitGroup
+	rssWG.Add(1)
+	go func() {
+		defer rssWG.Done()
+		tick := time.NewTicker(250 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			if rss := serverRSS(ctx, client, opts.BaseURL); rss > peakRSS.Load() {
+				peakRSS.Store(rss)
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+
+	start := time.Now()
+	measureFrom := start.Add(opts.Warmup)
+	deadline := measureFrom.Add(opts.Duration)
+
+	pick := newPicker(f, opts)
+
+	var err error
+	if opts.Mode == "closed" {
+		err = runClosed(ctx, f, opts, client, rec, pick, measureFrom, deadline)
+	} else {
+		err = runOpen(ctx, f, opts, client, rec, pick, measureFrom, deadline)
+	}
+	cancel()
+	rssWG.Wait()
+	if err != nil {
+		return nil, err
+	}
+
+	measured := opts.Duration.Seconds()
+	mk := func(class string, t *classTally) ClassReport {
+		return ClassReport{
+			Class:    class,
+			Requests: t.requests.Load(),
+			Errors:   t.errors.Load(),
+			QPS:      float64(t.requests.Load()) / measured,
+			Latency:  t.hist.Snapshot(),
+		}
+	}
+	rep := &Report{
+		SF:             f.Spec.SF,
+		Mode:           opts.Mode,
+		Mix:            opts.Mix,
+		Workers:        opts.Workers,
+		RateQPS:        opts.RateQPS,
+		WarmupSec:      opts.Warmup.Seconds(),
+		DurationSec:    measured,
+		Overall:        mk("all", &rec.overall),
+		ServerRSSBytes: peakRSS.Load(),
+		ErrorSamples:   rec.samples,
+	}
+	classes := make([]string, 0, len(rec.classes))
+	for c := range rec.classes {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		rep.Classes = append(rep.Classes, mk(c, rec.classes[c]))
+	}
+	return rep, nil
+}
+
+// newPicker returns a per-caller factory: each worker seeds its own
+// deterministic stream so closed-loop runs are reproducible regardless
+// of scheduling.
+func newPicker(f *Flight, opts Options) func(workerSeed int64) func() *Query {
+	n := len(f.Queries)
+	return func(workerSeed int64) func() *Query {
+		rng := rand.New(rand.NewSource(opts.Seed*1_000_003 + workerSeed))
+		if opts.Mix == "zipf" {
+			z := rand.NewZipf(rng, 1.2, 1, uint64(n-1))
+			return func() *Query { return f.Queries[z.Uint64()] }
+		}
+		return func() *Query { return f.Queries[rng.Intn(n)] }
+	}
+}
+
+func runClosed(ctx context.Context, f *Flight, opts Options, client *http.Client,
+	rec *recorder, pick func(int64) func() *Query, measureFrom, deadline time.Time) error {
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			next := pick(int64(w))
+			for {
+				if ctx.Err() != nil || !time.Now().Before(deadline) {
+					return
+				}
+				q := next()
+				t0 := time.Now()
+				_, err := Fetch(ctx, client, opts.BaseURL, q)
+				if ctx.Err() != nil {
+					return // cancellation errors are not server errors
+				}
+				if t0.After(measureFrom) {
+					rec.record(q.Class, time.Since(t0), err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// runOpen fires requests on the fixed arrival schedule and measures
+// each from its intended start, so queueing delay at a saturated server
+// lands in the percentiles instead of vanishing (coordinated omission).
+// In-flight requests are unbounded by design — backlog is the signal.
+func runOpen(ctx context.Context, f *Flight, opts Options, client *http.Client,
+	rec *recorder, pick func(int64) func() *Query, measureFrom, deadline time.Time) error {
+	interval := time.Duration(float64(time.Second) / opts.RateQPS)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	next := pick(0)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for k := 0; ; k++ {
+		intended := start.Add(time.Duration(k) * interval)
+		if !intended.Before(deadline) {
+			break
+		}
+		if d := time.Until(intended); d > 0 {
+			select {
+			case <-ctx.Done():
+				wg.Wait()
+				return ctx.Err()
+			case <-time.After(d):
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		q := next()
+		wg.Add(1)
+		go func(q *Query, intended time.Time) {
+			defer wg.Done()
+			_, err := Fetch(ctx, client, opts.BaseURL, q)
+			if ctx.Err() != nil {
+				return
+			}
+			if intended.After(measureFrom) {
+				rec.record(q.Class, time.Since(intended), err)
+			}
+		}(q, intended)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// serverRSS reads the server's self-reported resident set size from
+// GET /stats; 0 when unavailable.
+func serverRSS(ctx context.Context, client *http.Client, base string) int64 {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/stats", nil)
+	if err != nil {
+		return 0
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	var v struct {
+		Process struct {
+			RSSBytes int64 `json:"rss_bytes"`
+		} `json:"process"`
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil || json.Unmarshal(body, &v) != nil {
+		return 0
+	}
+	return v.Process.RSSBytes
+}

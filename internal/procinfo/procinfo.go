@@ -1,0 +1,65 @@
+// Package procinfo reads this process's resource figures from /proc —
+// the RSS and CPU identification that measurement reports (cmd/bench,
+// cmd/loadtest) and the serving layer's /stats endpoint attach to their
+// output. Everything degrades to zero values where /proc is missing
+// (non-Linux), so callers need no build tags.
+package procinfo
+
+import (
+	"bufio"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// PeakRSS returns the peak resident set size of this process (Linux
+// VmHWM, in bytes), or 0 where /proc is unavailable.
+func PeakRSS() int64 { return statusBytes("VmHWM:") }
+
+// CurrentRSS returns the current resident set size of this process
+// (Linux VmRSS, in bytes), or 0 where /proc is unavailable.
+func CurrentRSS() int64 { return statusBytes("VmRSS:") }
+
+func statusBytes(field string) int64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, field) {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}
+
+// CPUModel returns the CPU model name (Linux /proc/cpuinfo), or "".
+func CPUModel() string {
+	f, err := os.Open("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "model name") {
+			if i := strings.IndexByte(line, ':'); i >= 0 {
+				return strings.TrimSpace(line[i+1:])
+			}
+		}
+	}
+	return ""
+}

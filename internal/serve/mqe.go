@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"net/http"
 
+	"spatialjoin/internal/hist"
 	"spatialjoin/internal/mqe"
 	"spatialjoin/internal/multistep"
+	"spatialjoin/internal/procinfo"
 	"spatialjoin/internal/shard"
 )
 
@@ -69,6 +71,7 @@ func (s *Server) init() {
 	s.initOnce.Do(func() {
 		s.cache = mqe.NewCache(s.CacheBytes)
 		s.batcher = mqe.NewBatcher(s.BatchWindow)
+		s.metrics = make(map[string]*endpointTally)
 	})
 }
 
@@ -301,17 +304,40 @@ func (s *Server) execJoinBatch(ctx context.Context, reqs []any) ([]any, error) {
 }
 
 // serveStats answers GET /stats: the shared cache counters, the
-// single-flight coalesce count and the batching counters.
+// single-flight coalesce count, the batching counters, per-endpoint
+// request counts with latency percentiles, and the process's resident
+// set size (the figure the load harness samples during a run).
 type serveStats struct {
-	Cache     mqe.CacheStats   `json:"cache"`
-	Coalesced int64            `json:"coalesced"`
-	Batch     mqe.BatcherStats `json:"batch"`
+	Cache     mqe.CacheStats           `json:"cache"`
+	Coalesced int64                    `json:"coalesced"`
+	Batch     mqe.BatcherStats         `json:"batch"`
+	Endpoints map[string]endpointStats `json:"endpoints"`
+	Process   processStats             `json:"process"`
+}
+
+// endpointStats is one endpoint's row in /stats. Latencies come from a
+// fixed-bucket log-linear histogram (internal/hist): ≤ 2.4% relative
+// quantile error, constant memory, lock-free recording.
+type endpointStats struct {
+	Requests int64         `json:"requests"`
+	Latency  hist.Snapshot `json:"latency_ms"`
+}
+
+type processStats struct {
+	RSSBytes     int64 `json:"rss_bytes"`
+	PeakRSSBytes int64 `json:"peak_rss_bytes"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	eps := make(map[string]endpointStats, len(s.metrics))
+	for name, t := range s.metrics {
+		eps[name] = endpointStats{Requests: t.requests.Load(), Latency: t.latency.Snapshot()}
+	}
 	writeJSON(w, http.StatusOK, serveStats{
 		Cache:     s.cache.Stats(),
 		Coalesced: s.flight.Coalesced(),
 		Batch:     s.batcher.Stats(),
+		Endpoints: eps,
+		Process:   processStats{RSSBytes: procinfo.CurrentRSS(), PeakRSSBytes: procinfo.PeakRSS()},
 	})
 }

@@ -62,6 +62,28 @@ func intParam(w http.ResponseWriter, r *http.Request, key string, def int) (int,
 	return v, true
 }
 
+// limitParam parses the optional limit parameter. A negative limit is
+// rejected rather than silently treated as "no limit": a client
+// computing limits (paging arithmetic gone wrong, integer overflow on
+// its side) should hear about it, not receive the largest possible
+// response. Out-of-range numerals (strconv overflow) fail the same way.
+func limitParam(w http.ResponseWriter, r *http.Request, def int) (int, bool) {
+	raw := r.URL.Query().Get("limit")
+	if raw == "" {
+		return def, true
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parameter %q: %v", "limit", err)
+		return 0, false
+	}
+	if v < 0 {
+		writeError(w, http.StatusBadRequest, "parameter %q must not be negative", "limit")
+		return 0, false
+	}
+	return v, true
+}
+
 // predicateParam resolves the optional predicate of a request: the
 // plain intersection query without parameters, the ε-range
 // (within-distance) query with epsilon (or predicate=within&epsilon=ε).
@@ -190,12 +212,9 @@ func (s *Server) parseQuery(w http.ResponseWriter, r *http.Request, kind queryKi
 	if p.pred, ok2 = predicateParam(w, r); !ok2 {
 		return nil, false
 	}
-	limit, ok2 := intParam(w, r, "limit", -1)
+	limit, ok2 := limitParam(w, r, -1)
 	if !ok2 {
 		return nil, false
-	}
-	if limit < 0 {
-		limit = -1
 	}
 	p.limit = limit
 	p.plan = s.planParam(r)
@@ -241,11 +260,11 @@ func (s *Server) parseJoin(w http.ResponseWriter, r *http.Request, workersDef in
 		return nil, false
 	}
 	if withLimit {
-		limit, ok := intParam(w, r, "limit", s.MaxJoinPairs)
+		limit, ok := limitParam(w, r, s.MaxJoinPairs)
 		if !ok {
 			return nil, false
 		}
-		if limit < 0 || limit > s.MaxJoinPairs {
+		if limit > s.MaxJoinPairs {
 			limit = s.MaxJoinPairs
 		}
 		p.limit = limit

@@ -28,9 +28,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spatialjoin/internal/geom"
+	"spatialjoin/internal/hist"
 	"spatialjoin/internal/mqe"
 	"spatialjoin/internal/multistep"
 	"spatialjoin/internal/shard"
@@ -168,6 +170,16 @@ type Server struct {
 	cache    *mqe.Cache
 	flight   mqe.Group
 	batcher  *mqe.Batcher
+	metrics  map[string]*endpointTally
+}
+
+// endpointTally is one endpoint's request counter and latency
+// histogram — the per-endpoint figures /stats reports. Recording is
+// lock-free (atomics all the way down), so instrumentation costs a few
+// nanoseconds per request.
+type endpointTally struct {
+	requests atomic.Int64
+	latency  hist.Histogram
 }
 
 // DefaultMaxJoinPairs bounds the /join response body.
@@ -217,14 +229,27 @@ func NewServer(cat *Catalog) *Server {
 func (s *Server) Handler() http.Handler {
 	s.init()
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /relations", s.handleRelations)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /window", s.handleWindow)
-	mux.HandleFunc("GET /point", s.handlePoint)
-	mux.HandleFunc("GET /nearest", s.handleNearest)
-	mux.HandleFunc("GET /join", s.handleJoin)
-	mux.HandleFunc("GET /explain", s.handleExplain)
+	register := func(name string, h http.HandlerFunc) {
+		t := s.metrics[name]
+		if t == nil {
+			t = &endpointTally{}
+			s.metrics[name] = t
+		}
+		mux.HandleFunc("GET /"+name, func(w http.ResponseWriter, r *http.Request) {
+			t.requests.Add(1)
+			start := time.Now()
+			h(w, r)
+			t.latency.RecordDuration(time.Since(start))
+		})
+	}
+	register("healthz", s.handleHealthz)
+	register("relations", s.handleRelations)
+	register("stats", s.handleStats)
+	register("window", s.handleWindow)
+	register("point", s.handlePoint)
+	register("nearest", s.handleNearest)
+	register("join", s.handleJoin)
+	register("explain", s.handleExplain)
 	return mux
 }
 

@@ -70,10 +70,12 @@ func (s *Sharded) MBR() geom.Rect { return s.mbr }
 // tile — the compatibility key for joins and stores.
 func (s *Sharded) Fingerprint() uint64 { return multistep.ConfigFingerprint(s.Cfg) }
 
-// zCenter returns the Z code of a rectangle's center quantized onto the
-// data space at the finest zorder level. Degenerate data-space axes
-// (all centers collinear) quantize to cell 0 on that axis.
-func zCenter(r, ds geom.Rect) uint64 {
+// ZCenter returns the Z code of a rectangle's center quantized onto the
+// data space at the finest zorder level — the partition key of Build.
+// Degenerate data-space axes (all centers collinear) quantize to cell 0
+// on that axis. Exported so incremental builders (internal/loadgen) can
+// reproduce Build's partition without materializing the relation.
+func ZCenter(r, ds geom.Rect) uint64 {
 	n := float64(uint32(1) << zorder.MaxLevel)
 	quant := func(v, lo, hi float64) uint32 {
 		if hi <= lo {
@@ -122,7 +124,7 @@ func Build(name string, polys []*geom.Polygon, shards int, cfg multistep.Config)
 	}
 	codes := make([]uint64, n)
 	for i := range codes {
-		codes[i] = zCenter(bounds[i], ds)
+		codes[i] = ZCenter(bounds[i], ds)
 	}
 	slices.SortStableFunc(order, func(a, b int32) int {
 		switch {

@@ -1,7 +1,6 @@
 package shard
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
@@ -70,47 +69,19 @@ func IsStoreDir(path string) bool {
 }
 
 // Save writes sh as a sharded store directory, creating dir if needed.
+// It is a loop over StoreWriter; incremental builders that never hold
+// the whole relation drive the writer directly.
 func Save(dir string, sh *Sharded) error {
-	if len(sh.Name) > 1<<16-1 {
-		return fmt.Errorf("shard: relation name of %d bytes exceeds the format", len(sh.Name))
-	}
-	if len(sh.Tiles) > 1<<16-1 {
-		return fmt.Errorf("shard: %d tiles exceed the format", len(sh.Tiles))
-	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	w, err := NewStoreWriter(dir, sh.Name, sh.Cfg)
+	if err != nil {
 		return err
 	}
 	for _, t := range sh.Tiles {
-		if err := multistep.SaveRelationFile(tilePath(dir, t.Index), t.Rel, sh.Cfg); err != nil {
+		if err := w.writeRel(t.Rel, t.Global, t.MBR); err != nil {
 			return err
 		}
 	}
-
-	buf := binary.LittleEndian.AppendUint32(nil, manifestMagic)
-	buf = binary.LittleEndian.AppendUint16(buf, manifestVersion)
-	buf = binary.LittleEndian.AppendUint64(buf, sh.Fingerprint())
-	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(sh.Name)))
-	buf = append(buf, sh.Name...)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(sh.objects))
-	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(sh.Tiles)))
-	for _, t := range sh.Tiles {
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(t.MBR.MinX))
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(t.MBR.MinY))
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(t.MBR.MaxX))
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(t.MBR.MaxY))
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t.Global)))
-		for _, g := range t.Global {
-			buf = binary.LittleEndian.AppendUint32(buf, uint32(g))
-		}
-		st := t.Rel.Stats
-		if st == nil {
-			st = t.Rel.ComputeStats()
-		}
-		stats := plan.AppendStats(nil, st)
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(stats)))
-		buf = append(buf, stats...)
-	}
-	return os.WriteFile(filepath.Join(dir, ManifestName), buf, 0o644)
+	return w.Finish()
 }
 
 // Open reopens a sharded store directory under cfg. The manifest's

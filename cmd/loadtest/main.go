@@ -106,6 +106,10 @@ func main() {
 	if err := enc.Encode(rep); err != nil {
 		fatal(err)
 	}
+	if rep.Overall.Shed+rep.Overall.TimedOut+rep.Overall.Degraded > 0 {
+		fmt.Fprintf(os.Stderr, "loadtest: resilience outcomes: %d shed (429), %d timed out (504), %d degraded of %d requests\n",
+			rep.Overall.Shed, rep.Overall.TimedOut, rep.Overall.Degraded, rep.Overall.Requests)
+	}
 	if rep.Overall.Errors > 0 {
 		fmt.Fprintf(os.Stderr, "loadtest: %d/%d requests errored (samples: %v)\n",
 			rep.Overall.Errors, rep.Overall.Requests, rep.ErrorSamples)
@@ -152,6 +156,9 @@ func toRun(label string, spec loadgen.Spec, rep *loadgen.Report, cacheOn bool) b
 			Class:          c.Class,
 			Requests:       c.Requests,
 			Errors:         c.Errors,
+			Shed:           c.Shed,
+			TimedOut:       c.TimedOut,
+			Degraded:       c.Degraded,
 			QPS:            c.QPS,
 			P50Ms:          c.Latency.P50Ms,
 			P95Ms:          c.Latency.P95Ms,

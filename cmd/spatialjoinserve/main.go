@@ -13,7 +13,9 @@
 //	                 [-conservative 5C|RMBR|CH|4C|MBC|MBE] [-progressive MER|MEC]
 //	                 [-no-filter] [-page 4096] [-buffer 131072] [-policy lru|fifo|clock]
 //	                 [-no-plan] [-cache-bytes 67108864] [-batch-window 2ms]
-//	                 [-drain 15s]
+//	                 [-drain 15s] [-timeout 0] [-max-timeout 0]
+//	                 [-max-inflight 0] [-max-queue 0] [-queue-wait 100ms]
+//	                 [-faults spec]
 //	spatialjoinserve [-addr :8080] -demo 810
 //
 // A -rel path may be a single relation store file (cmd/datagen -store)
@@ -44,10 +46,20 @@
 // batch counters, per-endpoint request counts with latency percentiles,
 // and the process RSS.
 //
-// The server shuts down gracefully: SIGINT or SIGTERM stops accepting
-// new connections and lets in-flight queries finish (bounded by
-// -drain) before exiting, so a load balancer rotating instances never
-// sees mid-response resets.
+// The server is resilient by configuration (DESIGN.md §14): -timeout /
+// -max-timeout bound each query request server-side (requests may set
+// ?timeout_ms=; a fired deadline answers 504), -max-inflight /
+// -max-queue / -queue-wait shed excess load with 429 + Retry-After, a
+// relation store that fails to open is quarantined (503 with the
+// reason) while the healthy ones keep serving, and -faults (or
+// $SPATIALJOIN_FAULTS) arms the deterministic fault-injection harness
+// for chaos testing. GET /readyz reports readiness — 503 once draining
+// begins or when nothing is loaded.
+//
+// The server shuts down gracefully: SIGINT or SIGTERM flips /readyz to
+// draining, stops accepting new connections and lets in-flight queries
+// finish (bounded by -drain) before exiting, so a load balancer
+// rotating instances never sees mid-response resets.
 package main
 
 import (
@@ -65,8 +77,8 @@ import (
 	"spatialjoin/internal/approx"
 	"spatialjoin/internal/data"
 	"spatialjoin/internal/multistep"
+	"spatialjoin/internal/resilience/fault"
 	"spatialjoin/internal/serve"
-	"spatialjoin/internal/shard"
 	"spatialjoin/internal/storage"
 )
 
@@ -109,7 +121,21 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", serve.DefaultCacheBytes, "result/tile cache budget in bytes (<=0 disables caching)")
 	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "join batching window (0 disables shared-traversal batching)")
 	drain := flag.Duration("drain", 15*time.Second, "how long to let in-flight requests drain on SIGINT/SIGTERM before closing connections")
+	timeout := flag.Duration("timeout", 0, "default server-side deadline per query request (0 = none; requests may set ?timeout_ms=)")
+	maxTimeout := flag.Duration("max-timeout", 0, "cap on every request deadline, default or ?timeout_ms= (0 = uncapped)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrently executing query requests (0 disables admission control)")
+	maxQueue := flag.Int("max-queue", 0, "admission wait-queue bound beyond -max-inflight; excess requests are shed with 429")
+	queueWait := flag.Duration("queue-wait", 100*time.Millisecond, "how long a queued request waits for a slot before being shed")
+	faults := flag.String("faults", os.Getenv("SPATIALJOIN_FAULTS"),
+		"arm fault injections, e.g. tile-query:error@5 (default $SPATIALJOIN_FAULTS; testing only)")
 	flag.Parse()
+
+	if err := fault.Arm(*faults); err != nil {
+		fatal(err)
+	}
+	if fault.Enabled() {
+		log.Printf("WARNING: fault injection armed (%q) — this server WILL fail requests on purpose", *faults)
+	}
 
 	cfg := multistep.DefaultConfig()
 	cfg.PageSize = *pageSize
@@ -135,14 +161,12 @@ func main() {
 
 	cat := serve.NewCatalog()
 	for _, e := range rels {
-		// A directory with a manifest is a sharded store (shard.Save);
-		// anything else is a single-relation SJRL file.
-		if shard.IsStoreDir(e.path) {
-			if err := cat.LoadDir(e.name, e.path, cfg); err != nil {
-				fatal(err)
-			}
-		} else if err := cat.LoadFile(e.name, e.path, cfg); err != nil {
-			fatal(err)
+		// A failed store does not take the server down: the name is
+		// quarantined (answers 503 with the reason) and the healthy
+		// relations keep serving.
+		if err := cat.LoadPath(e.name, e.path, cfg); err != nil {
+			log.Printf("QUARANTINED %q: %v", e.name, err)
+			continue
 		}
 		entry, _ := cat.Get(e.name)
 		pages := 0
@@ -167,6 +191,11 @@ func main() {
 	srv.NoPlan = *noPlan
 	srv.CacheBytes = *cacheBytes
 	srv.BatchWindow = *batchWindow
+	srv.RequestTimeout = *timeout
+	srv.MaxRequestTimeout = *maxTimeout
+	srv.MaxInFlight = *maxInflight
+	srv.MaxQueue = *maxQueue
+	srv.QueueWait = *queueWait
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -188,6 +217,9 @@ func main() {
 		fatal(err)
 	case <-ctx.Done():
 		stop()
+		// Flip readiness first so orchestrators stop routing here, then
+		// drain: /readyz answers 503 while in-flight requests finish.
+		srv.SetDraining(true)
 		log.Printf("shutdown signal received; draining in-flight requests (up to %s)...", *drain)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()

@@ -95,9 +95,16 @@ type Result struct {
 	// The service-level fields of a cmd/loadtest row: one row per query
 	// class (join/window/point/nearest, or "all"), latencies from the
 	// harness-side histogram.
-	Class    string  `json:"class,omitempty"`
-	Requests int64   `json:"requests,omitempty"`
-	Errors   int64   `json:"errors,omitempty"`
+	Class    string `json:"class,omitempty"`
+	Requests int64  `json:"requests,omitempty"`
+	Errors   int64  `json:"errors,omitempty"`
+	// Shed, TimedOut and Degraded are the resilience outcomes of a
+	// loadtest row — 429s from admission control, 504s from fired
+	// server-side deadlines, and partial 200s after tile failure. They
+	// are not errors: a shedding server under overload is behaving.
+	Shed     int64   `json:"shed,omitempty"`
+	TimedOut int64   `json:"timed_out,omitempty"`
+	Degraded int64   `json:"degraded,omitempty"`
 	P50Ms    float64 `json:"p50_ms,omitempty"`
 	P95Ms    float64 `json:"p95_ms,omitempty"`
 	P99Ms    float64 `json:"p99_ms,omitempty"`

@@ -157,10 +157,12 @@ type joinSliver struct {
 }
 
 type windowSliver struct {
-	IDs []int32 `json:"ids"`
+	Degraded bool    `json:"degraded"`
+	IDs      []int32 `json:"ids"`
 }
 
 type nearestSliver struct {
+	Degraded  bool              `json:"degraded"`
 	Neighbors []json.RawMessage `json:"neighbors"`
 }
 
@@ -168,56 +170,108 @@ type errorSliver struct {
 	Error string `json:"error"`
 }
 
+// Outcome classifies one request's result. Shed, timed-out and degraded
+// responses are first-class outcomes, not errors: a resilient server
+// under overload or injected faults is SUPPOSED to produce them, and a
+// chaos run needs to count them separately from genuine failures
+// (malformed bodies, wrong cardinalities, unexpected statuses).
+type Outcome string
+
+const (
+	// OutcomeOK is a well-formed 200 with the calibrated cardinality.
+	OutcomeOK Outcome = "ok"
+	// OutcomeShed is a 429 from admission control.
+	OutcomeShed Outcome = "shed"
+	// OutcomeTimeout is a 504 from a fired server-side deadline.
+	OutcomeTimeout Outcome = "timeout"
+	// OutcomeDegraded is a well-formed 200 with degraded:true (partial
+	// results after tile failure); its cardinality is not checked — the
+	// answer legitimately covers fewer tiles.
+	OutcomeDegraded Outcome = "degraded"
+	// OutcomeError is everything else.
+	OutcomeError Outcome = "error"
+)
+
 // Fetch issues q against base and returns the response cardinality. A
 // non-200 status, a malformed body, or (after calibration) a
-// cardinality mismatch is an error.
+// cardinality mismatch is an error — including shed, timed-out and
+// degraded responses, which Calibrate and other strict callers must
+// treat as failures. Load runs use FetchOutcome instead.
 func Fetch(ctx context.Context, client *http.Client, base string, q *Query) (int64, error) {
+	card, oc, err := FetchOutcome(ctx, client, base, q)
+	if err != nil {
+		return card, err
+	}
+	switch oc {
+	case OutcomeShed:
+		return card, fmt.Errorf("request shed (status 429)")
+	case OutcomeTimeout:
+		return card, fmt.Errorf("request timed out server-side (status 504)")
+	case OutcomeDegraded:
+		return card, fmt.Errorf("degraded response")
+	}
+	return card, nil
+}
+
+// FetchOutcome issues q against base and classifies the result. The
+// outcome is OutcomeError exactly when the returned error is non-nil.
+func FetchOutcome(ctx context.Context, client *http.Client, base string, q *Query) (int64, Outcome, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+q.Path, nil)
 	if err != nil {
-		return 0, err
+		return 0, OutcomeError, err
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, err
+		return 0, OutcomeError, err
 	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	resp.Body.Close()
 	if err != nil {
-		return 0, err
+		return 0, OutcomeError, err
 	}
-	if resp.StatusCode != http.StatusOK {
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusTooManyRequests:
+		return 0, OutcomeShed, nil
+	case http.StatusGatewayTimeout:
+		return 0, OutcomeTimeout, nil
+	default:
 		var e errorSliver
 		if json.Unmarshal(body, &e) == nil && e.Error != "" {
-			return 0, fmt.Errorf("status %d: %s", resp.StatusCode, e.Error)
+			return 0, OutcomeError, fmt.Errorf("status %d: %s", resp.StatusCode, e.Error)
 		}
-		return 0, fmt.Errorf("status %d", resp.StatusCode)
+		return 0, OutcomeError, fmt.Errorf("status %d", resp.StatusCode)
 	}
 
 	var card int64
+	degraded := false
 	switch q.Class {
 	case "join":
 		var v joinSliver
 		if err := json.Unmarshal(body, &v); err != nil {
-			return 0, fmt.Errorf("bad join body: %w", err)
+			return 0, OutcomeError, fmt.Errorf("bad join body: %w", err)
 		}
 		card = v.Stats.ResultPairs
 	case "window", "point":
 		var v windowSliver
 		if err := json.Unmarshal(body, &v); err != nil {
-			return 0, fmt.Errorf("bad %s body: %w", q.Class, err)
+			return 0, OutcomeError, fmt.Errorf("bad %s body: %w", q.Class, err)
 		}
-		card = int64(len(v.IDs))
+		card, degraded = int64(len(v.IDs)), v.Degraded
 	case "nearest":
 		var v nearestSliver
 		if err := json.Unmarshal(body, &v); err != nil {
-			return 0, fmt.Errorf("bad nearest body: %w", err)
+			return 0, OutcomeError, fmt.Errorf("bad nearest body: %w", err)
 		}
-		card = int64(len(v.Neighbors))
+		card, degraded = int64(len(v.Neighbors)), v.Degraded
 	default:
-		return 0, fmt.Errorf("unknown query class %q", q.Class)
+		return 0, OutcomeError, fmt.Errorf("unknown query class %q", q.Class)
+	}
+	if degraded {
+		return card, OutcomeDegraded, nil
 	}
 	if q.Expected >= 0 && card != q.Expected {
-		return card, fmt.Errorf("cardinality %d, expected %d", card, q.Expected)
+		return card, OutcomeError, fmt.Errorf("cardinality %d, expected %d", card, q.Expected)
 	}
-	return card, nil
+	return card, OutcomeOK, nil
 }

@@ -49,10 +49,19 @@ type Options struct {
 }
 
 // ClassReport is the measured outcome of one query class (or "all").
+// Shed (429), TimedOut (504) and Degraded (partial 200) are first-class
+// columns, separate from Errors: under overload or injected faults
+// those responses are the resilience layer working as designed, and
+// folding them into Errors would make a correctly-shedding server look
+// broken. Their latencies land in Latency alongside the successes —
+// every server-answered request is measured.
 type ClassReport struct {
 	Class    string        `json:"class"`
 	Requests int64         `json:"requests"`
 	Errors   int64         `json:"errors"`
+	Shed     int64         `json:"shed,omitempty"`
+	TimedOut int64         `json:"timed_out,omitempty"`
+	Degraded int64         `json:"degraded,omitempty"`
 	QPS      float64       `json:"qps"`
 	Latency  hist.Snapshot `json:"latency_ms"`
 }
@@ -80,6 +89,9 @@ type Report struct {
 type classTally struct {
 	requests atomic.Int64
 	errors   atomic.Int64
+	shed     atomic.Int64
+	timedOut atomic.Int64
+	degraded atomic.Int64
 	hist     hist.Histogram
 }
 
@@ -102,7 +114,7 @@ func newRecorder(f *Flight) *recorder {
 	return r
 }
 
-func (r *recorder) record(class string, d time.Duration, err error) {
+func (r *recorder) record(class string, d time.Duration, oc Outcome, err error) {
 	t := r.classes[class]
 	t.requests.Add(1)
 	r.overall.requests.Add(1)
@@ -126,6 +138,19 @@ func (r *recorder) record(class string, d time.Duration, err error) {
 		r.mu.Unlock()
 		return
 	}
+	switch oc {
+	case OutcomeShed:
+		t.shed.Add(1)
+		r.overall.shed.Add(1)
+	case OutcomeTimeout:
+		t.timedOut.Add(1)
+		r.overall.timedOut.Add(1)
+	case OutcomeDegraded:
+		t.degraded.Add(1)
+		r.overall.degraded.Add(1)
+	}
+	// Shed, timed-out and degraded responses were answered by the
+	// server; their latencies are measurements, not noise.
 	t.hist.RecordDuration(d)
 	r.overall.hist.RecordDuration(d)
 }
@@ -218,6 +243,9 @@ func Run(ctx context.Context, f *Flight, opts Options) (*Report, error) {
 			Class:    class,
 			Requests: t.requests.Load(),
 			Errors:   t.errors.Load(),
+			Shed:     t.shed.Load(),
+			TimedOut: t.timedOut.Load(),
+			Degraded: t.degraded.Load(),
 			QPS:      float64(t.requests.Load()) / measured,
 			Latency:  t.hist.Snapshot(),
 		}
@@ -260,6 +288,12 @@ func newPicker(f *Flight, opts Options) func(workerSeed int64) func() *Query {
 	}
 }
 
+// maxShedRetries bounds the closed-mode 429 retry loop: a shed request
+// is retried with jittered exponential backoff at most this many times
+// before the worker moves on. Every attempt is recorded — the retries
+// are visible load, not hidden work.
+const maxShedRetries = 3
+
 func runClosed(ctx context.Context, f *Flight, opts Options, client *http.Client,
 	rec *recorder, pick func(int64) func() *Query, measureFrom, deadline time.Time) error {
 	var wg sync.WaitGroup
@@ -268,18 +302,36 @@ func runClosed(ctx context.Context, f *Flight, opts Options, client *http.Client
 		go func(w int) {
 			defer wg.Done()
 			next := pick(int64(w))
+			rng := rand.New(rand.NewSource(opts.Seed*7919 + int64(w)))
 			for {
 				if ctx.Err() != nil || !time.Now().Before(deadline) {
 					return
 				}
 				q := next()
-				t0 := time.Now()
-				_, err := Fetch(ctx, client, opts.BaseURL, q)
-				if ctx.Err() != nil {
-					return // cancellation errors are not server errors
-				}
-				if t0.After(measureFrom) {
-					rec.record(q.Class, time.Since(t0), err)
+				for attempt := 0; ; attempt++ {
+					t0 := time.Now()
+					_, oc, err := FetchOutcome(ctx, client, opts.BaseURL, q)
+					if ctx.Err() != nil {
+						return // cancellation errors are not server errors
+					}
+					if t0.After(measureFrom) {
+						rec.record(q.Class, time.Since(t0), oc, err)
+					}
+					if oc != OutcomeShed || attempt >= maxShedRetries {
+						break
+					}
+					// Jittered exponential backoff, per-worker deterministic:
+					// ~4ms, 8ms, 16ms, each scaled by [0.5, 1.5).
+					backoff := time.Duration(float64(4*time.Millisecond) *
+						float64(int64(1)<<attempt) * (0.5 + rng.Float64()))
+					select {
+					case <-ctx.Done():
+						return
+					case <-time.After(backoff):
+					}
+					if !time.Now().Before(deadline) {
+						return
+					}
 				}
 			}
 		}(w)
@@ -321,12 +373,14 @@ func runOpen(ctx context.Context, f *Flight, opts Options, client *http.Client,
 		wg.Add(1)
 		go func(q *Query, intended time.Time) {
 			defer wg.Done()
-			_, err := Fetch(ctx, client, opts.BaseURL, q)
+			_, oc, err := FetchOutcome(ctx, client, opts.BaseURL, q)
 			if ctx.Err() != nil {
 				return
 			}
 			if intended.After(measureFrom) {
-				rec.record(q.Class, time.Since(intended), err)
+				// Open mode never retries: the arrival schedule is the
+				// workload, and a shed arrival is a shed arrival.
+				rec.record(q.Class, time.Since(intended), oc, err)
 			}
 		}(q, intended)
 	}

@@ -11,6 +11,7 @@ import (
 	"spatialjoin/internal/ctxpoll"
 	"spatialjoin/internal/exact"
 	"spatialjoin/internal/geom"
+	"spatialjoin/internal/resilience/fault"
 	"spatialjoin/internal/rstar"
 	"spatialjoin/internal/storage"
 )
@@ -56,6 +57,7 @@ type queryOptions struct {
 	point    *geom.Point
 	nearest  bool
 	nearestK int
+	partial  bool // WithPartialResults: coordinators may degrade
 
 	planned bool     // WithPlan: resolve unset options via the planner
 	explain *Explain // WithExplain: capture plan + predicted-vs-actual
@@ -153,6 +155,16 @@ func ForPoint(p geom.Point) Option {
 	return func(o *queryOptions) { o.point = &p }
 }
 
+// WithPartialResults marks a query as degradable: a multi-relation
+// coordinator (internal/shard's scatter-gather layer) may answer from
+// the tiles that succeeded when others fail, flagging the result as
+// degraded instead of failing the whole query. The single-relation
+// entry points ignore it (one relation either answers or errors), and
+// joins always fail closed — a partial join silently loses pairs.
+func WithPartialResults() Option {
+	return func(o *queryOptions) { o.partial = true }
+}
+
 // ForNearest targets Query at the k objects closest to p by exact region
 // distance, refined over R*-tree MBR-distance candidates.
 func ForNearest(p geom.Point, k int) Option {
@@ -205,6 +217,9 @@ type Resolved struct {
 	// coordinators need it: sub-result identity includes the requested
 	// worker count because the per-tile plan echo depends on it.
 	Workers int
+	// Partial reports WithPartialResults — a coordinator may answer
+	// from the succeeding tiles and mark the result degraded.
+	Partial bool
 }
 
 // ResolveOptions applies an option list and returns the resolved view.
@@ -216,7 +231,7 @@ func ResolveOptions(opts []Option) Resolved {
 		Window: o.window, Point: o.point,
 		Nearest: o.nearest, NearestK: o.nearestK,
 		Plan: o.planned, Explain: o.explain,
-		Workers: o.workers,
+		Workers: o.workers, Partial: o.partial,
 	}
 }
 
@@ -444,6 +459,10 @@ func rangeQuery(ctx context.Context, r *Relation, ax storage.Accessor, w geom.Re
 	missesBefore := ax.Misses()
 	stop, release := ctxpoll.Stop(ctx)
 	defer release()
+	// ferr latches the first fault the "exact" injection site fires on
+	// this query's exact decisions; the traversal keeps its shape (the
+	// counters stay deterministic) and the error surfaces afterwards.
+	var ferr error
 	r.Tree.WindowQueryAccessStop(ax, w.Expand(eps), stop, func(it rstar.Item) {
 		res.Stats.Candidates++
 		o := r.Objects[it.ID]
@@ -451,6 +470,10 @@ func rangeQuery(ctx context.Context, r *Relation, ax storage.Accessor, w geom.Re
 			// The ε-range test: exact region-to-window distance, the same
 			// kernel the nearest-objects refinement uses.
 			res.Stats.ExactTested++
+			if e := fault.Check("exact"); e != nil && ferr == nil {
+				ferr = e
+				return
+			}
 			if o.Poly.DistToRect(w) <= eps {
 				res.IDs = append(res.IDs, o.ID)
 			}
@@ -468,6 +491,10 @@ func rangeQuery(ctx context.Context, r *Relation, ax storage.Accessor, w geom.Re
 			}
 		}
 		res.Stats.ExactTested++
+		if e := fault.Check("exact"); e != nil && ferr == nil {
+			ferr = e
+			return
+		}
 		var c Stats // scratch counter sink; window queries report counts only
 		if exact.IntersectsRectExact(o.Prepared(), w, &c.Ops) {
 			res.IDs = append(res.IDs, o.ID)
@@ -475,6 +502,9 @@ func rangeQuery(ctx context.Context, r *Relation, ax storage.Accessor, w geom.Re
 	})
 	if err := ctx.Err(); err != nil {
 		return QueryResult{}, err
+	}
+	if ferr != nil {
+		return QueryResult{}, ferr
 	}
 	if limit >= 0 && len(res.IDs) > limit {
 		res.IDs = res.IDs[:limit]

@@ -11,6 +11,8 @@ import (
 	"spatialjoin/internal/bitset"
 	"spatialjoin/internal/ctxpoll"
 	"spatialjoin/internal/ops"
+	"spatialjoin/internal/resilience"
+	"spatialjoin/internal/resilience/fault"
 	"spatialjoin/internal/rstar"
 	"spatialjoin/internal/storage"
 )
@@ -222,6 +224,12 @@ func joinStreamBatch(ctx context.Context, r, s *Relation, js []batchJoin, axR, a
 	}
 	missesR, missesS := axR.Misses(), axS.Misses()
 
+	// A worker panic or fired injection cancels the whole batched
+	// traversal with its cause; every request in the batch fails
+	// together (joins fail closed).
+	ctx, fail := context.WithCancelCause(ctx)
+	defer fail(nil)
+
 	stop, release := ctxpoll.Stop(ctx)
 	defer release()
 	stopCh := ctx.Done()
@@ -244,6 +252,11 @@ func joinStreamBatch(ctx context.Context, r, s *Relation, js []batchJoin, axR, a
 		wg.Add(1)
 		go func(states *[]batchWorkerItem) {
 			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					fail(resilience.Recovered("exact", rec))
+				}
+			}()
 			ws := make([]batchWorkerItem, nItems)
 			for i := range ws {
 				ws[i].fetchedR = bitset.New(len(r.Objects))
@@ -280,6 +293,10 @@ func joinStreamBatch(ctx context.Context, r, s *Relation, js []batchJoin, axR, a
 						wi.exactTested++
 						wi.fetchedR.Set(int(c.a))
 						wi.fetchedS.Set(int(c.b))
+						if ferr := fault.Check("exact"); ferr != nil {
+							fail(ferr)
+							return
+						}
 						if it.o.pred.exactDecide(it.cfg, oa, ob, &wi.ops) {
 							wi.exactHits++
 							out = append(out, batchPair{int32(i), Pair{A: c.a, B: c.b}})
@@ -348,8 +365,11 @@ func joinStreamBatch(ctx context.Context, r, s *Relation, js []batchJoin, axR, a
 	close(resCh)
 	<-done
 
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	if ctx.Err() != nil {
+		// Cause surfaces an internal failure (worker panic, fired
+		// injection); for the caller's own cancellation it reproduces
+		// ctx.Err().
+		return nil, context.Cause(ctx)
 	}
 
 	// Per-request deterministic merge: sums and bitset unions over the

@@ -10,6 +10,8 @@ import (
 	"spatialjoin/internal/ctxpoll"
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/ops"
+	"spatialjoin/internal/resilience"
+	"spatialjoin/internal/resilience/fault"
 	"spatialjoin/internal/rstar"
 	"spatialjoin/internal/storage"
 	"spatialjoin/internal/zorder"
@@ -129,6 +131,13 @@ func joinStream(ctx context.Context, r, s *Relation, cfg Config, pred Predicate,
 	o = o.withDefaults()
 	var st Stats
 
+	// Internal failure propagation: a worker that panics (a bug in an
+	// exact kernel, or an injected fault) or hits a fired "exact"
+	// injection cancels the pipeline with itself as the cause; the
+	// panic is contained to the request instead of killing the process.
+	ctx, fail := context.WithCancelCause(ctx)
+	defer fail(nil)
+
 	axR, axS := o.axR, o.axS
 	if axR == nil {
 		r.Tree.Buffer().ResetCounters()
@@ -163,6 +172,14 @@ func joinStream(ctx context.Context, r, s *Relation, cfg Config, pred Predicate,
 		wg.Add(1)
 		go func(ws *streamWorker) {
 			defer wg.Done()
+			// A panicking worker fails this join, not the process: the
+			// recovered panic becomes the pipeline's cancellation cause
+			// and the remaining stages drain normally.
+			defer func() {
+				if rec := recover(); rec != nil {
+					fail(resilience.Recovered("exact", rec))
+				}
+			}()
 			ws.fetchedR = bitset.New(len(r.Objects))
 			ws.fetchedS = bitset.New(len(s.Objects))
 			for bp := range candCh {
@@ -190,6 +207,10 @@ func joinStream(ctx context.Context, r, s *Relation, cfg Config, pred Predicate,
 					ws.exactTested++
 					ws.fetchedR.Set(int(c.a))
 					ws.fetchedS.Set(int(c.b))
+					if ferr := fault.Check("exact"); ferr != nil {
+						fail(ferr)
+						break
+					}
 					if pred.exactDecide(cfg, oa, ob, &ws.ops) {
 						ws.exactHits++
 						out = append(out, Pair{A: c.a, B: c.b})
@@ -341,8 +362,11 @@ func joinStream(ctx context.Context, r, s *Relation, cfg Config, pred Predicate,
 	close(resCh)
 	<-done
 
-	if err := ctx.Err(); err != nil {
-		return st, err
+	if ctx.Err() != nil {
+		// Cause distinguishes an internal failure (worker panic, fired
+		// injection) from the caller's own cancellation, for which it
+		// reproduces ctx.Err().
+		return st, context.Cause(ctx)
 	}
 
 	// Deterministic merge: every counter is a sum and the fetch sets are

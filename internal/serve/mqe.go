@@ -10,6 +10,8 @@ import (
 	"spatialjoin/internal/mqe"
 	"spatialjoin/internal/multistep"
 	"spatialjoin/internal/procinfo"
+	"spatialjoin/internal/resilience"
+	"spatialjoin/internal/resilience/fault"
 	"spatialjoin/internal/shard"
 )
 
@@ -28,11 +30,16 @@ import (
 // queryCanonical is the cached canonical result of a single-relation
 // request: the uncapped merged answer plus the plan echo. Derivations
 // only read it (slices are shared between concurrent responses).
+// Degraded results — partial=1 answers that lost tiles — flow through
+// the same struct but are never stored in the cache: the missing tiles
+// may heal, and a cached degraded answer would outlive the failure.
 type queryCanonical struct {
 	IDs       []int32
 	Neighbors []multistep.Neighbor
 	Stats     shard.QueryStats
 	Plan      planEcho
+	Degraded  bool
+	Failed    []shard.TileFailure
 }
 
 // joinCanonical is the cached canonical result of a join request: the
@@ -72,6 +79,9 @@ func (s *Server) init() {
 		s.cache = mqe.NewCache(s.CacheBytes)
 		s.batcher = mqe.NewBatcher(s.BatchWindow)
 		s.metrics = make(map[string]*endpointTally)
+		if s.MaxInFlight > 0 {
+			s.limiter = resilience.NewLimiter(s.MaxInFlight, s.MaxQueue, s.QueueWait)
+		}
 	})
 }
 
@@ -168,18 +178,23 @@ func (s *Server) runQuery(ctx context.Context, p *queryParams) (qc *queryCanonic
 		if err != nil {
 			return nil, err
 		}
-		s.cache.Put(key, c, c.size())
+		if !c.Degraded {
+			s.cache.Put(key, c, c.size())
+		}
 		return c, nil
 	})
 	if err != nil {
-		// A coalesced leader's client may disconnect while this request
-		// is still live: rerun solo on our own context.
-		if coalesced && errors.Is(err, context.Canceled) && ctx.Err() == nil {
+		// A coalesced leader's client may disconnect — or its server-side
+		// deadline may fire — while this request is still live: rerun
+		// solo on our own context.
+		if coalesced && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) && ctx.Err() == nil {
 			c, err := s.execQuery(ctx, p)
 			if err != nil {
 				return nil, false, false, err
 			}
-			s.cache.Put(key, c, c.size())
+			if !c.Degraded {
+				s.cache.Put(key, c, c.size())
+			}
 			return c, false, true, nil
 		}
 		return nil, false, false, err
@@ -211,11 +226,17 @@ func (s *Server) execQuery(ctx context.Context, p *queryParams) (*queryCanonical
 			opts = append(opts, multistep.WithConfig(p.e.Cfg))
 		}
 	}
+	if p.partial {
+		opts = append(opts, multistep.WithPartialResults())
+	}
 	res, err := shard.QueryCached(ctx, p.e.Sh, s.queryTileCache(p), opts...)
 	if err != nil {
 		return nil, err
 	}
-	return &queryCanonical{IDs: res.IDs, Neighbors: res.Neighbors, Stats: res.Stats, Plan: echoOf(ex.Plan)}, nil
+	return &queryCanonical{
+		IDs: res.IDs, Neighbors: res.Neighbors, Stats: res.Stats, Plan: echoOf(ex.Plan),
+		Degraded: res.Degraded, Failed: res.Failed,
+	}, nil
 }
 
 // joinBatchReq is one member of a batched join execution.
@@ -249,9 +270,10 @@ func (s *Server) runJoin(ctx context.Context, p *joinParams) (jc *joinCanonical,
 	})
 	if err != nil {
 		// The executing leader (single-flight or batch opener) may have
-		// been cancelled by its own client while this request is still
-		// live: rerun solo on our own context.
-		if errors.Is(err, context.Canceled) && ctx.Err() == nil {
+		// been cancelled by its own client — or timed out on its own
+		// server-side deadline — while this request is still live: rerun
+		// solo on our own context.
+		if (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) && ctx.Err() == nil {
 			out, err := s.execJoinBatch(ctx, []any{&joinBatchReq{p: p}})
 			if err != nil {
 				return nil, false, false, err
@@ -304,22 +326,35 @@ func (s *Server) execJoinBatch(ctx context.Context, reqs []any) ([]any, error) {
 }
 
 // serveStats answers GET /stats: the shared cache counters, the
-// single-flight coalesce count, the batching counters, per-endpoint
-// request counts with latency percentiles, and the process's resident
-// set size (the figure the load harness samples during a run).
+// single-flight coalesce count, the batching counters, the admission
+// controller's gauges, per-endpoint request counts with latency
+// percentiles and resilience outcomes, any quarantined relations, any
+// armed fault injections, and the process's resident set size (the
+// figure the load harness samples during a run).
 type serveStats struct {
-	Cache     mqe.CacheStats           `json:"cache"`
-	Coalesced int64                    `json:"coalesced"`
-	Batch     mqe.BatcherStats         `json:"batch"`
-	Endpoints map[string]endpointStats `json:"endpoints"`
-	Process   processStats             `json:"process"`
+	Cache       mqe.CacheStats           `json:"cache"`
+	Coalesced   int64                    `json:"coalesced"`
+	Batch       mqe.BatcherStats         `json:"batch"`
+	Admission   resilience.LimiterStats  `json:"admission"`
+	Endpoints   map[string]endpointStats `json:"endpoints"`
+	Quarantined map[string]string        `json:"quarantined,omitempty"`
+	Faults      []fault.InjectionStats   `json:"faults,omitempty"`
+	Process     processStats             `json:"process"`
 }
 
 // endpointStats is one endpoint's row in /stats. Latencies come from a
 // fixed-bucket log-linear histogram (internal/hist): ≤ 2.4% relative
-// quantile error, constant memory, lock-free recording.
+// quantile error, constant memory, lock-free recording. InFlight is an
+// instantaneous gauge; Shed, TimedOut, Degraded and Panics count the
+// endpoint's resilience outcomes (shed requests are counted under
+// Requests too, but not under Latency-observed successes).
 type endpointStats struct {
 	Requests int64         `json:"requests"`
+	InFlight int64         `json:"in_flight"`
+	Shed     int64         `json:"shed"`
+	TimedOut int64         `json:"timed_out"`
+	Degraded int64         `json:"degraded"`
+	Panics   int64         `json:"panics"`
 	Latency  hist.Snapshot `json:"latency_ms"`
 }
 
@@ -331,13 +366,24 @@ type processStats struct {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	eps := make(map[string]endpointStats, len(s.metrics))
 	for name, t := range s.metrics {
-		eps[name] = endpointStats{Requests: t.requests.Load(), Latency: t.latency.Snapshot()}
+		eps[name] = endpointStats{
+			Requests: t.requests.Load(),
+			InFlight: t.inflight.Load(),
+			Shed:     t.shed.Load(),
+			TimedOut: t.timedOut.Load(),
+			Degraded: t.degraded.Load(),
+			Panics:   t.panics.Load(),
+			Latency:  t.latency.Snapshot(),
+		}
 	}
 	writeJSON(w, http.StatusOK, serveStats{
-		Cache:     s.cache.Stats(),
-		Coalesced: s.flight.Coalesced(),
-		Batch:     s.batcher.Stats(),
-		Endpoints: eps,
-		Process:   processStats{RSSBytes: procinfo.CurrentRSS(), PeakRSSBytes: procinfo.PeakRSS()},
+		Cache:       s.cache.Stats(),
+		Coalesced:   s.flight.Coalesced(),
+		Batch:       s.batcher.Stats(),
+		Admission:   s.limiter.Stats(),
+		Endpoints:   eps,
+		Quarantined: s.cat.QuarantinedAll(),
+		Faults:      fault.Stats(),
+		Process:     processStats{RSSBytes: procinfo.CurrentRSS(), PeakRSSBytes: procinfo.PeakRSS()},
 	})
 }

@@ -27,6 +27,10 @@ func (s *Server) relParam(w http.ResponseWriter, r *http.Request, key string) (*
 	}
 	e, ok := s.cat.Get(name)
 	if !ok {
+		if reason, q := s.cat.Quarantined(name); q {
+			writeError(w, http.StatusServiceUnavailable, "relation %q is quarantined: %s", name, reason)
+			return nil, "", false
+		}
 		writeError(w, http.StatusNotFound, "unknown relation %q", name)
 		return nil, "", false
 	}
@@ -153,10 +157,24 @@ type queryParams struct {
 	k    int
 	pred multistep.Predicate
 	plan bool
+	// partial opts into graceful degradation: tile failures drop out of
+	// the merged answer (degraded response) instead of failing the whole
+	// request. Part of the cache key — a strict request must never be
+	// answered from a canonical result computed permissively.
+	partial bool
 	// limit caps the response IDs (window/point only); -1 is uncapped.
 	// Deliberately NOT part of the cache key: the canonical result is
 	// computed uncapped and every limit is a sorted prefix of it.
 	limit int
+}
+
+// partialParam reads the optional partial parameter (1/true/yes/on).
+func partialParam(r *http.Request) bool {
+	switch strings.ToLower(r.URL.Query().Get("partial")) {
+	case "1", "true", "yes", "on":
+		return true
+	}
+	return false
 }
 
 // parseQuery validates a single-relation request of the given kind.
@@ -196,6 +214,7 @@ func (s *Server) parseQuery(w http.ResponseWriter, r *http.Request, kind queryKi
 		}
 		p.pt = geom.Point{X: x, Y: y}
 	}
+	p.partial = partialParam(r)
 	if kind == kindNearest {
 		k, ok := intParam(w, r, "k", 5)
 		if !ok {
@@ -240,6 +259,13 @@ type joinParams struct {
 // 0); withLimit selects whether the limit parameter applies.
 func (s *Server) parseJoin(w http.ResponseWriter, r *http.Request, workersDef int, withLimit bool) (*joinParams, bool) {
 	p := &joinParams{limit: -1}
+	// Joins fail closed: a degraded join silently missing a tile pair's
+	// share of the response set is indistinguishable from a correct
+	// smaller answer, so the parameter is rejected rather than ignored.
+	if partialParam(r) {
+		writeError(w, http.StatusBadRequest, "parameter %q is not supported on joins: joins fail closed", "partial")
+		return nil, false
+	}
 	var ok bool
 	if p.eR, p.nameR, ok = s.relParam(w, r, "r"); !ok {
 		return nil, false
@@ -310,10 +336,10 @@ func (p *queryParams) cacheKey() string {
 	case kindPoint:
 		fmt.Fprintf(&b, "|p|%s,%s", fmtFloat(p.pt.X), fmtFloat(p.pt.Y))
 	case kindNearest:
-		fmt.Fprintf(&b, "|n|%s,%s|k%d", fmtFloat(p.pt.X), fmtFloat(p.pt.Y), p.k)
+		fmt.Fprintf(&b, "|n|%s,%s|k%d|pt%t", fmtFloat(p.pt.X), fmtFloat(p.pt.Y), p.k, p.partial)
 		return b.String()
 	}
-	fmt.Fprintf(&b, "|%s|pl%t", p.pred.String(), p.plan)
+	fmt.Fprintf(&b, "|%s|pl%t|pt%t", p.pred.String(), p.plan, p.partial)
 	return b.String()
 }
 

@@ -22,10 +22,14 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -35,6 +39,8 @@ import (
 	"spatialjoin/internal/hist"
 	"spatialjoin/internal/mqe"
 	"spatialjoin/internal/multistep"
+	"spatialjoin/internal/resilience"
+	"spatialjoin/internal/resilience/fault"
 	"spatialjoin/internal/shard"
 )
 
@@ -61,11 +67,17 @@ type Catalog struct {
 	mu   sync.RWMutex
 	gen  uint64
 	rels map[string]*Entry
+	// quarantined maps relation names whose store failed to open to the
+	// failure reason. A quarantined name answers 503 (the data exists but
+	// this process cannot serve it) instead of 404, and the server keeps
+	// serving the healthy relations. A successful (re-)registration
+	// clears the quarantine.
+	quarantined map[string]string
 }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
-	return &Catalog{rels: make(map[string]*Entry)}
+	return &Catalog{rels: make(map[string]*Entry), quarantined: make(map[string]string)}
 }
 
 // Add registers a monolithic relation under a name, replacing any
@@ -84,6 +96,59 @@ func (c *Catalog) AddSharded(name string, sh *shard.Sharded, cfg multistep.Confi
 	defer c.mu.Unlock()
 	c.gen++
 	c.rels[name] = &Entry{Sh: sh, Cfg: cfg, Gen: c.gen}
+	delete(c.quarantined, name)
+}
+
+// Quarantine marks a relation name as registered-but-unservable: its
+// store failed to open. The name answers 503 with the reason until a
+// successful registration replaces it.
+func (c *Catalog) Quarantine(name, reason string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.quarantined[name] = reason
+}
+
+// Quarantined returns the quarantine reason of a name, if it is
+// quarantined.
+func (c *Catalog) Quarantined(name string) (string, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	reason, ok := c.quarantined[name]
+	return reason, ok
+}
+
+// QuarantinedAll snapshots the quarantined names and reasons (nil when
+// none — the /stats field omits cleanly).
+func (c *Catalog) QuarantinedAll() map[string]string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if len(c.quarantined) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(c.quarantined))
+	for n, r := range c.quarantined {
+		out[n] = r
+	}
+	return out
+}
+
+// LoadPath opens a persisted store at path — a sharded store directory
+// or a single-relation store file — and registers it under name. On
+// failure the name is quarantined instead of registered, and the error
+// is returned so the caller can log it: a server loading several
+// relations keeps serving the healthy ones while the quarantined name
+// answers 503 with the reason.
+func (c *Catalog) LoadPath(name, path string, cfg multistep.Config) error {
+	var err error
+	if shard.IsStoreDir(path) {
+		err = c.LoadDir(name, path, cfg)
+	} else {
+		err = c.LoadFile(name, path, cfg)
+	}
+	if err != nil {
+		c.Quarantine(name, err.Error())
+	}
+	return err
 }
 
 // LoadFile opens a persisted relation store (multistep.SaveRelationFile
@@ -166,20 +231,47 @@ type Server struct {
 	// batching — each request runs its own traversal immediately.
 	BatchWindow time.Duration
 
+	// RequestTimeout is the default server-side deadline of each query
+	// request; ≤ 0 means no default deadline. A request may pick its own
+	// with ?timeout_ms=, capped by MaxRequestTimeout.
+	RequestTimeout time.Duration
+	// MaxRequestTimeout caps every request deadline, default or
+	// per-request; ≤ 0 means uncapped.
+	MaxRequestTimeout time.Duration
+	// MaxInFlight bounds the query requests executing at once; ≤ 0
+	// disables admission control. Requests beyond it wait in a queue of
+	// at most MaxQueue for up to QueueWait, and everything beyond that is
+	// shed with 429 and Retry-After.
+	MaxInFlight int
+	// MaxQueue is the admission wait-queue bound (only with MaxInFlight).
+	MaxQueue int
+	// QueueWait is how long a queued request waits for a slot before
+	// being shed (only with MaxInFlight); ≤ 0 waits on the client alone.
+	QueueWait time.Duration
+
 	initOnce sync.Once
 	cache    *mqe.Cache
 	flight   mqe.Group
 	batcher  *mqe.Batcher
 	metrics  map[string]*endpointTally
+	limiter  *resilience.Limiter
+	draining atomic.Bool
 }
 
-// endpointTally is one endpoint's request counter and latency
+// endpointTally is one endpoint's request counters and latency
 // histogram — the per-endpoint figures /stats reports. Recording is
 // lock-free (atomics all the way down), so instrumentation costs a few
 // nanoseconds per request.
 type endpointTally struct {
 	requests atomic.Int64
 	latency  hist.Histogram
+	// inflight is the instantaneous gauge of admitted, still-running
+	// requests; the rest are the resilience outcome counters.
+	inflight atomic.Int64
+	shed     atomic.Int64
+	timedOut atomic.Int64
+	degraded atomic.Int64
+	panics   atomic.Int64
 }
 
 // DefaultMaxJoinPairs bounds the /join response body.
@@ -196,8 +288,9 @@ func NewServer(cat *Catalog) *Server {
 // Handler returns the HTTP handler tree:
 //
 //	GET /healthz                                     liveness + relation count
+//	GET /readyz                                      readiness: 503 while draining or empty
 //	GET /relations                                   catalog listing
-//	GET /stats                                       cache / coalesce / batch counters
+//	GET /stats                                       cache / coalesce / batch / resilience counters
 //	GET /window?rel=R&minx=&miny=&maxx=&maxy=        multi-step window query
 //	         [&epsilon=ε][&limit=]                   (ε-range: within ε of the window)
 //	GET /point?rel=R&x=&y=[&epsilon=ε][&limit=]      multi-step point / ε-range query
@@ -226,15 +319,28 @@ func NewServer(cat *Catalog) *Server {
 // filter/exact pool and the collector all stop at their next check, so a
 // cancelled request releases its workers instead of running the join to
 // completion.
+//
+// Query endpoints additionally accept &timeout_ms= (a per-request
+// server-side deadline, capped by MaxRequestTimeout; a fired deadline
+// answers 504), and /window, /point and /nearest accept &partial=1
+// (degrade to the surviving tiles on tile failure instead of failing
+// the whole request — the response carries degraded:true and the failed
+// tiles; joins always fail closed and reject the parameter). When
+// admission control is configured, requests beyond the in-flight and
+// queue bounds are shed with 429 and Retry-After.
 func (s *Server) Handler() http.Handler {
 	s.init()
 	mux := http.NewServeMux()
-	register := func(name string, h http.HandlerFunc) {
+	tally := func(name string) *endpointTally {
 		t := s.metrics[name]
 		if t == nil {
 			t = &endpointTally{}
 			s.metrics[name] = t
 		}
+		return t
+	}
+	register := func(name string, h http.HandlerFunc) {
+		t := tally(name)
 		mux.HandleFunc("GET /"+name, func(w http.ResponseWriter, r *http.Request) {
 			t.requests.Add(1)
 			start := time.Now()
@@ -242,16 +348,94 @@ func (s *Server) Handler() http.Handler {
 			t.latency.RecordDuration(time.Since(start))
 		})
 	}
+	// guard wraps the query endpoints in the resilience envelope:
+	// admission control (shed with 429 + Retry-After when saturated),
+	// the server-side deadline (?timeout_ms= capped by the server max),
+	// and the request-level panic boundary (500 with an incident ID; the
+	// process keeps serving).
+	guard := func(name string, h func(http.ResponseWriter, *http.Request, *endpointTally)) {
+		t := tally(name)
+		mux.HandleFunc("GET /"+name, func(w http.ResponseWriter, r *http.Request) {
+			t.requests.Add(1)
+			start := time.Now()
+			defer func() { t.latency.RecordDuration(time.Since(start)) }()
+			release, err := s.limiter.Acquire(r.Context())
+			if err != nil {
+				if errors.Is(err, resilience.ErrSaturated) {
+					t.shed.Add(1)
+					w.Header().Set("Retry-After", "1")
+					writeError(w, http.StatusTooManyRequests, "server saturated: %d in flight, queue full", s.MaxInFlight)
+				}
+				// Otherwise the client gave up while queued; write nothing.
+				return
+			}
+			defer release()
+			t.inflight.Add(1)
+			defer t.inflight.Add(-1)
+			r2, cancel, ok := s.withDeadline(w, r)
+			if !ok {
+				return
+			}
+			defer cancel()
+			defer func() {
+				if rec := recover(); rec != nil {
+					pe := resilience.Recovered(name, rec)
+					t.panics.Add(1)
+					log.Printf("serve: %v\n%s", pe, pe.Stack)
+					writeJSON(w, http.StatusInternalServerError,
+						errorBody{Error: fmt.Sprintf("internal error (incident %s)", pe.Incident), Incident: pe.Incident})
+				}
+			}()
+			h(w, r2, t)
+		})
+	}
 	register("healthz", s.handleHealthz)
+	register("readyz", s.handleReadyz)
 	register("relations", s.handleRelations)
 	register("stats", s.handleStats)
-	register("window", s.handleWindow)
-	register("point", s.handlePoint)
-	register("nearest", s.handleNearest)
-	register("join", s.handleJoin)
-	register("explain", s.handleExplain)
+	guard("window", s.handleWindow)
+	guard("point", s.handlePoint)
+	guard("nearest", s.handleNearest)
+	guard("join", s.handleJoin)
+	guard("explain", s.handleExplain)
 	return mux
 }
+
+// errDeadline is the cancellation cause of a fired server-side request
+// deadline. It wraps context.DeadlineExceeded so every layer's deadline
+// check keeps working, while finishQuery can tell a server-imposed
+// deadline (504) from a client that set its own and went away (write
+// nothing).
+var errDeadline = fmt.Errorf("server-side request deadline exceeded: %w", context.DeadlineExceeded)
+
+// withDeadline applies the request's deadline: ?timeout_ms= if given
+// (positive integer milliseconds), else the server default, both capped
+// by MaxRequestTimeout. It reports false after writing a 400 for a
+// malformed or non-positive timeout_ms.
+func (s *Server) withDeadline(w http.ResponseWriter, r *http.Request) (*http.Request, context.CancelFunc, bool) {
+	d := s.RequestTimeout
+	if raw := r.URL.Query().Get("timeout_ms"); raw != "" {
+		ms, err := strconv.Atoi(raw)
+		if err != nil || ms <= 0 {
+			writeError(w, http.StatusBadRequest, "parameter %q must be a positive integer of milliseconds", "timeout_ms")
+			return nil, nil, false
+		}
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if s.MaxRequestTimeout > 0 && (d <= 0 || d > s.MaxRequestTimeout) {
+		d = s.MaxRequestTimeout
+	}
+	if d <= 0 {
+		return r, func() {}, true
+	}
+	ctx, cancel := context.WithTimeoutCause(r.Context(), d, errDeadline)
+	return r.WithContext(ctx), cancel, true
+}
+
+// SetDraining flips the readiness gate: a draining server still answers
+// in-flight and even new requests (the listener closes separately), but
+// /readyz reports 503 so orchestrators stop routing to it.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -263,6 +447,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 type errorBody struct {
 	Error string `json:"error"`
+	// Incident correlates a 500 response with the server-side log line
+	// carrying the recovered panic's stack.
+	Incident string `json:"incident,omitempty"`
 	// RFingerprint and SFingerprint carry the two preprocessing
 	// fingerprints of a /join configuration-mismatch conflict, so the
 	// caller can see which side to rebuild.
@@ -276,6 +463,21 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "relations": len(s.cat.Names())})
+}
+
+// handleReadyz answers readiness, as distinct from /healthz liveness: a
+// live process is not ready while it has nothing to serve or while it
+// is draining for shutdown.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	n := len(s.cat.Names())
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "draining", "relations": n})
+	case n == 0:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "no relations loaded", "relations": 0})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true, "relations": n})
+	}
 }
 
 // tileInfo is one shard row of a relation listing.
@@ -355,34 +557,41 @@ func echoOf(p multistep.Plan) planEcho {
 // markers; they lead the struct so stripping their lines from the JSON
 // body yields the solo-run response.
 type windowResponse struct {
-	Cached    bool             `json:"cached,omitempty"`
-	Coalesced bool             `json:"coalesced,omitempty"`
-	Relation  string           `json:"relation"`
-	IDs       []int32          `json:"ids"`
-	Truncated bool             `json:"truncated"`
-	Plan      planEcho         `json:"plan"`
-	Stats     shard.QueryStats `json:"stats"`
+	Cached    bool `json:"cached,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Degraded marks a partial=1 response that lost tiles; FailedTiles
+	// lists them. Degraded responses are never cached.
+	Degraded    bool                `json:"degraded,omitempty"`
+	FailedTiles []shard.TileFailure `json:"failedTiles,omitempty"`
+	Relation    string              `json:"relation"`
+	IDs         []int32             `json:"ids"`
+	Truncated   bool                `json:"truncated"`
+	Plan        planEcho            `json:"plan"`
+	Stats       shard.QueryStats    `json:"stats"`
 }
 
-func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
-	s.serveQuery(w, r, kindWindow)
+func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request, t *endpointTally) {
+	s.serveQuery(w, r, t, kindWindow)
 }
 
-func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
-	s.serveQuery(w, r, kindPoint)
+func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request, t *endpointTally) {
+	s.serveQuery(w, r, t, kindPoint)
 }
 
 // serveQuery is the shared /window and /point handler: canonical
 // execution through the multi-query layer, then per-request derivation
 // (sorted-prefix limit, recomputed result count).
-func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kind queryKind) {
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, t *endpointTally, kind queryKind) {
 	p, ok := s.parseQuery(w, r, kind)
 	if !ok {
 		return
 	}
 	qc, cached, coalesced, err := s.runQuery(r.Context(), p)
-	if !finishQuery(w, r, err) {
+	if !s.finishQuery(w, r, t, err) {
 		return
+	}
+	if qc.Degraded {
+		t.degraded.Add(1)
 	}
 	ids := qc.IDs
 	truncated := false
@@ -396,25 +605,46 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kind queryKi
 	stats := qc.Stats
 	stats.ResultObjects = int64(len(ids))
 	writeJSON(w, http.StatusOK, windowResponse{
-		Cached:    cached,
-		Coalesced: coalesced,
-		Relation:  p.name,
-		IDs:       ids,
-		Truncated: truncated,
-		Plan:      qc.Plan,
-		Stats:     stats,
+		Cached:      cached,
+		Coalesced:   coalesced,
+		Degraded:    qc.Degraded,
+		FailedTiles: qc.Failed,
+		Relation:    p.name,
+		IDs:         ids,
+		Truncated:   truncated,
+		Plan:        qc.Plan,
+		Stats:       stats,
 	})
 }
 
-// finishQuery maps a query error onto the response: a cancelled request
-// writes nothing (the client is gone), any other error is a bad request.
-// It reports whether the handler should proceed to write the result.
-func finishQuery(w http.ResponseWriter, r *http.Request, err error) bool {
+// finishQuery maps a query error onto the response: a fired server-side
+// deadline is 504, a recovered panic or fired injection is 500 (the
+// panic with its incident ID), a client that went away on its own gets
+// nothing written, and any other error is a bad request. It reports
+// whether the handler should proceed to write the result.
+func (s *Server) finishQuery(w http.ResponseWriter, r *http.Request, t *endpointTally, err error) bool {
 	if err == nil {
 		return true
 	}
-	if r.Context().Err() != nil {
+	ctx := r.Context()
+	if ctx.Err() != nil {
+		if errors.Is(context.Cause(ctx), errDeadline) {
+			t.timedOut.Add(1)
+			writeError(w, http.StatusGatewayTimeout, "%v", context.Cause(ctx))
+			return false
+		}
 		return false // client disconnected; the pipeline already stopped
+	}
+	if pe, ok := resilience.AsPanic(err); ok {
+		t.panics.Add(1)
+		log.Printf("serve: %v\n%s", pe, pe.Stack)
+		writeJSON(w, http.StatusInternalServerError,
+			errorBody{Error: fmt.Sprintf("internal error (incident %s)", pe.Incident), Incident: pe.Incident})
+		return false
+	}
+	if fault.IsInjected(err) {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return false
 	}
 	writeError(w, http.StatusBadRequest, "%v", err)
 	return false
@@ -433,32 +663,39 @@ type nearestStats struct {
 
 // nearestResponse answers /nearest.
 type nearestResponse struct {
-	Cached    bool                 `json:"cached,omitempty"`
-	Coalesced bool                 `json:"coalesced,omitempty"`
-	Relation  string               `json:"relation"`
-	Neighbors []multistep.Neighbor `json:"neighbors"`
-	Stats     nearestStats         `json:"stats"`
+	Cached      bool                 `json:"cached,omitempty"`
+	Coalesced   bool                 `json:"coalesced,omitempty"`
+	Degraded    bool                 `json:"degraded,omitempty"`
+	FailedTiles []shard.TileFailure  `json:"failedTiles,omitempty"`
+	Relation    string               `json:"relation"`
+	Neighbors   []multistep.Neighbor `json:"neighbors"`
+	Stats       nearestStats         `json:"stats"`
 }
 
-func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request, t *endpointTally) {
 	p, ok := s.parseQuery(w, r, kindNearest)
 	if !ok {
 		return
 	}
 	qc, cached, coalesced, err := s.runQuery(r.Context(), p)
-	if !finishQuery(w, r, err) {
+	if !s.finishQuery(w, r, t, err) {
 		return
+	}
+	if qc.Degraded {
+		t.degraded.Add(1)
 	}
 	nn := qc.Neighbors
 	if nn == nil {
 		nn = []multistep.Neighbor{}
 	}
 	writeJSON(w, http.StatusOK, nearestResponse{
-		Cached:    cached,
-		Coalesced: coalesced,
-		Relation:  p.name,
-		Neighbors: nn,
-		Stats:     nearestStats{PageAccesses: qc.Stats.PageAccesses, PageTouches: qc.Stats.PageTouches},
+		Cached:      cached,
+		Coalesced:   coalesced,
+		Degraded:    qc.Degraded,
+		FailedTiles: qc.Failed,
+		Relation:    p.name,
+		Neighbors:   nn,
+		Stats:       nearestStats{PageAccesses: qc.Stats.PageAccesses, PageTouches: qc.Stats.PageTouches},
 	})
 }
 
@@ -482,7 +719,7 @@ type joinResponse struct {
 	Stats     multistep.Stats  `json:"stats"`
 }
 
-func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request, t *endpointTally) {
 	p, ok := s.parseJoin(w, r, s.JoinWorkers, true)
 	if !ok {
 		return
@@ -496,7 +733,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	// context rides along and fans out to every tile, so a disconnected
 	// client stops all sub-joins.
 	jc, cached, coalesced, err := s.runJoin(r.Context(), p)
-	if !finishQuery(w, r, err) {
+	if !s.finishQuery(w, r, t, err) {
 		return
 	}
 	pairs := jc.Pairs
@@ -530,7 +767,7 @@ type explainResponse struct {
 	shard.ExplainResult
 }
 
-func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, t *endpointTally) {
 	p, ok := s.parseJoin(w, r, 0, false)
 	if !ok {
 		return
@@ -550,7 +787,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		opts = append(opts, multistep.WithConfig(p.eR.Cfg))
 	}
 	res, err := shard.Explain(r.Context(), p.eR.Sh, p.eS.Sh, run, opts...)
-	if !finishQuery(w, r, err) {
+	if !s.finishQuery(w, r, t, err) {
 		return
 	}
 	writeJSON(w, http.StatusOK, explainResponse{

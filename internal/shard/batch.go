@@ -8,6 +8,8 @@ import (
 	"sync"
 
 	"spatialjoin/internal/multistep"
+	"spatialjoin/internal/resilience"
+	"spatialjoin/internal/resilience/fault"
 )
 
 // BatchOutcome is one request's result from JoinBatch: exactly what the
@@ -120,20 +122,47 @@ func JoinBatch(ctx context.Context, r, s *Sharded, tc JoinTileCache, items [][]m
 			}
 
 			if len(todo) > 0 {
-				subItems := make([][]multistep.Option, len(todo))
-				subExs := make([]*multistep.Explain, len(todo))
-				for n, i := range todo {
-					sub := make([]multistep.Option, 0, len(items[i])+2)
-					sub = append(sub, items[i]...)
-					sub = append(sub, multistep.WithLimit(-1))
-					// Always capture the sub-join plan on the caching path
-					// (see QueryCached); a fresh WithExplain also shields
-					// the caller's capture target from concurrent writes.
-					subExs[n] = new(multistep.Explain)
-					sub = append(sub, multistep.WithExplain(subExs[n]))
-					subItems[n] = sub
-				}
-				outs, err := multistep.JoinBatch(ctx, rt.Rel, st.Rel, rt.Rel.NewSession(), st.Rel.NewSession(), subItems)
+				// The shared traversal is a recovery boundary: a panic in
+				// this tile pair's batched sub-join becomes its error (and,
+				// joins failing closed, every batched request's) instead of
+				// killing the process.
+				err := func() (err error) {
+					defer resilience.RecoverTo(&err, "tile-join")
+					if ferr := fault.Check("tile-join"); ferr != nil {
+						return ferr
+					}
+					subItems := make([][]multistep.Option, len(todo))
+					subExs := make([]*multistep.Explain, len(todo))
+					for n, i := range todo {
+						sub := make([]multistep.Option, 0, len(items[i])+2)
+						sub = append(sub, items[i]...)
+						sub = append(sub, multistep.WithLimit(-1))
+						// Always capture the sub-join plan on the caching path
+						// (see QueryCached); a fresh WithExplain also shields
+						// the caller's capture target from concurrent writes.
+						subExs[n] = new(multistep.Explain)
+						sub = append(sub, multistep.WithExplain(subExs[n]))
+						subItems[n] = sub
+					}
+					sessR, sessS := rt.Rel.NewSession(), st.Rel.NewSession()
+					outs, err := multistep.JoinBatch(ctx, rt.Rel, st.Rel, sessR, sessS, subItems)
+					if err != nil {
+						return err
+					}
+					if serr := sessR.Err(); serr != nil {
+						return serr
+					}
+					if serr := sessS.Err(); serr != nil {
+						return serr
+					}
+					for n, i := range todo {
+						tileRes[i] = JoinTileResult{Pairs: outs[n].Pairs, Stats: outs[n].Stats, Explain: subExs[n]}
+						if tc != nil && !ress[i].Bufferless {
+							tc.PutJoinTile(joinTileKey(e.ri, e.si, ress[i]), tileRes[i])
+						}
+					}
+					return nil
+				}()
 				if err != nil {
 					mu.Lock()
 					defer mu.Unlock()
@@ -142,12 +171,6 @@ func JoinBatch(ctx context.Context, r, s *Sharded, tc JoinTileCache, items [][]m
 						cancel()
 					}
 					return
-				}
-				for n, i := range todo {
-					tileRes[i] = JoinTileResult{Pairs: outs[n].Pairs, Stats: outs[n].Stats, Explain: subExs[n]}
-					if tc != nil && !ress[i].Bufferless {
-						tc.PutJoinTile(joinTileKey(e.ri, e.si, ress[i]), tileRes[i])
-					}
 				}
 			}
 

@@ -8,6 +8,8 @@ import (
 	"sync"
 
 	"spatialjoin/internal/multistep"
+	"spatialjoin/internal/resilience"
+	"spatialjoin/internal/resilience/fault"
 )
 
 // SubJoinStats is the accounting of one tile-pair sub-join.
@@ -125,28 +127,50 @@ func Join(ctx context.Context, r, s *Sharded, opts ...multistep.Option) ([]multi
 				return
 			}
 			rt, st := r.Tiles[e.ri], s.Tiles[e.si]
-			// Fresh option slice per sub-join: appending to the shared
-			// opts would race on its backing array.
-			sub := make([]multistep.Option, 0, len(opts)+4)
-			sub = append(sub, opts...)
-			sub = append(sub, multistep.WithSessions(rt.Rel.NewSession(), st.Rel.NewSession()),
-				multistep.WithLimit(-1))
-			// Each sub-join gets its own Explain: the caller's capture
-			// target (if any) must not be written by N goroutines, and
-			// per-tile-pair plans are the point — appending a fresh
-			// WithExplain overrides the one inside opts.
-			var subEx *multistep.Explain
-			if res.Explain != nil {
-				subEx = new(multistep.Explain)
-				sub = append(sub, multistep.WithExplain(subEx))
-			}
-			if emit != nil {
-				local := emit
-				sub = append(sub, multistep.WithStream(func(p multistep.Pair) {
-					local(multistep.Pair{A: rt.Global[p.A], B: st.Global[p.B]})
-				}))
-			}
-			ps, sst, err := multistep.Join(ctx, rt.Rel, st.Rel, sub...)
+			// The sub-join body is a recovery boundary: a panic inside
+			// one tile pair's traversal becomes this sub-join's error
+			// (and, joins failing closed, the whole join's) instead of
+			// killing the process.
+			var (
+				ps    []multistep.Pair
+				sst   multistep.Stats
+				subEx *multistep.Explain
+			)
+			err := func() (err error) {
+				defer resilience.RecoverTo(&err, "tile-join")
+				if ferr := fault.Check("tile-join"); ferr != nil {
+					return ferr
+				}
+				sessR, sessS := rt.Rel.NewSession(), st.Rel.NewSession()
+				// Fresh option slice per sub-join: appending to the shared
+				// opts would race on its backing array.
+				sub := make([]multistep.Option, 0, len(opts)+4)
+				sub = append(sub, opts...)
+				sub = append(sub, multistep.WithSessions(sessR, sessS),
+					multistep.WithLimit(-1))
+				// Each sub-join gets its own Explain: the caller's capture
+				// target (if any) must not be written by N goroutines, and
+				// per-tile-pair plans are the point — appending a fresh
+				// WithExplain overrides the one inside opts.
+				if res.Explain != nil {
+					subEx = new(multistep.Explain)
+					sub = append(sub, multistep.WithExplain(subEx))
+				}
+				if emit != nil {
+					local := emit
+					sub = append(sub, multistep.WithStream(func(p multistep.Pair) {
+						local(multistep.Pair{A: rt.Global[p.A], B: st.Global[p.B]})
+					}))
+				}
+				ps, sst, err = multistep.Join(ctx, rt.Rel, st.Rel, sub...)
+				if err != nil {
+					return err
+				}
+				if serr := sessR.Err(); serr != nil {
+					return serr
+				}
+				return sessS.Err()
+			}()
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {

@@ -2,12 +2,15 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"slices"
 	"sync"
 
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/multistep"
+	"spatialjoin/internal/resilience"
+	"spatialjoin/internal/resilience/fault"
 )
 
 // TileQueryStats is the accounting of one tile's sub-query.
@@ -41,15 +44,31 @@ type QueryStats struct {
 	Tiles []TileQueryStats
 }
 
+// TileFailure records one tile whose sub-query failed under
+// WithPartialResults: the merged answer omits its objects.
+type TileFailure struct {
+	Tile int    `json:"tile"`
+	Err  string `json:"err"`
+}
+
 // QueryResult is the merged answer of a scatter-gather query. IDs are
 // global object IDs in ascending order (the canonical merged order — the
 // single-relation path reports tree-delivery order instead); a WithLimit
 // cap is the prefix of that order. Neighbors are sorted by (distance,
 // global ID) as in the single-relation path.
+//
+// Under WithPartialResults a tile failure does not fail the query:
+// Degraded is set, Failed lists the lost tiles (sorted by index), and
+// the answer covers only the surviving tiles. Cancellation and deadline
+// expiry still fail the whole query — a partial answer is for broken
+// tiles, not for impatient clients — and a query where every routed
+// tile failed returns the first failure rather than an empty answer.
 type QueryResult struct {
 	IDs       []int32
 	Neighbors []multistep.Neighbor
 	Stats     QueryStats
+	Degraded  bool
+	Failed    []TileFailure
 }
 
 // Query runs a window, point, ε-range or k-nearest-objects query against
@@ -108,9 +127,14 @@ func QueryCached(ctx context.Context, r *Sharded, tc QueryTileCache, opts ...mul
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	type tileFailure struct {
+		tile int
+		err  error
+	}
 	var (
 		mu        sync.Mutex
 		firstErr  error
+		failures  []tileFailure
 		ids       []int32
 		neighbors []multistep.Neighbor
 		stats     QueryStats
@@ -126,43 +150,66 @@ func QueryCached(ctx context.Context, r *Sharded, tc QueryTileCache, opts ...mul
 			if ctx.Err() != nil {
 				return
 			}
-			var key QueryTileKey
-			if tc != nil {
-				key = queryTileKey(t.Index, res)
-				if cr, ok := tc.GetQueryTile(key); ok {
-					mergeTileResult(&mu, t, cr, res.Explain != nil, &ids, &neighbors, &stats)
-					return
+			// The sub-query body is a recovery boundary: a panic inside
+			// one tile's traversal becomes this tile's error instead of
+			// killing the process.
+			err := func() (err error) {
+				defer resilience.RecoverTo(&err, "tile-query")
+				if ferr := fault.Check("tile-query"); ferr != nil {
+					return ferr
 				}
-			}
-			sess := t.Rel.NewSession()
-			sub := make([]multistep.Option, 0, len(opts)+3)
-			sub = append(sub, opts...)
-			sub = append(sub, multistep.WithSession(sess), multistep.WithLimit(-1))
-			// Each routed tile gets its own Explain: the caller's capture
-			// target must not be written by N goroutines — appending a
-			// fresh WithExplain overrides the one inside opts. The caching
-			// path always captures one, so a cached sub-result can serve a
-			// later request that wants the plan echo.
-			var subEx *multistep.Explain
-			if res.Explain != nil || tc != nil {
-				subEx = new(multistep.Explain)
-				sub = append(sub, multistep.WithExplain(subEx))
-			}
-			qr, err := multistep.Query(ctx, t.Rel, sub...)
-			if err != nil {
-				mu.Lock()
-				defer mu.Unlock()
-				if firstErr == nil {
-					firstErr = err
-					cancel()
+				var key QueryTileKey
+				if tc != nil {
+					key = queryTileKey(t.Index, res)
+					if cr, ok := tc.GetQueryTile(key); ok {
+						mergeTileResult(&mu, t, cr, res.Explain != nil, &ids, &neighbors, &stats)
+						return nil
+					}
 				}
+				sess := t.Rel.NewSession()
+				sub := make([]multistep.Option, 0, len(opts)+3)
+				sub = append(sub, opts...)
+				sub = append(sub, multistep.WithSession(sess), multistep.WithLimit(-1))
+				// Each routed tile gets its own Explain: the caller's capture
+				// target must not be written by N goroutines — appending a
+				// fresh WithExplain overrides the one inside opts. The caching
+				// path always captures one, so a cached sub-result can serve a
+				// later request that wants the plan echo.
+				var subEx *multistep.Explain
+				if res.Explain != nil || tc != nil {
+					subEx = new(multistep.Explain)
+					sub = append(sub, multistep.WithExplain(subEx))
+				}
+				qr, qerr := multistep.Query(ctx, t.Rel, sub...)
+				if qerr != nil {
+					return qerr
+				}
+				if serr := sess.Err(); serr != nil {
+					return serr
+				}
+				tr := QueryTileResult{IDs: qr.IDs, Neighbors: qr.Neighbors, Stats: qr.Stats, PageTouches: sess.Accesses(), Explain: subEx}
+				if tc != nil {
+					tc.PutQueryTile(key, tr)
+				}
+				mergeTileResult(&mu, t, tr, res.Explain != nil, &ids, &neighbors, &stats)
+				return nil
+			}()
+			if err == nil {
 				return
 			}
-			tr := QueryTileResult{IDs: qr.IDs, Neighbors: qr.Neighbors, Stats: qr.Stats, PageTouches: sess.Accesses(), Explain: subEx}
-			if tc != nil {
-				tc.PutQueryTile(key, tr)
+			mu.Lock()
+			defer mu.Unlock()
+			// Degradation is for broken tiles only: cancellation and
+			// deadline expiry always fail the whole query.
+			if res.Partial && parent.Err() == nil &&
+				!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+				failures = append(failures, tileFailure{tile: t.Index, err: err})
+				return
 			}
-			mergeTileResult(&mu, t, tr, res.Explain != nil, &ids, &neighbors, &stats)
+			if firstErr == nil {
+				firstErr = err
+				cancel()
+			}
 		}(t)
 	}
 	wg.Wait()
@@ -172,6 +219,11 @@ func QueryCached(ctx context.Context, r *Sharded, tc QueryTileCache, opts ...mul
 	}
 	if firstErr != nil {
 		return QueryResult{}, firstErr
+	}
+	slices.SortFunc(failures, func(a, b tileFailure) int { return a.tile - b.tile })
+	if len(failures) > 0 && len(stats.Tiles) == 0 {
+		// Every routed tile failed: nothing to degrade to.
+		return QueryResult{}, failures[0].err
 	}
 	slices.SortFunc(stats.Tiles, func(a, b TileQueryStats) int { return a.Tile - b.Tile })
 	if res.Explain != nil {
@@ -184,6 +236,10 @@ func QueryCached(ctx context.Context, r *Sharded, tc QueryTileCache, opts ...mul
 
 	var out QueryResult
 	out.Stats = stats
+	for _, f := range failures {
+		out.Failed = append(out.Failed, TileFailure{Tile: f.tile, Err: f.err.Error()})
+	}
+	out.Degraded = len(out.Failed) > 0
 	if res.Nearest {
 		slices.SortFunc(neighbors, func(a, b multistep.Neighbor) int {
 			switch {

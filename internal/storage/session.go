@@ -1,5 +1,7 @@
 package storage
 
+import "spatialjoin/internal/resilience/fault"
+
 // A Session is the per-query page-access context that makes one opened
 // store serve many concurrent queries. The paper's buffer accounting is
 // inherently stateful — every Access mutates the replacement structures —
@@ -68,11 +70,20 @@ func NewSession(store PageStore) *Session {
 
 // Access touches a page in the session's private simulation; on a miss
 // over a byte-serving store the page is read from the shared cache or
-// disk.
+// disk. Each real read passes the "page-read" fault site first, so the
+// chaos harness can model slow disks, failed reads and pages that come
+// back corrupt; like a real read error, an injected one parks in Err()
+// for the query layer to surface after the traversal.
 func (s *Session) Access(id PageID) {
 	before := s.sim.misses.Load()
 	s.sim.Access(id)
 	if s.src != nil && s.sim.misses.Load() != before {
+		if ferr := fault.Check("page-read"); ferr != nil {
+			if s.err == nil {
+				s.err = ferr
+			}
+			return
+		}
 		if _, err := s.src.ReadShared(id); err != nil && s.err == nil {
 			s.err = err
 		}
